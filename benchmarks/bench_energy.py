@@ -1,0 +1,43 @@
+"""Sec. IV-B — memory-system energy comparison.
+
+The paper reports Baryon reducing energy 31.9% vs Unison Cache and 13.0%
+vs DICE, and Baryon-FA 14.5% vs Hybrid2, with savings tracking the
+traffic reductions (slow-memory writes cost 21 pJ/bit, reads 14, fast
+memory 5). This bench prints total memory energy normalized to Simple
+(cache mode) and to Hybrid2 (flat mode) — lower is better.
+"""
+
+from repro.analysis import run_matrix
+from repro.analysis.report import geomean_row
+
+from common import CACHE_DESIGNS, FLAT_DESIGNS, N_ACCESSES, bench_system, bench_workloads, emit
+
+
+def run_energy():
+    config, sim_config = bench_system()
+    workloads = bench_workloads()
+    designs = CACHE_DESIGNS + FLAT_DESIGNS
+    matrix = run_matrix(workloads, designs, config, sim_config, n_accesses=N_ACCESSES)
+    lines = ["Energy (J per measured window, normalized; lower is better)"]
+    lines.append("workload".ljust(18) + "".join(d.rjust(11) for d in designs))
+    norm = {}
+    for wl in workloads:
+        base = matrix[(wl, "simple")].energy.total_j
+        row = wl.ljust(18)
+        for design in designs:
+            value = matrix[(wl, design)].energy.total_j / base
+            norm[(wl, design)] = value
+            row += f"{value:.3f}".rjust(11)
+        lines.append(row)
+    gmean = geomean_row(norm, designs)
+    lines.append(
+        "geomean".ljust(18) + "".join(f"{gmean[d]:.3f}".rjust(11) for d in designs)
+    )
+    return "\n".join(lines), matrix
+
+
+def test_energy_comparison(benchmark):
+    text, matrix = benchmark.pedantic(run_energy, rounds=1, iterations=1)
+    emit("energy", text)
+    for result in matrix.values():
+        assert result.energy.total_j > 0

@@ -1,0 +1,70 @@
+"""Fig. 3 — access-type breakdown around the stage area.
+
+(a) Outcomes of accesses to just-staged (S) vs committed (C) blocks with
+    the default stage size: after commit, miss and write-overflow rates
+    collapse (paper: <5% and <1% on average).
+(b) Commit-time miss/overflow rates across stage area sizes (the paper
+    sweeps 16/32/64/128 MB; we sweep the same sizes divided by the scale
+    factor).
+"""
+
+import dataclasses
+
+from repro.analysis import run_one
+from repro.common.config import StageConfig
+from repro.core.tracking import StagePhaseTracker
+
+from common import N_ACCESSES, SCALE, bench_system, bench_workloads, emit
+
+MB = 1 << 20
+STAGE_SIZES_MB = [16, 32, 64, 128]
+
+
+def run_fig03a():
+    config, sim_config = bench_system()
+    lines = ["Fig. 3a: access breakdown, just-staged (S) vs committed (C)"]
+    lines.append(
+        f"{'workload':<18} {'S miss':>8} {'S ovfl':>8} {'C miss':>8} {'C ovfl':>8}"
+    )
+    for workload in bench_workloads():
+        tracker = StagePhaseTracker()
+        run_one(
+            workload, "baryon", config, sim_config,
+            n_accesses=N_ACCESSES, tracker=tracker,
+        )
+        lines.append(
+            f"{workload:<18}"
+            f" {tracker.miss_rate('S'):>8.3f} {tracker.overflow_rate('S'):>8.4f}"
+            f" {tracker.miss_rate('C'):>8.3f} {tracker.overflow_rate('C'):>8.4f}"
+        )
+    return "\n".join(lines)
+
+
+def run_fig03b():
+    config, sim_config = bench_system()
+    workload = bench_workloads()[0]
+    lines = [f"Fig. 3b: committed-block miss rate vs stage size ({workload})"]
+    for size_mb in STAGE_SIZES_MB:
+        scaled = max(64 * 1024, size_mb * MB // SCALE)
+        stage = dataclasses.replace(config.stage, size_bytes=scaled)
+        cfg = dataclasses.replace(config, stage=stage)
+        tracker = StagePhaseTracker()
+        run_one(
+            workload, "baryon", cfg, sim_config,
+            n_accesses=N_ACCESSES, tracker=tracker,
+        )
+        lines.append(
+            f"  {size_mb:>4} MB (scaled {scaled >> 10:>5} kB)"
+            f"  C-miss {tracker.miss_rate('C'):.3f}"
+            f"  C-overflow {tracker.overflow_rate('C'):.4f}"
+        )
+    return "\n".join(lines)
+
+
+def test_fig03_stage_breakdown(benchmark):
+    def run():
+        return run_fig03a() + "\n\n" + run_fig03b()
+
+    text = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit("fig03_stage_breakdown", text)
+    assert "Fig. 3a" in text and "Fig. 3b" in text

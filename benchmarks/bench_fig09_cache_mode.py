@@ -1,0 +1,36 @@
+"""Fig. 9 — cache-mode performance: Simple / Unison / DICE / Baryon-64B / Baryon.
+
+Regenerates the paper's headline comparison: IPC per workload normalized
+to the Simple DRAM cache, geometric mean across workloads. The paper
+reports Baryon at 1.38x Unison and 1.27x DICE on average, with Unison
+winning only on 519.lbm_r (incompressible, write-heavy).
+"""
+
+from repro.analysis import format_matrix, run_matrix
+
+from common import CACHE_DESIGNS, N_ACCESSES, bench_system, bench_workloads, emit
+
+
+def run_fig09():
+    config, sim_config = bench_system()
+    workloads = bench_workloads()
+    matrix = run_matrix(
+        workloads, CACHE_DESIGNS, config, sim_config, n_accesses=N_ACCESSES
+    )
+    text = format_matrix(
+        matrix,
+        workloads,
+        CACHE_DESIGNS,
+        metric="ipc",
+        baseline="simple",
+        title="Fig. 9: cache-mode speedup (normalized to Simple)",
+    )
+    emit("fig09_cache_mode", text)
+    return matrix
+
+
+def test_fig09_cache_mode(benchmark):
+    matrix = benchmark.pedantic(run_fig09, rounds=1, iterations=1)
+    for result in matrix.values():
+        assert result.ipc > 0
+        assert 0.0 <= result.serve_rate <= 1.0

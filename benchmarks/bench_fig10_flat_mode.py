@@ -1,0 +1,35 @@
+"""Fig. 10 — flat-mode performance: Baryon-FA vs Hybrid2.
+
+Both designs are fully-associative flat hybrid memories with 256 B
+sub-blocking; Baryon-FA adds compression, the dual-format metadata and
+the stability-aware commit policy. The paper reports 1.18x average and up
+to 2.50x.
+"""
+
+from repro.analysis import format_matrix, run_matrix
+
+from common import FLAT_DESIGNS, N_ACCESSES, bench_system, bench_workloads, emit
+
+
+def run_fig10():
+    config, sim_config = bench_system()
+    workloads = bench_workloads()
+    matrix = run_matrix(
+        workloads, FLAT_DESIGNS, config, sim_config, n_accesses=N_ACCESSES
+    )
+    text = format_matrix(
+        matrix,
+        workloads,
+        FLAT_DESIGNS,
+        metric="ipc",
+        baseline="hybrid2",
+        title="Fig. 10: flat-mode speedup (normalized to Hybrid2)",
+    )
+    emit("fig10_flat_mode", text)
+    return matrix
+
+
+def test_fig10_flat_mode(benchmark):
+    matrix = benchmark.pedantic(run_fig10, rounds=1, iterations=1)
+    for result in matrix.values():
+        assert result.ipc > 0

@@ -1,0 +1,38 @@
+"""Fig. 11 — fast-memory serve rate and bandwidth bloat factor.
+
+Left panel: the percentage of memory accesses served by the fast memory
+(higher is better) — the paper's pr.twi example is 77% for Baryon vs 37%
+(Unison) and 44% (DICE). Right panel: total fast-memory traffic divided
+by useful LLC demand traffic (lower is better).
+"""
+
+from repro.analysis import format_matrix, run_matrix
+
+from common import CACHE_DESIGNS, N_ACCESSES, bench_system, bench_workloads, emit
+
+
+def run_fig11():
+    config, sim_config = bench_system()
+    workloads = bench_workloads()
+    matrix = run_matrix(
+        workloads, CACHE_DESIGNS, config, sim_config, n_accesses=N_ACCESSES
+    )
+    serve = format_matrix(
+        matrix, workloads, CACHE_DESIGNS,
+        metric="serve_rate",
+        title="Fig. 11 (left): fast-memory serve rate",
+    )
+    bloat = format_matrix(
+        matrix, workloads, CACHE_DESIGNS,
+        metric="bandwidth_bloat",
+        title="Fig. 11 (right): fast-memory bandwidth bloat factor",
+    )
+    emit("fig11_serve_bloat", serve + "\n\n" + bloat)
+    return matrix
+
+
+def test_fig11_serve_and_bloat(benchmark):
+    matrix = benchmark.pedantic(run_fig11, rounds=1, iterations=1)
+    for (workload, design), result in matrix.items():
+        assert 0.0 <= result.serve_rate <= 1.0
+        assert result.bandwidth_bloat >= 0.0

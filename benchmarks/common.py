@@ -1,0 +1,55 @@
+"""Shared infrastructure for the figure-reproduction benchmarks.
+
+Every ``bench_fig*.py`` regenerates one table/figure of the paper at a
+scaled configuration (see DESIGN.md for the substitution argument) and
+
+* prints the table to stdout (visible with ``pytest -s``), and
+* appends it to ``benchmarks/results/<name>.txt`` for EXPERIMENTS.md.
+
+Environment knobs:
+
+* ``REPRO_BENCH_SCALE``    — capacity scale divisor (default 256);
+* ``REPRO_BENCH_ACCESSES`` — trace length per cell (default 30000);
+* ``REPRO_BENCH_FULL=1``   — run all 12 workloads instead of the
+  representative per-domain subset.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+from typing import List
+
+from repro.common.config import BaryonConfig, SimulationConfig
+from repro.workloads import scaled_system
+from repro.workloads.suite import REPRESENTATIVE, WORKLOADS
+
+RESULTS_DIR = pathlib.Path(__file__).resolve().parent / "results"
+
+SCALE = int(os.environ.get("REPRO_BENCH_SCALE", "256"))
+N_ACCESSES = int(os.environ.get("REPRO_BENCH_ACCESSES", "30000"))
+FULL = os.environ.get("REPRO_BENCH_FULL", "0") == "1"
+
+#: Designs compared in the cache-mode figure (Fig. 9).
+CACHE_DESIGNS = ["simple", "unison", "dice", "baryon-64b", "baryon"]
+#: Designs compared in the flat-mode figure (Fig. 10).
+FLAT_DESIGNS = ["hybrid2", "baryon-fa"]
+
+
+def bench_system() -> tuple[BaryonConfig, SimulationConfig]:
+    """The scaled system every figure benchmark runs on."""
+    return scaled_system(SCALE)
+
+
+def bench_workloads() -> List[str]:
+    """Workload list: representative subset or the full suite."""
+    return sorted(WORKLOADS) if FULL else list(REPRESENTATIVE)
+
+
+def emit(name: str, text: str) -> None:
+    """Print a result table and persist it under benchmarks/results/."""
+    print()
+    print(text)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    header = f"scale=1/{SCALE} accesses={N_ACCESSES} full={FULL}"
+    (RESULTS_DIR / f"{name}.txt").write_text(f"{header}\n{text}\n")

@@ -1,0 +1,6 @@
+"""Make the shared bench helpers importable when pytest runs this dir."""
+
+import pathlib
+import sys
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent))

@@ -1,0 +1,71 @@
+"""Capacity planning for a key-value store on hybrid memory.
+
+A downstream scenario the paper's intro motivates: you run memcached on a
+DDR4+NVM box and must pick how much DRAM to provision, and how large the
+stage area carve-out should be. This example sweeps both knobs under a
+YCSB-B (read-mostly) load and prints where Baryon's compression and
+sub-blocking bend the serve-rate curve — i.e. how much DRAM compression
+effectively "buys back".
+
+Run:  python examples/capacity_planning.py
+"""
+
+import dataclasses
+
+from repro import BaryonController, SystemSimulator
+from repro.common.config import HybridLayout, StageConfig
+from repro.workloads import build_workload, scaled_system
+
+MB = 1 << 20
+
+
+def run(config, sim_config, trace, seed=1):
+    controller = BaryonController(config, seed=seed)
+    trace.apply_compressibility(controller.oracle)
+    return SystemSimulator(controller, sim_config).run(trace)
+
+
+def sweep_fast_memory() -> None:
+    base_config, sim_config = scaled_system(256)
+    footprint_fast = base_config.layout.fast_capacity  # trace sized to this
+    trace = build_workload("YCSB-B", footprint_fast, n_accesses=40_000)
+    print("DRAM provisioning sweep (fixed 120 MB dataset):")
+    print(f"{'fast MB':>8} {'serve':>8} {'IPC':>8} {'slow MB moved':>14}")
+    for fast_mb in (2, 3, 4, 8, 16):
+        layout = HybridLayout(
+            fast_capacity=fast_mb * MB,
+            slow_capacity=8 * fast_mb * MB,
+            associativity=4,
+        )
+        stage = StageConfig(
+            size_bytes=max(128 * 1024, fast_mb * MB // 64),
+            aging_period_accesses=312,
+        )
+        config = dataclasses.replace(base_config, layout=layout, stage=stage)
+        result = run(config, sim_config, trace)
+        print(
+            f"{fast_mb:>8} {result.serve_rate:>8.2f} {result.ipc:>8.3f}"
+            f" {result.slow_traffic_bytes >> 20:>14}"
+        )
+
+
+def sweep_stage_size() -> None:
+    config, sim_config = scaled_system(256)
+    trace = build_workload("YCSB-B", config.layout.fast_capacity, n_accesses=40_000)
+    print("\nStage-area carve-out sweep (16 MB DRAM):")
+    print(f"{'stage kB':>9} {'serve':>8} {'IPC':>8} {'commits':>9}")
+    for stage_kb in (64, 128, 256, 512, 1024):
+        stage = StageConfig(size_bytes=stage_kb * 1024, aging_period_accesses=312)
+        cfg = dataclasses.replace(config, stage=stage)
+        controller = BaryonController(cfg, seed=1)
+        trace.apply_compressibility(controller.oracle)
+        result = SystemSimulator(controller, sim_config).run(trace)
+        print(
+            f"{stage_kb:>9} {result.serve_rate:>8.2f} {result.ipc:>8.3f}"
+            f" {controller.stats.get('commits'):>9}"
+        )
+
+
+if __name__ == "__main__":
+    sweep_fast_memory()
+    sweep_stage_size()

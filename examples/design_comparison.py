@@ -1,0 +1,60 @@
+"""Compare Baryon against every baseline on one workload, both schemes.
+
+Reproduces a single column of Fig. 9 (cache mode) and Fig. 10 (flat mode)
+for a workload of your choice, printing IPC speedups, serve rates and
+bandwidth bloat side by side.
+
+Run:  python examples/design_comparison.py [workload] [n_accesses]
+e.g.  python examples/design_comparison.py pr.twitter 40000
+"""
+
+import sys
+
+from repro.analysis import run_one
+from repro.workloads import scaled_system
+from repro.workloads.suite import WORKLOADS
+
+CACHE_DESIGNS = ["simple", "unison", "dice", "baryon-64b", "baryon"]
+FLAT_DESIGNS = ["hybrid2", "baryon-fa"]
+
+
+def main() -> None:
+    workload = sys.argv[1] if len(sys.argv) > 1 else "YCSB-A"
+    n_accesses = int(sys.argv[2]) if len(sys.argv) > 2 else 30_000
+    if workload not in WORKLOADS:
+        raise SystemExit(f"unknown workload {workload!r}; choose from {sorted(WORKLOADS)}")
+
+    config, sim_config = scaled_system(256)
+    spec = WORKLOADS[workload]
+    print(f"workload: {workload} — {spec.description}")
+    print(f"footprint: {spec.footprint_factor:.1f}x fast memory; "
+          f"writes ~{spec.write_fraction:.0%}; data '{spec.profile}'\n")
+
+    print("cache scheme (normalized to Simple):")
+    results = {
+        d: run_one(workload, d, config, sim_config, n_accesses=n_accesses)
+        for d in CACHE_DESIGNS
+    }
+    base = results["simple"].ipc
+    print(f"{'design':<12} {'speedup':>8} {'serve':>8} {'bloat':>8} {'slow MB':>8}")
+    for design, r in results.items():
+        print(
+            f"{design:<12} {r.ipc / base:>8.2f} {r.serve_rate:>8.2f}"
+            f" {r.bandwidth_bloat:>8.2f} {r.slow_traffic_bytes >> 20:>8}"
+        )
+
+    print("\nflat scheme (normalized to Hybrid2):")
+    results = {
+        d: run_one(workload, d, config, sim_config, n_accesses=n_accesses)
+        for d in FLAT_DESIGNS
+    }
+    base = results["hybrid2"].ipc
+    for design, r in results.items():
+        print(
+            f"{design:<12} {r.ipc / base:>8.2f} {r.serve_rate:>8.2f}"
+            f" {r.bandwidth_bloat:>8.2f} {r.slow_traffic_bytes >> 20:>8}"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,53 @@
+"""Quickstart: simulate Baryon on a memcached/YCSB workload.
+
+Builds a 1/256-scale version of the paper's Table I system (16 MB DDR4
+"fast" + 128 MB NVM "slow"), generates a YCSB-A trace sized to stress the
+fast-memory capacity, runs it through the cache hierarchy into the Baryon
+controller, and prints the headline metrics.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import BaryonController, SystemSimulator
+from repro.workloads import build_workload, scaled_system
+
+
+def main() -> None:
+    # 1. A consistently scaled system: capacities shrink 256x, latencies,
+    #    ratios and geometry stay at the paper's Table I values.
+    config, sim_config = scaled_system(256)
+    print(f"fast memory : {config.layout.fast_capacity >> 20} MB DDR4")
+    print(f"slow memory : {config.layout.slow_capacity >> 20} MB NVM")
+    print(f"stage area  : {config.stage.size_bytes >> 10} kB "
+          f"({config.stage.num_sets(config.geometry)} sets x {config.stage.ways} ways)")
+
+    # 2. A workload proxy: YCSB-A (50/50 read/update, Zipfian keys) with a
+    #    7.5x-of-fast-memory footprint, as in the paper.
+    trace = build_workload("YCSB-A", config.layout.fast_capacity, n_accesses=60_000)
+    print(f"workload    : {trace.name}, {len(trace)} accesses, "
+          f"{trace.footprint_bytes >> 20} MB footprint, "
+          f"{trace.write_fraction:.0%} writes")
+
+    # 3. The Baryon controller; the trace's compressibility regions are
+    #    installed into its oracle (value compressibility per address).
+    controller = BaryonController(config, seed=1)
+    trace.apply_compressibility(controller.oracle)
+
+    # 4. Simulate and report.
+    result = SystemSimulator(controller, sim_config).run(trace)
+    print()
+    print(f"IPC                  : {result.ipc:.3f}")
+    print(f"fast-memory serve    : {result.serve_rate:.1%}")
+    print(f"bandwidth bloat      : {result.bandwidth_bloat:.2f}x")
+    print(f"fast traffic         : {result.fast_traffic_bytes >> 20} MB")
+    print(f"slow traffic         : {result.slow_traffic_bytes >> 20} MB")
+    print(f"memory energy        : {result.energy.total_j * 1e3:.2f} mJ")
+    print()
+    print("access-flow case mix (Fig. 6):")
+    total = sum(result.case_counts.values()) or 1
+    for case, count in sorted(result.case_counts.items(), key=lambda kv: -kv[1]):
+        print(f"  {case:<12} {count / total:6.1%}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+"""Baryon: efficient hybrid memory management with compression and
+sub-blocking — a full Python reproduction of the HPCA 2023 paper.
+
+Public API overview
+-------------------
+
+Configuration and devices::
+
+    from repro import BaryonConfig, HybridMemoryDevices
+
+The controller (the paper's contribution) and its baselines::
+
+    from repro import BaryonController
+    from repro.baselines import SimpleCache, UnisonCache, DiceCache, Hybrid2
+
+Workloads and the system simulator::
+
+    from repro.workloads import build_workload, scaled_system
+    from repro.sim import SystemSimulator
+
+Typical use (see ``examples/quickstart.py``)::
+
+    config, sim_config = scaled_system(256)
+    trace = build_workload("YCSB-A", config.layout.fast_capacity)
+    controller = BaryonController(config)
+    trace.apply_compressibility(controller.oracle)
+    result = SystemSimulator(controller, sim_config).run(trace)
+    print(result.summary())
+"""
+
+from repro.common.config import (
+    BaryonConfig,
+    CommitConfig,
+    CompressionConfig,
+    Geometry,
+    HierarchyConfig,
+    HybridLayout,
+    MemoryTimings,
+    SimulationConfig,
+    StageConfig,
+)
+from repro.core.controller import BaryonController
+from repro.core.events import AccessCase, AccessResult
+from repro.devices.memory import HybridMemoryDevices
+from repro.sim.results import SimResult
+from repro.sim.system import SystemSimulator
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AccessCase",
+    "AccessResult",
+    "BaryonConfig",
+    "BaryonController",
+    "CommitConfig",
+    "CompressionConfig",
+    "Geometry",
+    "HierarchyConfig",
+    "HybridLayout",
+    "HybridMemoryDevices",
+    "MemoryTimings",
+    "SimResult",
+    "SimulationConfig",
+    "StageConfig",
+    "SystemSimulator",
+    "__version__",
+]

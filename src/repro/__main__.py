@@ -1,0 +1,78 @@
+"""Command-line entry point: run one (workload, design) simulation.
+
+Examples::
+
+    python -m repro --list
+    python -m repro YCSB-A baryon
+    python -m repro pr.twitter dice --accesses 50000 --scale 128 --seed 3
+    python -m repro 519.lbm_r baryon --flat
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import sys
+
+from repro.analysis import DESIGNS, run_one
+from repro.workloads import scaled_system
+from repro.workloads.suite import WORKLOADS
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Baryon (HPCA 2023) reproduction: simulate one workload "
+        "on one hybrid-memory design at a scaled Table I configuration.",
+    )
+    parser.add_argument("workload", nargs="?", help="workload name (see --list)")
+    parser.add_argument("design", nargs="?", default="baryon",
+                        help=f"one of {', '.join(DESIGNS)} (default: baryon)")
+    parser.add_argument("--accesses", type=int, default=30_000,
+                        help="trace length (default 30000)")
+    parser.add_argument("--scale", type=int, default=256,
+                        help="capacity scale divisor vs Table I (default 256)")
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--flat", action="store_true",
+                        help="use the flat scheme (75%% flat / 25%% cache split)")
+    parser.add_argument("--list", action="store_true",
+                        help="list workloads and designs, then exit")
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.list:
+        print("designs  :", ", ".join(DESIGNS))
+        print("workloads:")
+        for name, spec in sorted(WORKLOADS.items()):
+            print(f"  {name:<16} {spec.description}")
+        return 0
+    if not args.workload:
+        build_parser().print_usage()
+        return 2
+    if args.workload not in WORKLOADS:
+        print(f"unknown workload {args.workload!r}; use --list", file=sys.stderr)
+        return 2
+
+    config, sim_config = scaled_system(args.scale)
+    if args.flat:
+        layout = dataclasses.replace(config.layout, flat_fraction=0.75)
+        config = dataclasses.replace(config, layout=layout)
+    result = run_one(
+        args.workload, args.design, config, sim_config,
+        n_accesses=args.accesses, seed=args.seed,
+    )
+    print(f"{args.workload} on {args.design} "
+          f"(1/{args.scale} scale, {args.accesses} accesses)")
+    for key, value in result.summary().items():
+        print(f"  {key:<18} {value:.4f}")
+    print("  case mix:")
+    total = sum(result.case_counts.values()) or 1
+    for case, count in sorted(result.case_counts.items(), key=lambda kv: -kv[1]):
+        print(f"    {case:<12} {count / total:6.1%}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,32 @@
+"""Experiment harness and reporting: run design matrices, print figures.
+
+:mod:`repro.analysis.experiments` builds controllers by name, runs
+(workload x design) matrices through the system simulator, and
+:mod:`repro.analysis.report` renders the paper-style tables (normalized
+speedups, serve rates, bloat factors, geometric means) that the
+``benchmarks/`` directory emits for every figure.
+"""
+
+from repro.analysis.experiments import (
+    DESIGNS,
+    build_controller,
+    run_matrix,
+    run_one,
+)
+from repro.analysis.report import (
+    format_matrix,
+    format_series,
+    geomean_row,
+    normalize_to,
+)
+
+__all__ = [
+    "DESIGNS",
+    "build_controller",
+    "format_matrix",
+    "format_series",
+    "geomean_row",
+    "normalize_to",
+    "run_matrix",
+    "run_one",
+]

@@ -1,0 +1,101 @@
+"""Table rendering for the paper-style figures.
+
+All figures in the paper are bar charts over workloads; in a terminal
+reproduction they become fixed-width tables with one row per workload, one
+column per design, plus the geometric-mean row the paper always reports.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Sequence, Tuple
+
+from repro.common.stats import geometric_mean
+from repro.sim.results import SimResult
+
+Matrix = Mapping[Tuple[str, str], SimResult]
+
+
+def normalize_to(
+    matrix: Matrix, baseline: str, metric: str = "ipc"
+) -> Dict[Tuple[str, str], float]:
+    """Normalize a metric to one design per workload (Fig. 9/10 style)."""
+    out: Dict[Tuple[str, str], float] = {}
+    workloads = {wl for wl, _ in matrix}
+    for wl in workloads:
+        base = getattr(matrix[(wl, baseline)], metric)
+        for (w, design), result in matrix.items():
+            if w != wl:
+                continue
+            value = getattr(result, metric)
+            out[(wl, design)] = value / base if base else 0.0
+    return out
+
+
+def geomean_row(
+    values: Mapping[Tuple[str, str], float], designs: Sequence[str]
+) -> Dict[str, float]:
+    """Geometric mean per design over all workloads (positive cells only)."""
+    out = {}
+    for design in designs:
+        cells = [v for (_, d), v in values.items() if d == design and v > 0]
+        out[design] = geometric_mean(cells) if cells else 0.0
+    return out
+
+
+def format_matrix(
+    matrix: Matrix,
+    workloads: Sequence[str],
+    designs: Sequence[str],
+    metric: str = "ipc",
+    baseline: str | None = None,
+    title: str = "",
+    fmt: str = "{:.2f}",
+) -> str:
+    """Render one figure as a fixed-width table.
+
+    With ``baseline`` set, cells are normalized per workload to that
+    design and a geometric-mean row is appended — exactly the shape of
+    Fig. 9/10. Without it, raw metric values are printed (Fig. 11).
+    """
+    if baseline is not None:
+        values = normalize_to(matrix, baseline, metric)
+    else:
+        values = {
+            key: getattr(result, metric) for key, result in matrix.items()
+        }
+    name_width = max([len(w) for w in workloads] + [8])
+    col_width = max([len(d) for d in designs] + [7]) + 1
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    header = " " * name_width + "".join(d.rjust(col_width) for d in designs)
+    lines.append(header)
+    for wl in workloads:
+        row = wl.ljust(name_width)
+        for design in designs:
+            row += fmt.format(values.get((wl, design), float("nan"))).rjust(col_width)
+        lines.append(row)
+    gmean = geomean_row(values, designs)
+    row = "geomean".ljust(name_width)
+    for design in designs:
+        row += fmt.format(gmean.get(design, 0.0)).rjust(col_width)
+    lines.append(row)
+    return "\n".join(lines)
+
+
+def format_series(
+    title: str,
+    points: Iterable[Tuple[str, float]],
+    fmt: str = "{:.3f}",
+    bar_width: int = 32,
+) -> str:
+    """Render a parameter sweep (Fig. 13 panels) as label/value rows with
+    a proportional ASCII bar — a terminal stand-in for the paper's bar
+    charts."""
+    points = list(points)
+    peak = max((v for _, v in points if v > 0), default=1.0)
+    lines = [title]
+    for label, value in points:
+        bar = "#" * max(0, round(bar_width * value / peak)) if peak else ""
+        lines.append(f"  {str(label):<24} {fmt.format(value):>8}  {bar}")
+    return "\n".join(lines)

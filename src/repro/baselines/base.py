@@ -1,0 +1,56 @@
+"""Common scaffolding for baseline controllers.
+
+Each baseline owns the same :class:`~repro.devices.memory.HybridMemoryDevices`
+pair as Baryon and returns :class:`~repro.core.events.AccessResult` objects,
+so the system simulator and the analysis code treat all designs uniformly.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Optional
+
+from repro.common.config import BaryonConfig
+from repro.common.stats import CounterGroup
+from repro.core.events import AccessResult
+from repro.devices.memory import HybridMemoryDevices
+
+
+class BaselineController(abc.ABC):
+    """Base class: devices, stats, clock, and the access() contract."""
+
+    name = "baseline"
+
+    def __init__(
+        self,
+        config: Optional[BaryonConfig] = None,
+        devices: Optional[HybridMemoryDevices] = None,
+    ) -> None:
+        self.config = config or BaryonConfig()
+        self.geometry = self.config.geometry
+        self.devices = devices or HybridMemoryDevices(self.config.timings)
+        self.stats = CounterGroup(self.name)
+        self._now = 0.0
+
+    def _advance(self, now: Optional[float]) -> float:
+        if now is not None:
+            self._now = now
+        else:
+            self._now += 1.0
+        return self._now
+
+    @abc.abstractmethod
+    def access(self, addr: int, is_write: bool, now: Optional[float] = None) -> AccessResult:
+        """Serve one 64 B memory-level access."""
+
+    def _count(self, result: AccessResult, is_write: bool) -> AccessResult:
+        self.stats.inc("accesses")
+        self.stats.inc("writes" if is_write else "reads")
+        if result.served_fast:
+            self.stats.inc("served_fast")
+        self.stats.inc(f"case_{result.case.value}")
+        return result
+
+    def serve_rate(self) -> float:
+        accesses = self.stats.get("accesses")
+        return self.stats.get("served_fast") / accesses if accesses else 0.0

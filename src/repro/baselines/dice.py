@@ -1,0 +1,160 @@
+"""DICE: a compressed DRAM cache (Young et al., ISCA 2017).
+
+64 B blocks, direct-mapped, with *dictionary-free* compression that packs
+up to four neighbouring cachelines into one 64 B physical slot when they
+compress. We model the cache at aligned 4-line-group granularity: a group
+maps to one set; the number of its lines resident in the slot is the
+group's achievable CF (from the shared compressibility oracle, the same
+source Baryon uses so the comparison is apples-to-apples).
+
+Per the paper's evaluation setup, DICE runs with a *perfect* way/index
+predictor, so hits cost a single fast-memory access and no extra tag
+probes. Compressed residency also grants DICE the memory-to-LLC spatial
+prefetch of co-compressed lines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Set
+
+from repro.baselines.base import BaselineController
+from repro.compression.synthetic import SyntheticCompressibility
+from repro.core.events import AccessCase, AccessResult
+
+
+@dataclass
+class _GroupEntry:
+    """Resident state of one compressed line group in its set."""
+
+    group_id: int
+    #: Line indices (0..3 within the group) resident in the slot.
+    present: Set[int] = field(default_factory=set)
+    dirty: Set[int] = field(default_factory=set)
+    cf: int = 1
+
+
+class DiceCache(BaselineController):
+    """Direct-mapped compressed 64 B-line DRAM cache."""
+
+    name = "dice"
+    _GROUP_LINES = 4
+    #: TAD (tag-and-data) transfer size: the tag rides in spare ECC bits
+    #: plus alignment, costing extra fast-memory bandwidth per access.
+    _TAD_BYTES = 72
+
+    def __init__(self, config=None, devices=None, compressibility=None, seed: int = 1) -> None:
+        super().__init__(config, devices)
+        self.oracle = compressibility or SyntheticCompressibility(seed=seed)
+        g = self.geometry
+        fast_lines = max(1, self.config.layout.fast_capacity // g.cacheline_size)
+        self.num_sets = fast_lines
+        self._sets: Dict[int, _GroupEntry] = {}
+
+    # -- address helpers -------------------------------------------------------
+    def _group_of(self, addr: int) -> tuple[int, int]:
+        line = addr // self.geometry.cacheline_size
+        return line // self._GROUP_LINES, line % self._GROUP_LINES
+
+    def _group_cf(self, group_id: int) -> int:
+        """Achievable lines-per-slot for this group via the shared oracle.
+
+        The oracle speaks sub-block ranges; cacheline groups compress with
+        the same locality, so we query the CF of the enclosing sub-block
+        range — both are 'can 4x the data fit in one transfer unit'.
+        """
+        g = self.geometry
+        addr = group_id * self._GROUP_LINES * g.cacheline_size
+        return self.oracle.max_cf(g.block_id(addr), g.sub_block_index(addr), True)
+
+    def access(self, addr: int, is_write: bool, now: Optional[float] = None) -> AccessResult:
+        now = self._advance(now)
+        g = self.geometry
+        group_id, line_in_group = self._group_of(addr)
+        set_index = group_id % self.num_sets
+        entry = self._sets.get(set_index)
+
+        if entry is not None and entry.group_id == group_id and line_in_group in entry.present:
+            if is_write:
+                device = self.devices.fast.write(now, self._TAD_BYTES)
+                entry.dirty.add(line_in_group)
+                if self.oracle.note_write(g.block_id(addr), g.sub_block_index(addr)):
+                    self._recheck_fit(now, entry, addr)
+            else:
+                device = self.devices.fast.read(now, self._TAD_BYTES)
+            latency = device.total_cycles
+            prefetched = []
+            if entry.cf > 1 and not is_write:
+                latency += self.config.compression.decompression_latency_cycles
+                base = group_id * self._GROUP_LINES * g.cacheline_size
+                prefetched = [
+                    base + i * g.cacheline_size
+                    for i in entry.present
+                    if i != line_in_group
+                ]
+            return self._count(
+                AccessResult(AccessCase.COMMIT_HIT, latency, is_write, False, prefetched),
+                is_write,
+            )
+
+        # Miss: fetch the line (plus compressible neighbours) from slow.
+        if is_write:
+            demand = self.devices.slow.write(now, g.cacheline_size)
+        else:
+            demand = self.devices.slow.read(now, g.cacheline_size, demand=True)
+        latency = demand.total_cycles
+
+        cf = self._group_cf(group_id)
+        if entry is not None and entry.group_id == group_id:
+            # Same group resident but this line missing (a lower-CF slot):
+            # refetch the group at its current CF capacity.
+            self._writeback(now, entry)
+        elif entry is not None:
+            self._writeback(now, entry)
+            self.stats.inc("evictions")
+        start = (line_in_group // cf) * cf
+        present = set(range(start, min(start + cf, self._GROUP_LINES)))
+        present.add(line_in_group)
+        extra = (len(present) - 1) * g.cacheline_size
+        if extra:
+            self.devices.slow.read(now, extra, demand=False)
+        # Compressed install: CF lines share one 64 B slot (plus tag).
+        install_bytes = max(
+            self._TAD_BYTES, (len(present) // max(1, cf)) * self._TAD_BYTES
+        )
+        self.devices.fast.write(now, install_bytes)
+        self._sets[set_index] = _GroupEntry(
+            group_id=group_id,
+            present=present,
+            dirty={line_in_group} if is_write else set(),
+            cf=cf,
+        )
+        self.stats.inc("line_fills")
+        return self._count(
+            AccessResult(AccessCase.BLOCK_MISS, latency, is_write), is_write
+        )
+
+    def _recheck_fit(self, now: float, entry: _GroupEntry, addr: int) -> None:
+        """A write changed the data: lines may no longer co-compress."""
+        new_cf = self._group_cf(entry.group_id)
+        if new_cf < entry.cf:
+            # Overflow: keep only the demanded line's sub-group resident.
+            self.stats.inc("write_overflows")
+            line_in_group = (addr // self.geometry.cacheline_size) % self._GROUP_LINES
+            keep_start = (line_in_group // new_cf) * new_cf
+            keep = set(range(keep_start, keep_start + new_cf))
+            evicted_dirty = entry.dirty - keep
+            if evicted_dirty:
+                nbytes = len(evicted_dirty) * self.geometry.cacheline_size
+                self.devices.fast.read(now, nbytes, demand=False)
+                self.devices.slow.write(now, nbytes)
+            entry.present &= keep
+            entry.dirty &= keep
+            entry.cf = new_cf
+
+    def _writeback(self, now: float, entry: _GroupEntry) -> None:
+        if entry.dirty:
+            nbytes = len(entry.dirty) * self.geometry.cacheline_size
+            self.devices.fast.read(now, nbytes, demand=False)
+            self.devices.slow.write(now, nbytes)
+            self.stats.inc("dirty_writebacks")

@@ -1,0 +1,89 @@
+"""Simple: the no-compression, no-sub-blocking DRAM cache baseline.
+
+2 kB blocks, 4-way set-associative, LRU, whole-block fills and whole-block
+dirty writebacks — the "Simple" configuration that normalizes Fig. 9.
+Metadata follows the Section III-A baseline: a remap cache probed on every
+access, with off-chip remap-table reads on misses.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.baselines.base import BaselineController
+from repro.cache.replacement import CacheLine, LruSet
+from repro.core.events import AccessCase, AccessResult
+from repro.metadata.remap_cache import RemapCache
+
+
+class SimpleCache(BaselineController):
+    """Plain block-grain DRAM cache of the slow memory."""
+
+    name = "simple"
+
+    def __init__(self, config=None, devices=None) -> None:
+        super().__init__(config, devices)
+        layout = self.config.layout
+        fast_blocks = max(1, layout.fast_capacity // self.geometry.block_size)
+        self.ways = layout.associativity
+        self.num_sets = max(1, fast_blocks // self.ways)
+        self._sets: Dict[int, LruSet] = {}
+        self.remap_cache = RemapCache(
+            num_sets=self.config.remap_cache.num_sets,
+            ways=self.config.remap_cache.ways,
+            latency_cycles=self.config.remap_cache.latency_cycles,
+        )
+
+    def _set_for(self, index: int) -> LruSet:
+        cache_set = self._sets.get(index)
+        if cache_set is None:
+            cache_set = LruSet(self.ways)
+            self._sets[index] = cache_set
+        return cache_set
+
+    def access(self, addr: int, is_write: bool, now: Optional[float] = None) -> AccessResult:
+        now = self._advance(now)
+        g = self.geometry
+        block_id = g.block_id(addr)
+        set_index = block_id % self.num_sets
+        tag = block_id // self.num_sets
+        cache_set = self._set_for(set_index)
+
+        meta = float(self.remap_cache.latency_cycles)
+        if not self.remap_cache.access(g.super_block_id(addr)):
+            meta += self.devices.fast.read(now, 16, demand=True).total_cycles
+
+        line = cache_set.lookup(tag)
+        if line is not None:
+            cache_set.touch(line)
+            if is_write:
+                line.dirty = True
+                device = self.devices.fast.write(now, g.cacheline_size)
+            else:
+                device = self.devices.fast.read(now, g.cacheline_size)
+            return self._count(
+                AccessResult(AccessCase.COMMIT_HIT, meta + device.total_cycles, is_write),
+                is_write,
+            )
+
+        # Miss: respond from slow memory, then fill the whole 2 kB block.
+        if is_write:
+            demand = self.devices.slow.write(now, g.cacheline_size)
+        else:
+            demand = self.devices.slow.read(now, g.cacheline_size, demand=True)
+        latency = meta + demand.total_cycles
+        if cache_set.is_full():
+            victim = cache_set.victim()
+            if victim.dirty:
+                self.devices.fast.read(now, g.block_size, demand=False)
+                self.devices.slow.write(now, g.block_size)
+                self.stats.inc("dirty_writebacks")
+            cache_set.evict(victim.tag)
+            self.stats.inc("evictions")
+        self.devices.slow.read(now, g.block_size - g.cacheline_size, demand=False)
+        self.devices.fast.write(now, g.block_size)
+        cache_set.insert(CacheLine(tag, dirty=is_write))
+        self.stats.inc("block_fills")
+        return self._count(
+            AccessResult(AccessCase.BLOCK_MISS, latency, is_write), is_write
+        )

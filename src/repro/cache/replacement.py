@@ -1,0 +1,192 @@
+"""Replacement policies as per-set data structures.
+
+The paper name-drops LRU, LFU, CLOCK, FIFO and random as interchangeable
+fast-to-slow eviction policies (Sec. III-E) and uses LRU in the SRAM
+hierarchy, LRU for stage-area block replacement and FIFO for sub-block
+replacement. Each policy here is a small class managing one set's lines;
+the cache composes one instance per set. Entries carry a ``dirty`` flag and
+an opaque ``payload`` so higher-level structures (e.g. Unison's footprint
+bitmaps) can ride along.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Dict, Hashable, List, Optional
+
+
+class CacheLine:
+    """One resident line: tag plus dirty bit plus policy/user state."""
+
+    __slots__ = ("tag", "dirty", "payload", "counter", "referenced")
+
+    def __init__(self, tag: Hashable, dirty: bool = False, payload=None) -> None:
+        self.tag = tag
+        self.dirty = dirty
+        self.payload = payload
+        self.counter = 0  # LFU frequency / FIFO sequence number
+        self.referenced = False  # CLOCK reference bit
+
+
+class BaseSet:
+    """Common storage: a dict of resident lines keyed by tag."""
+
+    def __init__(self, ways: int) -> None:
+        self.ways = ways
+        self.lines: Dict[Hashable, CacheLine] = {}
+
+    def lookup(self, tag: Hashable) -> Optional[CacheLine]:
+        return self.lines.get(tag)
+
+    def is_full(self) -> bool:
+        return len(self.lines) >= self.ways
+
+    def touch(self, line: CacheLine) -> None:
+        """Policy hook called on every hit."""
+        raise NotImplementedError
+
+    def insert(self, line: CacheLine) -> None:
+        """Add a line; the caller must have evicted if the set was full."""
+        if self.is_full():
+            raise ValueError("insert into full set; evict first")
+        self.lines[line.tag] = line
+        self.touch(line)
+
+    def victim(self) -> CacheLine:
+        """Policy hook: choose (without removing) the eviction victim."""
+        raise NotImplementedError
+
+    def evict(self, tag: Hashable) -> CacheLine:
+        return self.lines.pop(tag)
+
+    def invalidate(self, tag: Hashable) -> Optional[CacheLine]:
+        return self.lines.pop(tag, None)
+
+
+class LruSet(BaseSet):
+    """Least-recently-used via a monotonic timestamp per line."""
+
+    def __init__(self, ways: int) -> None:
+        super().__init__(ways)
+        self._clock = 0
+
+    def touch(self, line: CacheLine) -> None:
+        self._clock += 1
+        line.counter = self._clock
+
+    def victim(self) -> CacheLine:
+        return min(self.lines.values(), key=lambda l: l.counter)
+
+    def mru(self) -> Optional[CacheLine]:
+        """Most-recently-used line (needed by the MRUMissCnt statistic)."""
+        if not self.lines:
+            return None
+        return max(self.lines.values(), key=lambda l: l.counter)
+
+
+class FifoSet(BaseSet):
+    """First-in-first-out: timestamp assigned at insert only."""
+
+    def __init__(self, ways: int) -> None:
+        super().__init__(ways)
+        self._clock = 0
+
+    def touch(self, line: CacheLine) -> None:
+        if line.counter == 0:
+            self._clock += 1
+            line.counter = self._clock
+
+    def victim(self) -> CacheLine:
+        return min(self.lines.values(), key=lambda l: l.counter)
+
+
+class LfuSet(BaseSet):
+    """Least-frequently-used with insertion-order tiebreak."""
+
+    def __init__(self, ways: int) -> None:
+        super().__init__(ways)
+        self._clock = 0
+
+    def touch(self, line: CacheLine) -> None:
+        line.counter += 1
+        if line.referenced is False:
+            self._clock += 1
+            line.referenced = True
+
+    def victim(self) -> CacheLine:
+        return min(self.lines.values(), key=lambda l: (l.counter, id(l)))
+
+
+class ClockSet(BaseSet):
+    """Second-chance CLOCK over an explicit ring of tags."""
+
+    def __init__(self, ways: int) -> None:
+        super().__init__(ways)
+        self._ring: List[Hashable] = []
+        self._hand = 0
+
+    def touch(self, line: CacheLine) -> None:
+        line.referenced = True
+
+    def insert(self, line: CacheLine) -> None:
+        super().insert(line)
+        self._ring.append(line.tag)
+
+    def evict(self, tag: Hashable) -> CacheLine:
+        self._ring.remove(tag)
+        if self._hand >= len(self._ring):
+            self._hand = 0
+        return super().evict(tag)
+
+    def invalidate(self, tag: Hashable) -> Optional[CacheLine]:
+        line = super().invalidate(tag)
+        if line is not None:
+            self._ring.remove(tag)
+            if self._hand >= len(self._ring) and self._ring:
+                self._hand = 0
+        return line
+
+    def victim(self) -> CacheLine:
+        while True:
+            tag = self._ring[self._hand]
+            line = self.lines[tag]
+            if not line.referenced:
+                return line
+            line.referenced = False
+            self._hand = (self._hand + 1) % len(self._ring)
+
+
+class RandomSet(BaseSet):
+    """Uniform random victim; deterministic under a seeded RNG."""
+
+    def __init__(self, ways: int, rng: Optional[random.Random] = None) -> None:
+        super().__init__(ways)
+        self._rng = rng or random.Random(0xBA51C)
+
+    def touch(self, line: CacheLine) -> None:
+        pass
+
+    def victim(self) -> CacheLine:
+        tags = sorted(self.lines.keys(), key=repr)
+        return self.lines[self._rng.choice(tags)]
+
+
+REPLACEMENT_POLICIES: Dict[str, Callable[[int], BaseSet]] = {
+    "lru": LruSet,
+    "fifo": FifoSet,
+    "lfu": LfuSet,
+    "clock": ClockSet,
+    "random": RandomSet,
+}
+
+
+def make_set(policy: str, ways: int) -> BaseSet:
+    """Instantiate one set with the named replacement policy."""
+    try:
+        factory = REPLACEMENT_POLICIES[policy]
+    except KeyError:
+        raise ValueError(
+            f"unknown replacement policy {policy!r}; "
+            f"choose from {sorted(REPLACEMENT_POLICIES)}"
+        ) from None
+    return factory(ways)

@@ -1,0 +1,114 @@
+"""Generic set-associative SRAM cache.
+
+Write-back, write-allocate, physically indexed. The cache reports, for
+every access, whether it hit and which (if any) dirty victim address must
+be written back — the two facts the next level down needs. It also supports
+:meth:`install` for prefetch-style fills that bypass the demand path (the
+memory-to-LLC install of decompressed neighbour cachelines, Sec. III-E).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.cache.replacement import BaseSet, CacheLine, make_set
+from repro.common.config import CacheGeometry
+from repro.common.stats import CounterGroup
+
+
+@dataclass(frozen=True)
+class AccessOutcome:
+    """Result of one cache access.
+
+    ``writeback_addr`` is the byte address of the dirty victim that must be
+    written to the next level (None when the victim was clean or no
+    eviction happened).
+    """
+
+    hit: bool
+    writeback_addr: Optional[int] = None
+    victim_addr: Optional[int] = None
+
+
+class SetAssociativeCache:
+    """One level of the hierarchy; line granularity = ``geometry.line_size``."""
+
+    def __init__(self, geometry: CacheGeometry) -> None:
+        self.geometry = geometry
+        self.num_sets = geometry.num_sets
+        self._sets: List[BaseSet] = [
+            make_set(geometry.replacement, geometry.ways) for _ in range(self.num_sets)
+        ]
+        self.stats = CounterGroup(geometry.name)
+
+    # -- address math -----------------------------------------------------
+    def _index_tag(self, addr: int) -> tuple[int, int]:
+        line = addr // self.geometry.line_size
+        return line % self.num_sets, line // self.num_sets
+
+    def _addr_of(self, index: int, tag: int) -> int:
+        return (tag * self.num_sets + index) * self.geometry.line_size
+
+    # -- operations ---------------------------------------------------------
+    def access(self, addr: int, is_write: bool) -> AccessOutcome:
+        """Demand access with allocate-on-miss; returns hit + writeback info."""
+        index, tag = self._index_tag(addr)
+        cache_set = self._sets[index]
+        line = cache_set.lookup(tag)
+        self.stats.inc("accesses")
+        if line is not None:
+            cache_set.touch(line)
+            if is_write:
+                line.dirty = True
+            self.stats.inc("hits")
+            return AccessOutcome(hit=True)
+        self.stats.inc("misses")
+        writeback, victim = self._allocate(cache_set, index, tag, is_write)
+        return AccessOutcome(hit=False, writeback_addr=writeback, victim_addr=victim)
+
+    def install(self, addr: int, dirty: bool = False) -> AccessOutcome:
+        """Fill a line without a demand access (prefetch install).
+
+        A no-op when the line is already resident.
+        """
+        index, tag = self._index_tag(addr)
+        cache_set = self._sets[index]
+        if cache_set.lookup(tag) is not None:
+            return AccessOutcome(hit=True)
+        self.stats.inc("installs")
+        writeback, victim = self._allocate(cache_set, index, tag, dirty)
+        return AccessOutcome(hit=False, writeback_addr=writeback, victim_addr=victim)
+
+    def contains(self, addr: int) -> bool:
+        index, tag = self._index_tag(addr)
+        return self._sets[index].lookup(tag) is not None
+
+    def invalidate(self, addr: int) -> Optional[int]:
+        """Drop a line if present; returns its address when it was dirty."""
+        index, tag = self._index_tag(addr)
+        line = self._sets[index].invalidate(tag)
+        if line is not None and line.dirty:
+            return self._addr_of(index, tag)
+        return None
+
+    def _allocate(
+        self, cache_set: BaseSet, index: int, tag: int, dirty: bool
+    ) -> tuple[Optional[int], Optional[int]]:
+        writeback = None
+        victim_addr = None
+        if cache_set.is_full():
+            victim = cache_set.victim()
+            victim_addr = self._addr_of(index, victim.tag)
+            if victim.dirty:
+                writeback = victim_addr
+                self.stats.inc("writebacks")
+            cache_set.evict(victim.tag)
+            self.stats.inc("evictions")
+        cache_set.insert(CacheLine(tag, dirty=dirty))
+        return writeback, victim_addr
+
+    @property
+    def hit_rate(self) -> float:
+        accesses = self.stats.get("accesses")
+        return self.stats.get("hits") / accesses if accesses else 0.0

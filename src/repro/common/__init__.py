@@ -1,0 +1,60 @@
+"""Shared building blocks: geometry, address math, configuration, statistics.
+
+Everything in the reproduction speaks in terms of the paper's data units:
+
+* 64 B cachelines (the DDRx / LLC transfer unit),
+* 256 B sub-blocks (Baryon's fetch/compression unit, eight per block),
+* 2 kB blocks (the remap-table granularity, aligned with DRAM pages),
+* 16 kB super-blocks (eight blocks; the stage-area tag granularity).
+
+:class:`Geometry` captures those sizes and the derived address arithmetic;
+:class:`BaryonConfig` and friends capture the Table I system configuration.
+"""
+
+from repro.common.address import (
+    AddressMapper,
+    block_aligned,
+    iter_cachelines,
+    iter_sub_blocks,
+)
+from repro.common.config import (
+    BaryonConfig,
+    CacheGeometry,
+    Geometry,
+    HierarchyConfig,
+    HybridLayout,
+    MemoryTimings,
+    SimulationConfig,
+    StageConfig,
+    default_geometry,
+)
+from repro.common.errors import (
+    ConfigurationError,
+    LayoutError,
+    MetadataError,
+    ReproError,
+)
+from repro.common.stats import CounterGroup, OnlineStats, RatioStat
+
+__all__ = [
+    "AddressMapper",
+    "BaryonConfig",
+    "CacheGeometry",
+    "ConfigurationError",
+    "CounterGroup",
+    "Geometry",
+    "HierarchyConfig",
+    "HybridLayout",
+    "LayoutError",
+    "MemoryTimings",
+    "MetadataError",
+    "OnlineStats",
+    "RatioStat",
+    "ReproError",
+    "SimulationConfig",
+    "StageConfig",
+    "block_aligned",
+    "default_geometry",
+    "iter_cachelines",
+    "iter_sub_blocks",
+]

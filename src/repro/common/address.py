@@ -1,0 +1,77 @@
+"""Address manipulation helpers shared across the library.
+
+:class:`AddressMapper` wraps a :class:`~repro.common.config.Geometry` plus a
+set count and provides the set-index / tag decomposition used by both the
+hybrid memory organisation (Sec. III-A) and the stage area (Sec. III-B). The
+paper indexes hybrid sets by *super-block* so that all blocks of one
+super-block land in the same set — a requirement for Rule 1 (one physical
+block only holds sub-blocks of one super-block) to be satisfiable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Tuple
+
+from repro.common.config import Geometry
+from repro.common.errors import ConfigurationError
+
+
+def block_aligned(addr: int, geometry: Geometry) -> bool:
+    """True when ``addr`` is the first byte of a block."""
+    return addr % geometry.block_size == 0
+
+
+def iter_sub_blocks(block_addr: int, geometry: Geometry) -> Iterator[int]:
+    """Yield the byte address of every sub-block in the block at ``block_addr``."""
+    base = geometry.block_base(block_addr)
+    for i in range(geometry.sub_blocks_per_block):
+        yield base + i * geometry.sub_block_size
+
+
+def iter_cachelines(sub_block_addr: int, geometry: Geometry) -> Iterator[int]:
+    """Yield the byte address of every cacheline in one sub-block."""
+    base = geometry.sub_block_base(sub_block_addr)
+    for i in range(geometry.cachelines_per_sub_block):
+        yield base + i * geometry.cacheline_size
+
+
+@dataclass(frozen=True)
+class AddressMapper:
+    """Super-block-indexed set mapping for a set-associative structure.
+
+    With a power-of-two ``num_sets`` the index is a bit slice and the tag
+    is the remaining upper bits of the super-block number, matching the
+    21-bit tag budget of the stage tag entry (Fig. 5a); non-power-of-two
+    counts (scaled-down experiment configs) use the same modulo arithmetic.
+    """
+
+    geometry: Geometry
+    num_sets: int
+
+    def __post_init__(self) -> None:
+        if self.num_sets <= 0:
+            raise ConfigurationError("num_sets must be positive")
+
+    def set_index(self, addr: int) -> int:
+        """Set index of the super-block containing ``addr``."""
+        return self.geometry.super_block_id(addr) % self.num_sets
+
+    def set_index_of_super(self, super_block_id: int) -> int:
+        return super_block_id % self.num_sets
+
+    def tag(self, addr: int) -> int:
+        """Super-block tag: the bits of the super-block id above the index."""
+        return self.geometry.super_block_id(addr) // self.num_sets
+
+    def tag_of_super(self, super_block_id: int) -> int:
+        return super_block_id // self.num_sets
+
+    def split(self, addr: int) -> Tuple[int, int]:
+        """Return ``(set_index, tag)`` of ``addr`` in one call."""
+        sb = self.geometry.super_block_id(addr)
+        return sb % self.num_sets, sb // self.num_sets
+
+    def super_block_of(self, set_index: int, tag: int) -> int:
+        """Inverse of :meth:`split`: reconstruct the super-block id."""
+        return tag * self.num_sets + set_index

@@ -1,0 +1,29 @@
+"""Exception hierarchy for the Baryon reproduction.
+
+All library-raised errors derive from :class:`ReproError` so callers can
+catch one base class. Sub-classes separate configuration mistakes (user
+input) from metadata/layout invariant violations (library bugs or corrupted
+state) because the correct reaction differs: the former should be fixed by
+the caller, the latter indicates an internal inconsistency and is also what
+the property-based tests assert never happens.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class ConfigurationError(ReproError):
+    """An invalid or inconsistent configuration value was supplied."""
+
+
+class MetadataError(ReproError):
+    """A metadata entry could not be encoded/decoded or is inconsistent."""
+
+
+class LayoutError(ReproError):
+    """A data-layout invariant (Rules 1-4 of the paper) was violated."""
+
+
+class SimulationError(ReproError):
+    """The simulator reached an impossible state."""

@@ -1,0 +1,172 @@
+"""Lightweight statistics primitives used throughout the simulator.
+
+Three pieces:
+
+* :class:`CounterGroup` — a named bag of integer event counters with
+  arithmetic helpers, the backbone of every component's ``stats`` object;
+* :class:`RatioStat` — a hits/total pair that renders as a rate;
+* :class:`OnlineStats` — Welford mean/variance plus reservoir-free
+  percentile support through an explicit sample list (used by the Fig. 4
+  MPKI-distribution experiment, which needs 5/25/75/95 percentiles).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Optional
+
+
+class CounterGroup:
+    """A dictionary of named monotonically increasing counters.
+
+    Unknown names read as zero, so components can ``inc`` freely and report
+    sparse counter sets without pre-declaring every event.
+    """
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self._counters: Dict[str, int] = {}
+
+    def inc(self, key: str, amount: int = 1) -> None:
+        """Increase counter ``key`` by ``amount`` (may be zero)."""
+        self._counters[key] = self._counters.get(key, 0) + amount
+
+    def get(self, key: str) -> int:
+        return self._counters.get(key, 0)
+
+    def __getitem__(self, key: str) -> int:
+        return self.get(key)
+
+    def keys(self) -> Iterable[str]:
+        return self._counters.keys()
+
+    def as_dict(self) -> Dict[str, int]:
+        """A snapshot copy of all counters."""
+        return dict(self._counters)
+
+    def merge(self, other: "CounterGroup") -> None:
+        """Add every counter of ``other`` into this group."""
+        for key, value in other._counters.items():
+            self.inc(key, value)
+
+    def reset(self) -> None:
+        self._counters.clear()
+
+    def total(self, *keys: str) -> int:
+        """Sum of the named counters."""
+        return sum(self.get(k) for k in keys)
+
+    def __repr__(self) -> str:
+        body = ", ".join(f"{k}={v}" for k, v in sorted(self._counters.items()))
+        return f"CounterGroup({self.name!r}: {body})"
+
+
+class RatioStat:
+    """A numerator/denominator pair rendered as a rate in [0, 1]."""
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self.hits = 0
+        self.total = 0
+
+    def record(self, hit: bool) -> None:
+        self.total += 1
+        if hit:
+            self.hits += 1
+
+    @property
+    def rate(self) -> float:
+        """Hit fraction; zero when nothing was recorded."""
+        if self.total == 0:
+            return 0.0
+        return self.hits / self.total
+
+    def __repr__(self) -> str:
+        return f"RatioStat({self.name!r}: {self.hits}/{self.total} = {self.rate:.3f})"
+
+
+class OnlineStats:
+    """Mean/variance via Welford's algorithm, with optional sample keeping.
+
+    With ``keep_samples=True`` the raw values are stored so percentiles can
+    be computed afterwards; the Fig. 4 experiment samples only ~1k blocks so
+    this stays small.
+    """
+
+    def __init__(self, keep_samples: bool = False) -> None:
+        self.count = 0
+        self._mean = 0.0
+        self._m2 = 0.0
+        self._min: Optional[float] = None
+        self._max: Optional[float] = None
+        self._samples: Optional[List[float]] = [] if keep_samples else None
+
+    def add(self, value: float) -> None:
+        self.count += 1
+        delta = value - self._mean
+        self._mean += delta / self.count
+        self._m2 += delta * (value - self._mean)
+        self._min = value if self._min is None else min(self._min, value)
+        self._max = value if self._max is None else max(self._max, value)
+        if self._samples is not None:
+            self._samples.append(value)
+
+    def extend(self, values: Iterable[float]) -> None:
+        for value in values:
+            self.add(value)
+
+    @property
+    def mean(self) -> float:
+        return self._mean if self.count else 0.0
+
+    @property
+    def variance(self) -> float:
+        if self.count < 2:
+            return 0.0
+        return self._m2 / (self.count - 1)
+
+    @property
+    def stddev(self) -> float:
+        return math.sqrt(self.variance)
+
+    @property
+    def minimum(self) -> float:
+        return self._min if self._min is not None else 0.0
+
+    @property
+    def maximum(self) -> float:
+        return self._max if self._max is not None else 0.0
+
+    def percentile(self, q: float) -> float:
+        """Linear-interpolated percentile; requires ``keep_samples=True``."""
+        if self._samples is None:
+            raise ValueError("percentile() requires keep_samples=True")
+        if not self._samples:
+            return 0.0
+        data = sorted(self._samples)
+        if len(data) == 1:
+            return data[0]
+        pos = (len(data) - 1) * q
+        lo = int(math.floor(pos))
+        hi = min(lo + 1, len(data) - 1)
+        frac = pos - lo
+        return data[lo] * (1.0 - frac) + data[hi] * frac
+
+    def summary(self) -> Dict[str, float]:
+        return {
+            "count": float(self.count),
+            "mean": self.mean,
+            "stddev": self.stddev,
+            "min": self.minimum,
+            "max": self.maximum,
+        }
+
+
+def geometric_mean(values: Iterable[float]) -> float:
+    """Geometric mean of positive values; the paper's cross-workload average."""
+    values = list(values)
+    if not values:
+        return 0.0
+    if any(v <= 0 for v in values):
+        raise ValueError("geometric mean requires positive values")
+    return math.exp(sum(math.log(v) for v in values) / len(values))

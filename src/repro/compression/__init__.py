@@ -1,0 +1,41 @@
+"""Hardware-style compression algorithms and the Baryon compression engine.
+
+Two real algorithms are implemented from scratch at the granularities the
+hardware would use:
+
+* :mod:`repro.compression.fpc` — Frequent Pattern Compression (Alameldeen &
+  Wood), a 3-bit-prefix significance scheme over 32-bit words;
+* :mod:`repro.compression.bdi` — Base-Delta-Immediate (Pekhimenko et al.),
+  base+delta encodings over 2/4/8-byte granules with zero/repeat specials.
+
+:class:`~repro.compression.engine.CompressionEngine` runs both and keeps the
+better result, quantizes to the paper's compression factors {1, 2, 4},
+supports the Z-bit all-zero encoding and the cacheline-aligned restriction
+of Fig. 7. :class:`~repro.compression.synthetic.SyntheticCompressibility`
+is the fast content-free model used in large benchmark sweeps.
+"""
+
+from repro.compression.base import (
+    CompressionResult,
+    Compressor,
+    compressed_size_to_cf,
+)
+from repro.compression.bdi import BdiCompressor
+from repro.compression.engine import CompressionEngine, quantize_cf
+from repro.compression.fpc import FpcCompressor
+from repro.compression.synthetic import (
+    CompressibilityProfile,
+    SyntheticCompressibility,
+)
+
+__all__ = [
+    "BdiCompressor",
+    "CompressibilityProfile",
+    "CompressionEngine",
+    "CompressionResult",
+    "Compressor",
+    "FpcCompressor",
+    "SyntheticCompressibility",
+    "compressed_size_to_cf",
+    "quantize_cf",
+]

@@ -1,0 +1,77 @@
+"""Compressor interface and shared result type.
+
+A :class:`Compressor` maps raw bytes to a compressed size (and an opaque
+encoded form for round-trip testing). Hardware compressors are *lossless*
+and *size-bounded*: when data do not compress, the encoded size may exceed
+the input, in which case the engine stores the block uncompressed — the
+interface therefore reports the honest encoded size and leaves the
+store-raw fallback to the caller.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.common.config import SUPPORTED_CFS
+
+
+@dataclass(frozen=True)
+class CompressionResult:
+    """Outcome of compressing one buffer.
+
+    ``compressed_bits`` is the honest encoded size including per-word
+    prefixes and per-block headers; ``encoded`` is an algorithm-specific
+    representation that :meth:`Compressor.decompress` can invert (kept as
+    ``bytes`` so results are hashable and easy to snapshot in tests).
+    """
+
+    algorithm: str
+    original_size: int
+    compressed_bits: int
+    encoded: Optional[bytes] = None
+
+    @property
+    def compressed_bytes(self) -> int:
+        """Encoded size rounded up to whole bytes."""
+        return (self.compressed_bits + 7) // 8
+
+    @property
+    def ratio(self) -> float:
+        """Raw compression ratio original/compressed (not yet quantized)."""
+        if self.compressed_bits == 0:
+            return float("inf")
+        return (self.original_size * 8) / self.compressed_bits
+
+    def fits_in(self, size_bytes: int) -> bool:
+        """True if the encoding fits a physical slot of ``size_bytes``."""
+        return self.compressed_bytes <= size_bytes
+
+
+class Compressor(abc.ABC):
+    """Abstract lossless hardware compressor over a byte buffer."""
+
+    #: Short identifier used in stats and the result's ``algorithm`` field.
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def compress(self, data: bytes) -> CompressionResult:
+        """Compress ``data`` and return the honest encoded size."""
+
+    @abc.abstractmethod
+    def decompress(self, result: CompressionResult) -> bytes:
+        """Invert :meth:`compress`; must reproduce the input exactly."""
+
+
+def compressed_size_to_cf(original_size: int, compressed_bytes: int) -> int:
+    """Quantize an encoded size to the largest supported CF that fits.
+
+    A compression factor of ``n`` means ``n`` sub-blocks fit in one physical
+    sub-block slot, i.e. the data must compress to ``original_size / n``
+    bytes or fewer. Returns 1 when nothing better fits (data stored raw).
+    """
+    for cf in sorted(SUPPORTED_CFS, reverse=True):
+        if compressed_bytes * cf <= original_size:
+            return cf
+    return 1

@@ -1,0 +1,79 @@
+"""Bit-level writer/reader used to encode compressor output exactly.
+
+Hardware compressors produce a bit stream, not a byte stream; counting bits
+honestly matters because CF quantization is decided on the encoded size.
+The writer packs MSB-first into a ``bytearray``; the reader mirrors it.
+"""
+
+from __future__ import annotations
+
+
+class BitWriter:
+    """Append-only MSB-first bit packer."""
+
+    def __init__(self) -> None:
+        self._buffer = bytearray()
+        self._bit_count = 0
+
+    @property
+    def bit_length(self) -> int:
+        """Number of bits written so far."""
+        return self._bit_count
+
+    def write(self, value: int, width: int) -> None:
+        """Append the low ``width`` bits of ``value``, MSB first."""
+        if width < 0:
+            raise ValueError("width must be non-negative")
+        if value < 0 or (width < value.bit_length()):
+            raise ValueError(f"value {value} does not fit in {width} bits")
+        for shift in range(width - 1, -1, -1):
+            bit = (value >> shift) & 1
+            byte_index = self._bit_count // 8
+            if byte_index == len(self._buffer):
+                self._buffer.append(0)
+            if bit:
+                self._buffer[byte_index] |= 1 << (7 - (self._bit_count % 8))
+            self._bit_count += 1
+
+    def getvalue(self) -> bytes:
+        """The packed bytes (last byte zero-padded)."""
+        return bytes(self._buffer)
+
+
+class BitReader:
+    """Sequential MSB-first bit reader over :class:`BitWriter` output."""
+
+    def __init__(self, data: bytes) -> None:
+        self._data = data
+        self._pos = 0
+
+    @property
+    def position(self) -> int:
+        return self._pos
+
+    def read(self, width: int) -> int:
+        """Read ``width`` bits as an unsigned integer."""
+        if width < 0:
+            raise ValueError("width must be non-negative")
+        if self._pos + width > len(self._data) * 8:
+            raise EOFError("bit stream exhausted")
+        value = 0
+        for _ in range(width):
+            byte = self._data[self._pos // 8]
+            bit = (byte >> (7 - (self._pos % 8))) & 1
+            value = (value << 1) | bit
+            self._pos += 1
+        return value
+
+
+def sign_extend(value: int, bits: int) -> int:
+    """Interpret the low ``bits`` of ``value`` as two's complement."""
+    mask = 1 << (bits - 1)
+    return (value & (mask - 1)) - (value & mask)
+
+
+def fits_signed(value: int, bits: int) -> bool:
+    """True if ``value`` is representable in ``bits``-bit two's complement."""
+    lo = -(1 << (bits - 1))
+    hi = (1 << (bits - 1)) - 1
+    return lo <= value <= hi

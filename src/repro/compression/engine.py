@@ -1,0 +1,141 @@
+"""Baryon's compression engine: best-of FPC/BDI with CF quantization.
+
+The engine mirrors Section III-B/III-E of the paper:
+
+* data are fed to both hardware compressors and the better result wins;
+* compressed sizes are quantized to the supported compression factors
+  {1, 2, 4} — a range of ``n`` sub-blocks has CF ``n`` when it fits one
+  physical sub-block slot;
+* with *cacheline-aligned* compression (Fig. 7) the restriction is
+  stronger: each of the four 64·n-byte chunks of the range must
+  independently compress into one 64 B transfer unit, so a single DDRx
+  burst can be decompressed without fetching the whole slot;
+* all-zero data are recognized separately (the Z bit) and occupy no slot.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+from repro.common.config import SUPPORTED_CFS, CompressionConfig, Geometry
+from repro.common.stats import CounterGroup
+from repro.compression.base import CompressionResult, Compressor
+from repro.compression.bdi import BdiCompressor
+from repro.compression.fpc import FpcCompressor
+
+
+def quantize_cf(original_size: int, compressed_bytes: int) -> int:
+    """Largest supported CF such that the encoding fits ``original/cf``."""
+    for cf in sorted(SUPPORTED_CFS, reverse=True):
+        if compressed_bytes * cf <= original_size:
+            return cf
+    return 1
+
+
+def _build_compressor(name: str) -> Compressor:
+    if name == "fpc":
+        return FpcCompressor()
+    if name == "bdi":
+        return BdiCompressor()
+    raise ValueError(f"unknown compression algorithm {name!r}")
+
+
+class CompressionEngine:
+    """Dual-algorithm engine operating on real bytes.
+
+    The engine answers the only two questions the controller asks:
+    :meth:`fits` — does this aligned range compress into one sub-block
+    slot? — and :meth:`is_zero`. It also exposes :meth:`best` for direct
+    algorithm comparisons and keeps win/loss statistics per algorithm.
+    """
+
+    def __init__(
+        self,
+        config: Optional[CompressionConfig] = None,
+        geometry: Optional[Geometry] = None,
+    ) -> None:
+        self.config = config or CompressionConfig()
+        self.geometry = geometry or Geometry()
+        self._compressors = [_build_compressor(n) for n in self.config.algorithms]
+        self.stats = CounterGroup("compression")
+
+    @property
+    def decompression_latency(self) -> int:
+        return self.config.decompression_latency_cycles
+
+    def best(self, data: bytes) -> CompressionResult:
+        """Compress with every algorithm and return the smallest encoding."""
+        best: Optional[CompressionResult] = None
+        for compressor in self._compressors:
+            result = compressor.compress(data)
+            if best is None or result.compressed_bits < best.compressed_bits:
+                best = result
+        assert best is not None
+        self.stats.inc(f"wins_{best.algorithm}")
+        return best
+
+    def is_zero(self, data: bytes) -> bool:
+        """Z-bit check: the range is entirely zero bytes."""
+        if not self.config.zero_block_support:
+            return False
+        return not any(data)
+
+    def fits(self, data: bytes, slot_size: Optional[int] = None) -> bool:
+        """Can ``data`` (``n`` sub-blocks) compress into one slot of
+        ``slot_size`` bytes (default: one sub-block)?
+
+        With cacheline-aligned compression each 64·n-byte chunk must
+        compress into ``slot_size / chunks`` bytes independently.
+        """
+        slot = slot_size if slot_size is not None else self.geometry.sub_block_size
+        if len(data) % slot != 0:
+            raise ValueError("range length must be a multiple of the slot size")
+        if len(data) == slot:
+            return True  # CF = 1 always fits uncompressed.
+        if self.is_zero(data):
+            return True
+        if not self.config.cacheline_aligned:
+            result = self.best(data)
+            return result.fits_in(slot)
+        chunks = slot // self.geometry.cacheline_size
+        chunk_len = len(data) // chunks
+        budget = slot // chunks
+        for i in range(chunks):
+            chunk = data[i * chunk_len : (i + 1) * chunk_len]
+            if not self.best(chunk).fits_in(budget):
+                return False
+        return True
+
+    def achievable_cf(self, block_data: bytes, sub_index: int) -> int:
+        """Largest CF of an aligned range containing ``sub_index``.
+
+        Used by the slow-to-stage prefetch policy (case 3 of the access
+        flow): try CF = 4, then 2, then fall back to the single sub-block.
+        """
+        sbs = self.geometry.sub_block_size
+        for cf in sorted(SUPPORTED_CFS, reverse=True):
+            if cf == 1:
+                return 1
+            start, length = self.geometry.aligned_range(sub_index, cf)
+            chunk = block_data[start * sbs : (start + length) * sbs]
+            if len(chunk) == length * sbs and self.fits(chunk):
+                return cf
+        return 1
+
+    def average_cf(self, blocks: Sequence[bytes]) -> float:
+        """Mean quantized CF over whole blocks; used in Fig. 12 reporting."""
+        if not blocks:
+            return 0.0
+        total = 0.0
+        for data in blocks:
+            sbs = self.geometry.sub_block_size
+            cfs: Dict[int, int] = {}
+            index = 0
+            while index < len(data) // sbs:
+                cf = self.achievable_cf(data, index)
+                start, length = self.geometry.aligned_range(index, cf)
+                cfs[start] = cf
+                index = start + length
+            if cfs:
+                total += sum(cfs.values()) / len(cfs)
+        return total / len(blocks)

@@ -1,0 +1,146 @@
+"""Frequent Pattern Compression (FPC).
+
+Implements the significance-based scheme of Alameldeen & Wood ("Frequent
+Pattern Compression: A Significance-Based Compression Scheme for L2
+Caches", UW-Madison TR 2004), the first of Baryon's two hardware
+compressors. The input is scanned as 32-bit big-endian words; each word is
+encoded as a 3-bit prefix plus a variable payload:
+
+======  ==============================================  ============
+prefix  pattern                                         payload bits
+======  ==============================================  ============
+000     run of consecutive all-zero words (1..8)        3 (run-1)
+001     4-bit sign-extended integer                     4
+010     8-bit sign-extended integer                     8
+011     16-bit sign-extended integer                    16
+100     16-bit value padded with a zero halfword        16
+101     two halfwords, each a sign-extended byte        16
+110     word of four repeated bytes                     8
+111     uncompressed word                               32
+======  ==============================================  ============
+
+The encoded form round-trips exactly; the honest bit count (prefixes
+included) feeds CF quantization.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.compression.base import CompressionResult, Compressor
+from repro.compression.bitstream import BitReader, BitWriter, fits_signed, sign_extend
+
+_WORD_BYTES = 4
+_PREFIX_BITS = 3
+
+# Prefix codes, named for readability.
+_ZERO_RUN = 0b000
+_SIGNED_4 = 0b001
+_SIGNED_8 = 0b010
+_SIGNED_16 = 0b011
+_PADDED_HALF = 0b100
+_TWO_HALF_BYTES = 0b101
+_REPEATED_BYTES = 0b110
+_UNCOMPRESSED = 0b111
+
+_MAX_ZERO_RUN = 8
+
+
+def _classify_word(word: int) -> Tuple[int, int, int]:
+    """Return ``(prefix, payload, payload_bits)`` for a non-zero-run word.
+
+    Patterns are tried smallest-payload first, mirroring the priority
+    encoder in the hardware implementation.
+    """
+    signed = sign_extend(word, 32)
+    if fits_signed(signed, 4):
+        return _SIGNED_4, word & 0xF, 4
+    if fits_signed(signed, 8):
+        return _SIGNED_8, word & 0xFF, 8
+    byte0 = word & 0xFF
+    if all(((word >> shift) & 0xFF) == byte0 for shift in (8, 16, 24)):
+        return _REPEATED_BYTES, byte0, 8
+    if fits_signed(signed, 16):
+        return _SIGNED_16, word & 0xFFFF, 16
+    if word & 0xFFFF == 0:
+        # Significant halfword padded with a zero lower halfword.
+        return _PADDED_HALF, (word >> 16) & 0xFFFF, 16
+    high = (word >> 16) & 0xFFFF
+    low = word & 0xFFFF
+    if fits_signed(sign_extend(high, 16), 8) and fits_signed(sign_extend(low, 16), 8):
+        return _TWO_HALF_BYTES, ((high & 0xFF) << 8) | (low & 0xFF), 16
+    return _UNCOMPRESSED, word, 32
+
+
+class FpcCompressor(Compressor):
+    """Frequent Pattern Compression over 32-bit words."""
+
+    name = "fpc"
+
+    def compress(self, data: bytes) -> CompressionResult:
+        if len(data) % _WORD_BYTES != 0:
+            raise ValueError("FPC input must be a multiple of 4 bytes")
+        words = [
+            int.from_bytes(data[i : i + _WORD_BYTES], "big")
+            for i in range(0, len(data), _WORD_BYTES)
+        ]
+        writer = BitWriter()
+        i = 0
+        while i < len(words):
+            if words[i] == 0:
+                run = 1
+                while (
+                    i + run < len(words)
+                    and words[i + run] == 0
+                    and run < _MAX_ZERO_RUN
+                ):
+                    run += 1
+                writer.write(_ZERO_RUN, _PREFIX_BITS)
+                writer.write(run - 1, 3)
+                i += run
+                continue
+            prefix, payload, payload_bits = _classify_word(words[i])
+            writer.write(prefix, _PREFIX_BITS)
+            writer.write(payload, payload_bits)
+            i += 1
+        return CompressionResult(
+            algorithm=self.name,
+            original_size=len(data),
+            compressed_bits=writer.bit_length,
+            encoded=writer.getvalue(),
+        )
+
+    def decompress(self, result: CompressionResult) -> bytes:
+        if result.encoded is None:
+            raise ValueError("result has no encoded payload")
+        reader = BitReader(result.encoded)
+        words: List[int] = []
+        total_words = result.original_size // _WORD_BYTES
+        while len(words) < total_words:
+            prefix = reader.read(_PREFIX_BITS)
+            if prefix == _ZERO_RUN:
+                run = reader.read(3) + 1
+                words.extend([0] * run)
+            elif prefix == _SIGNED_4:
+                words.append(sign_extend(reader.read(4), 4) & 0xFFFFFFFF)
+            elif prefix == _SIGNED_8:
+                words.append(sign_extend(reader.read(8), 8) & 0xFFFFFFFF)
+            elif prefix == _SIGNED_16:
+                words.append(sign_extend(reader.read(16), 16) & 0xFFFFFFFF)
+            elif prefix == _PADDED_HALF:
+                words.append((reader.read(16) << 16) & 0xFFFFFFFF)
+            elif prefix == _TWO_HALF_BYTES:
+                payload = reader.read(16)
+                high = sign_extend((payload >> 8) & 0xFF, 8) & 0xFFFF
+                low = sign_extend(payload & 0xFF, 8) & 0xFFFF
+                words.append((high << 16) | low)
+            elif prefix == _REPEATED_BYTES:
+                byte = reader.read(8)
+                words.append(byte * 0x01010101)
+            elif prefix == _UNCOMPRESSED:
+                words.append(reader.read(32))
+            else:  # pragma: no cover - 3-bit prefix is exhaustive
+                raise AssertionError("impossible FPC prefix")
+        if len(words) != total_words:
+            raise ValueError("zero run overran the block boundary")
+        return b"".join(word.to_bytes(_WORD_BYTES, "big") for word in words)

@@ -1,0 +1,1325 @@
+"""The Baryon memory controller: access flow, staging, commit, swapping.
+
+This is the paper's Section III end to end. One instance owns the hybrid
+memory devices, the stage area with its tag array, the committed cache/flat
+area, the dual-format metadata (remap table + remap cache) and the
+compression oracle, and exposes a single entry point:
+
+    result = controller.access(addr, is_write, now)
+
+for every memory-level access (LLC demand miss or dirty writeback). The
+five cases of Fig. 6 are implemented faithfully, including:
+
+* slow-to-stage prefetching of the maximal compressible aligned range,
+  with CF2/CF4 hints reused after compressed fast-to-slow writebacks;
+* cacheline-aligned transfers: a demand access moves one 64 B chunk that
+  decompresses into up to CF cachelines, installed into the LLC for free;
+* two-level stage replacement (block LRU + sub-block FIFO) with the
+  Fig. 8 heuristic and data-block regrouping on block-level moves;
+* selective commits driven by the Eq. 1 cost model, with sorted-frozen
+  committed layouts (Rule 4) and whole-block eviction on write overflow
+  (unless the overflowing range is the last slot);
+* the flat scheme's spread-swap of displaced home blocks and the
+  three-way *slow swap* on eviction of committed data (Sec. III-F);
+* the no-stage ablation (Fig. 13c), where every insertion pays the
+  layout re-sort penalty directly in the committed area.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Tuple
+
+from repro.common.config import BaryonConfig
+from repro.common.errors import SimulationError
+from repro.common.stats import CounterGroup
+from repro.compression.synthetic import SyntheticCompressibility
+from repro.core.commit import CommitPolicy
+from repro.core.events import AccessCase, AccessResult
+from repro.core.fast_area import FastArea, FastBlockState
+from repro.core.stage_area import StageArea
+from repro.core.tracking import StagePhaseTracker
+from repro.devices.memory import HybridMemoryDevices
+from repro.metadata.remap import RemapEntry, RemapTable
+from repro.metadata.remap_cache import RemapCache
+from repro.metadata.stage_tag import RangeSlot, StageTagEntry
+
+
+class BaryonController:
+    """Hardware-transparent hybrid memory controller with compression and
+    sub-blocking (the paper's primary contribution)."""
+
+    def __init__(
+        self,
+        config: Optional[BaryonConfig] = None,
+        devices: Optional[HybridMemoryDevices] = None,
+        compressibility: Optional[SyntheticCompressibility] = None,
+        tracker: Optional[StagePhaseTracker] = None,
+        seed: int = 1,
+    ) -> None:
+        self.config = config or BaryonConfig()
+        self.geometry = self.config.geometry
+        self.devices = devices or HybridMemoryDevices(self.config.timings)
+        if not self.config.compression_enabled:
+            from repro.compression.synthetic import NullCompressibility
+
+            self.oracle = NullCompressibility()
+        else:
+            self.oracle = compressibility or SyntheticCompressibility(seed=seed)
+        self.tracker = tracker
+        self.policy = CommitPolicy(self.config.commit)
+        self.remap_table = RemapTable()
+        self.remap_cache = RemapCache(
+            num_sets=self.config.remap_cache.num_sets,
+            ways=self.config.remap_cache.ways,
+            entries_per_line=self.config.remap_cache.entries_per_line,
+            latency_cycles=self.config.remap_cache.latency_cycles,
+        )
+        self.stage = StageArea(self.config.stage, self.geometry)
+        self._rng = random.Random(seed)
+        self.stats = CounterGroup("baryon")
+        self._now = 0.0
+
+        # Committed area sizing: fast capacity net of the stage area and
+        # the in-fast-memory remap table.
+        overhead = self.config.remap_table_bytes()
+        if self.config.stage.enabled:
+            overhead += self.config.stage.size_bytes
+        usable = self.config.layout.fast_capacity - overhead
+        fast_blocks = max(1, usable // self.geometry.block_size)
+        if self.config.layout.fully_associative:
+            num_sets, ways = 1, fast_blocks
+            replacement = "fifo"
+        else:
+            ways = self.config.layout.associativity
+            num_sets = max(1, fast_blocks // ways)
+            replacement = "lru"
+        if self.config.fast_replacement != "auto":
+            replacement = self.config.fast_replacement
+        self.fast_area = FastArea(
+            num_sets, ways, self.geometry, replacement, seed=seed
+        )
+
+        # Flat scheme: the first `flat_ways` of each set are OS-visible
+        # fast block spaces, each the home of one block. Homes are
+        # *striped* across the whole OS-visible space (every
+        # `_home_period`-th block lives in fast memory), modelling
+        # hotness-neutral OS placement — first-touch allocation does not
+        # systematically put the hottest data in either tier. `_displaced`
+        # maps a home block to the (set, way) whose space its data vacated.
+        self._flat_ways = round(ways * self.config.layout.flat_fraction)
+        self._flat_blocks = num_sets * self._flat_ways
+        total_blocks = (
+            self.config.layout.fast_capacity + self.config.layout.slow_capacity
+        ) // self.geometry.block_size
+        self._home_period = max(1, total_blocks // max(1, self._flat_blocks))
+        self._displaced: Dict[int, Tuple[int, int]] = {}
+
+        # CF2/CF4 hints kept after compressed fast-to-slow writebacks.
+        self._cf_hints: Dict[int, Tuple[int, int, bool]] = {}
+        # Flat scheme: last-access stamps of home blocks, on the fast
+        # area's replacement clock, so commits displace cold homes.
+        self._home_stamps: Dict[int, int] = {}
+        # Fully-associative victim selection is FIFO (Sec. III-E): a
+        # cycling pointer instead of an O(ways) recency scan.
+        self._fa_victim_ptr = 0
+
+    # ------------------------------------------------------------------ API
+    def access(self, addr: int, is_write: bool, now: Optional[float] = None) -> AccessResult:
+        """Serve one 64 B memory access; the single external entry point."""
+        if now is not None:
+            self._now = now
+        else:
+            self._now += 1.0
+        now = self._now
+        g = self.geometry
+        block_id = g.block_id(addr)
+        super_id = g.super_block_id(addr)
+        blk_off = g.block_offset_in_super(addr)
+        sub_idx = g.sub_block_index(addr)
+        line_idx = g.cacheline_index_in_sub_block(addr)
+
+        self.stats.inc("accesses")
+        self.stats.inc("writes" if is_write else "reads")
+        if self.tracker is not None:
+            self.tracker.tick()
+
+        stage_set = self.stage.set_index_of(super_id)
+        self.stage.record_set_access(stage_set)
+
+        # Metadata lookup: stage tag array and remap cache in parallel.
+        meta_latency = float(self.config.stage.tag_latency_cycles)
+        remap_hit = self.remap_cache.access(super_id)
+        remap_latency = float(self.remap_cache.latency_cycles)
+        if not remap_hit:
+            # Off-chip remap table probe: one super-block line (16 B).
+            table = self.devices.fast.read(now, 16, demand=True)
+            remap_latency += table.total_cycles
+            self.stats.inc("remap_table_reads")
+        entry = self.remap_table.get(block_id)
+
+        staged_block = (
+            self.stage.lookup_block(super_id, blk_off)
+            if self.config.stage.enabled
+            else None
+        )
+        staged_sub = (
+            self.stage.lookup_sub_block(super_id, blk_off, sub_idx)
+            if staged_block is not None
+            else None
+        )
+
+        if staged_sub is not None:
+            meta = meta_latency
+            result = self._case1_stage_hit(
+                now, meta, super_id, block_id, blk_off, sub_idx, line_idx,
+                staged_sub, is_write,
+            )
+        else:
+            meta = max(meta_latency, remap_latency)
+            if entry.is_remapped and entry.sub_block_remapped(sub_idx):
+                result = self._case2_commit_hit(
+                    now, meta, super_id, block_id, blk_off, sub_idx, line_idx,
+                    entry, is_write,
+                )
+            elif staged_block is not None:
+                result = self._case3_stage_miss(
+                    now, meta, super_id, block_id, blk_off, sub_idx, line_idx,
+                    staged_block, is_write,
+                )
+            elif entry.is_remapped:
+                if self.config.stage.enabled:
+                    result = self._case4_commit_miss(now, meta, is_write)
+                else:
+                    # No-stage ablation: insert directly (with re-sort cost).
+                    result = self._no_stage_miss(
+                        now, meta, super_id, block_id, blk_off, sub_idx,
+                        line_idx, is_write,
+                    )
+            elif self._is_fast_home(block_id):
+                result = self._fast_home_access(now, meta, block_id, is_write)
+            elif self._is_home_block(block_id):
+                # Displaced home block: served from its spread slow copy
+                # until its space frees (never staged; Sec. III-F).
+                result = self._slow_direct(now, meta, is_write)
+            else:
+                result = self._case5_block_miss(
+                    now, meta, super_id, block_id, blk_off, sub_idx, line_idx,
+                    is_write,
+                )
+
+        self.stats.inc(f"case_{result.case.value}")
+        if result.served_fast:
+            self.stats.inc("served_fast")
+        if self.tracker is not None and result.case is not AccessCase.FAST_HOME:
+            self.tracker.record(
+                block_id,
+                staged=staged_block is not None,
+                committed=entry.is_remapped,
+                is_write=is_write,
+                miss=result.case
+                in (AccessCase.STAGE_MISS, AccessCase.COMMIT_MISS, AccessCase.BLOCK_MISS),
+                overflow=result.write_overflow,
+            )
+        return result
+
+    # ----------------------------------------------------------- case 1
+    def _case1_stage_hit(
+        self,
+        now: float,
+        meta: float,
+        super_id: int,
+        block_id: int,
+        blk_off: int,
+        sub_idx: int,
+        line_idx: int,
+        staged_sub: Tuple[int, StageTagEntry, int],
+        is_write: bool,
+    ) -> AccessResult:
+        way, entry, slot_idx = staged_sub
+        slot = entry.slots[slot_idx]
+        assert slot is not None
+        set_index = self.stage.set_index_of(super_id)
+        self.stage.touch(set_index, way)
+        prefetched: List[int] = []
+        latency = meta
+        overflow = False
+
+        if slot.zero:
+            # Zero data: nothing to read from the device.
+            if is_write:
+                overflow = self._stage_zero_write(
+                    now, set_index, way, slot_idx, block_id, blk_off, sub_idx
+                )
+                access = self.devices.fast.write(
+                    now, self.geometry.cacheline_size, addr=block_id * self.geometry.block_size
+                )
+                latency += access.total_cycles
+        elif is_write:
+            access = self.devices.fast.write(
+                now, self.geometry.cacheline_size,
+                addr=block_id * self.geometry.block_size + sub_idx * self.geometry.sub_block_size,
+            )
+            latency += access.total_cycles
+            slot.dirty = True
+            overflow = self._maybe_stage_overflow(
+                now, set_index, way, slot_idx, block_id, blk_off, sub_idx
+            )
+        else:
+            access = self.devices.fast.read(
+                now, self._demand_bytes(slot.cf),
+                addr=block_id * self.geometry.block_size + sub_idx * self.geometry.sub_block_size,
+            )
+            latency += access.total_cycles
+            if slot.cf > 1:
+                latency += self.config.compression.decompression_latency_cycles
+                prefetched = self._chunk_lines(
+                    block_id, slot.sub_start, slot.cf, sub_idx, line_idx
+                )
+        return AccessResult(
+            AccessCase.STAGE_HIT, latency, is_write, overflow, prefetched
+        )
+
+    def _maybe_stage_overflow(
+        self,
+        now: float,
+        set_index: int,
+        way: int,
+        slot_idx: int,
+        block_id: int,
+        blk_off: int,
+        sub_idx: int,
+    ) -> bool:
+        """Recompress after a stage write; reinsert split ranges on overflow."""
+        entry = self.stage.entry(set_index, way)
+        slot = entry.slots[slot_idx]
+        assert slot is not None
+        changed = self.oracle.note_write(block_id, sub_idx)
+        if not changed or slot.cf == 1:
+            return False
+        if self.oracle.fits(
+            block_id, slot.sub_start, slot.cf, self.config.compression.cacheline_aligned
+        ):
+            return False
+        # Overflow: remove the range and reinsert it as freshly fetched
+        # pieces (case 3 semantics) — data are already in fast memory.
+        self.stats.inc("stage_write_overflows")
+        removed = self.stage.remove_slot(set_index, way, slot_idx)
+        super_id = self.stage.mapper.super_block_of(set_index, entry.tag)
+        for piece in self._split_range(block_id, removed.sub_start, removed.cf):
+            piece_slot = RangeSlot(
+                cf=piece[1], dirty=True, blk_off=blk_off, sub_start=piece[0]
+            )
+            self._stage_insert(now, super_id, block_id, blk_off, piece_slot)
+            self.devices.fast.write(now, self.geometry.sub_block_size)
+        return True
+
+    def _stage_zero_write(
+        self,
+        now: float,
+        set_index: int,
+        way: int,
+        slot_idx: int,
+        block_id: int,
+        blk_off: int,
+        sub_idx: int,
+    ) -> bool:
+        """A write to a staged all-zero block breaks the Z encoding."""
+        self.stats.inc("stage_zero_breaks")
+        self.oracle.note_write(block_id, sub_idx)
+        entry = self.stage.entry(set_index, way)
+        self.stage.remove_slot(set_index, way, slot_idx)
+        super_id = self.stage.mapper.super_block_of(set_index, entry.tag)
+        cf = self.oracle.max_cf(
+            block_id, sub_idx, self.config.compression.cacheline_aligned
+        )
+        start, _ = self.geometry.aligned_range(sub_idx, cf)
+        slot = RangeSlot(cf=cf, dirty=True, blk_off=blk_off, sub_start=start)
+        self._stage_insert(now, super_id, block_id, blk_off, slot)
+        return True
+
+    def _split_range(
+        self, block_id: int, start: int, cf: int
+    ) -> List[Tuple[int, int]]:
+        """Split an overflowed range into pieces at their new maximal CFs."""
+        pieces: List[Tuple[int, int]] = []
+        ca = self.config.compression.cacheline_aligned
+        sub = start
+        while sub < start + cf:
+            new_cf = self.oracle.max_cf(block_id, sub, ca)
+            piece_start, length = self.geometry.aligned_range(sub, new_cf)
+            # The piece must stay inside the data we actually hold, and
+            # must really compress at its CF under the current contents.
+            while new_cf > 1 and (
+                piece_start < start
+                or piece_start + length > start + cf
+                or not self.oracle.fits(block_id, piece_start, new_cf, ca)
+            ):
+                new_cf //= 2
+                piece_start, length = self.geometry.aligned_range(sub, new_cf)
+            pieces.append((piece_start, new_cf))
+            sub = piece_start + length
+        return pieces
+
+    # ----------------------------------------------------------- case 2
+    def _case2_commit_hit(
+        self,
+        now: float,
+        meta: float,
+        super_id: int,
+        block_id: int,
+        blk_off: int,
+        sub_idx: int,
+        line_idx: int,
+        entry: RemapEntry,
+        is_write: bool,
+    ) -> AccessResult:
+        located = self.fast_area.find_block(super_id, blk_off)
+        if located is None:
+            raise SimulationError(
+                f"remap entry points to fast memory but block {block_id} "
+                "is not tracked in the fast area"
+            )
+        way, state = located
+        set_index = self.fast_area.set_of_super(super_id)
+        self.fast_area.touch(set_index, way)
+        target_range = entry.range_of(sub_idx)
+        assert target_range is not None
+        start, cf = target_range
+        prefetched: List[int] = []
+        latency = meta
+        overflow = False
+
+        if entry.zero:
+            if is_write:
+                # Writing a committed all-zero block invalidates the Z
+                # encoding: evict the whole logical block, write to slow.
+                self.stats.inc("commit_zero_breaks")
+                self.oracle.note_write(block_id, sub_idx)
+                self._evict_committed_logical_block(now, super_id, block_id, blk_off)
+                access = self.devices.slow.write(now, self.geometry.cacheline_size)
+                latency += access.total_cycles
+                overflow = True
+            return AccessResult(
+                AccessCase.COMMIT_HIT, latency, is_write, overflow, prefetched
+            )
+
+        if is_write:
+            access = self.devices.fast.write(
+                now, self.geometry.cacheline_size,
+                addr=block_id * self.geometry.block_size + sub_idx * self.geometry.sub_block_size,
+            )
+            latency += access.total_cycles
+            state.dirty_subs.add((blk_off, sub_idx))
+            changed = self.oracle.note_write(block_id, sub_idx)
+            if changed and cf > 1 and not self.oracle.fits(
+                block_id, start, cf, self.config.compression.cacheline_aligned
+            ):
+                overflow = True
+                self.stats.inc("commit_write_overflows")
+                self._handle_commit_overflow(
+                    now, super_id, block_id, blk_off, start, cf, set_index, way
+                )
+        else:
+            access = self.devices.fast.read(
+                now, self._demand_bytes(cf),
+                addr=block_id * self.geometry.block_size + sub_idx * self.geometry.sub_block_size,
+            )
+            latency += access.total_cycles
+            if cf > 1:
+                latency += self.config.compression.decompression_latency_cycles
+                prefetched = self._chunk_lines(block_id, start, cf, sub_idx, line_idx)
+        return AccessResult(
+            AccessCase.COMMIT_HIT, latency, is_write, overflow, prefetched
+        )
+
+    def _handle_commit_overflow(
+        self,
+        now: float,
+        super_id: int,
+        block_id: int,
+        blk_off: int,
+        start: int,
+        cf: int,
+        set_index: int,
+        way: int,
+    ) -> None:
+        """Rule 4 fallout: a committed range no longer fits its slot.
+
+        If the range is the last slot of the physical block, only it is
+        evicted; otherwise the sorted layout is invalidated and the whole
+        physical block is evicted (Sec. III-D case 2).
+        """
+        state = self.fast_area.state(set_index, way)
+        assert state is not None
+        if self._range_is_last_slot(super_id, block_id, blk_off, start, way):
+            self._evict_committed_range(now, super_id, block_id, blk_off, start, cf)
+        else:
+            self._evict_fast_block(now, set_index, way)
+
+    def _range_is_last_slot(
+        self, super_id: int, block_id: int, blk_off: int, start: int, way: int
+    ) -> bool:
+        """Is (blk_off, start) the last occupied slot of its physical block?"""
+        base = super_id * self.geometry.super_block_blocks
+        last_block: Optional[int] = None
+        for off in range(self.geometry.super_block_blocks):
+            e = self.remap_table.get(base + off)
+            if e.is_remapped and not e.zero and e.pointer == way and e.occupied_slots():
+                last_block = off
+        if last_block != blk_off:
+            return False
+        entry = self.remap_table.get(block_id)
+        ranges = entry.ranges()
+        return bool(ranges) and ranges[-1][0] == start
+
+    # ----------------------------------------------------------- case 3
+    def _case3_stage_miss(
+        self,
+        now: float,
+        meta: float,
+        super_id: int,
+        block_id: int,
+        blk_off: int,
+        sub_idx: int,
+        line_idx: int,
+        staged_block: Tuple[int, StageTagEntry],
+        is_write: bool,
+    ) -> AccessResult:
+        set_index = self.stage.set_index_of(super_id)
+        way, _entry = staged_block
+        self.stage.record_block_miss(set_index, way)
+        latency, prefetched = self._fetch_and_stage(
+            now, meta, super_id, block_id, blk_off, sub_idx, line_idx, is_write
+        )
+        return AccessResult(AccessCase.STAGE_MISS, latency, is_write, False, prefetched)
+
+    # ----------------------------------------------------------- case 4
+    def _case4_commit_miss(self, now: float, meta: float, is_write: bool) -> AccessResult:
+        size = self.geometry.cacheline_size
+        if is_write:
+            access = self.devices.slow.write(now, size)
+        else:
+            access = self.devices.slow.read(now, size, demand=True)
+        return AccessResult(AccessCase.COMMIT_MISS, meta + access.total_cycles, is_write)
+
+    def _slow_direct(self, now: float, meta: float, is_write: bool) -> AccessResult:
+        """Serve from slow memory with no staging side effects."""
+        size = self.geometry.cacheline_size
+        if is_write:
+            access = self.devices.slow.write(now, size)
+        else:
+            access = self.devices.slow.read(now, size, demand=True)
+        return AccessResult(AccessCase.SLOW_DIRECT, meta + access.total_cycles, is_write)
+
+    # ----------------------------------------------------------- case 5
+    def _case5_block_miss(
+        self,
+        now: float,
+        meta: float,
+        super_id: int,
+        block_id: int,
+        blk_off: int,
+        sub_idx: int,
+        line_idx: int,
+        is_write: bool,
+    ) -> AccessResult:
+        if not self.config.stage.enabled:
+            return self._no_stage_miss(
+                now, meta, super_id, block_id, blk_off, sub_idx, line_idx, is_write
+            )
+        set_index = self.stage.set_index_of(super_id)
+        self.stage.record_block_miss(set_index, None)
+        latency, prefetched = self._fetch_and_stage(
+            now, meta, super_id, block_id, blk_off, sub_idx, line_idx, is_write
+        )
+        if self.tracker is not None:
+            self.tracker.block_staged(block_id)
+        return AccessResult(AccessCase.BLOCK_MISS, latency, is_write, False, prefetched)
+
+    # --------------------------------------------------- flat-scheme homes
+    def _is_home_block(self, block_id: int) -> bool:
+        """Flat scheme: is this block's OS home a fast block space?"""
+        if self._flat_blocks == 0 or block_id % self._home_period != 0:
+            return False
+        return block_id // self._home_period < self._flat_blocks
+
+    def _is_fast_home(self, block_id: int) -> bool:
+        """Home-fast *and* currently resident (not displaced by a commit)."""
+        return self._is_home_block(block_id) and block_id not in self._displaced
+
+    def _home_location(self, block_id: int) -> Tuple[int, int]:
+        """(set, way) of a home-fast block's space."""
+        index = block_id // self._home_period
+        return index % self.fast_area.num_sets, index // self.fast_area.num_sets
+
+    def _home_block_of(self, set_index: int, way: int) -> Optional[int]:
+        """Inverse of :meth:`_home_location` for flat ways."""
+        if way >= self._flat_ways:
+            return None
+        index = way * self.fast_area.num_sets + set_index
+        if index >= self._flat_blocks:
+            return None
+        return index * self._home_period
+
+    def _fast_home_access(
+        self, now: float, meta: float, block_id: int, is_write: bool
+    ) -> AccessResult:
+        size = self.geometry.cacheline_size
+        if is_write:
+            access = self.devices.fast.write(now, size, addr=block_id * self.geometry.block_size)
+        else:
+            access = self.devices.fast.read(now, size, addr=block_id * self.geometry.block_size)
+        self._home_stamps[block_id] = self.fast_area.next_stamp()
+        return AccessResult(AccessCase.FAST_HOME, meta + access.total_cycles, is_write)
+
+    def _commit_victim_way(self, fa_set: int) -> Tuple[int, Optional[FastBlockState]]:
+        """Pick the fast block space a commit should take.
+
+        Low-associative sets scan their few ways for the coldest candidate
+        across committed blocks (replacement stamp) and resident home
+        blocks (last-access stamp), so a hot OS-resident block is not
+        displaced in favour of lukewarm migrated data. Fully-associative
+        organizations use the paper's FIFO policy (Sec. III-E) via a
+        cycling pointer.
+        """
+        if self.config.layout.fully_associative:
+            way = self._fa_next_victim()
+            self._fa_victim_ptr = way + 1
+            return way, self.fast_area.state(fa_set, way)
+        return self._coldest_way(fa_set)
+
+    def _fa_next_victim(self) -> int:
+        """FIFO victim for the fully-associative organization.
+
+        The pointer cycles over the cache-area ways; OS-resident home
+        blocks are only displaced when the configuration provisions no
+        cache section at all (flat_fraction = 1).
+        """
+        ways = self.fast_area.ways
+        first = self._flat_ways if self._flat_ways < ways else 0
+        span = ways - first
+        return first + (max(0, self._fa_victim_ptr - first)) % span
+
+    def _peek_commit_victim(self, fa_set: int) -> Tuple[int, Optional[FastBlockState]]:
+        """Like :meth:`_commit_victim_way` but with no side effects (the
+        FA FIFO pointer must not advance for a mere cost-model peek)."""
+        if self.config.layout.fully_associative:
+            way = self._fa_next_victim()
+            return way, self.fast_area.state(fa_set, way)
+        return self._coldest_way(fa_set)
+
+    def _coldest_way(self, fa_set: int) -> Tuple[int, Optional[FastBlockState]]:
+        best_way, best_stamp, best_state = None, None, None
+        for way in range(self.fast_area.ways):
+            state = self.fast_area.state(fa_set, way)
+            if state is None:
+                home = self._home_block_of(fa_set, way)
+                if home is None:
+                    return way, None  # free cache-area way
+                stamp = self._home_stamps.get(home, 0)
+            else:
+                stamp = state.stamp
+            if best_stamp is None or stamp < best_stamp:
+                best_way, best_stamp, best_state = way, stamp, state
+        if best_way is None:
+            raise SimulationError("fast area has no ways")
+        return best_way, best_state
+
+    # ------------------------------------------------------- fetch + stage
+    def _fetch_and_stage(
+        self,
+        now: float,
+        meta: float,
+        super_id: int,
+        block_id: int,
+        blk_off: int,
+        sub_idx: int,
+        line_idx: int,
+        is_write: bool,
+    ) -> Tuple[float, List[int]]:
+        """Cases 3/5: fetch from slow memory, respond, stage in background."""
+        g = self.geometry
+        existing = self.stage.lookup_block(super_id, blk_off)
+
+        # All-zero block: the Z encoding stages the whole block for free
+        # (only on the first fetch of the block, which covers it entirely).
+        if (
+            existing is None
+            and self.config.compression.zero_block_support
+            and self.oracle.is_zero(block_id, 0, g.sub_blocks_per_block)
+        ):
+            slot = RangeSlot(cf=1, dirty=is_write, blk_off=blk_off, zero=True)
+            self._stage_insert(now, super_id, block_id, blk_off, slot)
+            self.stats.inc("zero_block_stages")
+            return meta, []
+
+        start, cf, compressed = self._choose_fetch_range(block_id, blk_off, sub_idx)
+        # Avoid refetching sub-blocks this block already has staged.
+        if existing is not None:
+            _, entry = existing
+            staged_subs = {
+                s
+                for slot in entry.slots
+                if slot is not None and slot.blk_off == blk_off
+                for s in slot.sub_blocks
+            }
+            while cf > 1 and any(
+                s in staged_subs for s in range(start, start + cf)
+            ):
+                cf //= 2
+                start, _ = g.aligned_range(sub_idx, cf)
+                compressed = False
+
+        # Demand chunk first (one 64 B transfer; the whole compressed slot
+        # when cacheline-aligned compression is disabled).
+        demand_bytes = self._demand_bytes(cf) if compressed else g.cacheline_size
+        demand = self.devices.slow.read(now, demand_bytes, demand=True)
+        latency = meta + demand.total_cycles
+        prefetched: List[int] = []
+        if compressed:
+            latency += self.config.compression.decompression_latency_cycles
+            prefetched = self._chunk_lines(block_id, start, cf, sub_idx, line_idx)
+            fetch_bytes = g.sub_block_size
+        else:
+            fetch_bytes = cf * g.sub_block_size
+        # Background: the rest of the range, plus the stage-area fill.
+        rest = max(0, fetch_bytes - demand_bytes)
+        if rest:
+            self.devices.slow.read(now, rest, demand=False)
+        self.devices.fast.write(now, g.sub_block_size)
+
+        slot = RangeSlot(cf=cf, dirty=is_write, blk_off=blk_off, sub_start=start)
+        self._stage_insert(now, super_id, block_id, blk_off, slot)
+        if is_write:
+            self.oracle.note_write(block_id, sub_idx)
+        return latency, prefetched
+
+    def _choose_fetch_range(
+        self, block_id: int, blk_off: int, sub_idx: int
+    ) -> Tuple[int, int, bool]:
+        """Pick the maximal compressible aligned range around ``sub_idx``.
+
+        Returns ``(start, cf, compressed)``; ``compressed`` means the data
+        are already stored compressed in slow memory (CF hint present after
+        a compressed writeback), so the fetch itself moves fewer bytes.
+        """
+        g = self.geometry
+        ca = self.config.compression.cacheline_aligned
+        hint = self._cf_hints.get(block_id)
+        if hint is not None and self.config.compressed_writeback:
+            cf2, cf4, _zero = hint
+            quad = sub_idx // 4
+            if (cf4 >> quad) & 1:
+                return quad * 4, 4, True
+            pair = sub_idx // 2
+            if (cf2 >> pair) & 1:
+                return pair * 2, 2, True
+        if self._compression_skipped(block_id):
+            return sub_idx, 1, False
+        cf = self.oracle.max_cf(block_id, sub_idx, ca)
+        start, _ = g.aligned_range(sub_idx, cf)
+        return start, cf, False
+
+    def _compression_skipped(self, block_id: int) -> bool:
+        """Selective compression (future-work extension): skip regions
+        whose expected CF is too low to pay for the decompression latency
+        and overflow risk."""
+        comp = self.config.compression
+        if not comp.selective:
+            return False
+        profile_of = getattr(self.oracle, "profile_of", None)
+        if profile_of is None:
+            return False
+        expected = profile_of(block_id).expected_cf(comp.cacheline_aligned)
+        if expected >= comp.selective_threshold:
+            return False
+        self.stats.inc("compression_skips")
+        return True
+
+    def _chunk_lines(
+        self, block_id: int, range_start: int, cf: int, sub_idx: int, line_idx: int
+    ) -> List[int]:
+        """Cachelines sharing the demanded 64 B compressed chunk (Fig. 7).
+
+        With cacheline-aligned compression the chunk holds ``cf``
+        consecutive cachelines; without it the whole range must be fetched
+        and decompressed, so every line of the range arrives (bandwidth
+        waste + LLC pollution, the Fig. 12 w/o-CA penalty).
+        """
+        g = self.geometry
+        if cf <= 1:
+            return []
+        base = block_id * g.block_size + range_start * g.sub_block_size
+        lines_per_sub = g.cachelines_per_sub_block
+        demanded = (sub_idx - range_start) * lines_per_sub + line_idx
+        if self.config.compression.cacheline_aligned:
+            chunk = demanded // cf
+            indices = range(chunk * cf, chunk * cf + cf)
+        else:
+            indices = range(cf * lines_per_sub)
+        return [
+            base + i * g.cacheline_size for i in indices if i != demanded
+        ]
+
+    def _demand_bytes(self, cf: int) -> int:
+        """Bytes the critical-path transfer must move for one demand read.
+
+        Cacheline-aligned compression keeps this at 64 B regardless of CF;
+        without it a compressed slot has unknown internal boundaries and
+        the whole slot must be fetched before decompression (Fig. 7 left).
+        """
+        if cf <= 1 or self.config.compression.cacheline_aligned:
+            return self.geometry.cacheline_size
+        return self.geometry.sub_block_size
+
+    # ------------------------------------------------------- stage insertion
+    def _stage_insert(
+        self,
+        now: float,
+        super_id: int,
+        block_id: int,
+        blk_off: int,
+        new_slot: RangeSlot,
+    ) -> None:
+        """Insert one range into the stage area (two-level replacement).
+
+        Implements the Fig. 8 heuristic: Rule 3 binds a block's ranges to
+        one physical block; when that block is full we FIFO-replace inside
+        it if it is the set's LRU (or the two-level policy is disabled),
+        and otherwise allocate a fresh physical block via a block-level
+        replacement, regrouping the data block's existing ranges into it.
+        """
+        set_index = self.stage.set_index_of(super_id)
+        bound = self.stage.lookup_block(super_id, blk_off)
+        if bound is not None:
+            way, entry = bound
+            if entry.free_slot() is not None:
+                self.stage.insert_range(set_index, way, new_slot)
+                self.stage.touch(set_index, way)
+                return
+            owns_whole_block = len(entry.slots_of_block(blk_off)) >= len(entry.slots)
+            if (
+                not self.config.two_level_replacement
+                or self.stage.is_lru(set_index, way)
+                or owns_whole_block
+            ):
+                self._sub_block_replace(now, set_index, way, super_id)
+                self.stage.insert_range(set_index, way, new_slot)
+                self.stage.touch(set_index, way)
+                return
+            # Block-level move: free a way, regroup this data block there.
+            self._block_level_replace(now, set_index, protect_way=way)
+            allocated = self.stage.allocate(super_id)
+            if allocated is None:
+                raise SimulationError("block-level replacement freed no way")
+            _, new_way = allocated
+            moved = 0
+            for slot_idx in list(
+                self.stage.entry(set_index, way).slots_of_block(blk_off)
+            ):
+                slot = self.stage.remove_slot(set_index, way, slot_idx)
+                self.stage.insert_range(set_index, new_way, slot)
+                moved += 1
+            if not self.stage.entry(set_index, way).occupancy():
+                self.stage.invalidate(set_index, way)
+            # Fast-to-fast regrouping traffic.
+            move_bytes = moved * self.geometry.sub_block_size
+            self.devices.fast.read(now, move_bytes, demand=False)
+            self.devices.fast.write(now, move_bytes)
+            self.stats.inc("stage_regroup_moves")
+            self.stage.insert_range(set_index, new_way, new_slot)
+            self.stage.touch(set_index, new_way)
+            return
+
+        candidates = self.stage.lookup_super(super_id)
+        if not self.config.share_physical_blocks:
+            # Traditional sub-blocking: a physical block serves one logical
+            # block only, so other blocks' stage ways are not candidates.
+            candidates = []
+        with_room = [(w, e) for w, e in candidates if e.free_slot() is not None]
+        if with_room:
+            way, _ = self._rng.choice(with_room)
+            if len(candidates) > 1:
+                self.stats.inc("multi_block_super_stages")
+            self.stage.insert_range(set_index, way, new_slot)
+            self.stage.touch(set_index, way)
+            return
+        if candidates:
+            lru_full = [
+                w for w, _ in candidates if self.stage.is_lru(set_index, w)
+            ]
+            if lru_full or not self.config.two_level_replacement:
+                way = lru_full[0] if lru_full else self._rng.choice(candidates)[0]
+                self._sub_block_replace(now, set_index, way, super_id)
+                self.stage.insert_range(set_index, way, new_slot)
+                self.stage.touch(set_index, way)
+                return
+            self._block_level_replace(now, set_index)
+            allocated = self.stage.allocate(super_id)
+            if allocated is None:
+                raise SimulationError("block-level replacement freed no way")
+            _, way = allocated
+            self.stage.insert_range(set_index, way, new_slot)
+            self.stage.touch(set_index, way)
+            return
+
+        allocated = self.stage.allocate(super_id)
+        if allocated is None:
+            self._block_level_replace(now, set_index)
+            allocated = self.stage.allocate(super_id)
+            if allocated is None:
+                raise SimulationError("stage allocation failed after replacement")
+        _, way = allocated
+        self.stage.insert_range(set_index, way, new_slot)
+        self.stage.touch(set_index, way)
+
+    def _sub_block_replace(
+        self, now: float, set_index: int, way: int, super_id: int
+    ) -> None:
+        """FIFO-evict one range from a full stage block to slow memory."""
+        slot_idx = self.stage.fifo_victim_slot(set_index, way)
+        slot = self.stage.remove_slot(set_index, way, slot_idx)
+        self._writeback_stage_slot(now, set_index, super_id, slot)
+        self.stats.inc("sub_block_replacements")
+
+    def _writeback_stage_slot(
+        self, now: float, set_index: int, super_id: int, slot: RangeSlot
+    ) -> None:
+        """Evict one staged range back to slow memory.
+
+        Clean data are dropped (the slow copy is intact in both schemes —
+        staged data are copies until committed); dirty data are written,
+        compressed when the optimization is on, and leave CF hints.
+        """
+        if slot.zero:
+            return
+        block_id = (
+            super_id * self.geometry.super_block_blocks + slot.blk_off
+        )
+        if slot.dirty:
+            if self.config.compressed_writeback:
+                nbytes = self.geometry.sub_block_size
+                self._record_hint(block_id, slot)
+            else:
+                nbytes = slot.cf * self.geometry.sub_block_size
+            self.devices.fast.read(now, nbytes, demand=False)
+            self.devices.slow.write(now, nbytes)
+            self.stats.inc("stage_dirty_writebacks")
+
+    def _record_hint(self, block_id: int, slot: RangeSlot) -> None:
+        cf2, cf4, zero = self._cf_hints.get(block_id, (0, 0, False))
+        if slot.cf == 2:
+            cf2 |= 1 << (slot.sub_start // 2)
+        elif slot.cf == 4:
+            cf4 |= 1 << (slot.sub_start // 4)
+        self._cf_hints[block_id] = (cf2, cf4, zero)
+
+    # ------------------------------------------------- block-level replacement
+    def _block_level_replace(
+        self, now: float, set_index: int, protect_way: Optional[int] = None
+    ) -> None:
+        """Evict or commit the stage set's LRU block (selective commit)."""
+        victim_way = self.stage.lru_way(set_index)
+        if victim_way is None:
+            raise SimulationError("block-level replacement on an empty set")
+        if victim_way == protect_way:
+            # The LRU way is the one we must keep: take the next-LRU.
+            ranked = sorted(
+                (
+                    (self.stage.entry(set_index, w).lru, w)
+                    for w in range(self.stage.ways)
+                    if self.stage.entry(set_index, w).valid and w != protect_way
+                ),
+            )
+            if not ranked:
+                raise SimulationError("no replaceable stage way")
+            victim_way = ranked[0][1]
+        entry = self.stage.entry(set_index, victim_way)
+        super_id = self.stage.mapper.super_block_of(set_index, entry.tag)
+        fa_set = self.fast_area.set_of_super(super_id)
+        target_way, prospective = self._peek_commit_victim(fa_set)
+        if prospective is None:
+            # Displacing a resident home block swaps all of its sub-blocks.
+            is_home = self._home_block_of(fa_set, target_way) is not None
+            dirty_area = self.geometry.sub_blocks_per_block if is_home else 0
+        elif target_way < self._flat_ways:
+            # Flat area: every sub-block is swapped regardless of dirtiness.
+            dirty_area = sum(
+                self.remap_table.get(
+                    prospective.super_id * self.geometry.super_block_blocks + off
+                ).dirty_like_count()
+                for off in prospective.committed
+            )
+        else:
+            dirty_area = prospective.dirty_count()
+        decision = self.policy.decide(
+            mru_miss_cnt=self.stage.mru_miss_cnt[set_index],
+            associativity=self.stage.ways,
+            victim_miss_cnt=entry.miss_count,
+            dirty_stage=entry.dirty_sub_block_count(),
+            dirty_area=dirty_area,
+        )
+        if decision.commit:
+            self._commit_stage_block(now, set_index, victim_way, super_id)
+        else:
+            self._evict_stage_block(now, set_index, victim_way, super_id)
+        self.stats.inc("block_level_replacements")
+
+    def _evict_stage_block(
+        self, now: float, set_index: int, way: int, super_id: int
+    ) -> None:
+        """Put a stage victim back to slow memory (not committed)."""
+        entry = self.stage.entry(set_index, way)
+        blocks = entry.blocks_present()
+        for slot in entry.slots:
+            if slot is not None:
+                self._writeback_stage_slot(now, set_index, super_id, slot)
+        self.stage.invalidate(set_index, way)
+        self.stats.inc("stage_evictions")
+        if self.tracker is not None:
+            base = super_id * self.geometry.super_block_blocks
+            for blk_off in blocks:
+                self.tracker.block_unstaged(base + blk_off, committed=False)
+
+    # --------------------------------------------------------------- commit
+    def _commit_stage_block(
+        self, now: float, set_index: int, way: int, super_id: int
+    ) -> None:
+        """Promote a stage block into the cache/flat area (Rule 4 freeze)."""
+        entry = self.stage.entry(set_index, way)
+        fa_set = self.fast_area.set_of_super(super_id)
+        target_way, occupant = self._commit_victim_way(fa_set)
+        if occupant is not None:
+            self._evict_fast_block(now, fa_set, target_way, for_commit=True)
+        displaced = self._displace_home(now, fa_set, target_way)
+
+        base = super_id * self.geometry.super_block_blocks
+        state = FastBlockState(super_id=super_id, displaced_home=displaced)
+        for blk_off in entry.blocks_present():
+            block_id = base + blk_off
+            remap, cf2, cf4, zero, dirties = self._slots_to_remap(entry, blk_off)
+            new_entry = RemapEntry(
+                remap=remap, pointer=target_way, cf2=cf2, cf4=cf4, zero=zero,
+                num_subs=self.geometry.sub_blocks_per_block,
+            )
+            self.remap_table.set(block_id, new_entry)
+            self._cf_hints.pop(block_id, None)
+            state.committed[blk_off] = new_entry.occupied_slots()
+            state.slots_used += new_entry.occupied_slots()
+            for sub in dirties:
+                state.dirty_subs.add((blk_off, sub))
+            if self.tracker is not None:
+                self.tracker.block_unstaged(block_id, committed=True)
+        self.fast_area.install(fa_set, target_way, state)
+        # Commit data movement: stage block -> cache/flat area block.
+        move = state.slots_used * self.geometry.sub_block_size
+        if move:
+            self.devices.fast.read(now, move, demand=False)
+            self.devices.fast.write(now, move)
+        self.stage.invalidate(set_index, way)
+        self.stats.inc("commits")
+
+    def _slots_to_remap(
+        self, entry: StageTagEntry, blk_off: int
+    ) -> Tuple[int, int, int, bool, List[int]]:
+        """Translate a block's stage slots into remap-entry fields."""
+        n = self.geometry.sub_blocks_per_block
+        remap, cf2, cf4 = 0, 0, 0
+        zero = False
+        dirties: List[int] = []
+        for slot in entry.slots:
+            if slot is None or slot.blk_off != blk_off:
+                continue
+            if slot.zero:
+                zero = True
+                remap = (1 << n) - 1
+                if slot.dirty:
+                    dirties.extend(range(n))
+                continue
+            for sub in slot.sub_blocks:
+                remap |= 1 << sub
+                if slot.dirty:
+                    dirties.append(sub)
+            if slot.cf == 2:
+                cf2 |= 1 << (slot.sub_start // 2)
+            elif slot.cf == 4:
+                cf4 |= 1 << (slot.sub_start // 4)
+        if zero:
+            cf2, cf4 = 0, 0
+        return remap, cf2, cf4, zero, dirties
+
+    def _displace_home(self, now: float, fa_set: int, way: int) -> Optional[int]:
+        """Flat scheme: spread-swap the home block out of a flat way.
+
+        When the home is already displaced (the previous occupant was just
+        slow-swapped away for this commit), only the bookkeeping carries
+        over — the data already sit in slow memory.
+        """
+        home = self._home_block_of(fa_set, way)
+        if home is None:
+            return None
+        if home in self._displaced:
+            return home
+        # Spread the original 2 kB into the freed slow sub-block spaces.
+        size = self.geometry.block_size
+        self.devices.fast.read(now, size, demand=False)
+        self.devices.slow.write(now, size)
+        self._displaced[home] = (fa_set, way)
+        self.stats.inc("home_displacements")
+        return home
+
+    def _home_displaced_at(self, fa_set: int, way: int) -> Optional[int]:
+        home = self._home_block_of(fa_set, way)
+        if home is not None and self._displaced.get(home) == (fa_set, way):
+            return home
+        return None
+
+    def _restore_home(self, now: float, fa_set: int, way: int) -> None:
+        """Flat scheme: bring a displaced home block back to its space."""
+        home = self._home_displaced_at(fa_set, way)
+        if home is None:
+            return
+        size = self.geometry.block_size
+        self.devices.slow.read(now, size, demand=False)
+        self.devices.fast.write(now, size)
+        del self._displaced[home]
+        self.stats.inc("home_restores")
+
+    # -------------------------------------------------------------- eviction
+    def _evict_fast_block(
+        self, now: float, set_index: int, way: int, for_commit: bool = False
+    ) -> None:
+        """Evict one committed physical block entirely.
+
+        Cache scheme: write back dirty data, drop the clean copies.
+        Flat scheme: all committed data return to their original slow
+        locations (migration undo). When the eviction makes room for a new
+        commit (``for_commit``), the displaced home block *stays* in slow
+        memory — its spread content is only shuffled into the just-vacated
+        sub-block spaces (the three-way slow swap, Sec. III-F). Otherwise
+        the home block is restored to its space.
+        """
+        state = self.fast_area.state(set_index, way)
+        if state is None:
+            return
+        base = state.super_id * self.geometry.super_block_blocks
+        is_flat_way = way < self._flat_ways
+        g = self.geometry
+        for blk_off, slots in state.committed.items():
+            block_id = base + blk_off
+            entry = self.remap_table.get(block_id)
+            if is_flat_way:
+                # Migrated data must all go back (slow swap step 2).
+                nbytes = (
+                    slots * g.sub_block_size
+                    if self.config.compressed_writeback
+                    else entry.dirty_like_count() * g.sub_block_size
+                )
+                if nbytes:
+                    self.devices.fast.read(now, nbytes, demand=False)
+                    self.devices.slow.write(now, nbytes)
+            else:
+                dirty_subs = {
+                    s for b, s in state.dirty_subs if b == blk_off
+                }
+                if dirty_subs:
+                    if self.config.compressed_writeback:
+                        dirty_ranges = {
+                            entry.range_of(s) for s in dirty_subs
+                        } - {None}
+                        nbytes = len(dirty_ranges) * g.sub_block_size
+                    else:
+                        nbytes = len(dirty_subs) * g.sub_block_size
+                    self.devices.fast.read(now, nbytes, demand=False)
+                    self.devices.slow.write(now, nbytes)
+                    self.stats.inc("commit_dirty_writebacks")
+            if self.config.compressed_writeback and not entry.zero:
+                self._cf_hints[block_id] = (entry.cf2, entry.cf4, False)
+            self.remap_table.clear(block_id)
+        if is_flat_way and self._home_displaced_at(set_index, way) is not None:
+            if for_commit:
+                # Slow swap step 1: shuffle the spread original content
+                # into the spaces just vacated; the home stays displaced
+                # because a new block commits into its space right away.
+                self.devices.slow.read(now, g.block_size, demand=False)
+                self.devices.slow.write(now, g.block_size)
+                self.stats.inc("slow_swaps")
+            else:
+                self._restore_home(now, set_index, way)
+        self.fast_area.remove(set_index, way)
+        self.stats.inc("fast_block_evictions")
+
+    def _evict_committed_range(
+        self, now: float, super_id: int, block_id: int, blk_off: int, start: int, cf: int
+    ) -> None:
+        """Evict only the last range of a committed block (overflow case)."""
+        located = self.fast_area.find_block(super_id, blk_off)
+        if located is None:
+            return
+        way, state = located
+        entry = self.remap_table.get(block_id)
+        remap = entry.remap
+        cf2, cf4 = entry.cf2, entry.cf4
+        for sub in range(start, start + cf):
+            remap &= ~(1 << sub)
+            state.dirty_subs.discard((blk_off, sub))
+        if cf == 2:
+            cf2 &= ~(1 << (start // 2))
+        elif cf == 4:
+            cf4 &= ~(1 << (start // 4))
+        nbytes = self.geometry.sub_block_size * (
+            1 if self.config.compressed_writeback else cf
+        )
+        self.devices.fast.read(now, nbytes, demand=False)
+        self.devices.slow.write(now, nbytes)
+        new_entry = RemapEntry(
+            remap=remap, pointer=way, cf2=cf2, cf4=cf4,
+            num_subs=self.geometry.sub_blocks_per_block,
+        )
+        self.remap_table.set(block_id, new_entry)
+        state.committed[blk_off] = new_entry.occupied_slots()
+        state.slots_used -= 1
+        if new_entry.remap == 0:
+            state.committed.pop(blk_off, None)
+            if not state.committed:
+                set_index = self.fast_area.set_of_super(super_id)
+                self._restore_home(now, set_index, way)
+                self.fast_area.remove(set_index, way)
+        self.stats.inc("committed_range_evictions")
+
+    def _evict_committed_logical_block(
+        self, now: float, super_id: int, block_id: int, blk_off: int
+    ) -> None:
+        """Evict one whole logical block's committed data (zero-break)."""
+        located = self.fast_area.find_block(super_id, blk_off)
+        if located is None:
+            return
+        way, state = located
+        entry = self.remap_table.get(block_id)
+        if not entry.zero:
+            nbytes = entry.occupied_slots() * self.geometry.sub_block_size
+            if nbytes:
+                self.devices.fast.read(now, nbytes, demand=False)
+                self.devices.slow.write(now, nbytes)
+        self.remap_table.clear(block_id)
+        state.slots_used -= state.committed.pop(blk_off, 0)
+        state.dirty_subs = {
+            (b, s) for (b, s) in state.dirty_subs if b != blk_off
+        }
+        if not state.committed:
+            set_index = self.fast_area.set_of_super(super_id)
+            self._restore_home(now, set_index, way)
+            self.fast_area.remove(set_index, way)
+
+    # ------------------------------------------------------- no-stage path
+    def _no_stage_miss(
+        self,
+        now: float,
+        meta: float,
+        super_id: int,
+        block_id: int,
+        blk_off: int,
+        sub_idx: int,
+        line_idx: int,
+        is_write: bool,
+    ) -> AccessResult:
+        """Fig. 13(c) ablation: no stage area.
+
+        Every fetched range goes straight into the committed area. Because
+        the compact remap format is sorted and dense, each insertion into
+        an existing physical block re-sorts the whole block layout: a full
+        fast-memory read + write of the block, on top of the slow fetch.
+        """
+        g = self.geometry
+        entry = self.remap_table.get(block_id)
+        start, cf, compressed = self._choose_fetch_range(block_id, blk_off, sub_idx)
+        # Never refetch sub-blocks the block already holds in fast memory.
+        while cf > 1 and any(
+            entry.sub_block_remapped(s) for s in range(start, start + cf)
+        ):
+            cf //= 2
+            start, _ = g.aligned_range(sub_idx, cf)
+            compressed = False
+        demand_bytes = self._demand_bytes(cf) if compressed else g.cacheline_size
+        demand = self.devices.slow.read(now, demand_bytes, demand=True)
+        latency = meta + demand.total_cycles
+        prefetched: List[int] = []
+        if compressed:
+            latency += self.config.compression.decompression_latency_cycles
+            prefetched = self._chunk_lines(block_id, start, cf, sub_idx, line_idx)
+            fetch_bytes = g.sub_block_size
+        else:
+            fetch_bytes = cf * g.sub_block_size
+        rest = max(0, fetch_bytes - demand_bytes)
+        if rest:
+            self.devices.slow.read(now, rest, demand=False)
+
+        fa_set = self.fast_area.set_of_super(super_id)
+        if entry.is_remapped:
+            # Rule 3: the block's data already live at entry.pointer.
+            located = self.fast_area.find_block(super_id, blk_off)
+            if located is None:
+                raise SimulationError("remapped block missing from fast area")
+            way, state = located
+            if state.slots_used >= g.sub_blocks_per_block:
+                # No room in the frozen layout: evict the physical block
+                # and start this logical block over in a fresh space.
+                self._evict_fast_block(now, fa_set, way)
+                entry = self.remap_table.get(block_id)
+                located = None
+        else:
+            located = None
+        if entry.is_remapped and located is not None:
+            way, state = located
+        else:
+            way, occupant = self._commit_victim_way(fa_set)
+            if occupant is not None:
+                self._evict_fast_block(now, fa_set, way, for_commit=True)
+            displaced = self._displace_home(now, fa_set, way)
+            state = FastBlockState(super_id=super_id, displaced_home=displaced)
+            self.fast_area.install(fa_set, way, state)
+        # Re-sort penalty: rewrite the whole physical block layout.
+        resort = state.slots_used * g.sub_block_size
+        if resort:
+            self.devices.fast.read(now, resort, demand=False)
+            self.devices.fast.write(now, resort)
+            self.stats.inc("layout_resorts")
+        self.devices.fast.write(now, g.sub_block_size)
+
+        remap, cf2, cf4 = entry.remap, entry.cf2, entry.cf4
+        if entry.remap == 0:
+            cf2, cf4 = 0, 0  # drop hint state when materializing
+        for sub in range(start, start + cf):
+            remap |= 1 << sub
+        if cf == 2:
+            cf2 |= 1 << (start // 2)
+        elif cf == 4:
+            cf4 |= 1 << (start // 4)
+        self.remap_table.set(
+            block_id,
+            RemapEntry(
+                remap=remap, pointer=way, cf2=cf2, cf4=cf4,
+                num_subs=self.geometry.sub_blocks_per_block,
+            ),
+        )
+        state.committed[blk_off] = state.committed.get(blk_off, 0) + 1
+        state.slots_used += 1
+        if is_write:
+            state.dirty_subs.add((blk_off, sub_idx))
+            self.oracle.note_write(block_id, sub_idx)
+        self.fast_area.touch(fa_set, way)
+        return AccessResult(AccessCase.BLOCK_MISS, latency, is_write, False, prefetched)
+
+    # ------------------------------------------------------------ reporting
+    def serve_rate(self) -> float:
+        accesses = self.stats.get("accesses")
+        return self.stats.get("served_fast") / accesses if accesses else 0.0
+
+    def storage_report(self) -> Dict[str, int]:
+        """On-chip/off-chip metadata budgets (Table I / Sec. III-B claims)."""
+        return {
+            "stage_tag_array_bytes": self.stage.storage_bytes(),
+            "remap_cache_bytes": self.remap_cache.storage_bytes(),
+            "remap_table_bytes": self.config.remap_table_bytes(),
+        }

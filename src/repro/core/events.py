@@ -1,0 +1,52 @@
+"""Access outcome types shared by all hybrid-memory controller designs.
+
+:class:`AccessCase` names the five cases of Baryon's access flow (Fig. 6)
+plus the outcomes baselines produce, so the Fig. 3 access-type breakdown
+can be computed uniformly. :class:`AccessResult` is what every controller
+returns to the system simulator for one memory-level access.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List
+
+
+class AccessCase(enum.Enum):
+    """Where an access was resolved (Fig. 6 cases, generalized)."""
+
+    STAGE_HIT = "stage_hit"  # case 1: block staged, sub-block present
+    COMMIT_HIT = "commit_hit"  # case 2: block committed, sub-block present
+    STAGE_MISS = "stage_miss"  # case 3: block staged, sub-block fetched
+    COMMIT_MISS = "commit_miss"  # case 4: committed, sub-block bypassed
+    BLOCK_MISS = "block_miss"  # case 5: block absent from fast memory
+    FAST_HOME = "fast_home"  # flat scheme: block natively in fast memory
+    SLOW_DIRECT = "slow_direct"  # served from slow with no staging path
+
+    @property
+    def is_fast(self) -> bool:
+        """Did the demanded data come from the fast memory?"""
+        return self in (AccessCase.STAGE_HIT, AccessCase.COMMIT_HIT, AccessCase.FAST_HOME)
+
+
+@dataclass
+class AccessResult:
+    """Outcome of one 64 B memory access at the controller.
+
+    ``latency_cycles`` includes metadata lookup, device access, queueing
+    and decompression; ``prefetched_lines`` are cacheline addresses that
+    arrived for free with a compressed chunk and should be installed in the
+    LLC (Sec. III-E memory-to-LLC prefetching); ``write_overflow`` flags a
+    recompression that no longer fit its slot (Fig. 3's overflow events).
+    """
+
+    case: AccessCase
+    latency_cycles: float
+    is_write: bool = False
+    write_overflow: bool = False
+    prefetched_lines: List[int] = field(default_factory=list)
+
+    @property
+    def served_fast(self) -> bool:
+        return self.case.is_fast

@@ -1,0 +1,28 @@
+"""Memory device models: latency, channel queueing, traffic and energy.
+
+The paper models DDR4-3200 fast memory and an NVM slow memory with the
+Table I parameters. This package provides:
+
+* :class:`~repro.devices.channel.ChannelPool` — per-channel busy-until
+  queueing, the first-order contention model that makes bandwidth a real
+  resource (the crux of the slow-memory-bandwidth story);
+* :class:`~repro.devices.memory.MemoryDevice` — a device with read/write
+  latencies and a channel pool, counting traffic;
+* :class:`~repro.devices.memory.HybridMemoryDevices` — the fast+slow pair
+  every controller design drives;
+* :class:`~repro.devices.energy.EnergyModel` — pJ/bit + activate/precharge
+  accounting for the Section IV-B energy comparison.
+"""
+
+from repro.devices.channel import ChannelPool
+from repro.devices.energy import EnergyModel, EnergyReport
+from repro.devices.memory import DeviceAccess, HybridMemoryDevices, MemoryDevice
+
+__all__ = [
+    "ChannelPool",
+    "DeviceAccess",
+    "EnergyModel",
+    "EnergyReport",
+    "HybridMemoryDevices",
+    "MemoryDevice",
+]

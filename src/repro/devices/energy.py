@@ -1,0 +1,52 @@
+"""Memory-system energy accounting (Section IV-B comparison).
+
+Energy = bits moved x pJ/bit per medium, plus DRAM activate/precharge
+energy per row activation. Row activations are approximated as one per
+2 kB-block touch (the paper's blocks are DRAM-page aligned precisely so a
+block transfer is one activation), which the devices report as access
+counts. The absolute joules are not the point — the *relative* energy of
+Baryon vs the baselines tracks their traffic, which is what we reproduce.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.config import MemoryTimings
+from repro.devices.memory import MemoryDevice
+
+
+@dataclass(frozen=True)
+class EnergyReport:
+    """Joules spent per medium plus the total."""
+
+    fast_dynamic_j: float
+    fast_act_pre_j: float
+    slow_dynamic_j: float
+
+    @property
+    def total_j(self) -> float:
+        return self.fast_dynamic_j + self.fast_act_pre_j + self.slow_dynamic_j
+
+
+class EnergyModel:
+    """Translate device traffic counters into joules using Table I numbers."""
+
+    def __init__(self, timings: MemoryTimings | None = None) -> None:
+        self.timings = timings or MemoryTimings()
+
+    def report(self, fast: MemoryDevice, slow: MemoryDevice) -> EnergyReport:
+        t = self.timings
+        pj = 1e-12
+        fast_dynamic = (
+            fast.stats.get("read_bytes") * 8 * t.fast_read_pj_per_bit
+            + fast.stats.get("write_bytes") * 8 * t.fast_write_pj_per_bit
+        ) * pj
+        fast_act = (
+            (fast.stats.get("reads") + fast.stats.get("writes")) * t.fast_act_pre_pj * pj
+        )
+        slow_dynamic = (
+            slow.stats.get("read_bytes") * 8 * t.slow_read_pj_per_bit
+            + slow.stats.get("write_bytes") * 8 * t.slow_write_pj_per_bit
+        ) * pj
+        return EnergyReport(fast_dynamic, fast_act, slow_dynamic)

@@ -1,0 +1,141 @@
+"""Fast/slow memory device models built on the channel pool.
+
+:class:`MemoryDevice` combines a fixed array-access latency with queued
+channel transfers and traffic counters. :class:`HybridMemoryDevices` is the
+pair every hybrid-memory controller design in this repository drives; it is
+deliberately dumb — placement, remapping and migration policy all live in
+the controllers, mirroring the paper's split between the memory media and
+the (modified) memory controller.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.config import MemoryTimings
+from repro.common.stats import CounterGroup
+
+
+@dataclass(frozen=True)
+class DeviceAccess:
+    """Timing outcome of one device access."""
+
+    latency_cycles: float
+    queue_cycles: float
+    transfer_cycles: float
+
+    @property
+    def total_cycles(self) -> float:
+        return self.latency_cycles + self.queue_cycles + self.transfer_cycles
+
+
+class MemoryDevice:
+    """One memory medium: fixed access latency + queued channels + counters.
+
+    ``critical`` transfers (demand reads) and background transfers (fills,
+    writebacks, migrations) share the channels — background traffic delays
+    demand reads, which is how bandwidth bloat turns into lost performance.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        read_latency: float,
+        write_latency: float,
+        channels: int,
+        cycles_per_byte: float,
+        row_buffer: "RowBufferModel | None" = None,
+    ) -> None:
+        from repro.devices.channel import ChannelPool
+
+        self.name = name
+        self.read_latency = read_latency
+        self.write_latency = write_latency
+        self.pool = ChannelPool(channels, cycles_per_byte)
+        #: Optional open-page bank model (DRAM): when present, the array
+        #: latency comes from row-buffer hit/miss state instead of the
+        #: fixed ``read_latency``/``write_latency``, and activation counts
+        #: feed the ACT/PRE energy term.
+        self.row_buffer = row_buffer
+        self.stats = CounterGroup(name)
+
+    def _array_latency(self, addr: int | None, base: float) -> float:
+        if self.row_buffer is None or addr is None:
+            return base
+        return self.row_buffer.access(addr)
+
+    def read(
+        self, now: float, nbytes: int, *, demand: bool = True, addr: int | None = None
+    ) -> DeviceAccess:
+        """Read ``nbytes``; demand reads are the latency-critical ones and
+        are prioritized by the channel scheduler (FR-FCFS-style).
+
+        ``addr`` enables the row-buffer model when one is attached; calls
+        without an address fall back to the fixed array latency.
+        """
+        queue, transfer = self.pool.transfer(now, nbytes, priority=demand)
+        self.stats.inc("read_bytes", nbytes)
+        self.stats.inc("reads")
+        self.stats.inc("demand_read_bytes" if demand else "fill_read_bytes", nbytes)
+        return DeviceAccess(self._array_latency(addr, self.read_latency), queue, transfer)
+
+    def write(self, now: float, nbytes: int, addr: int | None = None) -> DeviceAccess:
+        """Write ``nbytes``; writes are posted (off the critical path) but
+        still occupy channel bandwidth."""
+        queue, transfer = self.pool.transfer(now, nbytes)
+        self.stats.inc("write_bytes", nbytes)
+        self.stats.inc("writes")
+        return DeviceAccess(self._array_latency(addr, self.write_latency), queue, transfer)
+
+    @property
+    def total_bytes(self) -> int:
+        return self.stats.get("read_bytes") + self.stats.get("write_bytes")
+
+    def reset(self) -> None:
+        self.pool.reset()
+        self.stats.reset()
+
+
+class HybridMemoryDevices:
+    """The DDR4 + NVM pair of Table I.
+
+    Constructed from :class:`~repro.common.config.MemoryTimings`; exposes
+    ``fast`` and ``slow`` :class:`MemoryDevice` objects and convenience
+    traffic totals used by the bandwidth-bloat metric of Fig. 11.
+    """
+
+    def __init__(self, timings: MemoryTimings | None = None) -> None:
+        from repro.devices.rowbuffer import RowBufferModel
+
+        self.timings = timings or MemoryTimings()
+        t = self.timings
+        fast_rows = (
+            RowBufferModel(channels=t.fast_channels, banks_per_channel=16)
+            if t.model_row_buffer
+            else None
+        )
+        self.fast = MemoryDevice(
+            "fast",
+            read_latency=t.fast_read_latency_cycles,
+            write_latency=t.fast_write_latency_cycles,
+            channels=t.fast_channels,
+            cycles_per_byte=t.fast_cycles_per_byte() / 1.0,
+            row_buffer=fast_rows,
+        )
+        self.slow = MemoryDevice(
+            "slow",
+            read_latency=t.slow_read_latency_cycles,
+            write_latency=t.slow_write_latency_cycles,
+            channels=t.slow_channels,
+            cycles_per_byte=t.slow_cycles_per_byte() / 1.0,
+        )
+
+    def fast_traffic_bytes(self) -> int:
+        return self.fast.total_bytes
+
+    def slow_traffic_bytes(self) -> int:
+        return self.slow.total_bytes
+
+    def reset(self) -> None:
+        self.fast.reset()
+        self.slow.reset()

@@ -1,0 +1,40 @@
+"""Baryon's dual-format metadata scheme (Sec. III-C, Fig. 5).
+
+Two formats with opposite trade-offs:
+
+* :class:`~repro.metadata.stage_tag.StageTagEntry` — the flexible 14 B
+  (108-bit) format of the on-chip stage tag array: one entry per stage-area
+  physical block, eight 8-bit range slots that can hold compressed ranges
+  from *any* block of one super-block (Rules 1-2), plus LRU/FIFO/MissCnt
+  replacement state;
+* :class:`~repro.metadata.remap.RemapEntry` — the compact 2 B format of the
+  off-chip remap table: one entry per logical block, a Remap bitmap, a
+  single Pointer (Rule 3) and CF2/CF4 range bits describing a *sorted,
+  frozen* layout (Rule 4) whose slot positions are recomputed by prefix
+  sums rather than stored.
+
+Both encode/decode to exact bit widths so the paper's storage numbers
+(448 kB stage tag array, 0.1% remap table overhead) are asserted, not
+assumed. :class:`~repro.metadata.remap_cache.RemapCache` models the 32 kB
+on-chip cache of remap entries at super-block-line granularity.
+"""
+
+from repro.metadata.remap import (
+    RemapEntry,
+    RemapTable,
+    block_occupied_slots,
+    locate_sub_block,
+)
+from repro.metadata.remap_cache import RemapCache
+from repro.metadata.stage_tag import RangeSlot, StageTagArray, StageTagEntry
+
+__all__ = [
+    "RangeSlot",
+    "RemapCache",
+    "RemapEntry",
+    "RemapTable",
+    "StageTagArray",
+    "StageTagEntry",
+    "block_occupied_slots",
+    "locate_sub_block",
+]

@@ -1,0 +1,124 @@
+"""The system simulator: drive a trace through caches into a controller."""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.cache.hierarchy import CacheHierarchy
+from repro.common.config import SimulationConfig
+from repro.devices.energy import EnergyModel
+from repro.sim.results import SimResult
+
+
+class SystemSimulator:
+    """Runs one (controller, trace) pair and produces a :class:`SimResult`.
+
+    The controller is any object with the
+    ``access(addr, is_write, now) -> AccessResult`` duck type (Baryon or a
+    baseline). A fresh :class:`~repro.cache.hierarchy.CacheHierarchy` is
+    built per simulator unless one is injected.
+    """
+
+    def __init__(
+        self,
+        controller,
+        config: Optional[SimulationConfig] = None,
+        hierarchy: Optional[CacheHierarchy] = None,
+    ) -> None:
+        self.controller = controller
+        self.config = config or SimulationConfig()
+        self.hierarchy = hierarchy or CacheHierarchy(self.config.hierarchy)
+        self.cycles = 0.0
+        self.instructions = 0
+
+    def run(self, trace, name: str = "", design: str = "") -> SimResult:
+        """Simulate the whole trace; measure after the warmup fraction."""
+        n = len(trace)
+        warmup_end = int(n * self.config.warmup_fraction)
+        mark: Optional[Dict[str, float]] = None
+
+        addrs = trace.addrs
+        writes = trace.writes
+        igaps = trace.igaps
+        cores = trace.cores
+        mlp = self.config.memory_level_parallelism
+        base_cpi = self.config.base_cpi
+        # The trace interleaves all cores' streams: wall-clock compute
+        # time per access is the per-thread time over the core count.
+        threads = max(1, self.config.hierarchy.cores)
+
+        for i in range(n):
+            if i == warmup_end:
+                mark = self._snapshot()
+            gap = int(igaps[i])
+            self.instructions += gap + 1
+            self.cycles += gap * base_cpi / threads
+
+            addr = int(addrs[i])
+            is_write = bool(writes[i])
+            result = self.hierarchy.access(addr, is_write, int(cores[i]))
+            self.cycles += result.latency_cycles / threads
+            if result.llc_miss:
+                mem = self.controller.access(addr, is_write, self.cycles)
+                if not is_write:
+                    # Writes are posted; only read latency stalls the core.
+                    self.cycles += mem.latency_cycles / mlp
+                for line_addr in mem.prefetched_lines:
+                    for wb in self.hierarchy.install_llc(line_addr):
+                        self.controller.access(wb, True, self.cycles)
+            for wb in result.writebacks:
+                self.controller.access(wb, True, self.cycles)
+
+        if mark is None:
+            mark = self._snapshot() if n == 0 else mark
+        end = self._snapshot()
+        assert mark is not None or warmup_end == 0
+        if mark is None:
+            mark = {k: 0.0 for k in end}
+        ctrl_stats = self.controller.stats
+        cases = {
+            key[len("case_"):]: int(end.get(key, 0) - mark.get(key, 0))
+            for key in end
+            if key.startswith("case_")
+        }
+        energy = EnergyModel(self.controller.devices.timings).report(
+            self.controller.devices.fast, self.controller.devices.slow
+        )
+        return SimResult(
+            name=name or getattr(trace, "name", ""),
+            design=design or getattr(self.controller, "name", type(self.controller).__name__),
+            instructions=int(end["instructions"] - mark["instructions"]),
+            cycles=end["cycles"] - mark["cycles"],
+            memory_accesses=int(end["mem_accesses"] - mark["mem_accesses"]),
+            llc_misses=int(end["llc_misses"] - mark["llc_misses"]),
+            served_fast=int(end["served_fast"] - mark["served_fast"]),
+            fast_traffic_bytes=int(end["fast_bytes"] - mark["fast_bytes"]),
+            slow_traffic_bytes=int(end["slow_bytes"] - mark["slow_bytes"]),
+            useful_bytes=int(end["useful_bytes"] - mark["useful_bytes"]),
+            case_counts=cases,
+            energy=energy,
+            extra={
+                "llc_miss_rate": self.hierarchy.llc_miss_rate,
+                "ctrl_commits": float(ctrl_stats.get("commits")),
+            },
+        )
+
+    def _snapshot(self) -> Dict[str, float]:
+        devices = self.controller.devices
+        stats = self.controller.stats
+        snap: Dict[str, float] = {
+            "instructions": float(self.instructions),
+            "cycles": self.cycles,
+            "mem_accesses": float(stats.get("accesses")),
+            "served_fast": float(stats.get("served_fast")),
+            "fast_bytes": float(devices.fast.total_bytes),
+            "slow_bytes": float(devices.slow.total_bytes),
+            "llc_misses": float(self.hierarchy.llc.stats.get("misses")),
+            "useful_bytes": float(
+                self.hierarchy.llc.stats.get("misses") * 64
+            ),
+        }
+        for key, value in stats.as_dict().items():
+            if key.startswith("case_"):
+                snap[key] = float(value)
+        return snap

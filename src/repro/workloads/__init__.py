@@ -1,0 +1,54 @@
+"""Workload generators: the memory behaviour of the paper's benchmarks.
+
+The paper evaluates SPEC CPU2017 (rate mode, 16 copies), GAP graph
+algorithms on real-world graphs, OneDNN neural-network inference and
+memcached/YCSB. We cannot run those binaries here, so each workload is
+reproduced as a *trace generator* that mimics its memory behaviour — the
+properties the memory system actually sees:
+
+* footprint relative to fast-memory capacity,
+* spatial locality (sub-block footprints) and temporal reuse,
+* read/write mix,
+* data compressibility (attached as per-region profiles consumed by the
+  shared :class:`~repro.compression.synthetic.SyntheticCompressibility`
+  oracle).
+
+The registry in :mod:`repro.workloads.suite` lists the full proxy suite
+and builds consistently scaled (workload, system) pairs.
+"""
+
+from repro.workloads.base import Trace, TraceBuilder, TraceGenerator, WorkloadSpec
+from repro.workloads.datagen import ContentBackedCompressibility, ContentStore
+from repro.workloads.dnn import DnnInferenceWorkload
+from repro.workloads.gap import GraphWorkload
+from repro.workloads.spec import SpecProxyWorkload
+from repro.workloads.suite import WORKLOADS, build_workload, scaled_system
+from repro.workloads.synthetic import (
+    PointerChaseWorkload,
+    RandomWorkload,
+    StencilWorkload,
+    StreamWorkload,
+    ZipfWorkload,
+)
+from repro.workloads.ycsb import YcsbWorkload
+
+__all__ = [
+    "ContentBackedCompressibility",
+    "ContentStore",
+    "DnnInferenceWorkload",
+    "GraphWorkload",
+    "PointerChaseWorkload",
+    "RandomWorkload",
+    "SpecProxyWorkload",
+    "StencilWorkload",
+    "StreamWorkload",
+    "Trace",
+    "TraceBuilder",
+    "TraceGenerator",
+    "WORKLOADS",
+    "WorkloadSpec",
+    "YcsbWorkload",
+    "ZipfWorkload",
+    "build_workload",
+    "scaled_system",
+]

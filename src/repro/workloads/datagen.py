@@ -1,0 +1,146 @@
+"""Real-content data generation and the content-backed compressibility oracle.
+
+For validation and examples we can back the controller with *actual bytes*
+instead of the statistical oracle: :class:`ContentStore` lazily materializes
+block contents with controllable value patterns (zero runs, small-delta
+integers, pointers, random), and :class:`ContentBackedCompressibility`
+answers the controller's oracle interface by really running FPC/BDI over
+those bytes. This closes the loop between the synthetic profiles and the
+real algorithms — the calibration test asserts the two agree on average CF.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.common.config import Geometry
+from repro.compression.engine import CompressionEngine
+
+
+class ContentStore:
+    """Lazily generated, mutable block contents.
+
+    ``pattern`` picks the value distribution:
+
+    * ``"zeros"`` — all-zero blocks;
+    * ``"small_ints"`` — 32-bit integers near zero (FPC-friendly);
+    * ``"deltas"`` — 64-bit values around a common base (BDI-friendly);
+    * ``"text"`` — ASCII-range bytes (moderately compressible);
+    * ``"random"`` — incompressible noise.
+
+    Contents are deterministic per (block, pattern, seed) and writes
+    mutate real bytes, so recompression outcomes are genuine.
+    """
+
+    PATTERNS = ("zeros", "small_ints", "deltas", "text", "random")
+
+    def __init__(
+        self,
+        pattern: str = "deltas",
+        geometry: Optional[Geometry] = None,
+        seed: int = 1,
+    ) -> None:
+        if pattern not in self.PATTERNS:
+            raise ValueError(f"pattern must be one of {self.PATTERNS}")
+        self.pattern = pattern
+        self.geometry = geometry or Geometry()
+        self.seed = seed
+        self._blocks: Dict[int, bytearray] = {}
+        self._pattern_overrides: Dict[int, str] = {}
+
+    def set_region_pattern(self, first_block: int, last_block: int, pattern: str) -> None:
+        if pattern not in self.PATTERNS:
+            raise ValueError(f"pattern must be one of {self.PATTERNS}")
+        for block in range(first_block, last_block + 1):
+            self._pattern_overrides[block] = pattern
+
+    def block(self, block_id: int) -> bytearray:
+        data = self._blocks.get(block_id)
+        if data is None:
+            data = self._materialize(block_id)
+            self._blocks[block_id] = data
+        return data
+
+    def _materialize(self, block_id: int) -> bytearray:
+        size = self.geometry.block_size
+        pattern = self._pattern_overrides.get(block_id, self.pattern)
+        rng = np.random.default_rng((self.seed << 32) ^ block_id)
+        if pattern == "zeros":
+            return bytearray(size)
+        if pattern == "small_ints":
+            words = rng.integers(-40, 40, size // 4, dtype=np.int32)
+            return bytearray(words.astype(">i4").tobytes())
+        if pattern == "deltas":
+            base = int(rng.integers(1 << 40, 1 << 44))
+            values = base + rng.integers(-100, 100, size // 8, dtype=np.int64)
+            return bytearray(values.astype(">i8").tobytes())
+        if pattern == "text":
+            return bytearray(rng.integers(32, 110, size, dtype=np.uint8).tobytes())
+        return bytearray(rng.integers(0, 256, size, dtype=np.uint8).tobytes())
+
+    def write(self, block_id: int, offset: int, payload: bytes) -> None:
+        """Mutate real content (used to exercise write overflows)."""
+        data = self.block(block_id)
+        data[offset : offset + len(payload)] = payload
+
+    def scramble_line(self, block_id: int, offset: int, rng_seed: int = 0) -> None:
+        """Overwrite one cacheline with noise — a worst-case write."""
+        rng = np.random.default_rng(rng_seed ^ block_id ^ offset)
+        line = self.geometry.cacheline_size
+        self.write(block_id, offset, rng.integers(0, 256, line, dtype=np.uint8).tobytes())
+
+
+class ContentBackedCompressibility:
+    """The controller's oracle interface, answered by real FPC/BDI runs.
+
+    Write handling: ``note_write`` scrambles part of the written sub-block
+    with probability ``write_noise`` (modelling value changes that hurt
+    compressibility) and always reports content change so the controller
+    re-checks fit against the *actual* new bytes.
+    """
+
+    def __init__(
+        self,
+        store: Optional[ContentStore] = None,
+        engine: Optional[CompressionEngine] = None,
+        write_noise: float = 0.05,
+        seed: int = 1,
+    ) -> None:
+        self.store = store or ContentStore()
+        self.engine = engine or CompressionEngine(geometry=self.store.geometry)
+        self.write_noise = write_noise
+        self._rng = np.random.default_rng(seed)
+        self.geometry = self.store.geometry
+
+    def _range_bytes(self, block_id: int, start_sub: int, n_sub: int) -> bytes:
+        sbs = self.geometry.sub_block_size
+        data = self.store.block(block_id)
+        return bytes(data[start_sub * sbs : (start_sub + n_sub) * sbs])
+
+    def fits(
+        self, block_id: int, start_sub: int, n_sub: int, cacheline_aligned: bool = True
+    ) -> bool:
+        if n_sub == 1:
+            return True
+        data = self._range_bytes(block_id, start_sub, n_sub)
+        return self.engine.fits(data)
+
+    def is_zero(self, block_id: int, start_sub: int, n_sub: int) -> bool:
+        return self.engine.is_zero(self._range_bytes(block_id, start_sub, n_sub))
+
+    def max_cf(
+        self, block_id: int, sub_index: int, cacheline_aligned: bool = True
+    ) -> int:
+        data = bytes(self.store.block(block_id))
+        return self.engine.achievable_cf(data, sub_index)
+
+    def note_write(self, block_id: int, sub_index: int) -> bool:
+        if self._rng.random() < self.write_noise:
+            offset = sub_index * self.geometry.sub_block_size
+            self.store.scramble_line(block_id, offset, int(self._rng.integers(1 << 30)))
+        return True
+
+    def version_of(self, block_id: int) -> int:
+        return 0

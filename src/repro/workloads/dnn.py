@@ -1,0 +1,106 @@
+"""Neural-network inference proxies (OneDNN resnet50 / resnext50).
+
+Inference sweeps each layer's weights sequentially (read-only, reused
+across batches) and streams activations (read the input tensor, write the
+output tensor, ping-pong buffers). The memory system therefore sees:
+
+* large sequential read streams with strong cross-batch reuse (weights);
+* medium streams with producer-consumer reuse (activations);
+* ReLU outputs carry many zeros/small values (compressible; we tag
+  activation regions ``zero_heavy``), while fp32 weights compress less.
+
+resnext50 differs from resnet50 by more, smaller layers (grouped
+convolutions) — modelled as more layers with smaller weight tensors.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.common.errors import ConfigurationError
+from repro.workloads.base import Trace, TraceGenerator
+
+MODELS = {
+    # (number of layers, weight fraction of footprint)
+    "resnet50": (16, 0.6),
+    "resnext50": (32, 0.55),
+}
+
+
+class DnnInferenceWorkload(TraceGenerator):
+    """Layer-by-layer inference over synthetic tensor address maps."""
+
+    def __init__(self, model: str, footprint_bytes: int, seed: int = 1, **kwargs):
+        if model not in MODELS:
+            raise ConfigurationError(f"model must be one of {sorted(MODELS)}")
+        super().__init__(model, footprint_bytes, seed, **kwargs)
+        self.model = model
+        self.n_layers, weight_fraction = MODELS[model]
+        self.weight_bytes = int(footprint_bytes * weight_fraction)
+        self.act_bytes = footprint_bytes - self.weight_bytes
+
+    def _layers(self) -> List[Tuple[int, int]]:
+        """(weight_base, weight_size) per layer, geometric size taper."""
+        sizes = np.geomspace(4.0, 1.0, self.n_layers)
+        sizes = sizes / sizes.sum() * self.weight_bytes
+        out = []
+        base = 0
+        for s in sizes:
+            size = max(4096, int(s) & ~63)
+            out.append((base, size))
+            base += size
+        return out
+
+    def generate(self, n_accesses: int) -> Trace:
+        rng = self.rng
+        layers = self._layers()
+        act_base = self.weight_bytes
+        act_half = self.act_bytes // 2
+        addrs = []
+        writes = []
+        layer_idx = 0
+        while len(addrs) < n_accesses:
+            wbase, wsize = layers[layer_idx % len(layers)]
+            ping = (layer_idx % 2) * act_half
+            pong = ((layer_idx + 1) % 2) * act_half
+            # One tile of the layer: weights + input acts read, output
+            # written. Activation tensors are consumed in im2col rows, so
+            # reads/writes walk short sequential runs, not isolated lines.
+            tile = 64
+            wpos = int(rng.integers(0, max(1, wsize // 64))) * 64
+            apos_in = int(rng.integers(0, max(1, act_half // 64))) * 64
+            apos_out = int(rng.integers(0, max(1, act_half // 64))) * 64
+            for t in range(tile):
+                if len(addrs) >= n_accesses:
+                    break
+                addrs.append(self._line(wbase + (wpos + t * 64) % wsize))
+                writes.append(False)
+                if t % 2 == 0 and len(addrs) < n_accesses:
+                    addrs.append(
+                        self._line(act_base + ping + (apos_in + (t // 2) * 64) % act_half)
+                    )
+                    writes.append(False)
+                if t % 4 == 0 and len(addrs) < n_accesses:
+                    addrs.append(
+                        self._line(act_base + pong + (apos_out + (t // 4) * 64) % act_half)
+                    )
+                    writes.append(True)
+            layer_idx += 1
+        n = len(addrs)
+        trace = Trace(
+            name=self.name,
+            addrs=np.asarray(addrs, dtype=np.uint64),
+            writes=np.asarray(writes, dtype=bool),
+            igaps=rng.integers(1, 8, n, dtype=np.uint32),
+            cores=(np.arange(n) % self.cores).astype(np.uint16),
+            footprint_bytes=self.footprint_bytes,
+            default_profile="low",
+        )
+        g = self.geometry
+        weight_blocks = self.weight_bytes // g.block_size
+        total_blocks = self.footprint_bytes // g.block_size
+        trace.regions.append((0, weight_blocks, "low"))
+        trace.regions.append((weight_blocks + 1, total_blocks, "zero_heavy"))
+        return trace

@@ -1,0 +1,150 @@
+"""GAP benchmark proxies: PageRank and Connected Components.
+
+The paper runs GAP's ``pr`` and ``cc`` on the twitter and web-sk-2005
+graphs. We synthesize power-law graphs with matching structure — twitter:
+heavy-tailed hub degrees and essentially random edge destinations;
+web-sk: strong community locality (most edges stay near the source) — and
+generate the exact access pattern of a CSR pull-style iteration:
+
+    for u in nodes:            # sequential: offsets + own rank
+        for v in neigh(u):     # sequential: edge list
+            read rank[v]       # the random gather that dominates
+        write rank[u]
+
+``cc`` touches labels read-write symmetric, so it writes more.
+
+Rank/label arrays are doubles with many near-equal values (compressible);
+edge lists are delta-encoded-friendly integers (medium).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.common.errors import ConfigurationError
+from repro.workloads.base import Trace, TraceGenerator
+from repro.workloads.synthetic import _zipf_ranks
+
+GRAPHS = {
+    # (degree skew theta, edge locality: fraction of near-source targets)
+    "twitter": (1.05, 0.05),
+    "web": (0.8, 0.75),
+}
+
+
+class GraphWorkload(TraceGenerator):
+    """CSR pull-iteration access pattern over a synthetic power-law graph."""
+
+    def __init__(
+        self,
+        algorithm: str,
+        graph: str,
+        footprint_bytes: int,
+        seed: int = 1,
+        **kwargs,
+    ):
+        if algorithm not in ("pr", "cc"):
+            raise ConfigurationError("algorithm must be 'pr' or 'cc'")
+        if graph not in GRAPHS:
+            raise ConfigurationError(f"graph must be one of {sorted(GRAPHS)}")
+        super().__init__(f"{algorithm}.{graph[:3]}", footprint_bytes, seed, **kwargs)
+        self.algorithm = algorithm
+        self.graph = graph
+        # Footprint split mirrors real power-law graphs: per-vertex arrays
+        # (ranks/labels/offsets) are a small sliver next to the edge lists
+        # (twitter: ~0.5 GB of ranks vs ~30 GB of edges), so the gather
+        # target can largely reside in fast memory while edges stream.
+        self.rank_bytes = max(1 << 16, footprint_bytes // 16)
+        self.edge_bytes = footprint_bytes - self.rank_bytes
+        self.nodes = max(16, self.rank_bytes // 8)
+        self.avg_degree = max(1, self.edge_bytes // 4 // self.nodes)
+
+    def generate(self, n_accesses: int) -> Trace:
+        theta, locality = GRAPHS[self.graph]
+        rng = self.rng
+        write_fraction = 0.5 if self.algorithm == "cc" else 0.0
+
+        addrs = []
+        writes = []
+        rank_base = 0
+        edge_base = self.rank_bytes
+        # Degrees follow the hub skew; destinations are drawn lazily. Hub
+        # popularity is drawn at *rank-line group* granularity: crawl
+        # order correlates ids with degree in real web/social graphs, so
+        # hot vertices cluster within cachelines/sub-blocks of the rank
+        # array — the spatial-value locality Baryon's range fetch exploits.
+        nodes_per_group = 32  # one 256 B sub-block of 8 B ranks
+        hub_groups = max(1, self.nodes // nodes_per_group)
+        node = int(rng.integers(0, self.nodes))
+        hub_pool = _zipf_ranks(rng, hub_groups, 4096, theta)
+        hub_pos = 0
+        edge_cursor = 0
+        while len(addrs) < n_accesses:
+            # Sequential: read this node's offset/rank entry.
+            addrs.append(self._line(rank_base + (node % self.nodes) * 8))
+            writes.append(False)
+            degree = 1 + int(rng.geometric(1.0 / self.avg_degree))
+            degree = min(degree, 64)
+            for _ in range(degree):
+                if len(addrs) >= n_accesses:
+                    break
+                # Sequential edge-list read.
+                addrs.append(self._line(edge_base + (edge_cursor * 4) % self.edge_bytes))
+                writes.append(False)
+                edge_cursor += 1
+                if len(addrs) >= n_accesses:
+                    break
+                # The gather: read rank[v] for a (possibly remote) target.
+                # GAP sorts adjacency lists, so consecutive neighbours of
+                # one node walk ascending ids — short runs of nearby rank
+                # lines rather than isolated probes.
+                if rng.random() < locality:
+                    target = (node + int(rng.integers(1, 512))) % self.nodes
+                else:
+                    group = int(hub_pool[hub_pos % len(hub_pool)])
+                    target = (
+                        group * nodes_per_group
+                        + int(rng.integers(0, nodes_per_group))
+                    ) % self.nodes
+                    hub_pos += 1
+                    if hub_pos % len(hub_pool) == 0:
+                        hub_pool = _zipf_ranks(rng, hub_groups, 4096, theta)
+                run = int(rng.integers(1, 4))
+                for step in range(run):
+                    if len(addrs) >= n_accesses:
+                        break
+                    neighbour = (target + step * 8) % self.nodes
+                    addrs.append(self._line(rank_base + neighbour * 8))
+                    # CC propagates labels eagerly: neighbour labels are
+                    # rewritten when the component id shrinks.
+                    writes.append(
+                        self.algorithm == "cc" and rng.random() < write_fraction
+                    )
+            if len(addrs) < n_accesses:
+                # Write back this node's new rank/label.
+                addrs.append(self._line(rank_base + (node % self.nodes) * 8))
+                writes.append(True)
+            node += 1
+
+        n = len(addrs)
+        igaps = rng.integers(2, 14, n, dtype=np.uint32)
+        trace = Trace(
+            name=self.name,
+            addrs=np.asarray(addrs, dtype=np.uint64),
+            writes=np.asarray(writes, dtype=bool),
+            igaps=igaps,
+            cores=rng.integers(0, self.cores, n).astype(np.uint16),
+            footprint_bytes=self.footprint_bytes,
+            default_profile="medium",
+        )
+        # Rank arrays compress well (similar doubles); edges are medium.
+        g = self.geometry
+        trace.regions.append((0, self.rank_bytes // g.block_size, "high"))
+        trace.regions.append(
+            (
+                self.rank_bytes // g.block_size + 1,
+                self.footprint_bytes // g.block_size,
+                "medium",
+            )
+        )
+        return trace

@@ -1,0 +1,80 @@
+"""memcached + YCSB proxies (workloads A and B).
+
+The paper loads 30 million 1 kB records (30 GB) and runs 30 million
+queries: YCSB-A is 50%/50% read/update, YCSB-B 95%/5%, both with the
+standard Zipfian (theta = 0.99) key popularity. A memcached GET walks the
+hash index (one random bucket line) and then reads the value's cachelines
+sequentially; a SET rewrites them. Values are ASCII-ish payloads that
+compress well; the index region is pointer-dense and compresses less.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.common.errors import ConfigurationError
+from repro.workloads.base import Trace, TraceGenerator
+from repro.workloads.synthetic import _zipf_ranks
+
+WORKLOAD_WRITE_FRACTION = {"A": 0.5, "B": 0.05, "C": 0.0}
+
+
+class YcsbWorkload(TraceGenerator):
+    """Zipfian key-value store access with 1 kB records."""
+
+    RECORD_BYTES = 1024
+    #: A GET returns the whole 1 kB value and a SET rewrites it, so a
+    #: query touches the record's full 16 cachelines sequentially.
+    LINES_PER_READ = 16
+    LINES_PER_UPDATE = 16
+
+    def __init__(self, workload: str, footprint_bytes: int, seed: int = 1, **kwargs):
+        workload = workload.upper()
+        if workload not in WORKLOAD_WRITE_FRACTION:
+            raise ConfigurationError("YCSB workload must be 'A', 'B' or 'C'")
+        super().__init__(f"YCSB-{workload}", footprint_bytes, seed, **kwargs)
+        self.workload = workload
+        # 1/16 of the footprint is the hash index, the rest are records.
+        self.index_bytes = footprint_bytes // 16
+        self.value_bytes = footprint_bytes - self.index_bytes
+        self.records = max(1, self.value_bytes // self.RECORD_BYTES)
+
+    def generate(self, n_accesses: int) -> Trace:
+        rng = self.rng
+        write_fraction = WORKLOAD_WRITE_FRACTION[self.workload]
+        lines_per_query = 1 + self.LINES_PER_READ
+        n_queries = max(1, n_accesses // lines_per_query)
+        ranks = _zipf_ranks(rng, self.records, n_queries, 0.99)
+        perm_stride = 2654435761 % self.records or 1  # Fibonacci-hash scramble
+        addrs = []
+        writes = []
+        value_base = self.index_bytes
+        for q in range(n_queries):
+            record = (int(ranks[q]) * perm_stride) % self.records
+            is_update = rng.random() < write_fraction
+            # Hash-index probe: one line in the index region.
+            bucket = (record * 2654435761) % max(1, self.index_bytes // 64)
+            addrs.append(bucket * 64)
+            writes.append(False)
+            record_base = value_base + record * self.RECORD_BYTES
+            n_lines = self.LINES_PER_UPDATE if is_update else self.LINES_PER_READ
+            start = int(rng.integers(0, self.RECORD_BYTES // 64 - n_lines + 1))
+            for j in range(n_lines):
+                addrs.append(record_base + (start + j) * 64)
+                writes.append(is_update)
+        n = len(addrs)
+        trace = Trace(
+            name=self.name,
+            addrs=np.asarray(addrs, dtype=np.uint64),
+            writes=np.asarray(writes, dtype=bool),
+            igaps=rng.integers(4, 20, n, dtype=np.uint32),
+            cores=rng.integers(0, self.cores, n).astype(np.uint16),
+            footprint_bytes=self.footprint_bytes,
+            default_profile="medium",
+        )
+        g = self.geometry
+        index_blocks = self.index_bytes // g.block_size
+        total_blocks = self.footprint_bytes // g.block_size
+        trace.regions.append((0, index_blocks, "low"))
+        trace.regions.append((index_blocks + 1, total_blocks, "high"))
+        return trace

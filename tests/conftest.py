@@ -1,0 +1,74 @@
+"""Shared fixtures: small, fast configurations used across the suite."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.common.config import (
+    BaryonConfig,
+    HybridLayout,
+    SimulationConfig,
+    StageConfig,
+    HierarchyConfig,
+    CacheGeometry,
+    MB,
+)
+
+KB = 1024
+
+
+def make_small_config(
+    flat: float = 0.0,
+    fully_associative: bool = False,
+    fast_mb: int = 4,
+    stage_kb: int = 256,
+    stage_enabled: bool = True,
+    **overrides,
+) -> BaryonConfig:
+    """A tiny but structurally faithful Baryon configuration."""
+    layout = HybridLayout(
+        fast_capacity=fast_mb * MB,
+        slow_capacity=8 * fast_mb * MB,
+        associativity=4,
+        flat_fraction=flat,
+        fully_associative=fully_associative,
+    )
+    stage = StageConfig(
+        size_bytes=stage_kb * KB,
+        ways=4,
+        enabled=stage_enabled,
+        aging_period_accesses=256,
+    )
+    return dataclasses.replace(BaryonConfig(), layout=layout, stage=stage, **overrides)
+
+
+def make_small_sim_config() -> SimulationConfig:
+    hierarchy = HierarchyConfig(
+        cores=2,
+        l1d=CacheGeometry("L1D", 8 * KB, 8, latency_cycles=4),
+        l2=CacheGeometry("L2", 32 * KB, 8, latency_cycles=9),
+        llc=CacheGeometry("LLC", 64 * KB, 16, latency_cycles=38),
+    )
+    return SimulationConfig(hierarchy=hierarchy, warmup_fraction=0.1)
+
+
+@pytest.fixture
+def small_config() -> BaryonConfig:
+    return make_small_config()
+
+
+@pytest.fixture
+def flat_config() -> BaryonConfig:
+    return make_small_config(flat=1.0)
+
+
+@pytest.fixture
+def fa_config() -> BaryonConfig:
+    return make_small_config(flat=1.0, fully_associative=True)
+
+
+@pytest.fixture
+def sim_config() -> SimulationConfig:
+    return make_small_sim_config()

@@ -1,0 +1,113 @@
+"""Base-Delta-Immediate compression: encodings and round-trips."""
+
+import struct
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.compression.bdi import BdiCompressor
+
+
+@pytest.fixture(scope="module")
+def bdi():
+    return BdiCompressor()
+
+
+def qwords(*values):
+    return b"".join(struct.pack(">q", v) for v in values)
+
+
+class TestSpecialCases:
+    def test_all_zeros(self, bdi):
+        data = bytes(64)
+        result = bdi.compress(data)
+        assert result.compressed_bits == 4  # header only
+        assert bdi.decompress(result) == data
+
+    def test_repeated_qword(self, bdi):
+        data = struct.pack(">Q", 0xDEADBEEFCAFEF00D) * 8
+        result = bdi.compress(data)
+        assert result.compressed_bits == 4 + 64
+        assert bdi.decompress(result) == data
+
+    def test_raw_fallback_roundtrips(self, bdi):
+        # Values that fit no delta configuration.
+        import os
+
+        data = os.urandom(64)
+        result = bdi.compress(data)
+        assert bdi.decompress(result) == data
+        assert result.compressed_bits >= 64 * 8
+
+
+class TestBaseDelta:
+    def test_base8_delta1(self, bdi):
+        base = 1 << 40
+        data = qwords(*(base + d for d in (0, 5, -7, 100, -100, 3, 1, 0)))
+        result = bdi.compress(data)
+        assert bdi.decompress(result) == data
+        # header + base(64) + mask(8) + 8 deltas x 8 bits = 140 bits
+        assert result.compressed_bits == 4 + 64 + 8 + 64
+
+    def test_zero_base_mixes_with_live_base(self, bdi):
+        # Small immediates ride the zero base; pointers share one base.
+        base = 1 << 40
+        data = qwords(base, 3, base + 10, -5, base - 2, 0, 7, base + 90)
+        result = bdi.compress(data)
+        assert bdi.decompress(result) == data
+        assert result.compressed_bits < 64 * 8 // 2  # compresses 2x+
+
+    def test_base4_delta1(self, bdi):
+        base = 0x12340000
+        values = [(base + d) & 0xFFFFFFFF for d in (0, 1, 2, 3, 4, 5, 6, 7)]
+        data = b"".join(struct.pack(">I", v) for v in values)
+        result = bdi.compress(data)
+        assert bdi.decompress(result) == data
+        assert result.compressed_bits <= 4 + 32 + 8 + 8 * 8
+
+    def test_base2_delta1(self, bdi):
+        values = [0x4000 + d for d in range(32)]
+        data = b"".join(struct.pack(">H", v) for v in values)
+        result = bdi.compress(data)
+        assert bdi.decompress(result) == data
+
+    def test_delta_overflow_falls_back(self, bdi):
+        # Two far-apart bases defeat every (k, d) configuration.
+        data = qwords(1 << 40, 1 << 20, (1 << 40) + (1 << 30), 5)
+        result = bdi.compress(data)
+        assert bdi.decompress(result) == data
+
+
+class TestValidation:
+    def test_rejects_empty(self, bdi):
+        with pytest.raises(ValueError):
+            bdi.compress(b"")
+
+    def test_rejects_non_multiple_of_8(self, bdi):
+        with pytest.raises(ValueError):
+            bdi.compress(b"1234")
+
+    def test_picks_smallest_encoding(self, bdi):
+        data = bytes(64)
+        assert bdi.compress(data).compressed_bits == 4
+
+
+@settings(max_examples=150, deadline=None)
+@given(st.binary(min_size=8, max_size=256).filter(lambda b: len(b) % 8 == 0))
+def test_roundtrip_arbitrary(data):
+    bdi = BdiCompressor()
+    assert bdi.decompress(bdi.compress(data)) == data
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    st.integers(min_value=0, max_value=(1 << 62)),
+    st.lists(st.integers(min_value=-120, max_value=120), min_size=2, max_size=16),
+)
+def test_base_delta_compresses(base, deltas):
+    """Clustered values always compress below raw size."""
+    bdi = BdiCompressor()
+    data = qwords(*((base + d) & ((1 << 63) - 1) for d in deltas))
+    result = bdi.compress(data)
+    assert bdi.decompress(result) == data
+    assert result.compressed_bits < len(data) * 8

@@ -1,0 +1,93 @@
+"""Bit-level writer/reader used by the compressors."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.compression.bitstream import BitReader, BitWriter, fits_signed, sign_extend
+
+
+class TestBitWriter:
+    def test_empty(self):
+        writer = BitWriter()
+        assert writer.bit_length == 0
+        assert writer.getvalue() == b""
+
+    def test_single_bits(self):
+        writer = BitWriter()
+        for bit in (1, 0, 1, 1):
+            writer.write(bit, 1)
+        assert writer.bit_length == 4
+        assert writer.getvalue() == bytes([0b1011_0000])
+
+    def test_msb_first_packing(self):
+        writer = BitWriter()
+        writer.write(0xAB, 8)
+        writer.write(0x3, 2)
+        assert writer.getvalue() == bytes([0xAB, 0b11_000000])
+
+    def test_value_too_wide_rejected(self):
+        writer = BitWriter()
+        with pytest.raises(ValueError):
+            writer.write(4, 2)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            BitWriter().write(-1, 4)
+
+    def test_zero_width_is_noop(self):
+        writer = BitWriter()
+        writer.write(0, 0)
+        assert writer.bit_length == 0
+
+
+class TestBitReader:
+    def test_reads_back_in_order(self):
+        writer = BitWriter()
+        writer.write(0b101, 3)
+        writer.write(0x7F, 7)
+        reader = BitReader(writer.getvalue())
+        assert reader.read(3) == 0b101
+        assert reader.read(7) == 0x7F
+
+    def test_exhaustion_raises(self):
+        reader = BitReader(b"\xff")
+        reader.read(8)
+        with pytest.raises(EOFError):
+            reader.read(1)
+
+    def test_position_tracks(self):
+        reader = BitReader(b"\x00\x00")
+        reader.read(5)
+        assert reader.position == 5
+
+
+@given(st.lists(st.tuples(st.integers(min_value=1, max_value=48), st.integers(min_value=0)), max_size=40))
+def test_roundtrip_property(fields):
+    """Any sequence of (width, value) fields reads back exactly."""
+    fields = [(w, v & ((1 << w) - 1)) for w, v in fields]
+    writer = BitWriter()
+    for width, value in fields:
+        writer.write(value, width)
+    reader = BitReader(writer.getvalue())
+    for width, value in fields:
+        assert reader.read(width) == value
+
+
+class TestSignHelpers:
+    @pytest.mark.parametrize(
+        "value,bits,expected",
+        [(0xF, 4, -1), (0x7, 4, 7), (0x8, 4, -8), (0xFF, 8, -1), (0x00, 8, 0)],
+    )
+    def test_sign_extend(self, value, bits, expected):
+        assert sign_extend(value, bits) == expected
+
+    @pytest.mark.parametrize(
+        "value,bits,expected",
+        [(7, 4, True), (8, 4, False), (-8, 4, True), (-9, 4, False), (0, 1, True)],
+    )
+    def test_fits_signed(self, value, bits, expected):
+        assert fits_signed(value, bits) is expected
+
+    @given(st.integers(min_value=-(1 << 31), max_value=(1 << 31) - 1))
+    def test_sign_extend_inverts_masking(self, value):
+        assert sign_extend(value & 0xFFFFFFFF, 32) == value

@@ -1,0 +1,141 @@
+"""The Eq. 1 commit policy and the committed-area bookkeeping."""
+
+import pytest
+
+from repro.common.config import CommitConfig, Geometry
+from repro.common.errors import LayoutError
+from repro.core.commit import CommitPolicy
+from repro.core.fast_area import FastArea, FastBlockState
+
+
+class TestCommitPolicy:
+    def decide(self, k=4.0, mru=40, assoc=4, victim=0, ds=0, da=0, **cfg):
+        policy = CommitPolicy(CommitConfig(k=k, **cfg))
+        return policy.decide(mru, assoc, victim, ds, da)
+
+    def test_stable_block_commits(self):
+        """Low own-MissCnt vs high just-staged estimate: commit."""
+        d = self.decide(mru=40, victim=1)
+        assert d.commit
+        assert d.stability_term == pytest.approx(9.0)
+
+    def test_unstable_block_evicts(self):
+        d = self.decide(mru=8, victim=20, ds=0, da=0)
+        assert not d.commit
+
+    def test_k_zero_is_write_cost_only(self):
+        """k=0 degenerates to Hybrid2's dirty-count comparison."""
+        d = self.decide(k=0.0, mru=1000, victim=0, ds=2, da=5)
+        assert not d.commit
+        d = self.decide(k=0.0, mru=0, victim=100, ds=5, da=2)
+        assert d.commit
+
+    def test_k_infinity_is_stability_only(self):
+        d = self.decide(stability_only=True, mru=0, victim=1, ds=100, da=0)
+        assert not d.commit
+        d = self.decide(stability_only=True, mru=8, victim=1, ds=0, da=100)
+        assert d.commit
+
+    def test_commit_all(self):
+        d = self.decide(commit_all=True, mru=0, victim=10_000, ds=0, da=8)
+        assert d.commit
+
+    def test_boundary_is_commit(self):
+        """B == 0 commits (the paper: 'if B >= 0')."""
+        d = self.decide(k=1.0, mru=4, assoc=4, victim=1, ds=0, da=0)
+        assert d.benefit == pytest.approx(0.0)
+        assert d.commit
+
+    def test_dirty_term_tradeoff(self):
+        base = self.decide(k=1.0, mru=4, victim=2, ds=0, da=0)
+        assert not base.commit
+        flipped = self.decide(k=1.0, mru=4, victim=2, ds=4, da=0)
+        assert flipped.commit
+
+    def test_stats_counted(self):
+        policy = CommitPolicy(CommitConfig(k=1.0))
+        policy.decide(100, 4, 0, 0, 0)
+        policy.decide(0, 4, 100, 0, 0)
+        assert policy.stats.get("commits") == 1
+        assert policy.stats.get("evictions") == 1
+
+
+class TestFastArea:
+    def make(self, num_sets=4, ways=2, replacement="lru"):
+        return FastArea(num_sets, ways, Geometry(), replacement)
+
+    def test_install_lookup_remove(self):
+        area = self.make()
+        state = FastBlockState(super_id=9, committed={0: 2}, slots_used=2)
+        set_index = area.set_of_super(9)
+        area.install(set_index, 0, state)
+        assert area.lookup_super(9) == [(0, state)]
+        assert area.find_block(9, 0) == (0, state)
+        assert area.find_block(9, 1) is None
+        removed = area.remove(set_index, 0)
+        assert removed is state
+        assert area.lookup_super(9) == []
+
+    def test_double_install_rejected(self):
+        area = self.make()
+        area.install(0, 0, FastBlockState(super_id=0))
+        with pytest.raises(LayoutError):
+            area.install(0, 0, FastBlockState(super_id=4))
+
+    def test_remove_empty_rejected(self):
+        with pytest.raises(LayoutError):
+            self.make().remove(0, 0)
+
+    def test_lru_victim_respects_touch(self):
+        area = self.make()
+        a = FastBlockState(super_id=0)
+        b = FastBlockState(super_id=4)
+        area.install(0, 0, a)
+        area.install(0, 1, b)
+        area.touch(0, 0)
+        assert area.victim_way(0) == 1
+
+    def test_fifo_victim_ignores_touch(self):
+        area = self.make(replacement="fifo")
+        area.install(0, 0, FastBlockState(super_id=0))
+        area.install(0, 1, FastBlockState(super_id=4))
+        area.touch(0, 0)
+        assert area.victim_way(0) == 0
+
+    def test_free_way_preferred_as_victim(self):
+        area = self.make()
+        area.install(0, 0, FastBlockState(super_id=0))
+        assert area.victim_way(0) == 1
+        assert area.peek_victim(0) is None
+
+    def test_peek_victim_full_set(self):
+        area = self.make()
+        a = FastBlockState(super_id=0, dirty_subs={(0, 1)})
+        area.install(0, 0, a)
+        area.install(0, 1, FastBlockState(super_id=4))
+        area.touch(0, 1)
+        assert area.peek_victim(0) is a
+
+    def test_same_super_multiple_ways(self):
+        """A super-block's data can occupy more than one physical block."""
+        area = self.make()
+        area.install(0, 0, FastBlockState(super_id=0, committed={1: 1}))
+        area.install(0, 1, FastBlockState(super_id=0, committed={2: 1}))
+        assert len(area.lookup_super(0)) == 2
+        assert area.find_block(0, 2)[0] == 1
+
+    def test_occupancy(self):
+        area = self.make()
+        assert area.occupancy() == 0.0
+        area.install(0, 0, FastBlockState(super_id=0))
+        assert area.occupancy() == pytest.approx(1 / 8)
+
+    def test_dirty_count(self):
+        state = FastBlockState(super_id=0, dirty_subs={(0, 1), (2, 3)})
+        assert state.dirty_count() == 2
+
+    def test_validation(self):
+        with pytest.raises(LayoutError):
+            FastArea(0, 1, Geometry())
+        with pytest.raises(LayoutError):
+            FastArea(1, 1, Geometry(), replacement="belady")

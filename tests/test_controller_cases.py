@@ -1,0 +1,298 @@
+"""Directed tests of the Baryon access flow (Fig. 6, cases 1-5)."""
+
+import dataclasses
+
+import pytest
+
+from repro.common.config import CommitConfig
+from repro.core import AccessCase, BaryonController
+from repro.core.tracking import StagePhaseTracker
+
+from tests.conftest import make_small_config
+
+
+class ScriptedOracle:
+    """A compressibility oracle with programmable answers."""
+
+    def __init__(self, cf=2, zero_blocks=(), overflow_on_write=False):
+        self.cf = cf
+        self.zero_blocks = set(zero_blocks)
+        self.overflow_on_write = overflow_on_write
+        self._overflowed = set()
+
+    def fits(self, block_id, start_sub, n_sub, cacheline_aligned=True):
+        if n_sub == 1:
+            return True
+        if (block_id, start_sub) in self._overflowed:
+            return False
+        return n_sub <= self.cf
+
+    def is_zero(self, block_id, start_sub, n_sub):
+        return block_id in self.zero_blocks
+
+    def max_cf(self, block_id, sub_index, cacheline_aligned=True):
+        return self.cf
+
+    def note_write(self, block_id, sub_index):
+        if self.overflow_on_write:
+            start = (sub_index // self.cf) * self.cf
+            self._overflowed.add((block_id, start))
+            return True
+        return False
+
+    def version_of(self, block_id):
+        return 0
+
+
+def make_controller(oracle=None, tracker=None, **config_kwargs):
+    config = make_small_config(**config_kwargs)
+    ctrl = BaryonController(config, tracker=tracker, seed=1)
+    if oracle is not None:
+        ctrl.oracle = oracle
+    return ctrl
+
+
+BLOCK = 2048
+
+
+class TestCase5BlockMiss:
+    def test_first_access_is_block_miss(self):
+        ctrl = make_controller(ScriptedOracle(cf=1))
+        result = ctrl.access(0, False)
+        assert result.case is AccessCase.BLOCK_MISS
+        assert not result.served_fast
+
+    def test_miss_stages_the_fetched_range(self):
+        ctrl = make_controller(ScriptedOracle(cf=2))
+        ctrl.access(0, False)
+        g = ctrl.geometry
+        found = ctrl.stage.lookup_sub_block(0, 0, 0)
+        assert found is not None
+        slot = found[1].slots[found[2]]
+        assert slot.cf == 2 and slot.sub_start == 0
+
+    def test_fetch_range_respects_alignment(self):
+        ctrl = make_controller(ScriptedOracle(cf=4))
+        ctrl.access(5 * 256, False)  # sub-block 5 -> quad 4-7
+        found = ctrl.stage.lookup_sub_block(0, 0, 5)
+        slot = found[1].slots[found[2]]
+        assert (slot.sub_start, slot.cf) == (4, 4)
+
+    def test_write_miss_stages_dirty(self):
+        ctrl = make_controller(ScriptedOracle(cf=1))
+        ctrl.access(64, True)
+        found = ctrl.stage.lookup_sub_block(0, 0, 0)
+        assert found[1].slots[found[2]].dirty
+
+    def test_slow_traffic_for_raw_range(self):
+        ctrl = make_controller(ScriptedOracle(cf=4))
+        ctrl.access(0, False)
+        # Full 4-sub-block raw fetch: 1024 B from slow.
+        assert ctrl.devices.slow.stats.get("read_bytes") == 1024
+
+
+class TestCase1StageHit:
+    def test_second_access_hits_stage(self):
+        ctrl = make_controller(ScriptedOracle(cf=2))
+        ctrl.access(0, False)
+        result = ctrl.access(64, False)
+        assert result.case is AccessCase.STAGE_HIT
+        assert result.served_fast
+
+    def test_compressed_hit_prefetches_chunk_lines(self):
+        ctrl = make_controller(ScriptedOracle(cf=2))
+        ctrl.access(0, False)
+        result = ctrl.access(0, False)
+        # CF=2 chunk holds 2 cachelines; the other one is installed.
+        assert len(result.prefetched_lines) == 1
+        assert result.prefetched_lines[0] == 64
+
+    def test_uncompressed_hit_no_prefetch_no_decompress(self):
+        ctrl = make_controller(ScriptedOracle(cf=1))
+        ctrl.access(0, False)
+        result = ctrl.access(0, False)
+        assert result.prefetched_lines == []
+
+    def test_decompression_latency_charged(self):
+        slow = make_controller(ScriptedOracle(cf=2))
+        slow.access(0, False)
+        hit_compressed = slow.access(0, False)
+        fast = make_controller(ScriptedOracle(cf=1))
+        fast.access(0, False)
+        hit_raw = fast.access(0, False)
+        delta = hit_compressed.latency_cycles - hit_raw.latency_cycles
+        assert delta == pytest.approx(
+            slow.config.compression.decompression_latency_cycles
+        )
+
+    def test_write_hit_marks_dirty(self):
+        ctrl = make_controller(ScriptedOracle(cf=2))
+        ctrl.access(0, False)
+        ctrl.access(0, True)
+        found = ctrl.stage.lookup_sub_block(0, 0, 0)
+        assert found[1].slots[found[2]].dirty
+
+    def test_write_overflow_splits_range(self):
+        ctrl = make_controller(ScriptedOracle(cf=2, overflow_on_write=True))
+        ctrl.access(0, False)  # stages subs 0-1 at CF 2
+        result = ctrl.access(0, True)
+        assert result.write_overflow
+        assert ctrl.stats.get("stage_write_overflows") == 1
+        # Both sub-blocks survive, now in separate CF-1 slots.
+        for sub in (0, 1):
+            found = ctrl.stage.lookup_sub_block(0, 0, sub)
+            assert found is not None
+            assert found[1].slots[found[2]].cf == 1
+            assert found[1].slots[found[2]].dirty
+
+
+class TestCase3StageMiss:
+    def test_other_sub_block_misses_then_stages(self):
+        ctrl = make_controller(ScriptedOracle(cf=1))
+        ctrl.access(0, False)
+        result = ctrl.access(4 * 256, False)
+        assert result.case is AccessCase.STAGE_MISS
+        assert ctrl.stage.lookup_sub_block(0, 0, 4) is not None
+
+    def test_miss_increments_entry_misscnt(self):
+        ctrl = make_controller(ScriptedOracle(cf=1))
+        ctrl.access(0, False)
+        set_index = ctrl.stage.set_index_of(0)
+        way, entry = ctrl.stage.lookup_block(0, 0)
+        before = entry.miss_count
+        ctrl.access(4 * 256, False)
+        assert entry.miss_count == before + 1
+
+    def test_fetch_never_duplicates_staged_subs(self):
+        oracle = ScriptedOracle(cf=4)
+        ctrl = make_controller(oracle)
+        ctrl.access(0, False)  # stages quad 0-3
+        ctrl.access(4 * 256, False)  # stages quad 4-7
+        way, entry = ctrl.stage.lookup_block(0, 0)
+        covered = []
+        for slot in entry.slots:
+            if slot is not None:
+                covered.extend(slot.sub_blocks)
+        assert sorted(covered) == sorted(set(covered))
+
+
+class TestCommitAndCase2:
+    def drive_commit(self, ctrl, super_base=0):
+        """Fill one stage set past capacity so block-level replacement
+        commits the LRU victim."""
+        n = ctrl.stage.num_sets
+        sbs = ctrl.geometry.super_block_size
+        for i in range(ctrl.stage.ways + 1):
+            ctrl.access(super_base + i * n * sbs, False)
+
+    def test_commit_moves_block_to_fast_area(self):
+        ctrl = make_controller(
+            ScriptedOracle(cf=1), commit=CommitConfig(commit_all=True)
+        )
+        self.drive_commit(ctrl)
+        assert ctrl.stats.get("commits") >= 1
+        entry = ctrl.remap_table.get(0)
+        assert entry.is_remapped
+        assert ctrl.fast_area.find_block(0, 0) is not None
+
+    def test_committed_hit_is_case2(self):
+        ctrl = make_controller(
+            ScriptedOracle(cf=1), commit=CommitConfig(commit_all=True)
+        )
+        self.drive_commit(ctrl)
+        result = ctrl.access(0, False)
+        assert result.case is AccessCase.COMMIT_HIT
+        assert result.served_fast
+
+    def test_committed_absent_sub_is_case4_bypass(self):
+        ctrl = make_controller(
+            ScriptedOracle(cf=1), commit=CommitConfig(commit_all=True)
+        )
+        self.drive_commit(ctrl)
+        result = ctrl.access(7 * 256, False)  # sub 7 never fetched
+        assert result.case is AccessCase.COMMIT_MISS
+        assert not result.served_fast
+        # Bypass must not stage anything (Rule 3).
+        assert ctrl.stage.lookup_block(0, 0) is None
+
+    def test_commit_write_overflow_evicts(self):
+        oracle = ScriptedOracle(cf=2, overflow_on_write=True)
+        ctrl = make_controller(oracle, commit=CommitConfig(commit_all=True))
+        self.drive_commit(ctrl)
+        assert ctrl.remap_table.get(0).is_remapped
+        result = ctrl.access(0, True)
+        assert result.case is AccessCase.COMMIT_HIT
+        assert result.write_overflow
+        assert ctrl.stats.get("commit_write_overflows") == 1
+
+    def test_eviction_preserves_cf_hints(self):
+        ctrl = make_controller(
+            ScriptedOracle(cf=2), commit=CommitConfig(commit_all=True)
+        )
+        self.drive_commit(ctrl)
+        # Evict block 0's physical block via the overflow path.
+        set_index = ctrl.fast_area.set_of_super(0)
+        way, _ = ctrl.fast_area.find_block(0, 0)
+        ctrl._evict_fast_block(1e9, set_index, way)
+        assert not ctrl.remap_table.get(0).is_remapped
+        assert 0 in ctrl._cf_hints
+        cf2, cf4, _ = ctrl._cf_hints[0]
+        assert cf2 or cf4
+
+
+class TestZeroBlocks:
+    def test_zero_block_staged_without_traffic(self):
+        ctrl = make_controller(ScriptedOracle(cf=1, zero_blocks={0}))
+        result = ctrl.access(0, False)
+        assert ctrl.stats.get("zero_block_stages") == 1
+        assert ctrl.devices.slow.stats.get("read_bytes") == 0
+        # Every sub-block of the zero block now hits.
+        hit = ctrl.access(7 * 256, False)
+        assert hit.case is AccessCase.STAGE_HIT
+
+    def test_zero_break_on_write(self):
+        oracle = ScriptedOracle(cf=1, zero_blocks={0})
+        ctrl = make_controller(oracle)
+        ctrl.access(0, False)
+        oracle.zero_blocks.clear()  # the write makes it non-zero
+        ctrl.access(0, True)
+        assert ctrl.stats.get("stage_zero_breaks") == 1
+        found = ctrl.stage.lookup_sub_block(0, 0, 0)
+        assert found is not None and not found[1].slots[found[2]].zero
+
+
+class TestMetadataPath:
+    def test_remap_table_read_on_remap_cache_miss(self):
+        ctrl = make_controller(ScriptedOracle(cf=1))
+        ctrl.access(0, False)
+        assert ctrl.stats.get("remap_table_reads") == 1
+        ctrl.access(64, False)
+        assert ctrl.stats.get("remap_table_reads") == 1  # now cached
+
+    def test_storage_report(self):
+        ctrl = make_controller(ScriptedOracle())
+        report = ctrl.storage_report()
+        assert report["remap_cache_bytes"] == pytest.approx(32 * 1024, rel=0.3)
+        assert report["stage_tag_array_bytes"] > 0
+
+    def test_serve_rate_counts(self):
+        ctrl = make_controller(ScriptedOracle(cf=1))
+        ctrl.access(0, False)
+        ctrl.access(0, False)
+        assert ctrl.serve_rate() == pytest.approx(0.5)
+
+
+class TestTrackerIntegration:
+    def test_stage_phase_recorded(self):
+        tracker = StagePhaseTracker()
+        ctrl = make_controller(
+        	ScriptedOracle(cf=1), tracker=tracker,
+        	commit=CommitConfig(commit_all=True),
+        )
+        n = ctrl.stage.num_sets
+        sbs = ctrl.geometry.super_block_size
+        for i in range(ctrl.stage.ways + 1):
+            for sub in range(4):
+                ctrl.access(i * n * sbs + sub * 256, False)
+        assert tracker.breakdown  # S-category events recorded
+        assert any(cat == "S" for cat, _ in tracker.breakdown)

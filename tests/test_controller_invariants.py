@@ -1,0 +1,187 @@
+"""Fuzzed invariant checks over the controller's full state machine.
+
+These drive random access streams through every mode and assert the
+paper's structural rules after the run:
+
+* Rule 1 — a stage physical block only holds one super-block's data
+  (guaranteed by construction: slots carry BlkOffs under one tag);
+* Rule 2 — every staged/committed range is contiguous and CF-aligned;
+* Rule 3 — all of a block's staged ranges live in one physical block, and
+  all its committed sub-blocks share one pointer;
+* Rule 4 — committed layouts yield dense, collision-free slot positions;
+* capacity — committed slot usage never exceeds the physical block;
+* consistency — the remap table and the fast-area state agree exactly.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.common.config import CommitConfig
+from repro.core import BaryonController
+from repro.metadata.remap import locate_sub_block
+
+from tests.conftest import make_small_config
+
+
+def check_invariants(ctrl):
+    g = ctrl.geometry
+    n_subs = g.sub_blocks_per_block
+
+    # --- stage area ---------------------------------------------------
+    for set_index in range(ctrl.stage.num_sets):
+        ranks = []
+        for way in range(ctrl.stage.ways):
+            entry = ctrl.stage.entry(set_index, way)
+            if not entry.valid:
+                continue
+            ranks.append(entry.lru)
+            covered_per_block = {}
+            for slot in entry.slots:
+                if slot is None:
+                    continue
+                if not slot.zero:
+                    assert slot.sub_start % slot.cf == 0, "Rule 2 alignment"
+                covered = covered_per_block.setdefault(slot.blk_off, set())
+                span = set(slot.sub_blocks)
+                assert not (covered & span), "overlapping staged ranges"
+                covered |= span
+        assert sorted(ranks) == list(range(len(ranks))), "dense LRU ranks"
+
+    # Rule 3 in the stage: each (super, blk_off) maps to at most one way.
+    seen = {}
+    for set_index in range(ctrl.stage.num_sets):
+        for way in range(ctrl.stage.ways):
+            entry = ctrl.stage.entry(set_index, way)
+            if not entry.valid:
+                continue
+            for blk_off in entry.blocks_present():
+                key = (set_index, entry.tag, blk_off)
+                assert key not in seen, "Rule 3: block staged in two ways"
+                seen[key] = way
+
+    # --- committed area vs remap table ---------------------------------
+    for set_index in range(ctrl.fast_area.num_sets):
+        for way in range(ctrl.fast_area.ways):
+            state = ctrl.fast_area.state(set_index, way)
+            if state is None:
+                continue
+            base = state.super_id * g.super_block_blocks
+            entries = [
+                ctrl.remap_table.get(base + off)
+                for off in range(g.super_block_blocks)
+            ]
+            slots_used = 0
+            positions = []
+            for off, entry in enumerate(entries):
+                if off in state.committed:
+                    assert entry.is_remapped, "fast area tracks unmapped block"
+                    assert entry.pointer == way, "Rule 3 pointer mismatch"
+                    slots_used += entry.occupied_slots()
+                    for start, _cf in entry.ranges():
+                        positions.append(locate_sub_block(entries, off, start))
+                else:
+                    assert (
+                        not entry.is_remapped or entry.pointer != way
+                    ), "remap points into untracked physical block"
+            assert slots_used == state.slots_used, "slot accounting drift"
+            assert slots_used <= n_subs, "physical block overfull"
+            assert sorted(positions) == list(range(len(positions))), (
+                "Rule 4: committed layout must be dense and sorted"
+            )
+
+    # Every remapped block must be tracked by exactly one fast block.
+    for block_id in ctrl.remap_table.remapped_blocks():
+        super_id = block_id // g.super_block_blocks
+        blk_off = block_id % g.super_block_blocks
+        assert ctrl.fast_area.find_block(super_id, blk_off) is not None
+
+
+def drive(ctrl, n, seed, footprint_bytes, write_fraction=0.3, hot_fraction=0.5):
+    rng = random.Random(seed)
+    for _ in range(n):
+        if rng.random() < hot_fraction:
+            addr = rng.randrange(footprint_bytes // 8)
+        else:
+            addr = rng.randrange(footprint_bytes)
+        ctrl.access((addr // 64) * 64, rng.random() < write_fraction)
+
+
+MODES = {
+    "cache": dict(),
+    "flat": dict(flat=1.0),
+    "fa-flat": dict(flat=1.0, fully_associative=True),
+    "no-stage": dict(stage_enabled=False),
+}
+
+
+@pytest.mark.parametrize("mode", sorted(MODES))
+@pytest.mark.parametrize("k", [0.0, 4.0])
+def test_invariants_after_fuzz(mode, k):
+    config = make_small_config(**MODES[mode], commit=CommitConfig(k=k))
+    ctrl = BaryonController(config, seed=11)
+    footprint = 4 * config.layout.fast_capacity
+    drive(ctrl, 4000, seed=mode.__hash__() & 0xFFFF | 1, footprint_bytes=footprint)
+    check_invariants(ctrl)
+    assert ctrl.stats.get("accesses") == 4000
+
+
+@pytest.mark.parametrize("mode", sorted(MODES))
+def test_invariants_commit_all(mode):
+    config = make_small_config(**MODES[mode], commit=CommitConfig(commit_all=True))
+    ctrl = BaryonController(config, seed=5)
+    drive(ctrl, 4000, seed=77, footprint_bytes=4 * config.layout.fast_capacity)
+    check_invariants(ctrl)
+
+
+def test_invariants_write_heavy():
+    ctrl = BaryonController(make_small_config(), seed=3)
+    drive(
+        ctrl,
+        5000,
+        seed=13,
+        footprint_bytes=4 * ctrl.config.layout.fast_capacity,
+        write_fraction=0.8,
+    )
+    check_invariants(ctrl)
+    # Write-heavy streams must produce writebacks, not lose dirty data.
+    assert (
+        ctrl.stats.get("stage_dirty_writebacks")
+        + ctrl.stats.get("commit_dirty_writebacks")
+        > 0
+    )
+
+
+def test_invariants_64b_variant():
+    config = make_small_config().with_sub_block_size(64)
+    ctrl = BaryonController(config, seed=9)
+    drive(ctrl, 3000, seed=21, footprint_bytes=4 * config.layout.fast_capacity)
+    check_invariants(ctrl)
+
+
+@settings(max_examples=12, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=1 << 16))
+def test_invariants_hypothesis_seeds(seed):
+    ctrl = BaryonController(make_small_config(stage_kb=64, fast_mb=2), seed=seed % 7 + 1)
+    drive(ctrl, 1500, seed=seed, footprint_bytes=8 * ctrl.config.layout.fast_capacity)
+    check_invariants(ctrl)
+
+
+def test_compressed_writeback_off_still_consistent():
+    import dataclasses
+
+    config = dataclasses.replace(make_small_config(), compressed_writeback=False)
+    ctrl = BaryonController(config, seed=4)
+    drive(ctrl, 3000, seed=6, footprint_bytes=4 * config.layout.fast_capacity)
+    check_invariants(ctrl)
+    assert not ctrl._cf_hints
+
+
+def test_two_level_disabled_still_consistent():
+    import dataclasses
+
+    config = dataclasses.replace(make_small_config(), two_level_replacement=False)
+    ctrl = BaryonController(config, seed=4)
+    drive(ctrl, 3000, seed=8, footprint_bytes=4 * config.layout.fast_capacity)
+    check_invariants(ctrl)

@@ -1,0 +1,127 @@
+"""Real-content store and the content-backed compressibility oracle."""
+
+import pytest
+
+from repro.compression.engine import CompressionEngine
+from repro.compression.synthetic import PROFILE_LIBRARY, SyntheticCompressibility
+from repro.workloads.datagen import ContentBackedCompressibility, ContentStore
+
+
+class TestContentStore:
+    def test_deterministic_per_block(self):
+        a = ContentStore(pattern="deltas", seed=5)
+        b = ContentStore(pattern="deltas", seed=5)
+        assert a.block(12) == b.block(12)
+        assert a.block(12) != a.block(13)
+
+    def test_block_size(self):
+        store = ContentStore()
+        assert len(store.block(0)) == 2048
+
+    @pytest.mark.parametrize("pattern", ContentStore.PATTERNS)
+    def test_all_patterns_materialize(self, pattern):
+        store = ContentStore(pattern=pattern, seed=1)
+        data = store.block(3)
+        assert len(data) == 2048
+        if pattern == "zeros":
+            assert not any(data)
+
+    def test_pattern_compressibility_ordering(self):
+        engine = CompressionEngine()
+        sizes = {}
+        for pattern in ("zeros", "small_ints", "deltas", "random"):
+            store = ContentStore(pattern=pattern, seed=2)
+            sizes[pattern] = engine.best(bytes(store.block(0)[:256])).compressed_bytes
+        assert sizes["zeros"] <= sizes["small_ints"] <= sizes["random"]
+        assert sizes["deltas"] < sizes["random"]
+
+    def test_region_override(self):
+        store = ContentStore(pattern="random", seed=1)
+        store.set_region_pattern(10, 20, "zeros")
+        assert not any(store.block(15))
+        assert any(store.block(5))
+
+    def test_write_mutates(self):
+        store = ContentStore(pattern="zeros")
+        store.write(0, 100, b"\xff" * 8)
+        assert store.block(0)[100] == 0xFF
+
+    def test_scramble_line(self):
+        store = ContentStore(pattern="zeros")
+        store.scramble_line(0, 0)
+        assert any(store.block(0)[:64])
+
+    def test_invalid_pattern(self):
+        with pytest.raises(ValueError):
+            ContentStore(pattern="fractal")
+
+
+class TestContentBackedOracle:
+    def test_zero_blocks_detected(self):
+        oracle = ContentBackedCompressibility(ContentStore(pattern="zeros"))
+        assert oracle.is_zero(1, 0, 8)
+        assert oracle.max_cf(1, 0) == 4
+
+    def test_random_blocks_incompressible(self):
+        oracle = ContentBackedCompressibility(ContentStore(pattern="random"))
+        assert oracle.max_cf(2, 0) == 1
+        assert not oracle.fits(2, 0, 2)
+
+    def test_cf1_always_fits(self):
+        oracle = ContentBackedCompressibility(ContentStore(pattern="random"))
+        assert oracle.fits(2, 3, 1)
+
+    def test_writes_can_degrade_compressibility(self):
+        store = ContentStore(pattern="zeros")
+        oracle = ContentBackedCompressibility(store, write_noise=1.0, seed=3)
+        assert oracle.fits(0, 0, 4)
+        for sub in range(4):
+            oracle.note_write(0, sub)
+        assert not oracle.fits(0, 0, 4)
+
+    def test_drives_controller(self):
+        """The controller runs unchanged on real-content compressibility."""
+        from repro.core import BaryonController
+        from tests.conftest import make_small_config
+
+        store = ContentStore(pattern="small_ints", seed=2)
+        oracle = ContentBackedCompressibility(store, write_noise=0.2, seed=2)
+        ctrl = BaryonController(make_small_config(fast_mb=2, stage_kb=128), seed=1)
+        ctrl.oracle = oracle
+        import random
+
+        rng = random.Random(4)
+        for _ in range(600):
+            addr = (rng.randrange(8 << 20) // 64) * 64
+            ctrl.access(addr, rng.random() < 0.3)
+        assert ctrl.stats.get("accesses") == 600
+        assert ctrl.serve_rate() > 0.0
+
+
+class TestCalibration:
+    def test_synthetic_profiles_bracket_real_patterns(self):
+        """The synthetic profiles must be consistent with what real
+        FPC/BDI achieve on the matching content patterns."""
+        engine = CompressionEngine()
+
+        def real_fit_rate(pattern, n_sub):
+            store = ContentStore(pattern=pattern, seed=7)
+            hits = 0
+            for block in range(40):
+                data = bytes(store.block(block)[: 256 * n_sub])
+                hits += engine.fits(data)
+            return hits / 40
+
+        # Random data: essentially never compresses 2:1.
+        assert real_fit_rate("random", 2) <= PROFILE_LIBRARY["low"].p_cf2
+        # Small integers: compress at least as well as the 'high' profile.
+        assert real_fit_rate("small_ints", 2) >= PROFILE_LIBRARY["high"].p_cf2 * 0.9
+
+    def test_expected_cf_matches_empirical_sampling(self):
+        """Closed-form expected_cf equals Monte-Carlo sampling of max_cf."""
+        oracle = SyntheticCompressibility(seed=17)
+        profile = PROFILE_LIBRARY["medium"]
+        oracle.set_default_profile(profile)
+        samples = [oracle.max_cf(b, 0, cacheline_aligned=True) for b in range(4000)]
+        empirical = sum(samples) / len(samples)
+        assert empirical == pytest.approx(profile.expected_cf(True), rel=0.08)

@@ -1,0 +1,113 @@
+"""Frequent Pattern Compression: pattern coverage and exact round-trips."""
+
+import struct
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.compression.fpc import FpcCompressor
+
+
+@pytest.fixture(scope="module")
+def fpc():
+    return FpcCompressor()
+
+
+def words(*values):
+    return b"".join(struct.pack(">I", v & 0xFFFFFFFF) for v in values)
+
+
+class TestPatterns:
+    def test_zero_run_is_tiny(self, fpc):
+        data = bytes(64)  # 16 zero words
+        result = fpc.compress(data)
+        # Two runs of 8 zeros: 2 x (3 prefix + 3 run) = 12 bits.
+        assert result.compressed_bits == 12
+        assert fpc.decompress(result) == data
+
+    def test_small_signed_values(self, fpc):
+        data = words(1, -1, 7, -8)
+        result = fpc.compress(data)
+        assert result.compressed_bits == 4 * (3 + 4)
+        assert fpc.decompress(result) == data
+
+    def test_byte_signed_values(self, fpc):
+        data = words(100, -100)
+        result = fpc.compress(data)
+        assert result.compressed_bits == 2 * (3 + 8)
+        assert fpc.decompress(result) == data
+
+    def test_halfword_signed(self, fpc):
+        data = words(30000, -30000)
+        result = fpc.compress(data)
+        assert result.compressed_bits == 2 * (3 + 16)
+        assert fpc.decompress(result) == data
+
+    def test_padded_halfword(self, fpc):
+        data = words(0xABCD0000)
+        result = fpc.compress(data)
+        assert result.compressed_bits == 3 + 16
+        assert fpc.decompress(result) == data
+
+    def test_two_half_bytes(self, fpc):
+        # Each halfword is a sign-extended byte: 0x00MM00NN-ish patterns.
+        data = words(0x0042FFC0)  # high half 0x0042 (=66), low 0xFFC0 (=-64)
+        result = fpc.compress(data)
+        assert result.compressed_bits == 3 + 16
+        assert fpc.decompress(result) == data
+
+    def test_repeated_bytes(self, fpc):
+        data = words(0x5A5A5A5A)
+        result = fpc.compress(data)
+        assert result.compressed_bits == 3 + 8
+        assert fpc.decompress(result) == data
+
+    def test_uncompressible_word(self, fpc):
+        data = words(0x12345678)
+        result = fpc.compress(data)
+        assert result.compressed_bits == 3 + 32
+        assert fpc.decompress(result) == data
+
+
+class TestBoundaries:
+    def test_input_must_be_word_multiple(self, fpc):
+        with pytest.raises(ValueError):
+            fpc.compress(b"abc")
+
+    def test_zero_run_capped_at_eight(self, fpc):
+        data = bytes(4 * 9)  # 9 zero words -> runs of 8 + 1
+        result = fpc.compress(data)
+        assert fpc.decompress(result) == data
+        assert result.compressed_bits == 2 * 6
+
+    def test_result_metadata(self, fpc):
+        data = words(0, 0)
+        result = fpc.compress(data)
+        assert result.algorithm == "fpc"
+        assert result.original_size == 8
+        assert result.compressed_bytes == (result.compressed_bits + 7) // 8
+        assert result.ratio > 1.0
+
+
+@settings(max_examples=150, deadline=None)
+@given(st.binary(min_size=4, max_size=256).filter(lambda b: len(b) % 4 == 0))
+def test_roundtrip_arbitrary(data):
+    fpc = FpcCompressor()
+    assert fpc.decompress(fpc.compress(data)) == data
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    st.lists(
+        st.sampled_from([0, 1, -1, 127, -128, 0x7FFF, 0xAB000000, 0x11111111]),
+        min_size=1,
+        max_size=32,
+    )
+)
+def test_roundtrip_patterned_words(values):
+    fpc = FpcCompressor()
+    data = words(*values)
+    result = fpc.compress(data)
+    assert fpc.decompress(result) == data
+    # Patterned data should never exceed raw size by more than prefixes.
+    assert result.compressed_bits <= len(values) * 35

@@ -1,0 +1,147 @@
+"""End-to-end integration: full stack runs and paper-shaped relations."""
+
+import dataclasses
+
+import pytest
+
+from repro.analysis import run_one
+from repro.common.config import CommitConfig
+from repro.core import BaryonController
+from repro.sim import SystemSimulator
+from repro.workloads import ZipfWorkload, build_workload, scaled_system
+
+from tests.conftest import make_small_config, make_small_sim_config
+
+
+def run_baryon(config, trace, sim_config, seed=2):
+    ctrl = BaryonController(config, seed=seed)
+    trace.apply_compressibility(ctrl.oracle)
+    return SystemSimulator(ctrl, sim_config).run(trace), ctrl
+
+
+class TestEndToEnd:
+    @pytest.mark.parametrize(
+        "design", ["simple", "unison", "dice", "baryon", "hybrid2", "baryon-fa"]
+    )
+    def test_every_design_completes_each_domain(self, design):
+        config = make_small_config()
+        sim_config = make_small_sim_config()
+        for workload in ("520.omnetpp_r", "YCSB-B"):
+            result = run_one(workload, design, config, sim_config, n_accesses=2000)
+            assert result.memory_accesses > 0
+            assert 0.0 <= result.serve_rate <= 1.0
+            assert result.ipc > 0
+
+    def test_scaled_system_ratios(self):
+        baryon_cfg, sim_cfg = scaled_system(256)
+        # Capacity ratios of Table I survive scaling.
+        assert baryon_cfg.layout.capacity_ratio == 8
+        assert baryon_cfg.layout.associativity == 4
+        # The stage keeps its 4-way organization and ~1:64 size ratio.
+        assert baryon_cfg.stage.ways == 4
+        ratio = baryon_cfg.layout.fast_capacity / baryon_cfg.stage.size_bytes
+        assert 16 <= ratio <= 128
+        # Latencies are untouched by scaling.
+        assert baryon_cfg.timings.slow_read_latency_cycles == 246
+
+    def test_scaled_system_rejects_bad_scale(self):
+        from repro.common.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            scaled_system(0)
+
+
+class TestPaperShapedRelations:
+    """Relations the paper's evaluation hinges on, at test scale."""
+
+    def make_trace(self, config, theta=1.0, n=6000, seed=6):
+        return ZipfWorkload(
+            "z", 4 * config.layout.fast_capacity, seed=seed, theta=theta
+        ).generate(n)
+
+    def test_compression_improves_serve_and_demand_traffic(self):
+        """On highly compressible data, compression raises the fast-memory
+        serve rate and cuts *demand* slow-memory reads (the paper's core
+        capacity claim). Total slow traffic can transiently rise from the
+        maximal-range prefetches, so it is not asserted here."""
+        config = make_small_config()
+        sim_config = make_small_sim_config()
+        trace = self.make_trace(config)
+        trace.default_profile = "high"
+        with_ctrl = BaryonController(config, seed=2)
+        trace.apply_compressibility(with_ctrl.oracle)
+        with_c = SystemSimulator(with_ctrl, sim_config).run(trace)
+        no_c_config = dataclasses.replace(config, compression_enabled=False)
+        without_ctrl = BaryonController(no_c_config, seed=2)
+        without_c = SystemSimulator(without_ctrl, sim_config).run(trace)
+        assert with_c.serve_rate > without_c.serve_rate
+        assert with_ctrl.devices.slow.stats.get(
+            "demand_read_bytes"
+        ) <= without_ctrl.devices.slow.stats.get("demand_read_bytes")
+
+    def test_stage_area_reduces_fast_traffic_vs_no_stage(self):
+        """Without the stage, every insertion re-sorts the block layout
+        (Fig. 13c: 34.5% average degradation)."""
+        config = make_small_config()
+        sim_config = make_small_sim_config()
+        trace = self.make_trace(config)
+        staged, _ = run_baryon(config, trace, sim_config)
+        nostage_cfg = make_small_config(stage_enabled=False)
+        nostage, _ = run_baryon(nostage_cfg, trace, sim_config)
+        assert staged.ipc >= nostage.ipc * 0.9
+
+    def test_commit_miss_rate_below_stage_miss_rate(self):
+        """Fig. 3: committed blocks miss far less than just-staged ones."""
+        from repro.core.tracking import StagePhaseTracker
+
+        config = make_small_config()
+        tracker = StagePhaseTracker()
+        ctrl = BaryonController(config, tracker=tracker, seed=2)
+        trace = self.make_trace(config, n=12000)
+        trace.apply_compressibility(ctrl.oracle)
+        SystemSimulator(ctrl, make_small_sim_config()).run(trace)
+        if tracker.miss_rate("S") > 0 and any(
+            cat == "C" for cat, _ in tracker.breakdown
+        ):
+            assert tracker.miss_rate("C") <= tracker.miss_rate("S") * 1.5
+
+    def test_zero_heavy_data_boosts_serve_rate(self):
+        config = make_small_config()
+        sim_config = make_small_sim_config()
+        trace = self.make_trace(config)
+        trace.default_profile = "zero_heavy"
+        zero_heavy, _ = run_baryon(config, trace, sim_config)
+        trace.default_profile = "incompressible"
+        incompressible, _ = run_baryon(config, trace, sim_config)
+        assert zero_heavy.serve_rate > incompressible.serve_rate
+
+    def test_selective_commit_not_worse_than_commit_all(self):
+        config = make_small_config()
+        sim_config = make_small_sim_config()
+        trace = self.make_trace(config, n=8000)
+        selective, _ = run_baryon(config, trace, sim_config)
+        all_cfg = dataclasses.replace(config, commit=CommitConfig(commit_all=True))
+        commit_all, _ = run_baryon(all_cfg, trace, sim_config)
+        assert selective.ipc >= commit_all.ipc * 0.85
+
+    def test_compressed_writeback_saves_slow_bandwidth(self):
+        config = make_small_config()
+        sim_config = make_small_sim_config()
+        trace = ZipfWorkload(
+            "z", 4 * config.layout.fast_capacity, seed=6, write_fraction=0.5
+        ).generate(8000)
+        trace.default_profile = "high"
+        on, _ = run_baryon(config, trace, sim_config)
+        off_cfg = dataclasses.replace(config, compressed_writeback=False)
+        off, _ = run_baryon(off_cfg, trace, sim_config)
+        assert on.slow_traffic_bytes <= off.slow_traffic_bytes
+
+    def test_flat_mode_serves_resident_homes_fast(self):
+        config = make_small_config(flat=1.0)
+        sim_config = make_small_sim_config()
+        # Footprint just above fast capacity: mostly home-fast accesses.
+        trace = ZipfWorkload(
+            "z", int(1.3 * config.layout.fast_capacity), seed=8
+        ).generate(5000)
+        result, ctrl = run_baryon(config, trace, sim_config)
+        assert result.serve_rate > 0.5

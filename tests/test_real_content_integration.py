@@ -1,0 +1,81 @@
+"""Controller invariants under the real-content (FPC/BDI) oracle.
+
+The synthetic oracle is calibrated against the real compressors; this file
+closes the loop the other way: the full controller state machine is fuzzed
+with every compression decision made by actually compressing bytes, and
+the structural invariants must still hold.
+"""
+
+import random
+
+import pytest
+
+from repro.core import BaryonController
+from repro.workloads.datagen import ContentBackedCompressibility, ContentStore
+
+from tests.conftest import make_small_config
+from tests.test_controller_invariants import check_invariants
+
+
+@pytest.mark.parametrize("pattern", ["zeros", "small_ints", "deltas", "random"])
+def test_invariants_with_real_compression(pattern):
+    config = make_small_config(fast_mb=2, stage_kb=128)
+    ctrl = BaryonController(config, seed=2)
+    store = ContentStore(pattern=pattern, seed=4)
+    ctrl.oracle = ContentBackedCompressibility(store, write_noise=0.15, seed=4)
+    rng = random.Random(6)
+    footprint = 4 * config.layout.fast_capacity
+    for _ in range(800):
+        addr = (rng.randrange(footprint) // 64) * 64
+        if rng.random() < 0.5:
+            addr = (rng.randrange(footprint // 8) // 64) * 64
+        ctrl.access(addr, rng.random() < 0.3)
+    check_invariants(ctrl)
+
+
+def test_zero_pattern_stages_zero_blocks_for_free():
+    config = make_small_config(fast_mb=2, stage_kb=128)
+    ctrl = BaryonController(config, seed=2)
+    ctrl.oracle = ContentBackedCompressibility(
+        ContentStore(pattern="zeros", seed=1), write_noise=0.0
+    )
+    for block in range(16):
+        ctrl.access(block * 2048, False)
+    assert ctrl.stats.get("zero_block_stages") == 16
+    assert ctrl.devices.slow.stats.get("read_bytes") == 0
+
+
+def test_random_pattern_never_compresses():
+    config = make_small_config(fast_mb=2, stage_kb=128)
+    ctrl = BaryonController(config, seed=2)
+    ctrl.oracle = ContentBackedCompressibility(
+        ContentStore(pattern="random", seed=1), write_noise=0.0
+    )
+    rng = random.Random(3)
+    for _ in range(400):
+        addr = (rng.randrange(2 << 20) // 64) * 64
+        ctrl.access(addr, False)
+    for set_index in range(ctrl.stage.num_sets):
+        for way in range(ctrl.stage.ways):
+            for slot in ctrl.stage.entry(set_index, way).slots:
+                assert slot is None or (slot.cf == 1 and not slot.zero)
+
+
+def test_compressible_pattern_forms_wide_ranges():
+    config = make_small_config(fast_mb=2, stage_kb=128)
+    ctrl = BaryonController(config, seed=2)
+    ctrl.oracle = ContentBackedCompressibility(
+        ContentStore(pattern="small_ints", seed=1), write_noise=0.0
+    )
+    rng = random.Random(3)
+    for _ in range(400):
+        addr = (rng.randrange(2 << 20) // 64) * 64
+        ctrl.access(addr, False)
+    widths = [
+        slot.cf
+        for set_index in range(ctrl.stage.num_sets)
+        for way in range(ctrl.stage.ways)
+        for slot in ctrl.stage.entry(set_index, way).slots
+        if slot is not None and not slot.zero
+    ]
+    assert widths and max(widths) >= 2

@@ -1,0 +1,217 @@
+"""Remap entries (Fig. 5b): rules, sorted-position lookup, encodings."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.common.errors import MetadataError
+from repro.metadata.remap import RemapEntry, RemapTable, locate_sub_block
+
+
+def make_entry(ranges, pointer=0, num_subs=8):
+    """Build an entry from (start, cf) ranges."""
+    remap = cf2 = cf4 = 0
+    for start, cf in ranges:
+        for sub in range(start, start + cf):
+            remap |= 1 << sub
+        if cf == 2:
+            cf2 |= 1 << (start // 2)
+        elif cf == 4:
+            cf4 |= 1 << (start // 4)
+    return RemapEntry(remap=remap, pointer=pointer, cf2=cf2, cf4=cf4, num_subs=num_subs)
+
+
+class TestValidation:
+    def test_cf4_requires_full_quad(self):
+        with pytest.raises(MetadataError):
+            RemapEntry(remap=0b0000_0111, cf4=0b01)
+
+    def test_cf2_requires_full_pair(self):
+        with pytest.raises(MetadataError):
+            RemapEntry(remap=0b0000_0001, cf2=0b0001)
+
+    def test_cf2_cf4_overlap_rejected(self):
+        with pytest.raises(MetadataError):
+            RemapEntry(remap=0xFF, cf4=0b11, cf2=0b0001)
+
+    def test_all_ones_reserved_for_zero(self):
+        with pytest.raises(MetadataError):
+            RemapEntry(remap=0xFF, cf2=0xF, cf4=0x3)
+
+    def test_hint_state_allowed(self):
+        """Remap cleared but CF bits kept (Sec. III-F writeback hints)."""
+        entry = RemapEntry(remap=0, cf2=0b0011, cf4=0b10)
+        assert not entry.is_remapped
+        assert entry.occupied_slots() == 0
+
+    def test_zero_state(self):
+        entry = RemapEntry(remap=0xFF, zero=True)
+        assert entry.is_remapped
+        assert entry.occupied_slots() == 0
+        assert entry.sub_block_remapped(5)
+        assert entry.ranges() == []
+
+
+class TestRangesAndSlots:
+    def test_range_of(self):
+        entry = make_entry([(0, 1), (2, 2), (4, 4)])
+        assert entry.range_of(0) == (0, 1)
+        assert entry.range_of(2) == (2, 2)
+        assert entry.range_of(3) == (2, 2)
+        assert entry.range_of(6) == (4, 4)
+        assert entry.range_of(1) is None
+
+    def test_ranges_sorted(self):
+        entry = make_entry([(4, 4), (0, 1), (2, 2)])
+        assert entry.ranges() == [(0, 1), (2, 2), (4, 4)]
+
+    def test_occupied_slots_formula(self):
+        """popcount(remap) - popcount(cf2) - 3*popcount(cf4) (Sec. III-C)."""
+        entry = make_entry([(0, 1), (2, 2), (4, 4)])
+        assert entry.occupied_slots() == 3  # 7 remap bits - 1 - 3
+        assert make_entry([(0, 4), (4, 4)]).occupied_slots() == 2
+        assert make_entry([(i, 1) for i in range(8)]).occupied_slots() == 8
+
+    def test_dirty_like_count(self):
+        assert make_entry([(0, 4)]).dirty_like_count() == 4
+
+
+class TestLocateSubBlock:
+    def test_paper_fig5e_example(self):
+        """A0, A2, A4-A7 and B1, B3 committed to block Z: B3 is slot 4."""
+        A = make_entry([(0, 1), (2, 1), (4, 4)], pointer=1)
+        B = make_entry([(1, 1), (3, 1)], pointer=1)
+        entries = [A, B] + [RemapEntry()] * 6
+        assert locate_sub_block(entries, 1, 3) == 4
+        assert locate_sub_block(entries, 1, 1) == 3
+        assert locate_sub_block(entries, 0, 0) == 0
+        assert locate_sub_block(entries, 0, 2) == 1
+        assert locate_sub_block(entries, 0, 6) == 2
+
+    def test_different_pointer_not_counted(self):
+        A = make_entry([(0, 4)], pointer=0)
+        B = make_entry([(0, 1)], pointer=1)
+        entries = [A, B] + [RemapEntry()] * 6
+        assert locate_sub_block(entries, 1, 0) == 0
+
+    def test_zero_block_occupies_nothing(self):
+        A = RemapEntry(remap=0xFF, zero=True, pointer=1)
+        B = make_entry([(0, 1)], pointer=1)
+        entries = [A, B] + [RemapEntry()] * 6
+        assert locate_sub_block(entries, 1, 0) == 0
+        assert locate_sub_block(entries, 0, 3) is None  # zero data has no slot
+
+    def test_unmapped_returns_none(self):
+        entries = [RemapEntry()] * 8
+        assert locate_sub_block(entries, 2, 5) is None
+
+    def test_blk_off_bounds(self):
+        with pytest.raises(MetadataError):
+            locate_sub_block([RemapEntry()] * 8, 8, 0)
+
+    @given(
+        st.lists(
+            st.lists(
+                st.tuples(st.integers(0, 7), st.sampled_from([1, 2, 4])),
+                max_size=4,
+            ),
+            min_size=8,
+            max_size=8,
+        )
+    )
+    @settings(max_examples=120, deadline=None)
+    def test_slots_dense_and_disjoint(self, specs):
+        """Property: remapped sub-blocks of one physical block get slot
+        numbers 0..N-1 with no gaps or collisions."""
+        entries = []
+        for spec in specs:
+            ranges = {}
+            for sub, cf in spec:
+                start = (sub // cf) * cf
+                # Skip overlapping proposals.
+                if any(s < start + cf and start < s + c for s, c in ranges.items()):
+                    continue
+                ranges[start] = cf
+            entries.append(make_entry(list(ranges.items()), pointer=0))
+        positions = []
+        for off, entry in enumerate(entries):
+            for start, _cf in entry.ranges():
+                positions.append(locate_sub_block(entries, off, start))
+        assert sorted(positions) == list(range(len(positions)))
+
+
+class TestEncoding:
+    def test_entry_is_16_bits_at_default(self):
+        assert RemapEntry.entry_bits(pointer_bits=2) == 16
+
+    @given(
+        st.lists(st.tuples(st.integers(0, 1), st.sampled_from([1, 2, 4])), max_size=2),
+        st.integers(0, 3),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_roundtrip(self, spec, pointer):
+        ranges = {}
+        for half, cf in spec:
+            start = half * 4 if cf == 4 else (half * 4 // cf) * cf
+            if start in ranges:
+                continue
+            ranges[start] = cf
+        # Drop overlaps.
+        chosen = {}
+        covered = set()
+        for start, cf in ranges.items():
+            span = set(range(start, start + cf))
+            if span & covered:
+                continue
+            covered |= span
+            chosen[start] = cf
+        entry = make_entry(list(chosen.items()), pointer=pointer)
+        decoded = RemapEntry.decode(entry.encode(), pointer_bits=2)
+        assert decoded == entry
+
+    def test_zero_roundtrip(self):
+        entry = RemapEntry(remap=0xFF, zero=True, pointer=3)
+        decoded = RemapEntry.decode(entry.encode(), pointer_bits=2)
+        assert decoded.zero and decoded.pointer == 3
+
+    def test_wide_geometry(self):
+        entry = RemapEntry(remap=(1 << 32) - 1, zero=True, num_subs=32)
+        decoded = RemapEntry.decode(entry.encode(4), pointer_bits=4, num_subs=32)
+        assert decoded.zero
+        assert RemapEntry.entry_bits(2, 32) == 32 + 2 + 16 + 8
+
+    def test_pointer_overflow_rejected(self):
+        entry = make_entry([(0, 1)], pointer=4)
+        with pytest.raises(MetadataError):
+            entry.encode(pointer_bits=2)
+
+
+class TestRemapTable:
+    def test_default_identity(self):
+        table = RemapTable()
+        assert not table.get(123).is_remapped
+
+    def test_set_get_clear(self):
+        table = RemapTable()
+        table.set(5, make_entry([(0, 2)], pointer=1))
+        assert table.get(5).is_remapped
+        table.clear(5)
+        assert not table.get(5).is_remapped
+
+    def test_unremapped_entries_not_stored(self):
+        table = RemapTable()
+        table.set(5, RemapEntry())
+        assert table.remapped_blocks() == []
+
+    def test_super_block_entries(self):
+        table = RemapTable()
+        table.set(8 * 3 + 2, make_entry([(0, 1)]))
+        line = table.super_block_entries(3)
+        assert len(line) == 8
+        assert line[2].is_remapped
+        assert not line[0].is_remapped
+
+    def test_storage_accounting(self):
+        table = RemapTable(pointer_bits=2)
+        # 16 bits x blocks: 36 GB / 2 kB blocks = ~36 MB.
+        blocks = (36 << 30) // 2048
+        assert table.storage_bytes(blocks) == blocks * 2

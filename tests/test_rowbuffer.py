@@ -1,0 +1,94 @@
+"""DRAM row-buffer/bank model."""
+
+import dataclasses
+
+import pytest
+
+from repro.common.config import MemoryTimings
+from repro.core import BaryonController
+from repro.devices.memory import HybridMemoryDevices
+from repro.devices.rowbuffer import RowBufferModel
+
+from tests.conftest import make_small_config
+
+
+class TestRowBufferModel:
+    def make(self):
+        return RowBufferModel(channels=1, banks_per_channel=2, row_bytes=2048)
+
+    def test_first_access_is_activation(self):
+        model = self.make()
+        latency = model.access(0)
+        assert latency == model.t_rcd + model.t_cas
+        assert model.activations == 1
+
+    def test_row_hit_is_cas_only(self):
+        model = self.make()
+        model.access(0)
+        assert model.access(64) == model.t_cas
+        assert model.row_hit_rate == 0.5
+
+    def test_conflict_pays_precharge(self):
+        model = self.make()
+        model.access(0)
+        # Same bank, different row: rows interleave across 2 banks, so
+        # row 2 maps back to bank 0.
+        latency = model.access(2 * 2048)
+        assert latency == model.t_rp + model.t_rcd + model.t_cas
+        assert model.stats.get("precharges") == 1
+
+    def test_different_banks_independent(self):
+        model = self.make()
+        model.access(0)            # bank 0, row 0
+        model.access(2048)         # bank 1, row 0
+        assert model.access(64) == model.t_cas   # bank 0 still open
+        assert model.access(2048 + 64) == model.t_cas
+
+    def test_streams_are_row_friendly(self):
+        model = RowBufferModel(channels=4, banks_per_channel=16)
+        for line in range(512):   # one 32 kB stream
+            model.access(line * 64)
+        assert model.row_hit_rate > 0.9
+
+    def test_reset(self):
+        model = self.make()
+        model.access(0)
+        model.reset()
+        assert model.activations == 0
+
+
+class TestIntegration:
+    def test_devices_attach_model_when_configured(self):
+        timings = MemoryTimings(model_row_buffer=True)
+        devices = HybridMemoryDevices(timings)
+        assert devices.fast.row_buffer is not None
+        assert devices.slow.row_buffer is None
+
+    def test_row_hits_cut_fast_latency(self):
+        timings = MemoryTimings(model_row_buffer=True)
+        devices = HybridMemoryDevices(timings)
+        miss = devices.fast.read(0.0, 64, addr=0)
+        hit = devices.fast.read(0.0, 64, addr=64)
+        assert hit.latency_cycles < miss.latency_cycles
+
+    def test_addressless_calls_fall_back(self):
+        timings = MemoryTimings(model_row_buffer=True)
+        devices = HybridMemoryDevices(timings)
+        access = devices.fast.read(0.0, 64)
+        assert access.latency_cycles == timings.fast_read_latency_cycles
+
+    def test_controller_runs_with_row_buffer(self):
+        config = make_small_config()
+        config = dataclasses.replace(
+            config, timings=MemoryTimings(model_row_buffer=True)
+        )
+        ctrl = BaryonController(config, seed=1)
+        import random
+
+        rng = random.Random(5)
+        for _ in range(2000):
+            addr = (rng.randrange(4 * config.layout.fast_capacity) // 64) * 64
+            ctrl.access(addr, rng.random() < 0.3)
+        rb = ctrl.devices.fast.row_buffer
+        assert rb.stats.get("row_hits") + rb.stats.get("row_misses") > 0
+        assert 0.0 <= rb.row_hit_rate <= 1.0

@@ -1,0 +1,79 @@
+"""Selective compression: the paper's future-work extension."""
+
+import dataclasses
+
+import pytest
+
+from repro.common.config import CompressionConfig
+from repro.common.errors import ConfigurationError
+from repro.compression.synthetic import PROFILE_LIBRARY, SyntheticCompressibility
+from repro.core import BaryonController
+
+from tests.conftest import make_small_config
+
+
+def make(selective, profile_name, threshold=1.3):
+    comp = CompressionConfig(selective=selective, selective_threshold=threshold)
+    config = dataclasses.replace(make_small_config(), compression=comp)
+    ctrl = BaryonController(config, seed=1)
+    ctrl.oracle.set_default_profile(PROFILE_LIBRARY[profile_name])
+    return ctrl
+
+
+class TestSelectiveCompression:
+    def test_incompressible_regions_skip(self):
+        ctrl = make(True, "incompressible")
+        ctrl.access(0, False)
+        assert ctrl.stats.get("compression_skips") == 1
+        found = ctrl.stage.lookup_sub_block(0, 0, 0)
+        assert found[1].slots[found[2]].cf == 1
+
+    def test_compressible_regions_still_compress(self):
+        ctrl = make(True, "high")
+        seen_wide = False
+        for block in range(24):
+            ctrl.access(block * 2048, False)
+            hit = ctrl.stage.lookup_sub_block(block // 8, block % 8, 0)
+            if hit is not None and hit[1].slots[hit[2]].cf > 1:
+                seen_wide = True
+        assert seen_wide
+        assert ctrl.stats.get("compression_skips") == 0
+
+    def test_disabled_by_default(self):
+        ctrl = make(False, "incompressible")
+        ctrl.access(0, False)
+        assert ctrl.stats.get("compression_skips") == 0
+
+    def test_threshold_validation(self):
+        with pytest.raises(ConfigurationError):
+            CompressionConfig(selective=True, selective_threshold=0.5)
+
+    def test_oracle_without_profiles_never_skips(self):
+        from repro.compression.synthetic import NullCompressibility
+
+        comp = CompressionConfig(selective=True)
+        config = dataclasses.replace(make_small_config(), compression=comp)
+        ctrl = BaryonController(config, seed=1)
+        ctrl.oracle = NullCompressibility()
+        ctrl.access(0, False)
+        assert ctrl.stats.get("compression_skips") == 0
+
+    def test_selective_reduces_slow_fill_traffic_on_bad_data(self):
+        """On incompressible data, skipping avoids pointless wide fetches
+        the oracle would occasionally approve."""
+        on = make(True, "low")
+        off = make(False, "low")
+        import random
+
+        rng = random.Random(3)
+        addrs = [
+            (rng.randrange(4 * on.config.layout.fast_capacity) // 64) * 64
+            for _ in range(1500)
+        ]
+        for addr in addrs:
+            on.access(addr, False)
+        for addr in addrs:
+            off.access(addr, False)
+        assert on.devices.slow.stats.get("fill_read_bytes") <= off.devices.slow.stats.get(
+            "fill_read_bytes"
+        )

@@ -1,0 +1,143 @@
+"""System simulator, results, and the stage-phase tracker."""
+
+import pytest
+
+from repro.core import BaryonController
+from repro.core.tracking import StagePhaseTracker
+from repro.sim import SimResult, SystemSimulator
+from repro.workloads import StreamWorkload, ZipfWorkload
+
+from tests.conftest import make_small_config, make_small_sim_config
+
+
+def run_small(workload_cls=ZipfWorkload, n=4000, seed=2, **wl_kwargs):
+    config = make_small_config()
+    sim_config = make_small_sim_config()
+    trace = workload_cls(
+        "wl", 4 * config.layout.fast_capacity, seed=seed, **wl_kwargs
+    ).generate(n)
+    ctrl = BaryonController(config, seed=seed)
+    trace.apply_compressibility(ctrl.oracle)
+    sim = SystemSimulator(ctrl, sim_config)
+    return sim.run(trace), ctrl, sim
+
+
+class TestSystemSimulator:
+    def test_result_sanity(self):
+        result, ctrl, sim = run_small()
+        assert result.instructions > 0
+        assert result.cycles > 0
+        assert 0.0 < result.ipc
+        assert 0.0 <= result.serve_rate <= 1.0
+        assert result.memory_accesses > 0
+        assert result.useful_bytes == result.llc_misses * 64
+
+    def test_warmup_excluded(self):
+        """Measured counters must cover less than the whole run."""
+        result, ctrl, sim = run_small()
+        assert result.memory_accesses < ctrl.stats.get("accesses")
+
+    def test_deterministic(self):
+        a, _, _ = run_small(seed=5)
+        b, _, _ = run_small(seed=5)
+        assert a.ipc == pytest.approx(b.ipc)
+        assert a.fast_traffic_bytes == b.fast_traffic_bytes
+
+    def test_traffic_flows_to_devices(self):
+        result, ctrl, _ = run_small()
+        assert result.slow_traffic_bytes > 0
+        assert result.fast_traffic_bytes > 0
+        assert result.bandwidth_bloat > 0
+
+    def test_case_counts_present(self):
+        result, _, _ = run_small()
+        assert sum(result.case_counts.values()) > 0
+
+    def test_energy_reported(self):
+        result, _, _ = run_small()
+        assert result.energy is not None
+        assert result.energy.total_j > 0
+
+    def test_prefetched_lines_install_into_llc(self):
+        result, ctrl, sim = run_small(workload_cls=StreamWorkload, n=3000)
+        assert sim.hierarchy.stats.get("llc_prefetch_installs") > 0
+
+    def test_stream_filtered_by_l1(self):
+        """Sequential 64 B accesses mostly miss (new line each time)."""
+        result, ctrl, sim = run_small(workload_cls=StreamWorkload, n=2000)
+        assert result.llc_misses > 0
+
+    def test_speedup_over(self):
+        a = SimResult(instructions=1000, cycles=100.0)
+        b = SimResult(instructions=1000, cycles=200.0)
+        assert a.speedup_over(b) == pytest.approx(2.0)
+
+    def test_summary_keys(self):
+        result, _, _ = run_small()
+        summary = result.summary()
+        for key in ("ipc", "serve_rate", "bandwidth_bloat", "energy_j"):
+            assert key in summary
+
+
+class TestStagePhaseTracker:
+    def test_breakdown_classification(self):
+        t = StagePhaseTracker()
+        t.tick()
+        t.block_staged(1)
+        t.record(1, staged=True, committed=False, is_write=False, miss=False, overflow=False)
+        t.record(1, staged=True, committed=False, is_write=True, miss=True, overflow=False)
+        t.record(2, staged=False, committed=True, is_write=True, miss=False, overflow=True)
+        assert t.breakdown[("S", "read_hit")] == 1
+        assert t.breakdown[("S", "write_miss")] == 1
+        assert t.breakdown[("C", "write_overflow")] == 1
+
+    def test_fractions_sum_to_one(self):
+        t = StagePhaseTracker()
+        for miss in (True, False, False):
+            t.record(1, True, False, False, miss, False)
+        fractions = t.breakdown_fractions("S")
+        assert sum(fractions.values()) == pytest.approx(1.0)
+        assert t.miss_rate("S") == pytest.approx(1 / 3)
+
+    def test_untracked_accesses_ignored(self):
+        t = StagePhaseTracker()
+        t.record(1, staged=False, committed=False, is_write=False, miss=True, overflow=False)
+        assert not t.breakdown
+
+    def test_phase_binning(self):
+        t = StagePhaseTracker(bins=4)
+        t.block_staged(7)
+        # Early misses, late hits: bins must show a decreasing trend.
+        for i in range(40):
+            t.tick()
+            t.record(7, True, False, False, miss=i < 10, overflow=False)
+        t.block_unstaged(7, committed=True)
+        dist = t.mpki_distribution()
+        assert dist[0]["count"] == 1
+        assert dist[0]["mean"] > dist[-1]["mean"]
+
+    def test_phase_requires_events(self):
+        t = StagePhaseTracker()
+        t.block_staged(9)
+        t.block_unstaged(9, committed=False)  # no events: not sampled
+        assert all(b.get("count", 0.0) == 0.0 for b in t.mpki_distribution())
+
+    def test_sample_cap(self):
+        t = StagePhaseTracker(sample_blocks=1)
+        for block in (1, 2):
+            t.block_staged(block)
+            for _ in range(4):
+                t.tick()
+                t.record(block, True, False, False, miss=True, overflow=False)
+            t.block_unstaged(block, committed=True)
+        assert t._sampled_phases == 1
+
+    def test_tracker_wired_into_controller(self):
+        config = make_small_config()
+        tracker = StagePhaseTracker()
+        ctrl = BaryonController(config, tracker=tracker, seed=1)
+        trace = ZipfWorkload("z", 4 * config.layout.fast_capacity, seed=3).generate(3000)
+        trace.apply_compressibility(ctrl.oracle)
+        for addr, w in zip(trace.addrs, trace.writes):
+            ctrl.access(int(addr), bool(w))
+        assert any(cat == "S" for cat, _ in tracker.breakdown)

@@ -1,0 +1,145 @@
+"""Statistics primitives and address mapping helpers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.common.address import AddressMapper, block_aligned, iter_cachelines, iter_sub_blocks
+from repro.common.config import Geometry
+from repro.common.errors import ConfigurationError
+from repro.common.stats import CounterGroup, OnlineStats, RatioStat, geometric_mean
+
+
+class TestCounterGroup:
+    def test_unknown_counters_read_zero(self):
+        c = CounterGroup()
+        assert c.get("nope") == 0
+        assert c["nope"] == 0
+
+    def test_inc_and_total(self):
+        c = CounterGroup("x")
+        c.inc("a")
+        c.inc("a", 4)
+        c.inc("b", 2)
+        assert c.get("a") == 5
+        assert c.total("a", "b") == 7
+
+    def test_merge(self):
+        a, b = CounterGroup(), CounterGroup()
+        a.inc("x", 3)
+        b.inc("x", 2)
+        b.inc("y", 1)
+        a.merge(b)
+        assert a.get("x") == 5 and a.get("y") == 1
+
+    def test_snapshot_is_copy(self):
+        c = CounterGroup()
+        c.inc("a")
+        snap = c.as_dict()
+        c.inc("a")
+        assert snap["a"] == 1
+
+
+class TestRatioStat:
+    def test_rate(self):
+        r = RatioStat()
+        for hit in (True, True, False, True):
+            r.record(hit)
+        assert r.rate == pytest.approx(0.75)
+
+    def test_empty_rate_is_zero(self):
+        assert RatioStat().rate == 0.0
+
+
+class TestOnlineStats:
+    def test_mean_and_std_match_numpy(self):
+        rng = np.random.default_rng(3)
+        data = rng.normal(10, 2, 500)
+        stats = OnlineStats()
+        stats.extend(data)
+        assert stats.mean == pytest.approx(float(np.mean(data)))
+        assert stats.stddev == pytest.approx(float(np.std(data, ddof=1)), rel=1e-6)
+        assert stats.minimum == pytest.approx(float(data.min()))
+        assert stats.maximum == pytest.approx(float(data.max()))
+
+    def test_percentiles_match_numpy(self):
+        rng = np.random.default_rng(5)
+        data = rng.random(321)
+        stats = OnlineStats(keep_samples=True)
+        stats.extend(data)
+        for q in (0.05, 0.25, 0.5, 0.75, 0.95):
+            assert stats.percentile(q) == pytest.approx(
+                float(np.quantile(data, q)), abs=1e-9
+            )
+
+    def test_percentile_requires_samples(self):
+        with pytest.raises(ValueError):
+            OnlineStats().percentile(0.5)
+
+    def test_single_value(self):
+        s = OnlineStats(keep_samples=True)
+        s.add(42.0)
+        assert s.percentile(0.5) == 42.0
+        assert s.variance == 0.0
+
+
+class TestGeometricMean:
+    def test_known_value(self):
+        assert geometric_mean([1, 4]) == pytest.approx(2.0)
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, 0.0])
+
+    def test_empty(self):
+        assert geometric_mean([]) == 0.0
+
+
+class TestAddressMapper:
+    def test_split_roundtrip(self):
+        g = Geometry()
+        mapper = AddressMapper(g, 128)
+        for super_id in (0, 1, 127, 128, 99999):
+            addr = super_id * g.super_block_size + 1234
+            index, tag = mapper.split(addr)
+            assert mapper.super_block_of(index, tag) == super_id
+
+    @given(st.integers(min_value=0, max_value=1 << 40), st.sampled_from([32, 128, 8192]))
+    @settings(max_examples=100, deadline=None)
+    def test_split_roundtrip_property(self, super_id, num_sets):
+        g = Geometry()
+        mapper = AddressMapper(g, num_sets)
+        index = mapper.set_index_of_super(super_id)
+        tag = mapper.tag_of_super(super_id)
+        assert mapper.super_block_of(index, tag) == super_id
+        assert 0 <= index < num_sets
+
+    def test_same_super_same_set(self):
+        g = Geometry()
+        mapper = AddressMapper(g, 64)
+        base = 77 * g.super_block_size
+        indices = {mapper.set_index(base + off) for off in range(0, g.super_block_size, g.block_size)}
+        assert len(indices) == 1
+
+    def test_rejects_non_positive_sets(self):
+        with pytest.raises(ConfigurationError):
+            AddressMapper(Geometry(), 0)
+
+
+class TestIterators:
+    def test_iter_sub_blocks(self):
+        g = Geometry()
+        subs = list(iter_sub_blocks(3 * g.block_size + 100, g))
+        assert len(subs) == 8
+        assert subs[0] == 3 * g.block_size
+        assert subs[-1] == 3 * g.block_size + 7 * 256
+
+    def test_iter_cachelines(self):
+        g = Geometry()
+        lines = list(iter_cachelines(512 + 70, g))
+        assert lines == [512, 576, 640, 704]
+
+    def test_block_aligned(self):
+        g = Geometry()
+        assert block_aligned(4096, g)
+        assert not block_aligned(4097, g)

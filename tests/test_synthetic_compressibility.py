@@ -1,0 +1,126 @@
+"""Synthetic compressibility oracle: determinism, monotonicity, profiles."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.common.errors import ConfigurationError
+from repro.compression.synthetic import (
+    PROFILE_LIBRARY,
+    CompressibilityProfile,
+    NullCompressibility,
+    SyntheticCompressibility,
+)
+
+
+class TestProfile:
+    def test_validation_bounds(self):
+        with pytest.raises(ConfigurationError):
+            CompressibilityProfile(p_cf4=1.5)
+        with pytest.raises(ConfigurationError):
+            CompressibilityProfile(p_cf4=0.8, p_cf2=0.5)
+
+    def test_effective_p_monotone_in_cf(self):
+        profile = PROFILE_LIBRARY["medium"]
+        assert profile.effective_p(4, False) <= profile.effective_p(2, False)
+        assert profile.effective_p(1, False) == 1.0
+
+    def test_cacheline_alignment_penalty(self):
+        profile = PROFILE_LIBRARY["medium"]
+        assert profile.effective_p(2, True) < profile.effective_p(2, False)
+
+    def test_expected_cf_ordering_across_profiles(self):
+        cfs = {name: p.expected_cf() for name, p in PROFILE_LIBRARY.items()}
+        assert cfs["incompressible"] < cfs["low"] < cfs["medium"] < cfs["high"]
+        assert cfs["incompressible"] < 1.15
+        assert 1.5 < cfs["medium"] < 2.5
+
+    def test_expected_cf_in_range(self):
+        for profile in PROFILE_LIBRARY.values():
+            assert 1.0 <= profile.expected_cf() <= 4.0
+
+
+class TestOracle:
+    def test_deterministic(self):
+        a = SyntheticCompressibility(seed=7)
+        b = SyntheticCompressibility(seed=7)
+        for block in range(50):
+            assert a.max_cf(block, 3) == b.max_cf(block, 3)
+            assert a.is_zero(block, 0, 8) == b.is_zero(block, 0, 8)
+
+    def test_seeds_differ(self):
+        a = SyntheticCompressibility(seed=1)
+        b = SyntheticCompressibility(seed=2)
+        diffs = sum(a.max_cf(i, 0) != b.max_cf(i, 0) for i in range(200))
+        assert diffs > 0
+
+    @given(st.integers(min_value=0, max_value=10_000), st.integers(min_value=0, max_value=7))
+    @settings(max_examples=200, deadline=None)
+    def test_monotonicity(self, block, sub):
+        """A fitting 4-range implies its containing 2-range fits."""
+        oracle = SyntheticCompressibility(seed=3)
+        quad = (sub // 4) * 4
+        pair = (sub // 2) * 2
+        if oracle.fits(block, quad, 4):
+            assert oracle.fits(block, pair, 2)
+
+    def test_cf1_always_fits(self):
+        oracle = SyntheticCompressibility()
+        assert oracle.fits(1, 3, 1)
+
+    def test_max_cf_consistent_with_fits(self):
+        oracle = SyntheticCompressibility(seed=11)
+        for block in range(100):
+            for sub in range(8):
+                cf = oracle.max_cf(block, sub)
+                start = (sub // cf) * cf
+                assert oracle.fits(block, start, cf)
+
+    def test_regions_override_default(self):
+        oracle = SyntheticCompressibility(seed=5)
+        oracle.set_default_profile(PROFILE_LIBRARY["incompressible"])
+        oracle.add_region(100, 200, PROFILE_LIBRARY["high"])
+        assert oracle.profile_of(150).name == "high"
+        assert oracle.profile_of(50).name == "incompressible"
+
+    def test_region_bounds_validated(self):
+        oracle = SyntheticCompressibility()
+        with pytest.raises(ConfigurationError):
+            oracle.add_region(10, 5, PROFILE_LIBRARY["high"])
+
+    def test_note_write_bumps_version_eventually(self):
+        oracle = SyntheticCompressibility(seed=9)
+        oracle.set_default_profile(
+            CompressibilityProfile("writey", write_instability=0.5)
+        )
+        changed = [oracle.note_write(42, i % 8) for i in range(64)]
+        assert any(changed)
+        assert oracle.version_of(42) == sum(changed)
+
+    def test_version_changes_rerolls(self):
+        oracle = SyntheticCompressibility(seed=13)
+        oracle.set_default_profile(
+            CompressibilityProfile("flip", p_cf4=0.5, p_cf2=0.75, write_instability=1.0)
+        )
+        before = [oracle.max_cf(7, s) for s in range(8)]
+        for _ in range(8):
+            oracle.note_write(7, 0)
+        after = [oracle.max_cf(7, s) for s in range(8)]
+        # With 8 version bumps at 50% fit probability, some range changed.
+        assert before != after
+
+    def test_empirical_rate_tracks_profile(self):
+        oracle = SyntheticCompressibility(seed=21)
+        profile = PROFILE_LIBRARY["medium"]
+        hits = sum(oracle.fits(b, 0, 4, cacheline_aligned=False) for b in range(4000))
+        assert abs(hits / 4000 - profile.p_cf4) < 0.05
+
+
+class TestNullOracle:
+    def test_everything_cf1(self):
+        oracle = NullCompressibility()
+        assert oracle.max_cf(5, 3) == 1
+        assert oracle.fits(5, 0, 1)
+        assert not oracle.fits(5, 0, 2)
+        assert not oracle.is_zero(5, 0, 8)
+        assert not oracle.note_write(5, 0)
+        assert oracle.version_of(5) == 0

@@ -1,0 +1,75 @@
+"""Trace persistence and the paper's on-chip metadata claims in action."""
+
+import numpy as np
+import pytest
+
+from repro.core import BaryonController
+from repro.workloads import ZipfWorkload, build_workload
+
+from tests.conftest import make_small_config
+
+
+class TestTraceIO:
+    def test_roundtrip(self, tmp_path):
+        trace = build_workload("YCSB-B", 4 << 20, n_accesses=500, seed=3)
+        path = tmp_path / "trace.npz"
+        trace.save(path)
+        loaded = type(trace).load(path)
+        assert loaded.name == trace.name
+        assert loaded.footprint_bytes == trace.footprint_bytes
+        assert loaded.default_profile == trace.default_profile
+        assert loaded.regions == trace.regions
+        assert (loaded.addrs == trace.addrs).all()
+        assert (loaded.writes == trace.writes).all()
+        assert (loaded.igaps == trace.igaps).all()
+        assert (loaded.cores == trace.cores).all()
+
+    def test_roundtrip_without_regions(self, tmp_path):
+        trace = ZipfWorkload("z", 2 << 20, seed=1).generate(200)
+        path = tmp_path / "plain.npz"
+        trace.save(path)
+        loaded = type(trace).load(path)
+        assert loaded.regions == []
+        assert len(loaded) == len(trace)
+
+    def test_loaded_trace_drives_simulation(self, tmp_path):
+        from repro.sim import SystemSimulator
+        from tests.conftest import make_small_sim_config
+
+        trace = build_workload("YCSB-B", 4 << 20, n_accesses=1500, seed=3)
+        path = tmp_path / "trace.npz"
+        trace.save(path)
+        loaded = type(trace).load(path)
+        ctrl = BaryonController(make_small_config(), seed=1)
+        loaded.apply_compressibility(ctrl.oracle)
+        result = SystemSimulator(ctrl, make_small_sim_config()).run(loaded)
+        assert result.memory_accesses > 0
+
+
+class TestMetadataClaimsInAction:
+    def test_remap_cache_hit_rate_above_90_percent(self):
+        """Sec. III-B/III-C: the 32 kB remap cache achieves >90% hit rates
+        on workloads with reasonable locality."""
+        config = make_small_config()
+        ctrl = BaryonController(config, seed=2)
+        trace = ZipfWorkload(
+            "z", 2 * config.layout.fast_capacity, seed=4, theta=1.0
+        ).generate(8000)
+        trace.apply_compressibility(ctrl.oracle)
+        for addr, w in zip(trace.addrs, trace.writes):
+            ctrl.access(int(addr), bool(w))
+        assert ctrl.remap_cache.hit_rate > 0.9
+
+    def test_sram_budget_comparable_to_prior_work(self):
+        """Sec. III-B: stage tag array + remap cache ~= 480 kB at full
+        scale (64 MB stage)."""
+        from repro.common.config import BaryonConfig
+        from repro.metadata.remap_cache import RemapCache
+        from repro.metadata.stage_tag import StageTagArray
+
+        stage_tags = StageTagArray(8192, 4)
+        remap_cache = RemapCache(256, 8)
+        total = stage_tags.storage_bytes() + remap_cache.storage_bytes(
+            entry_bytes=2, tag_bytes=0
+        )
+        assert total == 480 * 1024
