@@ -6,17 +6,37 @@ Examples::
     python -m repro YCSB-A baryon
     python -m repro pr.twitter dice --accesses 50000 --scale 128 --seed 3
     python -m repro 519.lbm_r baryon --flat
+    python -m repro YCSB-A baryon --profile
+
+Observability subcommands (see docs/observability.md)::
+
+    python -m repro trace YCSB-A baryon --out trace.jsonl --accesses 5000
+    python -m repro report YCSB-A baryon --metrics --format prometheus
 """
 
 from __future__ import annotations
 
 import argparse
 import dataclasses
+import json
 import sys
 
 from repro.analysis import DESIGNS, run_one
 from repro.workloads import scaled_system
 from repro.workloads.suite import WORKLOADS
+
+
+def _add_run_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("workload", help="workload name (see --list)")
+    parser.add_argument("design", nargs="?", default="baryon",
+                        help=f"one of {', '.join(DESIGNS)} (default: baryon)")
+    parser.add_argument("--accesses", type=int, default=30_000,
+                        help="trace length (default 30000)")
+    parser.add_argument("--scale", type=int, default=256,
+                        help="capacity scale divisor vs Table I (default 256)")
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--flat", action="store_true",
+                        help="use the flat scheme (75%% flat / 25%% cache split)")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -35,12 +55,155 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--seed", type=int, default=1)
     parser.add_argument("--flat", action="store_true",
                         help="use the flat scheme (75%% flat / 25%% cache split)")
+    parser.add_argument("--profile", action="store_true",
+                        help="time the simulator's phases and print a profile")
     parser.add_argument("--list", action="store_true",
                         help="list workloads and designs, then exit")
     return parser
 
 
+def build_trace_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro trace",
+        description="Run one workload with the structured event tracer on "
+        "and dump the JSONL event stream.",
+    )
+    _add_run_args(parser)
+    parser.add_argument("--out", default="trace.jsonl",
+                        help="JSONL output path (default trace.jsonl)")
+    parser.add_argument("--sample-every", type=int, default=1,
+                        help="keep 1 in N events (default 1 = everything)")
+    parser.add_argument("--ring", type=int, default=1 << 20,
+                        help="in-memory ring capacity (default 1Mi events)")
+    return parser
+
+
+def build_report_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro report",
+        description="Run one workload with tracing on and summarize the "
+        "event stream; --metrics adds the metrics-registry export.",
+    )
+    _add_run_args(parser)
+    parser.add_argument("--metrics", action="store_true",
+                        help="export the metrics registry as well")
+    parser.add_argument("--format", choices=("text", "json", "prometheus"),
+                        default="text", help="metrics export format")
+    parser.add_argument("--profile", action="store_true",
+                        help="include the phase profile in the report")
+    return parser
+
+
+def _validate_workload(workload: str) -> bool:
+    if workload not in WORKLOADS:
+        print(f"unknown workload {workload!r}; use --list", file=sys.stderr)
+        return False
+    return True
+
+
+def _configs(args):
+    config, sim_config = scaled_system(args.scale)
+    if args.flat:
+        layout = dataclasses.replace(config.layout, flat_fraction=0.75)
+        config = dataclasses.replace(config, layout=layout)
+    return config, sim_config
+
+
+def _observed_run(args, tracer=None, metrics=None, profiler=None):
+    config, sim_config = _configs(args)
+    return run_one(
+        args.workload, args.design, config, sim_config,
+        n_accesses=args.accesses, seed=args.seed,
+        tracer=tracer, metrics=metrics, profiler=profiler,
+    )
+
+
+def _print_case_mix(case_counts) -> None:
+    print("  case mix:")
+    total = sum(case_counts.values()) or 1
+    for case, count in sorted(case_counts.items(), key=lambda kv: -kv[1]):
+        print(f"    {case:<12} {count / total:6.1%}")
+
+
+def cmd_trace(argv) -> int:
+    """``python -m repro trace``: dump a JSONL event stream."""
+    from repro.obs import EventTracer
+
+    args = build_trace_parser().parse_args(argv)
+    if not _validate_workload(args.workload):
+        return 2
+    if args.sample_every <= 0 or args.ring <= 0:
+        print("--sample-every and --ring must be positive", file=sys.stderr)
+        return 2
+    with open(args.out, "w", encoding="utf-8") as sink:
+        tracer = EventTracer(
+            capacity=args.ring, sample_every=args.sample_every, sink=sink
+        )
+        _observed_run(args, tracer=tracer)
+        tracer.close()
+    print(f"{args.workload} on {args.design}: "
+          f"{tracer.sampled} events ({tracer.emitted} emitted) -> {args.out}")
+    for etype, count in sorted(tracer.counts_by_type().items()):
+        print(f"  {etype:<16} {count}")
+    return 0
+
+
+def cmd_report(argv) -> int:
+    """``python -m repro report``: run, then summarize trace and metrics."""
+    from repro.obs import EventTracer, MetricsRegistry, PhaseProfiler
+
+    args = build_report_parser().parse_args(argv)
+    if not _validate_workload(args.workload):
+        return 2
+    tracer = EventTracer(capacity=1 << 20)
+    registry = MetricsRegistry() if args.metrics else None
+    profiler = PhaseProfiler() if args.profile else None
+    result = _observed_run(
+        args, tracer=tracer, metrics=registry, profiler=profiler
+    )
+
+    print(f"{args.workload} on {args.design} "
+          f"(1/{args.scale} scale, {args.accesses} accesses)")
+    for key, value in result.summary().items():
+        print(f"  {key:<18} {value:.4f}")
+    breakdown = tracer.case_breakdown()
+    print("  access cases (from trace):")
+    total = sum(breakdown.values()) or 1
+    for case, count in sorted(breakdown.items(), key=lambda kv: -kv[1]):
+        print(f"    {case:<12} {count:>8}  {count / total:6.1%}")
+    print("  events by type:")
+    for etype, count in sorted(tracer.counts_by_type().items()):
+        print(f"    {etype:<16} {count}")
+
+    if registry is not None:
+        if args.format == "json":
+            print(json.dumps(registry.to_json(), indent=2, default=str))
+        elif args.format == "prometheus":
+            print(registry.to_prometheus(), end="")
+        else:
+            for name in registry:
+                metric = registry.get(name)
+                if metric.kind == "histogram":
+                    print(f"  {name}: count={metric.total} mean={metric.mean:.1f} "
+                          f"p50={metric.quantile(0.5):g} p95={metric.quantile(0.95):g}")
+                elif metric.kind == "series":
+                    print(f"  {name}: {len(metric.points)} points, last={metric.last:.4f}")
+                else:
+                    for labels, value in metric.series():
+                        print(f"  {name}{labels}: {value:g}")
+    if profiler is not None:
+        print(profiler.format_report())
+    return 0
+
+
 def main(argv=None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "trace":
+        return cmd_trace(argv[1:])
+    if argv and argv[0] == "report":
+        return cmd_report(argv[1:])
+
     args = build_parser().parse_args(argv)
     if args.list:
         print("designs  :", ", ".join(DESIGNS))
@@ -51,26 +214,22 @@ def main(argv=None) -> int:
     if not args.workload:
         build_parser().print_usage()
         return 2
-    if args.workload not in WORKLOADS:
-        print(f"unknown workload {args.workload!r}; use --list", file=sys.stderr)
+    if not _validate_workload(args.workload):
         return 2
 
-    config, sim_config = scaled_system(args.scale)
-    if args.flat:
-        layout = dataclasses.replace(config.layout, flat_fraction=0.75)
-        config = dataclasses.replace(config, layout=layout)
-    result = run_one(
-        args.workload, args.design, config, sim_config,
-        n_accesses=args.accesses, seed=args.seed,
-    )
+    profiler = None
+    if args.profile:
+        from repro.obs import PhaseProfiler
+
+        profiler = PhaseProfiler()
+    result = _observed_run(args, profiler=profiler)
     print(f"{args.workload} on {args.design} "
           f"(1/{args.scale} scale, {args.accesses} accesses)")
     for key, value in result.summary().items():
         print(f"  {key:<18} {value:.4f}")
-    print("  case mix:")
-    total = sum(result.case_counts.values()) or 1
-    for case, count in sorted(result.case_counts.items(), key=lambda kv: -kv[1]):
-        print(f"    {case:<12} {count / total:6.1%}")
+    _print_case_mix(result.case_counts)
+    if profiler is not None:
+        print(profiler.format_report())
     return 0
 
 

@@ -10,6 +10,7 @@ from repro.common.config import BaryonConfig, SimulationConfig
 from repro.common.errors import ConfigurationError
 from repro.core import BaryonController
 from repro.core.tracking import StagePhaseTracker
+from repro.obs import attach_observability
 from repro.sim import SimResult, SystemSimulator
 from repro.workloads import build_workload
 
@@ -78,16 +79,33 @@ def run_one(
     n_accesses: int = 50_000,
     seed: int = 1,
     tracker: Optional[StagePhaseTracker] = None,
+    tracer=None,
+    metrics=None,
+    profiler=None,
 ) -> SimResult:
-    """Run one (workload, design) cell and return its result."""
+    """Run one (workload, design) cell and return its result.
+
+    ``tracer``/``metrics``/``profiler`` attach the observability layer
+    (see :mod:`repro.obs`) to the controller and simulator; all default
+    to off and cost nothing when absent.
+    """
     trace = build_workload(
         workload, config.layout.fast_capacity, n_accesses=n_accesses, seed=seed
     )
     controller = build_controller(design, config, seed=seed, tracker=tracker)
+    if tracer is not None or metrics is not None:
+        attach_observability(controller, tracer, metrics)
     if hasattr(controller, "oracle"):
         trace.apply_compressibility(controller.oracle)
-    simulator = SystemSimulator(controller, sim_config)
-    return simulator.run(trace, name=workload, design=design)
+    simulator = SystemSimulator(
+        controller, sim_config, metrics=metrics, profiler=profiler
+    )
+    result = simulator.run(trace, name=workload, design=design)
+    if metrics is not None:
+        from repro.obs import collect_run_metrics
+
+        collect_run_metrics(metrics, controller, result=result)
+    return result
 
 
 def run_matrix(

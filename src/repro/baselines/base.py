@@ -14,6 +14,7 @@ from repro.common.config import BaryonConfig
 from repro.common.stats import CounterGroup
 from repro.core.events import AccessResult
 from repro.devices.memory import HybridMemoryDevices
+from repro.obs.tracer import NULL_TRACER
 
 
 class BaselineController(abc.ABC):
@@ -30,6 +31,8 @@ class BaselineController(abc.ABC):
         self.geometry = self.config.geometry
         self.devices = devices or HybridMemoryDevices(self.config.timings)
         self.stats = CounterGroup(self.name)
+        #: Observability hook point; see :mod:`repro.obs`.
+        self.obs = NULL_TRACER
         self._now = 0.0
 
     def _advance(self, now: Optional[float]) -> float:
@@ -43,12 +46,22 @@ class BaselineController(abc.ABC):
     def access(self, addr: int, is_write: bool, now: Optional[float] = None) -> AccessResult:
         """Serve one 64 B memory-level access."""
 
-    def _count(self, result: AccessResult, is_write: bool) -> AccessResult:
+    def _count(
+        self, result: AccessResult, is_write: bool, addr: Optional[int] = None
+    ) -> AccessResult:
         self.stats.inc("accesses")
         self.stats.inc("writes" if is_write else "reads")
         if result.served_fast:
             self.stats.inc("served_fast")
         self.stats.inc(f"case_{result.case.value}")
+        if self.obs.enabled:
+            self.obs.emit(
+                "access", t=self._now, addr=addr,
+                block=None if addr is None else self.geometry.block_id(addr),
+                case=result.case.value, write=is_write,
+                latency=result.latency_cycles, fast=result.served_fast,
+                overflow=result.write_overflow,
+            )
         return result
 
     def serve_rate(self) -> float:

@@ -95,6 +95,7 @@ class DiceCache(BaselineController):
             return self._count(
                 AccessResult(AccessCase.COMMIT_HIT, latency, is_write, False, prefetched),
                 is_write,
+                addr,
             )
 
         # Miss: fetch the line (plus compressible neighbours) from slow.
@@ -131,7 +132,7 @@ class DiceCache(BaselineController):
         )
         self.stats.inc("line_fills")
         return self._count(
-            AccessResult(AccessCase.BLOCK_MISS, latency, is_write), is_write
+            AccessResult(AccessCase.BLOCK_MISS, latency, is_write), is_write, addr
         )
 
     def _recheck_fit(self, now: float, entry: _GroupEntry, addr: int) -> None:

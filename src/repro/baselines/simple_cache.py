@@ -64,6 +64,7 @@ class SimpleCache(BaselineController):
             return self._count(
                 AccessResult(AccessCase.COMMIT_HIT, meta + device.total_cycles, is_write),
                 is_write,
+                addr,
             )
 
         # Miss: respond from slow memory, then fill the whole 2 kB block.
@@ -85,5 +86,5 @@ class SimpleCache(BaselineController):
         cache_set.insert(CacheLine(tag, dirty=is_write))
         self.stats.inc("block_fills")
         return self._count(
-            AccessResult(AccessCase.BLOCK_MISS, latency, is_write), is_write
+            AccessResult(AccessCase.BLOCK_MISS, latency, is_write), is_write, addr
         )

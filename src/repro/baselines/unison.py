@@ -95,7 +95,7 @@ class UnisonCache(BaselineController):
                     line.payload["dirty"].add(line_idx)
                     self.devices.fast.write(now, g.cacheline_size)
                 return self._count(
-                    AccessResult(AccessCase.COMMIT_HIT, latency, is_write), is_write
+                    AccessResult(AccessCase.COMMIT_HIT, latency, is_write), is_write, addr
                 )
             # Footprint miss: fetch the single line from slow memory.
             if is_write:
@@ -109,6 +109,7 @@ class UnisonCache(BaselineController):
             return self._count(
                 AccessResult(AccessCase.STAGE_MISS, latency + demand.total_cycles, is_write),
                 is_write,
+                addr,
             )
 
         # Page miss: allocate and fetch the predicted footprint.
@@ -137,7 +138,7 @@ class UnisonCache(BaselineController):
         self.stats.inc("page_fills")
         self.stats.inc("footprint_fetched_lines", fetch_lines)
         return self._count(
-            AccessResult(AccessCase.BLOCK_MISS, latency, is_write), is_write
+            AccessResult(AccessCase.BLOCK_MISS, latency, is_write), is_write, addr
         )
 
     def _predict_footprint(self, page_id: int, line_idx: int) -> Set[int]:

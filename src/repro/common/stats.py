@@ -40,14 +40,22 @@ class CounterGroup:
     def keys(self) -> Iterable[str]:
         return self._counters.keys()
 
+    def items(self) -> Iterable[tuple]:
+        return self._counters.items()
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._counters
+
     def as_dict(self) -> Dict[str, int]:
         """A snapshot copy of all counters."""
         return dict(self._counters)
 
-    def merge(self, other: "CounterGroup") -> None:
-        """Add every counter of ``other`` into this group."""
+    def merge(self, other: "CounterGroup") -> "CounterGroup":
+        """Add every counter of ``other`` into this group; returns self so
+        sharded runs can fold results: ``reduce(CounterGroup.merge, parts)``."""
         for key, value in other._counters.items():
             self.inc(key, value)
+        return self
 
     def reset(self) -> None:
         self._counters.clear()
@@ -73,6 +81,12 @@ class RatioStat:
         self.total += 1
         if hit:
             self.hits += 1
+
+    def merge(self, other: "RatioStat") -> "RatioStat":
+        """Fold another ratio in (parallel/sharded aggregation); returns self."""
+        self.hits += other.hits
+        self.total += other.total
+        return self
 
     @property
     def rate(self) -> float:
@@ -138,9 +152,12 @@ class OnlineStats:
         return self._max if self._max is not None else 0.0
 
     def percentile(self, q: float) -> float:
-        """Linear-interpolated percentile; requires ``keep_samples=True``."""
+        """Linear-interpolated percentile; requires ``keep_samples=True``
+        and ``0 <= q <= 1`` (q=0 is the minimum, q=1 the maximum)."""
         if self._samples is None:
             raise ValueError("percentile() requires keep_samples=True")
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("percentile requires 0 <= q <= 1")
         if not self._samples:
             return 0.0
         data = sorted(self._samples)

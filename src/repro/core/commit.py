@@ -24,6 +24,7 @@ from dataclasses import dataclass
 
 from repro.common.config import CommitConfig
 from repro.common.stats import CounterGroup
+from repro.obs.tracer import NULL_TRACER
 
 
 @dataclass(frozen=True)
@@ -42,6 +43,8 @@ class CommitPolicy:
     def __init__(self, config: CommitConfig | None = None) -> None:
         self.config = config or CommitConfig()
         self.stats = CounterGroup("commit_policy")
+        #: Observability hook point; see :mod:`repro.obs`.
+        self.obs = NULL_TRACER
 
     def decide(
         self,
@@ -61,12 +64,22 @@ class CommitPolicy:
         dirty = float(dirty_stage - dirty_area)
         if self.config.commit_all:
             self.stats.inc("commits")
-            return CommitDecision(True, float("inf"), stability, dirty)
-        k = self.config.effective_k()
-        if k == float("inf"):
-            benefit = stability
+            decision = CommitDecision(True, float("inf"), stability, dirty)
         else:
-            benefit = k * stability + dirty
-        commit = benefit >= 0
-        self.stats.inc("commits" if commit else "evictions")
-        return CommitDecision(commit, benefit, stability, dirty)
+            k = self.config.effective_k()
+            if k == float("inf"):
+                benefit = stability
+            else:
+                benefit = k * stability + dirty
+            commit = benefit >= 0
+            self.stats.inc("commits" if commit else "evictions")
+            decision = CommitDecision(commit, benefit, stability, dirty)
+        if self.obs.enabled:
+            self.obs.emit(
+                "commit_decision",
+                commit=decision.commit, benefit=decision.benefit,
+                stability=decision.stability_term, dirty=decision.dirty_term,
+                mru_miss_cnt=mru_miss_cnt, victim_miss_cnt=victim_miss_cnt,
+                dirty_stage=dirty_stage, dirty_area=dirty_area,
+            )
+        return decision

@@ -43,6 +43,7 @@ from repro.devices.memory import HybridMemoryDevices
 from repro.metadata.remap import RemapEntry, RemapTable
 from repro.metadata.remap_cache import RemapCache
 from repro.metadata.stage_tag import RangeSlot, StageTagEntry
+from repro.obs.tracer import NULL_TRACER
 
 
 class BaryonController:
@@ -56,6 +57,8 @@ class BaryonController:
         compressibility: Optional[SyntheticCompressibility] = None,
         tracker: Optional[StagePhaseTracker] = None,
         seed: int = 1,
+        tracer=None,
+        metrics=None,
     ) -> None:
         self.config = config or BaryonConfig()
         self.geometry = self.config.geometry
@@ -78,6 +81,12 @@ class BaryonController:
         self.stage = StageArea(self.config.stage, self.geometry)
         self._rng = random.Random(seed)
         self.stats = CounterGroup("baryon")
+        #: Observability hook point; see :mod:`repro.obs`. Attached here
+        #: and on every instrumented sub-component by
+        #: :func:`repro.obs.attach_observability`.
+        self.obs = NULL_TRACER
+        self._h_fetch_subs = None
+        self._h_fetch_bytes = None
         self._now = 0.0
 
         # Committed area sizing: fast capacity net of the stage area and
@@ -123,6 +132,25 @@ class BaryonController:
         # Fully-associative victim selection is FIFO (Sec. III-E): a
         # cycling pointer instead of an O(ways) recency scan.
         self._fa_victim_ptr = 0
+
+        if tracer is not None or metrics is not None:
+            from repro.obs import attach_observability
+
+            attach_observability(self, tracer, metrics)
+
+    def bind_metrics(self, registry) -> None:
+        """Register this controller's histograms in a metrics registry."""
+        subs = self.geometry.sub_blocks_per_block
+        self._h_fetch_subs = registry.histogram(
+            "repro_fetch_sub_blocks",
+            help="sub-blocks covered per slow-memory fetch range",
+            buckets=[2 ** i for i in range(subs.bit_length())],
+        )
+        self._h_fetch_bytes = registry.histogram(
+            "repro_fetch_bytes",
+            help="bytes moved from slow memory per fetch (compressed size)",
+            buckets=[self.geometry.cacheline_size * 2 ** i for i in range(8)],
+        )
 
     # ------------------------------------------------------------------ API
     def access(self, addr: int, is_write: bool, now: Optional[float] = None) -> AccessResult:
@@ -211,6 +239,13 @@ class BaryonController:
         self.stats.inc(f"case_{result.case.value}")
         if result.served_fast:
             self.stats.inc("served_fast")
+        if self.obs.enabled:
+            self.obs.emit(
+                "access", t=now, addr=addr, block=block_id,
+                case=result.case.value, write=is_write,
+                latency=result.latency_cycles, fast=result.served_fast,
+                overflow=result.write_overflow,
+            )
         if self.tracker is not None and result.case is not AccessCase.FAST_HOME:
             self.tracker.record(
                 block_id,
@@ -688,6 +723,9 @@ class BaryonController:
         if rest:
             self.devices.slow.read(now, rest, demand=False)
         self.devices.fast.write(now, g.sub_block_size)
+        if self._h_fetch_subs is not None:
+            self._h_fetch_subs.observe(cf)
+            self._h_fetch_bytes.observe(fetch_bytes)
 
         slot = RangeSlot(cf=cf, dirty=is_write, blk_off=blk_off, sub_start=start)
         self._stage_insert(now, super_id, block_id, blk_off, slot)
@@ -906,6 +944,10 @@ class BaryonController:
             self.devices.fast.read(now, nbytes, demand=False)
             self.devices.slow.write(now, nbytes)
             self.stats.inc("stage_dirty_writebacks")
+            if self.obs.enabled:
+                self.obs.emit(
+                    "writeback", block=block_id, bytes=nbytes, kind="stage_dirty"
+                )
 
     def _record_hint(self, block_id: int, slot: RangeSlot) -> None:
         cf2, cf4, zero = self._cf_hints.get(block_id, (0, 0, False))
@@ -1119,6 +1161,11 @@ class BaryonController:
                 if nbytes:
                     self.devices.fast.read(now, nbytes, demand=False)
                     self.devices.slow.write(now, nbytes)
+                    if self.obs.enabled:
+                        self.obs.emit(
+                            "writeback", block=block_id, bytes=nbytes,
+                            kind="flat_undo",
+                        )
             else:
                 dirty_subs = {
                     s for b, s in state.dirty_subs if b == blk_off
@@ -1134,6 +1181,11 @@ class BaryonController:
                     self.devices.fast.read(now, nbytes, demand=False)
                     self.devices.slow.write(now, nbytes)
                     self.stats.inc("commit_dirty_writebacks")
+                    if self.obs.enabled:
+                        self.obs.emit(
+                            "writeback", block=block_id, bytes=nbytes,
+                            kind="commit_dirty",
+                        )
             if self.config.compressed_writeback and not entry.zero:
                 self._cf_hints[block_id] = (entry.cf2, entry.cf4, False)
             self.remap_table.clear(block_id)

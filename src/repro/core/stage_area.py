@@ -23,6 +23,7 @@ from repro.common.config import Geometry, StageConfig
 from repro.common.errors import LayoutError
 from repro.common.stats import CounterGroup
 from repro.metadata.stage_tag import RangeSlot, StageTagArray, StageTagEntry
+from repro.obs.tracer import NULL_TRACER
 
 
 class StageArea:
@@ -40,6 +41,8 @@ class StageArea:
         self.mru_miss_cnt: List[int] = [0] * self.num_sets
         self._set_accesses: List[int] = [0] * self.num_sets
         self.stats = CounterGroup("stage_area")
+        #: Observability hook point; see :mod:`repro.obs`.
+        self.obs = NULL_TRACER
 
     # -- lookup ------------------------------------------------------------
     def lookup_super(self, super_id: int) -> List[Tuple[int, StageTagEntry]]:
@@ -136,6 +139,11 @@ class StageArea:
         entry = self.tags.entry(set_index, way)
         if not entry.valid:
             raise LayoutError("invalidating an already-invalid stage entry")
+        if self.obs.enabled:
+            self.obs.emit(
+                "stage_evict", set=set_index, way=way, tag=entry.tag,
+                occupied=entry.occupancy(),
+            )
         snapshot = StageTagEntry(
             tag=entry.tag,
             valid=True,
@@ -164,6 +172,12 @@ class StageArea:
         if free is None:
             raise LayoutError("insert_range into a full stage block")
         entry.slots[free] = slot
+        if self.obs.enabled:
+            self.obs.emit(
+                "stage_insert", set=set_index, way=way, blk_off=slot.blk_off,
+                sub_start=slot.sub_start, cf=slot.cf, dirty=slot.dirty,
+                zero=slot.zero,
+            )
         return free
 
     def fifo_victim_slot(self, set_index: int, way: int) -> int:

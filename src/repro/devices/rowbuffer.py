@@ -22,6 +22,7 @@ from __future__ import annotations
 from typing import Dict, Tuple
 
 from repro.common.stats import CounterGroup
+from repro.obs.tracer import NULL_TRACER
 
 
 class RowBufferModel:
@@ -44,6 +45,8 @@ class RowBufferModel:
         self.t_rp = t_rp
         self._open_rows: Dict[int, int] = {}
         self.stats = CounterGroup("row_buffer")
+        #: Observability hook point; see :mod:`repro.obs`.
+        self.obs = NULL_TRACER
 
     def _locate(self, addr: int) -> Tuple[int, int]:
         """(bank index, row id) for a byte address.
@@ -61,9 +64,13 @@ class RowBufferModel:
         open_row = self._open_rows.get(bank)
         if open_row == row:
             self.stats.inc("row_hits")
+            if self.obs.enabled:
+                self.obs.emit("rowbuffer", bank=bank, row=row, hit=True, closed=None)
             return self.t_cas
         self._open_rows[bank] = row
         self.stats.inc("row_misses")
+        if self.obs.enabled:
+            self.obs.emit("rowbuffer", bank=bank, row=row, hit=False, closed=open_row)
         if open_row is not None:
             self.stats.inc("precharges")
             return self.t_rp + self.t_rcd + self.t_cas

@@ -17,6 +17,7 @@ from typing import List
 
 from repro.cache.replacement import CacheLine, LruSet
 from repro.common.stats import CounterGroup, RatioStat
+from repro.obs.tracer import NULL_TRACER
 
 
 class RemapCache:
@@ -36,6 +37,8 @@ class RemapCache:
         self._sets: List[LruSet] = [LruSet(ways) for _ in range(num_sets)]
         self.stats = CounterGroup("remap_cache")
         self.hit_ratio = RatioStat("remap_cache_hits")
+        #: Observability hook point; see :mod:`repro.obs`.
+        self.obs = NULL_TRACER
 
     def _split(self, super_block_id: int) -> tuple[int, int]:
         return super_block_id % self.num_sets, super_block_id // self.num_sets
@@ -47,6 +50,8 @@ class RemapCache:
         line = cache_set.lookup(tag)
         hit = line is not None
         self.hit_ratio.record(hit)
+        if self.obs.enabled:
+            self.obs.emit("remap_cache", super=super_block_id, hit=hit)
         if hit:
             cache_set.touch(line)
             self.stats.inc("hits")

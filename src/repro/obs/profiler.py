@@ -1,0 +1,104 @@
+"""Profiling hooks: per-phase wall-clock and instruction accounting.
+
+The system simulator is a pure-Python inner loop, so the question "where
+does the wall-clock time go" (cache hierarchy vs controller, warmup vs
+measured window) is answered here rather than by an external profiler —
+``time.perf_counter`` deltas accumulated per named phase, plus free-form
+integer counters (instructions retired per phase, accesses per phase).
+
+A :class:`NullProfiler` stands in when profiling is off; hook sites guard
+on ``profiler.enabled`` so the timed path costs nothing in normal runs.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Any, Dict, Iterator
+
+
+class NullProfiler:
+    """Disabled profiler: ``enabled`` False, every operation a no-op."""
+
+    enabled = False
+
+    def add(self, phase: str, seconds: float, calls: int = 1) -> None:
+        pass
+
+    def count(self, name: str, amount: int = 1) -> None:
+        pass
+
+    @contextmanager
+    def phase(self, name: str) -> Iterator[None]:
+        yield
+
+    def report(self) -> Dict[str, Any]:
+        return {"phases": {}, "counters": {}}
+
+
+#: Shared no-op profiler.
+NULL_PROFILER = NullProfiler()
+
+
+class PhaseProfiler:
+    """Accumulates wall-clock seconds and call counts per named phase."""
+
+    enabled = True
+
+    def __init__(self, clock=time.perf_counter) -> None:
+        self.clock = clock
+        self.seconds: Dict[str, float] = {}
+        self.calls: Dict[str, int] = {}
+        self.counters: Dict[str, int] = {}
+
+    # -- timing -------------------------------------------------------------
+    def add(self, phase: str, seconds: float, calls: int = 1) -> None:
+        """Credit ``seconds`` of wall time to ``phase`` (hot-loop form)."""
+        self.seconds[phase] = self.seconds.get(phase, 0.0) + seconds
+        self.calls[phase] = self.calls.get(phase, 0) + calls
+
+    @contextmanager
+    def phase(self, name: str) -> Iterator[None]:
+        """Context-manager form for coarse phases (warmup, measured...)."""
+        start = self.clock()
+        try:
+            yield
+        finally:
+            self.add(name, self.clock() - start)
+
+    # -- counters -------------------------------------------------------------
+    def count(self, name: str, amount: int = 1) -> None:
+        self.counters[name] = self.counters.get(name, 0) + amount
+
+    # -- reporting ------------------------------------------------------------
+    def report(self) -> Dict[str, Any]:
+        phases = {
+            name: {
+                "seconds": self.seconds[name],
+                "calls": self.calls.get(name, 0),
+                "us_per_call": (
+                    1e6 * self.seconds[name] / self.calls[name]
+                    if self.calls.get(name)
+                    else 0.0
+                ),
+            }
+            for name in self.seconds
+        }
+        return {"phases": phases, "counters": dict(self.counters)}
+
+    def format_report(self) -> str:
+        """Fixed-width table for terminal output (``--profile``)."""
+        report = self.report()
+        lines = ["phase                    seconds      calls  us/call"]
+        for name, row in sorted(
+            report["phases"].items(), key=lambda kv: -kv[1]["seconds"]
+        ):
+            lines.append(
+                f"{name:<22} {row['seconds']:>9.4f} {row['calls']:>10d} "
+                f"{row['us_per_call']:>8.2f}"
+            )
+        if report["counters"]:
+            lines.append("counters:")
+            for name, value in sorted(report["counters"].items()):
+                lines.append(f"  {name:<28} {value}")
+        return "\n".join(lines)

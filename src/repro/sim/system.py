@@ -2,11 +2,14 @@
 
 from __future__ import annotations
 
+from time import perf_counter
 from typing import Dict, Optional
 
 from repro.cache.hierarchy import CacheHierarchy
 from repro.common.config import SimulationConfig
 from repro.devices.energy import EnergyModel
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.profiler import NULL_PROFILER, PhaseProfiler
 from repro.sim.results import SimResult
 
 
@@ -17,6 +20,17 @@ class SystemSimulator:
     ``access(addr, is_write, now) -> AccessResult`` duck type (Baryon or a
     baseline). A fresh :class:`~repro.cache.hierarchy.CacheHierarchy` is
     built per simulator unless one is injected.
+
+    Observability (all optional, all free when absent):
+
+    ``metrics``
+        A :class:`~repro.obs.metrics.MetricsRegistry`; the simulator
+        registers a memory-latency histogram plus windowed serve-rate and
+        IPC time series sampled every ``metrics_window`` accesses.
+    ``profiler``
+        A :class:`~repro.obs.profiler.PhaseProfiler`; wall-clock is split
+        into warmup/measured phases and cache-hierarchy vs controller
+        time, with instruction counts per phase.
     """
 
     def __init__(
@@ -24,17 +38,42 @@ class SystemSimulator:
         controller,
         config: Optional[SimulationConfig] = None,
         hierarchy: Optional[CacheHierarchy] = None,
+        metrics: Optional[MetricsRegistry] = None,
+        profiler: Optional[PhaseProfiler] = None,
+        metrics_window: int = 1000,
     ) -> None:
         self.controller = controller
         self.config = config or SimulationConfig()
         self.hierarchy = hierarchy or CacheHierarchy(self.config.hierarchy)
+        self.profiler = profiler or NULL_PROFILER
+        self.metrics = metrics
         self.cycles = 0.0
         self.instructions = 0
+        if metrics is not None:
+            self._h_latency = metrics.histogram(
+                "repro_mem_latency_cycles",
+                help="memory-level demand access latency (cycles)",
+            )
+            self._ts_serve = metrics.series(
+                "repro_serve_rate",
+                help="running fast-memory serve rate",
+                every=metrics_window,
+            )
+            self._ts_ipc = metrics.series(
+                "repro_ipc", help="running instructions per cycle",
+                every=metrics_window,
+            )
 
     def run(self, trace, name: str = "", design: str = "") -> SimResult:
-        """Simulate the whole trace; measure after the warmup fraction."""
+        """Simulate the whole trace; measure after the warmup fraction.
+
+        The measured window is ``[warmup_end, n)``: the snapshot is taken
+        just before access ``warmup_end`` runs, or after the loop when
+        warmup covers the whole (possibly empty) trace — so the window is
+        always well-defined, at worst empty.
+        """
         n = len(trace)
-        warmup_end = int(n * self.config.warmup_fraction)
+        warmup_end = min(n, int(n * self.config.warmup_fraction))
         mark: Optional[Dict[str, float]] = None
 
         addrs = trace.addrs
@@ -47,34 +86,71 @@ class SystemSimulator:
         # time per access is the per-thread time over the core count.
         threads = max(1, self.config.hierarchy.cores)
 
+        profiling = self.profiler.enabled
+        observing = self.metrics is not None
+        served_fast = 0
+        mem_seen = 0
+        wall_start = perf_counter() if profiling else 0.0
+
         for i in range(n):
             if i == warmup_end:
                 mark = self._snapshot()
+                if profiling:
+                    self.profiler.add("warmup", perf_counter() - wall_start, calls=i)
+                    self.profiler.count("warmup_instructions", self.instructions)
+                    wall_start = perf_counter()
             gap = int(igaps[i])
             self.instructions += gap + 1
             self.cycles += gap * base_cpi / threads
 
             addr = int(addrs[i])
             is_write = bool(writes[i])
-            result = self.hierarchy.access(addr, is_write, int(cores[i]))
+            if profiling:
+                t0 = perf_counter()
+                result = self.hierarchy.access(addr, is_write, int(cores[i]))
+                self.profiler.add("hierarchy", perf_counter() - t0)
+            else:
+                result = self.hierarchy.access(addr, is_write, int(cores[i]))
             self.cycles += result.latency_cycles / threads
             if result.llc_miss:
-                mem = self.controller.access(addr, is_write, self.cycles)
+                if profiling:
+                    t0 = perf_counter()
+                    mem = self.controller.access(addr, is_write, self.cycles)
+                    self.profiler.add("controller", perf_counter() - t0)
+                else:
+                    mem = self.controller.access(addr, is_write, self.cycles)
                 if not is_write:
                     # Writes are posted; only read latency stalls the core.
                     self.cycles += mem.latency_cycles / mlp
+                if observing:
+                    self._h_latency.observe(mem.latency_cycles)
+                    mem_seen += 1
+                    if mem.served_fast:
+                        served_fast += 1
                 for line_addr in mem.prefetched_lines:
                     for wb in self.hierarchy.install_llc(line_addr):
                         self.controller.access(wb, True, self.cycles)
             for wb in result.writebacks:
                 self.controller.access(wb, True, self.cycles)
+            if observing:
+                self._ts_serve.tick(served_fast / mem_seen if mem_seen else 0.0)
+                self._ts_ipc.tick(
+                    self.instructions / self.cycles if self.cycles else 0.0
+                )
 
         if mark is None:
-            mark = self._snapshot() if n == 0 else mark
+            # Warmup covered the whole trace (or it was empty): the
+            # measured window is empty and every delta below is zero.
+            mark = self._snapshot()
+        if profiling:
+            phase = "measured" if warmup_end < n else "warmup"
+            self.profiler.add(phase, perf_counter() - wall_start, calls=n - warmup_end)
+            self.profiler.count(
+                "measured_instructions",
+                self.instructions - self.profiler.counters.get("warmup_instructions", 0),
+            )
+            self.profiler.count("accesses", n)
         end = self._snapshot()
-        assert mark is not None or warmup_end == 0
-        if mark is None:
-            mark = {k: 0.0 for k in end}
         ctrl_stats = self.controller.stats
         cases = {
             key[len("case_"):]: int(end.get(key, 0) - mark.get(key, 0))

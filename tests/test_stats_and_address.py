@@ -39,6 +39,25 @@ class TestCounterGroup:
         c.inc("a")
         assert snap["a"] == 1
 
+    def test_contains_and_items(self):
+        c = CounterGroup()
+        c.inc("a", 2)
+        assert "a" in c
+        assert "b" not in c
+        assert dict(c.items()) == {"a": 2}
+
+    def test_merge_returns_self_for_reduce(self):
+        from functools import reduce
+
+        parts = []
+        for value in (1, 2, 3):
+            part = CounterGroup()
+            part.inc("x", value)
+            parts.append(part)
+        merged = reduce(CounterGroup.merge, parts)
+        assert merged is parts[0]
+        assert merged.get("x") == 6
+
 
 class TestRatioStat:
     def test_rate(self):
@@ -49,6 +68,15 @@ class TestRatioStat:
 
     def test_empty_rate_is_zero(self):
         assert RatioStat().rate == 0.0
+
+    def test_merge_folds_and_returns_self(self):
+        a, b = RatioStat("a"), RatioStat("b")
+        a.record(True)
+        a.record(False)
+        b.record(True)
+        assert a.merge(b) is a
+        assert a.hits == 2 and a.total == 3
+        assert a.rate == pytest.approx(2 / 3)
 
 
 class TestOnlineStats:
@@ -81,6 +109,23 @@ class TestOnlineStats:
         s.add(42.0)
         assert s.percentile(0.5) == 42.0
         assert s.variance == 0.0
+
+    def test_percentile_extremes_are_min_and_max(self):
+        s = OnlineStats(keep_samples=True)
+        s.extend([3.0, 1.0, 2.0])
+        assert s.percentile(0.0) == 1.0
+        assert s.percentile(1.0) == 3.0
+
+    @pytest.mark.parametrize("q", [-0.1, 1.5, 100.0])
+    def test_percentile_rejects_out_of_range_q(self, q):
+        s = OnlineStats(keep_samples=True)
+        s.add(1.0)
+        with pytest.raises(ValueError):
+            s.percentile(q)
+
+    def test_percentile_no_samples_kept_is_zero(self):
+        s = OnlineStats(keep_samples=True)
+        assert s.percentile(0.5) == 0.0
 
 
 class TestGeometricMean:
