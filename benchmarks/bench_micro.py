@@ -4,12 +4,25 @@ These complement the figure benchmarks: they time the real FPC/BDI
 implementations, the metadata encode/decode paths, and the controller's
 per-access cost, so performance regressions in the library itself are
 visible.
+
+Run directly as a script, this file also measures the sweep-level
+optimizations of the parallel runner and compression memo and records
+the numbers in a ``BENCH_parallel.json`` artifact (see
+docs/performance.md)::
+
+    PYTHONPATH=src python benchmarks/bench_micro.py \
+        --workloads YCSB-B,557.xz_r --designs simple,baryon \
+        --accesses 2000 --scale 512 --jobs 4 --out BENCH_parallel.json
+
+The script asserts that the legacy per-cell serial path, the
+trace-reusing serial path, and the process-pool parallel path all
+produce bit-identical results before it reports any timing.
 """
 
 import random
 import struct
 
-from repro.compression import BdiCompressor, FpcCompressor
+from repro.compression import BdiCompressor, CompressionEngine, FpcCompressor
 from repro.core import BaryonController
 from repro.metadata.remap import RemapEntry, locate_sub_block
 from repro.metadata.stage_tag import RangeSlot, StageTagEntry
@@ -67,6 +80,17 @@ def test_remap_position_lookup(benchmark):
     assert position is not None
 
 
+def test_compression_memo_hot_fits(benchmark):
+    """fits() on a recurring byte range: one dict probe after the first
+    FPC+BDI evaluation (the content-keyed memo's hot path)."""
+    engine = CompressionEngine()
+    data = _patterned_block(512)
+    engine.fits(data)  # warm the memo
+    fits = benchmark(engine.fits, data)
+    assert fits
+    assert engine.stats.get("memo_hits") > 0
+
+
 def test_controller_access_throughput(benchmark):
     config, _ = bench_system()
     ctrl = BaryonController(config, seed=1)
@@ -82,3 +106,173 @@ def test_controller_access_throughput(benchmark):
 
     benchmark(one_access)
     assert ctrl.stats.get("accesses") > 0
+
+
+# ---------------------------------------------------------------------------
+# Script mode: sweep-level before/after numbers -> BENCH_parallel.json
+# ---------------------------------------------------------------------------
+
+def _bench_matrix(workloads, designs, scale, accesses, seed, jobs):
+    """Time the legacy serial path vs. trace-reuse serial vs. parallel.
+
+    Returns the timing dict after asserting all three paths produce
+    bit-identical results.
+    """
+    from time import perf_counter
+
+    from repro.analysis import run_matrix, run_one
+    from repro.parallel import clear_trace_cache, fork_available
+    from repro.workloads import scaled_system
+
+    config, sim_config = scaled_system(scale)
+
+    t0 = perf_counter()
+    legacy = {
+        (w, d): run_one(w, d, config, sim_config, n_accesses=accesses, seed=seed)
+        for w in workloads
+        for d in designs
+    }
+    legacy_s = perf_counter() - t0
+
+    clear_trace_cache()
+    t0 = perf_counter()
+    serial = run_matrix(
+        workloads, designs, config, sim_config,
+        n_accesses=accesses, seed=seed, jobs=1,
+    )
+    serial_s = perf_counter() - t0
+
+    clear_trace_cache()
+    t0 = perf_counter()
+    parallel = run_matrix(
+        workloads, designs, config, sim_config,
+        n_accesses=accesses, seed=seed, jobs=jobs,
+    )
+    parallel_s = perf_counter() - t0
+
+    assert set(legacy) == set(serial) == set(parallel)
+    for key in legacy:
+        if not (legacy[key].to_dict() == serial[key].to_dict()
+                == parallel[key].to_dict()):
+            raise AssertionError(f"results diverge across runner paths: {key}")
+
+    return {
+        "cells": len(legacy),
+        "workloads": list(workloads),
+        "designs": list(designs),
+        "accesses": accesses,
+        "scale": scale,
+        "jobs": jobs,
+        "fork_available": fork_available(),
+        "serial_legacy_s": round(legacy_s, 4),
+        "serial_reuse_s": round(serial_s, 4),
+        "parallel_s": round(parallel_s, 4),
+        "speedup_parallel_vs_serial": round(serial_s / parallel_s, 3),
+        "speedup_parallel_vs_legacy": round(legacy_s / parallel_s, 3),
+        "results_match": True,
+    }
+
+
+def _bench_memo(scale, accesses, memo_capacity):
+    """One controller run over a real-content (FPC/BDI) oracle."""
+    from time import perf_counter
+
+    from repro.workloads import scaled_system
+    from repro.workloads.datagen import ContentBackedCompressibility, ContentStore
+
+    config, _ = scaled_system(scale)
+    ctrl = BaryonController(config, seed=2)
+    store = ContentStore(pattern="small_ints", seed=4)
+    engine = CompressionEngine(
+        geometry=store.geometry, memo_capacity=memo_capacity
+    )
+    ctrl.oracle = ContentBackedCompressibility(
+        store, engine=engine, write_noise=0.05, seed=4
+    )
+    rng = random.Random(6)
+    footprint = 2 * config.layout.fast_capacity
+    # A hot working set small enough to be re-staged repeatedly — the
+    # regime where the controller re-probes the same content and the
+    # memo's one-evaluation-per-distinct-range guarantee pays off.
+    hot = footprint // 256
+    t0 = perf_counter()
+    for _ in range(accesses):
+        region = hot if rng.random() < 0.9 else footprint
+        addr = (rng.randrange(region) // 64) * 64
+        ctrl.access(addr, rng.random() < 0.2)
+    return perf_counter() - t0, engine
+
+
+def main(argv=None):
+    import argparse
+    import json
+    import os
+    import sys
+    from datetime import datetime, timezone
+
+    parser = argparse.ArgumentParser(
+        description="Sweep-level benchmark: parallel runner + compression "
+        "memo before/after numbers, recorded as a JSON artifact.",
+    )
+    parser.add_argument("--workloads", default="YCSB-B,557.xz_r",
+                        help="comma-separated workload list")
+    parser.add_argument("--designs", default="simple,baryon",
+                        help="comma-separated design list")
+    parser.add_argument("--accesses", type=int, default=10_000)
+    parser.add_argument("--scale", type=int, default=256)
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--jobs", type=int, default=4)
+    parser.add_argument("--memo-accesses", type=int, default=4_000,
+                        help="accesses for the real-content memo benchmark")
+    parser.add_argument("--out", default="BENCH_parallel.json")
+    args = parser.parse_args(argv)
+
+    workloads = [w for w in args.workloads.split(",") if w]
+    designs = [d for d in args.designs.split(",") if d]
+
+    matrix = _bench_matrix(
+        workloads, designs, args.scale, args.accesses, args.seed, args.jobs
+    )
+    print(f"matrix {matrix['cells']} cells: "
+          f"legacy {matrix['serial_legacy_s']}s, "
+          f"reuse {matrix['serial_reuse_s']}s, "
+          f"jobs={args.jobs} {matrix['parallel_s']}s "
+          f"({matrix['speedup_parallel_vs_serial']}x vs serial, "
+          f"{matrix['speedup_parallel_vs_legacy']}x vs legacy); "
+          f"results match")
+
+    cold_s, cold_engine = _bench_memo(args.scale, args.memo_accesses, 0)
+    memo_s, memo_engine = _bench_memo(
+        args.scale, args.memo_accesses, CompressionEngine().memo_capacity
+    )
+    assert memo_engine.stats.get("memo_hits") > 0, "memo never hit"
+    memo = {
+        "accesses": args.memo_accesses,
+        "content_pattern": "small_ints",
+        "cold_s": round(cold_s, 4),
+        "memo_s": round(memo_s, 4),
+        "speedup": round(cold_s / memo_s, 3),
+        "hit_rate": round(memo_engine.memo_hit_rate, 4),
+        "memo_hits": memo_engine.stats.get("memo_hits"),
+        "memo_misses": memo_engine.stats.get("memo_misses"),
+        "memo_evictions": memo_engine.stats.get("memo_evictions"),
+    }
+    print(f"compression memo: cold {memo['cold_s']}s -> memo {memo['memo_s']}s "
+          f"({memo['speedup']}x, hit rate {memo['hit_rate']:.1%})")
+
+    payload = {
+        "generated": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        "python": sys.version.split()[0],
+        "cpus": os.cpu_count(),
+        "matrix": matrix,
+        "compression_memo": memo,
+    }
+    with open(args.out, "w", encoding="utf-8") as sink:
+        json.dump(payload, sink, indent=2)
+        sink.write("\n")
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

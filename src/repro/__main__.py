@@ -8,10 +8,18 @@ Examples::
     python -m repro 519.lbm_r baryon --flat
     python -m repro YCSB-A baryon --profile
 
+Comma-separated workloads/designs (or ``all``) switch to matrix mode,
+which shards the sweep across ``--jobs`` worker processes (see
+docs/performance.md)::
+
+    python -m repro YCSB-A,505.mcf_r simple,dice,baryon --jobs 4
+    python -m repro all baryon,hybrid2 --jobs 8
+
 Observability subcommands (see docs/observability.md)::
 
     python -m repro trace YCSB-A baryon --out trace.jsonl --accesses 5000
     python -m repro report YCSB-A baryon --metrics --format prometheus
+    python -m repro report YCSB-A,YCSB-B simple,baryon --jobs 4 --metrics
 """
 
 from __future__ import annotations
@@ -21,15 +29,18 @@ import dataclasses
 import json
 import sys
 
-from repro.analysis import DESIGNS, run_one
+from repro.analysis import DESIGNS, format_matrix, run_matrix_sharded, run_one
 from repro.workloads import scaled_system
 from repro.workloads.suite import WORKLOADS
 
 
 def _add_run_args(parser: argparse.ArgumentParser) -> None:
-    parser.add_argument("workload", help="workload name (see --list)")
+    parser.add_argument("workload",
+                        help="workload name, comma-separated list, or 'all' "
+                        "(see --list)")
     parser.add_argument("design", nargs="?", default="baryon",
-                        help=f"one of {', '.join(DESIGNS)} (default: baryon)")
+                        help=f"one of {', '.join(DESIGNS)}, a comma-separated "
+                        "list, or 'all' (default: baryon)")
     parser.add_argument("--accesses", type=int, default=30_000,
                         help="trace length (default 30000)")
     parser.add_argument("--scale", type=int, default=256,
@@ -45,9 +56,12 @@ def build_parser() -> argparse.ArgumentParser:
         description="Baryon (HPCA 2023) reproduction: simulate one workload "
         "on one hybrid-memory design at a scaled Table I configuration.",
     )
-    parser.add_argument("workload", nargs="?", help="workload name (see --list)")
+    parser.add_argument("workload", nargs="?",
+                        help="workload name, comma-separated list, or 'all' "
+                        "(see --list)")
     parser.add_argument("design", nargs="?", default="baryon",
-                        help=f"one of {', '.join(DESIGNS)} (default: baryon)")
+                        help=f"one of {', '.join(DESIGNS)}, a comma-separated "
+                        "list, or 'all' (default: baryon)")
     parser.add_argument("--accesses", type=int, default=30_000,
                         help="trace length (default 30000)")
     parser.add_argument("--scale", type=int, default=256,
@@ -55,6 +69,9 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--seed", type=int, default=1)
     parser.add_argument("--flat", action="store_true",
                         help="use the flat scheme (75%% flat / 25%% cache split)")
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="worker processes for matrix mode (default 1 = "
+                        "in-process; matrix results are identical either way)")
     parser.add_argument("--profile", action="store_true",
                         help="time the simulator's phases and print a profile")
     parser.add_argument("--list", action="store_true",
@@ -89,6 +106,9 @@ def build_report_parser() -> argparse.ArgumentParser:
                         help="export the metrics registry as well")
     parser.add_argument("--format", choices=("text", "json", "prometheus"),
                         default="text", help="metrics export format")
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="worker processes when reporting a matrix "
+                        "(comma-separated workloads/designs)")
     parser.add_argument("--profile", action="store_true",
                         help="include the phase profile in the report")
     return parser
@@ -99,6 +119,61 @@ def _validate_workload(workload: str) -> bool:
         print(f"unknown workload {workload!r}; use --list", file=sys.stderr)
         return False
     return True
+
+
+def _parse_matrix(args):
+    """Workload/design lists when the invocation is a matrix, else None.
+
+    ``all`` or a comma in either argument selects matrix mode; a single
+    (workload, design) pair keeps the original one-cell behaviour.
+    """
+    workloads = (sorted(WORKLOADS) if args.workload == "all"
+                 else [w for w in args.workload.split(",") if w])
+    designs = (list(DESIGNS) if args.design == "all"
+               else [d for d in args.design.split(",") if d])
+    if len(workloads) <= 1 and len(designs) <= 1:
+        return None
+    return workloads, designs
+
+
+def _run_matrix_outcome(args, workloads, designs):
+    """Validate, run the sharded matrix, and return the outcome (or None)."""
+    for workload in workloads:
+        if not _validate_workload(workload):
+            return None
+    for design in designs:
+        if design not in DESIGNS:
+            print(f"unknown design {design!r}; choose from {', '.join(DESIGNS)}",
+                  file=sys.stderr)
+            return None
+    config, sim_config = _configs(args)
+    return run_matrix_sharded(
+        workloads, designs, config, sim_config,
+        n_accesses=args.accesses, seed=args.seed, jobs=args.jobs,
+    )
+
+
+def _print_matrix(outcome, workloads, designs, args) -> None:
+    print(f"{len(workloads)}x{len(designs)} matrix "
+          f"(1/{args.scale} scale, {args.accesses} accesses, "
+          f"{outcome.jobs} job{'s' if outcome.jobs != 1 else ''}, "
+          f"{outcome.elapsed_s:.2f}s, "
+          f"{outcome.traces_generated}/{outcome.cells} traces generated)")
+    print(format_matrix(outcome.results, workloads, designs,
+                        metric="ipc", title="IPC"))
+    print(format_matrix(outcome.results, workloads, designs,
+                        metric="serve_rate", title="fast-memory serve rate"))
+    print(f"merged serve rate: {outcome.serve.rate:.4f} "
+          f"({outcome.serve.hits}/{outcome.serve.total})")
+
+
+def cmd_matrix(args, workloads, designs) -> int:
+    """Matrix mode of the default command: sweep and print the tables."""
+    outcome = _run_matrix_outcome(args, workloads, designs)
+    if outcome is None:
+        return 2
+    _print_matrix(outcome, workloads, designs, args)
+    return 0
 
 
 def _configs(args):
@@ -148,11 +223,60 @@ def cmd_trace(argv) -> int:
     return 0
 
 
+def _print_registry(registry, fmt: str) -> None:
+    if fmt == "json":
+        print(json.dumps(registry.to_json(), indent=2, default=str))
+        return
+    if fmt == "prometheus":
+        print(registry.to_prometheus(), end="")
+        return
+    for name in registry:
+        metric = registry.get(name)
+        if metric.kind == "histogram":
+            print(f"  {name}: count={metric.total} mean={metric.mean:.1f} "
+                  f"p50={metric.quantile(0.5):g} p95={metric.quantile(0.95):g}")
+        elif metric.kind == "series":
+            print(f"  {name}: {len(metric.points)} points, last={metric.last:.4f}")
+        else:
+            for labels, value in metric.series():
+                print(f"  {name}{labels}: {value:g}")
+
+
+def cmd_matrix_report(args, workloads, designs) -> int:
+    """Matrix mode of ``report``: sweep, then export merged metric shards."""
+    from repro.obs import MetricsRegistry
+
+    outcome = _run_matrix_outcome(args, workloads, designs)
+    if outcome is None:
+        return 2
+    _print_matrix(outcome, workloads, designs, args)
+    if args.metrics:
+        registry = MetricsRegistry()
+        registry.ingest_counter_group(
+            "repro_matrix_controller_total", outcome.counters,
+            help="controller counters merged across matrix cells",
+        )
+        registry.ingest_counter_group(
+            "repro_matrix_device_total", outcome.device_counters,
+            help="device counters merged across matrix cells",
+        )
+        if outcome.compression_counters.as_dict():
+            registry.ingest_counter_group(
+                "repro_matrix_compression_total", outcome.compression_counters,
+                help="compression-engine counters merged across matrix cells",
+            )
+        _print_registry(registry, args.format)
+    return 0
+
+
 def cmd_report(argv) -> int:
     """``python -m repro report``: run, then summarize trace and metrics."""
     from repro.obs import EventTracer, MetricsRegistry, PhaseProfiler
 
     args = build_report_parser().parse_args(argv)
+    matrix = _parse_matrix(args)
+    if matrix is not None:
+        return cmd_matrix_report(args, *matrix)
     if not _validate_workload(args.workload):
         return 2
     tracer = EventTracer(capacity=1 << 20)
@@ -176,21 +300,7 @@ def cmd_report(argv) -> int:
         print(f"    {etype:<16} {count}")
 
     if registry is not None:
-        if args.format == "json":
-            print(json.dumps(registry.to_json(), indent=2, default=str))
-        elif args.format == "prometheus":
-            print(registry.to_prometheus(), end="")
-        else:
-            for name in registry:
-                metric = registry.get(name)
-                if metric.kind == "histogram":
-                    print(f"  {name}: count={metric.total} mean={metric.mean:.1f} "
-                          f"p50={metric.quantile(0.5):g} p95={metric.quantile(0.95):g}")
-                elif metric.kind == "series":
-                    print(f"  {name}: {len(metric.points)} points, last={metric.last:.4f}")
-                else:
-                    for labels, value in metric.series():
-                        print(f"  {name}{labels}: {value:g}")
+        _print_registry(registry, args.format)
     if profiler is not None:
         print(profiler.format_report())
     return 0
@@ -214,6 +324,9 @@ def main(argv=None) -> int:
     if not args.workload:
         build_parser().print_usage()
         return 2
+    matrix = _parse_matrix(args)
+    if matrix is not None:
+        return cmd_matrix(args, *matrix)
     if not _validate_workload(args.workload):
         return 2
 

@@ -10,7 +10,9 @@ speedups, serve rates, bloat factors, geometric means) that the
 from repro.analysis.experiments import (
     DESIGNS,
     build_controller,
+    run_cell,
     run_matrix,
+    run_matrix_sharded,
     run_one,
 )
 from repro.analysis.report import (
@@ -27,6 +29,8 @@ __all__ = [
     "format_series",
     "geomean_row",
     "normalize_to",
+    "run_cell",
     "run_matrix",
+    "run_matrix_sharded",
     "run_one",
 ]

@@ -71,7 +71,7 @@ def build_controller(
     raise ConfigurationError(f"unknown design {design!r}; choose from {DESIGNS}")
 
 
-def run_one(
+def run_cell(
     workload: str,
     design: str,
     config: BaryonConfig,
@@ -82,16 +82,24 @@ def run_one(
     tracer=None,
     metrics=None,
     profiler=None,
-) -> SimResult:
-    """Run one (workload, design) cell and return its result.
+    trace=None,
+):
+    """Run one (workload, design) cell; return ``(result, controller)``.
 
-    ``tracer``/``metrics``/``profiler`` attach the observability layer
-    (see :mod:`repro.obs`) to the controller and simulator; all default
-    to off and cost nothing when absent.
+    The controller is returned alongside the result so harnesses (the
+    parallel matrix runner, metrics collection) can snapshot its counter
+    state; plain callers use :func:`run_one`.
+
+    ``trace`` injects a pre-generated stream (typically a
+    :meth:`~repro.workloads.base.Trace.replay_view` shared across the
+    designs of one workload); when absent the trace is generated from
+    ``(workload, seed)`` exactly as before, so injected and generated
+    streams are bit-identical for the same seed.
     """
-    trace = build_workload(
-        workload, config.layout.fast_capacity, n_accesses=n_accesses, seed=seed
-    )
+    if trace is None:
+        trace = build_workload(
+            workload, config.layout.fast_capacity, n_accesses=n_accesses, seed=seed
+        )
     controller = build_controller(design, config, seed=seed, tracker=tracker)
     if tracer is not None or metrics is not None:
         attach_observability(controller, tracer, metrics)
@@ -105,6 +113,33 @@ def run_one(
         from repro.obs import collect_run_metrics
 
         collect_run_metrics(metrics, controller, result=result)
+    return result, controller
+
+
+def run_one(
+    workload: str,
+    design: str,
+    config: BaryonConfig,
+    sim_config: SimulationConfig,
+    n_accesses: int = 50_000,
+    seed: int = 1,
+    tracker: Optional[StagePhaseTracker] = None,
+    tracer=None,
+    metrics=None,
+    profiler=None,
+    trace=None,
+) -> SimResult:
+    """Run one (workload, design) cell and return its result.
+
+    ``tracer``/``metrics``/``profiler`` attach the observability layer
+    (see :mod:`repro.obs`) to the controller and simulator; all default
+    to off and cost nothing when absent.
+    """
+    result, _ = run_cell(
+        workload, design, config, sim_config, n_accesses, seed,
+        tracker=tracker, tracer=tracer, metrics=metrics, profiler=profiler,
+        trace=trace,
+    )
     return result
 
 
@@ -115,13 +150,45 @@ def run_matrix(
     sim_config: SimulationConfig,
     n_accesses: int = 50_000,
     seed: int = 1,
-) -> Dict[Tuple[str, str], SimResult]:
-    """Run the full cross product; traces are regenerated per cell so every
-    design sees an identical, independent stream."""
-    results: Dict[Tuple[str, str], SimResult] = {}
-    for workload in workloads:
-        for design in designs:
-            results[(workload, design)] = run_one(
-                workload, design, config, sim_config, n_accesses, seed
-            )
-    return results
+    jobs: int = 1,
+    seeds: Optional[Iterable[int]] = None,
+) -> Dict[Tuple, SimResult]:
+    """Run the full (workload × design × seed) cross product.
+
+    Every design of a workload replays the *same* generated stream: the
+    trace is built once per (workload, seed) and each cell receives an
+    immutable replay view, which is both the identical-stream guarantee
+    and the reason a sweep no longer pays trace generation per cell.
+
+    ``jobs > 1`` shards the cells across a process pool (see
+    :mod:`repro.parallel`); results are bit-identical to the serial run
+    because each cell derives all randomness from its own deterministic
+    seed. With ``seeds`` given, the matrix is keyed
+    ``(workload, design, seed)``; otherwise the single ``seed`` is used
+    and keys stay ``(workload, design)`` as before.
+    """
+    from repro.parallel import plan_cells, run_plan
+
+    plan = plan_cells(workloads, designs, seed=seed, seeds=seeds)
+    outcome = run_plan(plan, config, sim_config, n_accesses=n_accesses, jobs=jobs)
+    return outcome.results
+
+
+def run_matrix_sharded(
+    workloads: Iterable[str],
+    designs: Iterable[str],
+    config: BaryonConfig,
+    sim_config: SimulationConfig,
+    n_accesses: int = 50_000,
+    seed: int = 1,
+    jobs: int = 1,
+    seeds: Optional[Iterable[int]] = None,
+):
+    """Like :func:`run_matrix` but returns the full
+    :class:`~repro.parallel.MatrixOutcome` — per-cell results plus
+    counter shards merged through the ``CounterGroup.merge`` /
+    ``RatioStat.merge`` APIs and runner telemetry."""
+    from repro.parallel import plan_cells, run_plan
+
+    plan = plan_cells(workloads, designs, seed=seed, seeds=seeds)
+    return run_plan(plan, config, sim_config, n_accesses=n_accesses, jobs=jobs)

@@ -16,6 +16,9 @@ from typing import Optional
 
 from repro.common.config import SUPPORTED_CFS
 
+#: Supported CFs largest-first, hoisted out of the per-call path.
+_CFS_DESCENDING = tuple(sorted(SUPPORTED_CFS, reverse=True))
+
 
 @dataclass(frozen=True)
 class CompressionResult:
@@ -71,7 +74,7 @@ def compressed_size_to_cf(original_size: int, compressed_bytes: int) -> int:
     sub-block slot, i.e. the data must compress to ``original_size / n``
     bytes or fewer. Returns 1 when nothing better fits (data stored raw).
     """
-    for cf in sorted(SUPPORTED_CFS, reverse=True):
+    for cf in _CFS_DESCENDING:
         if compressed_bytes * cf <= original_size:
             return cf
     return 1

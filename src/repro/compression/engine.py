@@ -11,11 +11,21 @@ The engine mirrors Section III-B/III-E of the paper:
   independently compress into one 64 B transfer unit, so a single DDRx
   burst can be decompressed without fetching the whole slot;
 * all-zero data are recognized separately (the Z bit) and occupy no slot.
+
+Hot-path engineering (this module sits on the controller's access flow
+when a content-backed oracle is attached): a content-keyed LRU memo in
+:meth:`CompressionEngine.best` guarantees one FPC+BDI evaluation per
+distinct byte range, and the cacheline-aligned :meth:`CompressionEngine.fits`
+probes chunks in a failure-history order so incompressible ranges are
+rejected after the cheapest possible number of chunk evaluations. Memo
+effectiveness is exported through the ``memo_hits``/``memo_misses``/
+``memo_evictions`` counters in :attr:`CompressionEngine.stats`.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Sequence
+from collections import OrderedDict
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.common.config import SUPPORTED_CFS, CompressionConfig, Geometry
 from repro.common.stats import CounterGroup
@@ -23,10 +33,20 @@ from repro.compression.base import CompressionResult, Compressor
 from repro.compression.bdi import BdiCompressor
 from repro.compression.fpc import FpcCompressor
 
+#: Supported compression factors, largest first — hoisted so the hot
+#: ``quantize_cf``/``achievable_cf`` paths never re-sort per call.
+CFS_DESCENDING: Tuple[int, ...] = tuple(sorted(SUPPORTED_CFS, reverse=True))
+
+#: Default LRU memo capacity (distinct byte ranges). At the 256 B
+#: sub-block/2 kB block geometry this bounds the memo near 2 MB of keys —
+#: small next to the simulated capacities, large next to a working set of
+#: hot lines.
+DEFAULT_MEMO_CAPACITY = 8192
+
 
 def quantize_cf(original_size: int, compressed_bytes: int) -> int:
     """Largest supported CF such that the encoding fits ``original/cf``."""
-    for cf in sorted(SUPPORTED_CFS, reverse=True):
+    for cf in CFS_DESCENDING:
         if compressed_bytes * cf <= original_size:
             return cf
     return 1
@@ -47,24 +67,72 @@ class CompressionEngine:
     :meth:`fits` — does this aligned range compress into one sub-block
     slot? — and :meth:`is_zero`. It also exposes :meth:`best` for direct
     algorithm comparisons and keeps win/loss statistics per algorithm.
+
+    ``memo_capacity`` bounds the content-keyed LRU memo over
+    :meth:`best`; ``0`` disables memoization entirely (every call runs
+    both compressors, the pre-memo behaviour).
     """
 
     def __init__(
         self,
         config: Optional[CompressionConfig] = None,
         geometry: Optional[Geometry] = None,
+        memo_capacity: int = DEFAULT_MEMO_CAPACITY,
     ) -> None:
+        if memo_capacity < 0:
+            raise ValueError("memo_capacity must be >= 0")
         self.config = config or CompressionConfig()
         self.geometry = geometry or Geometry()
         self._compressors = [_build_compressor(n) for n in self.config.algorithms]
         self.stats = CounterGroup("compression")
+        self.memo_capacity = memo_capacity
+        self._memo: "OrderedDict[bytes, CompressionResult]" = OrderedDict()
+        # Per-chunk-index failure history for the cacheline-aligned fits
+        # probe order (chunk counts are tiny: slot / 64 B).
+        self._chunk_fails: Dict[int, int] = {}
 
     @property
     def decompression_latency(self) -> int:
         return self.config.decompression_latency_cycles
 
+    @property
+    def memo_hit_rate(self) -> float:
+        """Fraction of :meth:`best` probes answered from the memo."""
+        hits = self.stats.get("memo_hits")
+        probes = hits + self.stats.get("memo_misses")
+        return hits / probes if probes else 0.0
+
+    def clear_memo(self) -> None:
+        """Drop every memoized result (e.g. after bulk content mutation).
+
+        Correctness never requires this — keys are the content itself, so
+        stale bytes simply stop being probed — but it releases memory and
+        resets the LRU order for benchmarking.
+        """
+        self._memo.clear()
+
     def best(self, data: bytes) -> CompressionResult:
-        """Compress with every algorithm and return the smallest encoding."""
+        """Compress with every algorithm and return the smallest encoding.
+
+        Results are memoized by content: identical byte ranges (the common
+        case on the controller's repeated ``fits``/``achievable_cf``
+        probes of hot blocks) cost one dictionary lookup after the first
+        evaluation. Mutated content produces a different key, so the memo
+        can never serve stale answers. ``wins_*`` counters keep their
+        per-probe semantics — a memo hit still counts a win for the cached
+        algorithm.
+        """
+        memo = self._memo
+        key: Optional[bytes] = None
+        if self.memo_capacity:
+            key = bytes(data)
+            cached = memo.get(key)
+            if cached is not None:
+                memo.move_to_end(key)
+                self.stats.inc("memo_hits")
+                self.stats.inc(f"wins_{cached.algorithm}")
+                return cached
+            self.stats.inc("memo_misses")
         best: Optional[CompressionResult] = None
         for compressor in self._compressors:
             result = compressor.compress(data)
@@ -72,6 +140,11 @@ class CompressionEngine:
                 best = result
         assert best is not None
         self.stats.inc(f"wins_{best.algorithm}")
+        if key is not None:
+            memo[key] = best
+            if len(memo) > self.memo_capacity:
+                memo.popitem(last=False)
+                self.stats.inc("memo_evictions")
         return best
 
     def is_zero(self, data: bytes) -> bool:
@@ -79,6 +152,20 @@ class CompressionEngine:
         if not self.config.zero_block_support:
             return False
         return not any(data)
+
+    def _chunk_order(self, chunks: int) -> List[int]:
+        """Chunk indices ordered most-likely-to-fail first.
+
+        ``fits`` is an AND over chunks, so evaluation order cannot change
+        the answer — only how quickly a non-fitting range is rejected.
+        Failure counts are per chunk index: workloads that concentrate
+        incompressible data at a fixed offset (e.g. a hot mutated line)
+        reject after one compression instead of ``chunks``.
+        """
+        fails = self._chunk_fails
+        if not fails:
+            return list(range(chunks))
+        return sorted(range(chunks), key=lambda i: -fails.get(i, 0))
 
     def fits(self, data: bytes, slot_size: Optional[int] = None) -> bool:
         """Can ``data`` (``n`` sub-blocks) compress into one slot of
@@ -100,9 +187,10 @@ class CompressionEngine:
         chunks = slot // self.geometry.cacheline_size
         chunk_len = len(data) // chunks
         budget = slot // chunks
-        for i in range(chunks):
+        for i in self._chunk_order(chunks):
             chunk = data[i * chunk_len : (i + 1) * chunk_len]
             if not self.best(chunk).fits_in(budget):
+                self._chunk_fails[i] = self._chunk_fails.get(i, 0) + 1
                 return False
         return True
 
@@ -113,7 +201,7 @@ class CompressionEngine:
         flow): try CF = 4, then 2, then fall back to the single sub-block.
         """
         sbs = self.geometry.sub_block_size
-        for cf in sorted(SUPPORTED_CFS, reverse=True):
+        for cf in CFS_DESCENDING:
             if cf == 1:
                 return 1
             start, length = self.geometry.aligned_range(sub_index, cf)

@@ -105,7 +105,11 @@ def collect_run_metrics(
     * ``repro_device_bytes_total{device=...,op=...}`` and
       ``repro_device_transfers_total{device=...,op=...}``;
     * ``repro_remap_cache_total{outcome=...}`` and
-      ``repro_rowbuffer_total{outcome=...}`` when those components exist.
+      ``repro_rowbuffer_total{outcome=...}`` when those components exist;
+    * ``repro_compression_total{event=...}`` when a content-backed oracle
+      carries a real :class:`~repro.compression.engine.CompressionEngine`
+      — including the memo effectiveness events ``memo_hits`` /
+      ``memo_misses`` / ``memo_evictions`` (see docs/performance.md).
     """
     controller = getattr(controller, "_inner", controller)
     stats = getattr(controller, "stats", None)
@@ -160,6 +164,16 @@ def collect_run_metrics(
                         device.row_buffer.stats.get(outcome),
                         **const_labels, device=device.name, outcome=outcome,
                     )
+
+    engine = getattr(getattr(controller, "oracle", None), "engine", None)
+    if engine is not None and getattr(engine, "stats", None) is not None:
+        comp = registry.counter(
+            "repro_compression_total",
+            help="compression-engine events (algorithm wins, memo hits/misses)",
+            labels=(*const_labels.keys(), "event"),
+        )
+        for event, value in engine.stats.as_dict().items():
+            comp.inc(value, **const_labels, event=event)
 
     remap_cache = getattr(controller, "remap_cache", None)
     if remap_cache is not None:

@@ -1,0 +1,42 @@
+"""`repro.parallel` — sharded execution of experiment matrices.
+
+Every figure in the paper is a (workload × design) matrix, and the
+design-space sweeps add a seed axis on top. This package runs that
+matrix as a deterministic *plan* of independent cells:
+
+* :func:`plan_cells` expands (workloads, designs, seeds) into an ordered
+  cell list where each cell carries its own seed — the plan alone
+  determines every result;
+* :func:`run_plan` executes a plan in-process or across a ``fork``
+  process pool, reusing generated traces per (workload, seed) and
+  merging per-cell counter shards through the
+  :meth:`~repro.common.stats.CounterGroup.merge` /
+  :meth:`~repro.common.stats.RatioStat.merge` APIs into a
+  :class:`MatrixOutcome`.
+
+The public entry points most callers want are
+:func:`repro.analysis.run_matrix` (``jobs=N``) and
+:func:`repro.analysis.run_matrix_sharded`; the CLI exposes the same
+through ``--jobs``. See ``docs/performance.md``.
+"""
+
+from repro.parallel.plan import Cell, plan_cells
+from repro.parallel.runner import (
+    TRACE_CACHE_CAPACITY,
+    MatrixOutcome,
+    clear_trace_cache,
+    fork_available,
+    resolve_jobs,
+    run_plan,
+)
+
+__all__ = [
+    "Cell",
+    "MatrixOutcome",
+    "TRACE_CACHE_CAPACITY",
+    "clear_trace_cache",
+    "fork_available",
+    "plan_cells",
+    "resolve_jobs",
+    "run_plan",
+]

@@ -1,0 +1,84 @@
+"""Shard planning for the (workload × design × seed) experiment matrix.
+
+A *plan* is an ordered list of :class:`Cell` objects, one per simulation.
+Every source of randomness in a cell — trace generation, controller
+tie-breaking, oracle noise — derives from the cell's own ``seed``, so a
+plan fully determines its results regardless of which process executes
+which cell, in what order, or how cells are chunked across workers. That
+property is what makes ``run_matrix(jobs=N)`` bit-identical to the
+serial run.
+
+Cells are ordered workload-major (workload, then seed, then design) so
+cells that replay the same generated trace are contiguous; the runner's
+chunked shard assignment then generates each (workload, seed) stream at
+most once per worker process.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class Cell:
+    """One (workload, design, seed) simulation in a matrix plan.
+
+    ``index`` is the cell's stable position in the plan (used to pair
+    shard payloads back to cells); ``keyed_by_seed`` records whether the
+    caller asked for an explicit multi-seed sweep, which widens the
+    result key from (workload, design) to (workload, design, seed).
+    """
+
+    workload: str
+    design: str
+    seed: int
+    index: int
+    keyed_by_seed: bool = False
+
+    @property
+    def key(self) -> Tuple:
+        if self.keyed_by_seed:
+            return (self.workload, self.design, self.seed)
+        return (self.workload, self.design)
+
+    @property
+    def trace_key(self) -> Tuple:
+        """Cells with equal trace keys replay the identical stream."""
+        return (self.workload, self.seed)
+
+
+def plan_cells(
+    workloads: Iterable[str],
+    designs: Iterable[str],
+    seed: int = 1,
+    seeds: Optional[Iterable[int]] = None,
+) -> List[Cell]:
+    """Expand a matrix into its deterministic cell plan.
+
+    With ``seeds`` given, every (workload, design) pair runs once per
+    seed and results are keyed by the 3-tuple; otherwise the single
+    ``seed`` applies to every cell — exactly the pre-parallel
+    ``run_matrix`` behaviour, preserving all published figure results.
+    """
+    workload_list = list(workloads)
+    design_list = list(designs)
+    seed_list: Sequence[int]
+    keyed_by_seed = seeds is not None
+    seed_list = [int(s) for s in seeds] if seeds is not None else [int(seed)]
+    if not seed_list:
+        raise ValueError("seeds must be non-empty when given")
+    cells: List[Cell] = []
+    for workload in workload_list:
+        for cell_seed in seed_list:
+            for design in design_list:
+                cells.append(
+                    Cell(
+                        workload=workload,
+                        design=design,
+                        seed=cell_seed,
+                        index=len(cells),
+                        keyed_by_seed=keyed_by_seed,
+                    )
+                )
+    return cells

@@ -1,0 +1,237 @@
+"""Process-pool execution of experiment matrix plans.
+
+The runner turns a deterministic cell plan (:mod:`repro.parallel.plan`)
+into a :class:`MatrixOutcome`:
+
+* cells are sharded across a ``fork`` process pool (``jobs`` workers) in
+  contiguous chunks, so cells replaying the same (workload, seed) stream
+  land on the same worker and hit its per-process trace cache;
+* each worker serializes its :class:`~repro.sim.results.SimResult` and
+  per-component counter snapshots back as plain dicts (pickle-free
+  payloads, transport-agnostic);
+* the parent folds the shards with the ``CounterGroup.merge`` /
+  ``RatioStat.merge`` aggregation APIs.
+
+When ``jobs <= 1``, the plan has a single cell, or the platform lacks
+``fork`` (e.g. some macOS/Windows configurations), execution gracefully
+falls back to the same code path in-process — results are identical
+either way because every cell derives all randomness from its own seed.
+"""
+
+from __future__ import annotations
+
+import math
+import multiprocessing
+import os
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from time import perf_counter
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.common.config import BaryonConfig, SimulationConfig
+from repro.common.stats import CounterGroup, RatioStat
+from repro.parallel.plan import Cell
+from repro.sim.results import SimResult
+from repro.workloads import build_workload
+from repro.workloads.base import Trace
+
+#: Bound on the per-process trace cache (distinct (workload, seed,
+#: length, capacity) streams kept alive at once).
+TRACE_CACHE_CAPACITY = 32
+
+_trace_cache: "OrderedDict[Tuple, Trace]" = OrderedDict()
+
+# Per-worker execution context installed by the pool initializer; the
+# in-process path passes the context explicitly instead.
+_worker_context: Optional[Tuple[BaryonConfig, SimulationConfig, int]] = None
+
+
+def fork_available() -> bool:
+    """True when the platform supports ``fork`` worker processes."""
+    return "fork" in multiprocessing.get_all_start_methods()
+
+
+def resolve_jobs(jobs: Optional[int], n_cells: int) -> int:
+    """Effective worker count: clamp to the plan size, fall back to
+    in-process execution when parallelism is unavailable or pointless."""
+    if jobs is None or jobs <= 0:
+        jobs = os.cpu_count() or 1
+    if jobs <= 1 or n_cells <= 1 or not fork_available():
+        return 1
+    return min(jobs, n_cells)
+
+
+def clear_trace_cache() -> None:
+    """Drop the process-local trace cache (tests and benchmarks)."""
+    _trace_cache.clear()
+
+
+def _cell_trace(
+    cell: Cell, config: BaryonConfig, n_accesses: int
+) -> Tuple[Trace, bool]:
+    """The cell's replay stream, generated at most once per process.
+
+    Returns ``(replay_view, generated)`` — the view is immutable, so a
+    cached stream cannot be perturbed by one design before another
+    replays it.
+    """
+    key = (*cell.trace_key, n_accesses, config.layout.fast_capacity)
+    cached = _trace_cache.get(key)
+    generated = cached is None
+    if cached is None:
+        cached = build_workload(
+            cell.workload,
+            config.layout.fast_capacity,
+            n_accesses=n_accesses,
+            seed=cell.seed,
+        )
+        _trace_cache[key] = cached
+        if len(_trace_cache) > TRACE_CACHE_CAPACITY:
+            _trace_cache.popitem(last=False)
+    else:
+        _trace_cache.move_to_end(key)
+    return cached.replay_view(), generated
+
+
+def _execute_cell(
+    cell: Cell,
+    config: BaryonConfig,
+    sim_config: SimulationConfig,
+    n_accesses: int,
+) -> Dict[str, Any]:
+    """Run one cell and package its result + counter shards as dicts."""
+    from repro.analysis.experiments import run_cell
+
+    trace, generated = _cell_trace(cell, config, n_accesses)
+    result, controller = run_cell(
+        cell.workload,
+        cell.design,
+        config,
+        sim_config,
+        n_accesses=n_accesses,
+        seed=cell.seed,
+        trace=trace,
+    )
+    inner = getattr(controller, "_inner", controller)
+    devices: Dict[str, int] = {}
+    if getattr(inner, "devices", None) is not None:
+        for device in (inner.devices.fast, inner.devices.slow):
+            for key, value in device.stats.as_dict().items():
+                devices[f"{device.name}.{key}"] = value
+    compression: Dict[str, int] = {}
+    engine = getattr(getattr(inner, "oracle", None), "engine", None)
+    if engine is not None:
+        compression = engine.stats.as_dict()
+    return {
+        "index": cell.index,
+        "result": result.to_dict(),
+        "controller": inner.stats.as_dict(),
+        "devices": devices,
+        "compression": compression,
+        "generated_trace": generated,
+    }
+
+
+def _init_worker(
+    config: BaryonConfig, sim_config: SimulationConfig, n_accesses: int
+) -> None:
+    global _worker_context
+    _worker_context = (config, sim_config, n_accesses)
+
+
+def _worker_cell(cell: Cell) -> Dict[str, Any]:
+    assert _worker_context is not None, "worker used before initialization"
+    config, sim_config, n_accesses = _worker_context
+    return _execute_cell(cell, config, sim_config, n_accesses)
+
+
+@dataclass
+class MatrixOutcome:
+    """Results of a plan plus merged counter shards and runner telemetry.
+
+    ``counters``/``device_counters``/``compression_counters`` are the
+    fold of every cell's per-component snapshots through
+    :meth:`~repro.common.stats.CounterGroup.merge`; ``serve`` merges the
+    per-cell served-fast ratios with
+    :meth:`~repro.common.stats.RatioStat.merge`. ``traces_generated``
+    counts actual generations — ``cells - traces_generated`` streams
+    were replayed from cache.
+    """
+
+    results: Dict[Tuple, SimResult] = field(default_factory=dict)
+    counters: CounterGroup = field(
+        default_factory=lambda: CounterGroup("matrix.controller")
+    )
+    device_counters: CounterGroup = field(
+        default_factory=lambda: CounterGroup("matrix.devices")
+    )
+    compression_counters: CounterGroup = field(
+        default_factory=lambda: CounterGroup("matrix.compression")
+    )
+    serve: RatioStat = field(default_factory=lambda: RatioStat("matrix.serve"))
+    cells: int = 0
+    jobs: int = 1
+    elapsed_s: float = 0.0
+    traces_generated: int = 0
+
+
+def _group(name: str, snapshot: Dict[str, int]) -> CounterGroup:
+    group = CounterGroup(name)
+    for key, value in snapshot.items():
+        group.inc(key, value)
+    return group
+
+
+def _fold(
+    plan: Sequence[Cell],
+    payloads: List[Dict[str, Any]],
+    jobs: int,
+    elapsed_s: float,
+) -> MatrixOutcome:
+    outcome = MatrixOutcome(cells=len(plan), jobs=jobs, elapsed_s=elapsed_s)
+    by_index = {cell.index: cell for cell in plan}
+    for payload in payloads:
+        cell = by_index[payload["index"]]
+        result = SimResult.from_dict(payload["result"])
+        outcome.results[cell.key] = result
+        outcome.counters.merge(_group("cell", payload["controller"]))
+        outcome.device_counters.merge(_group("cell", payload["devices"]))
+        outcome.compression_counters.merge(_group("cell", payload["compression"]))
+        shard = RatioStat("cell")
+        shard.hits = result.served_fast
+        shard.total = result.memory_accesses
+        outcome.serve.merge(shard)
+        outcome.traces_generated += bool(payload["generated_trace"])
+    return outcome
+
+
+def run_plan(
+    plan: Sequence[Cell],
+    config: BaryonConfig,
+    sim_config: SimulationConfig,
+    n_accesses: int = 50_000,
+    jobs: int = 1,
+) -> MatrixOutcome:
+    """Execute a cell plan, in-process or across a ``fork`` pool.
+
+    Shards are chunked contiguously (``ceil(cells / jobs)`` per chunk)
+    over the workload-major plan order, so every (workload, seed) stream
+    is generated at most once per worker. The outcome is independent of
+    ``jobs`` — the parallel/serial equivalence test pins this down.
+    """
+    start = perf_counter()
+    effective = resolve_jobs(jobs, len(plan))
+    if effective <= 1:
+        payloads = [
+            _execute_cell(cell, config, sim_config, n_accesses) for cell in plan
+        ]
+    else:
+        ctx = multiprocessing.get_context("fork")
+        chunksize = max(1, math.ceil(len(plan) / effective))
+        with ctx.Pool(
+            processes=effective,
+            initializer=_init_worker,
+            initargs=(config, sim_config, n_accesses),
+        ) as pool:
+            payloads = pool.map(_worker_cell, plan, chunksize=chunksize)
+    return _fold(plan, payloads, effective, perf_counter() - start)

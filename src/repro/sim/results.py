@@ -2,8 +2,8 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict
+from dataclasses import asdict, dataclass, field
+from typing import Any, Dict
 
 from repro.devices.energy import EnergyReport
 
@@ -59,6 +59,27 @@ class SimResult:
         if other.ipc == 0.0:
             return 0.0
         return self.ipc / other.ipc
+
+    # -- serialization -------------------------------------------------------
+    # The parallel matrix runner moves results across process boundaries as
+    # plain dicts (JSON-compatible, independent of pickle implementation
+    # details), so a result survives any transport a sweep harness uses.
+
+    def to_dict(self) -> Dict[str, Any]:
+        """A JSON-compatible snapshot; inverse of :meth:`from_dict`."""
+        payload = asdict(self)
+        payload["energy"] = asdict(self.energy) if self.energy else None
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "SimResult":
+        """Rebuild a result serialized with :meth:`to_dict`."""
+        data = dict(payload)
+        energy = data.pop("energy", None)
+        return cls(
+            energy=EnergyReport(**energy) if energy else None,
+            **data,
+        )
 
     def summary(self) -> Dict[str, float]:
         return {

@@ -70,6 +70,33 @@ class Trace:
                 f"choose from {sorted(PROFILE_LIBRARY)}"
             ) from None
 
+    def replay_view(self) -> "Trace":
+        """An immutable view of this trace for replay across designs.
+
+        The matrix runner generates each (workload, seed) stream once and
+        hands every design a replay view: the arrays are numpy views
+        (no copy) with the writeable flag cleared, so a design cannot
+        perturb the stream another design will replay — the "every design
+        sees an identical stream" guarantee is enforced, not just
+        documented.
+        """
+
+        def frozen(array: np.ndarray) -> np.ndarray:
+            view = array[:]
+            view.flags.writeable = False
+            return view
+
+        return Trace(
+            name=self.name,
+            addrs=frozen(self.addrs),
+            writes=frozen(self.writes),
+            igaps=frozen(self.igaps),
+            cores=frozen(self.cores),
+            footprint_bytes=self.footprint_bytes,
+            regions=list(self.regions),
+            default_profile=self.default_profile,
+        )
+
     def slice(self, start: int, end: int) -> "Trace":
         """A view-like sub-trace (arrays are numpy slices, not copies)."""
         return Trace(

@@ -5,8 +5,12 @@ import struct
 
 import pytest
 
-from repro.common.config import CompressionConfig, Geometry
-from repro.compression.engine import CompressionEngine, quantize_cf
+from repro.common.config import SUPPORTED_CFS, CompressionConfig, Geometry
+from repro.compression.engine import (
+    CFS_DESCENDING,
+    CompressionEngine,
+    quantize_cf,
+)
 
 
 def compressible_bytes(n, word=0x00000003):
@@ -133,3 +137,109 @@ class TestBestAndStats:
     def test_decompression_latency_exposed(self):
         config = CompressionConfig(decompression_latency_cycles=5)
         assert CompressionEngine(config).decompression_latency == 5
+
+
+class TestCfConstant:
+    def test_descending_and_complete(self):
+        assert CFS_DESCENDING == tuple(sorted(SUPPORTED_CFS, reverse=True))
+        assert CFS_DESCENDING[0] == max(SUPPORTED_CFS)
+
+
+class TestMemo:
+    def test_hit_and_miss_counters(self):
+        engine = CompressionEngine()
+        data = compressible_bytes(256)
+        first = engine.best(data)
+        second = engine.best(data)
+        assert first == second
+        assert engine.stats.get("memo_misses") == 1
+        assert engine.stats.get("memo_hits") == 1
+        assert engine.memo_hit_rate == pytest.approx(0.5)
+
+    def test_wins_counted_on_hits_too(self):
+        engine = CompressionEngine()
+        data = compressible_bytes(256)
+        engine.best(data)
+        engine.best(data)
+        wins = engine.stats.get("wins_fpc") + engine.stats.get("wins_bdi")
+        assert wins == 2  # per-probe semantics survive memoization
+
+    def test_distinct_content_misses(self):
+        import os
+
+        engine = CompressionEngine()
+        engine.best(os.urandom(256))
+        engine.best(os.urandom(256))
+        assert engine.stats.get("memo_hits") == 0
+        assert engine.stats.get("memo_misses") == 2
+
+    def test_lru_eviction(self):
+        engine = CompressionEngine(memo_capacity=2)
+        a, b, c = bytes([1]) * 256, bytes([2]) * 256, bytes([3]) * 256
+        engine.best(a)
+        engine.best(b)
+        engine.best(c)  # evicts a (least recently used)
+        assert engine.stats.get("memo_evictions") == 1
+        engine.best(a)  # re-evaluated, not served stale
+        assert engine.stats.get("memo_hits") == 0
+        assert engine.stats.get("memo_misses") == 4
+
+    def test_lru_order_refreshed_on_hit(self):
+        engine = CompressionEngine(memo_capacity=2)
+        a, b, c = bytes([1]) * 256, bytes([2]) * 256, bytes([3]) * 256
+        engine.best(a)
+        engine.best(b)
+        engine.best(a)  # refresh a; b becomes LRU
+        engine.best(c)  # evicts b
+        engine.best(a)
+        assert engine.stats.get("memo_hits") == 2
+
+    def test_memo_disabled(self):
+        engine = CompressionEngine(memo_capacity=0)
+        data = compressible_bytes(256)
+        engine.best(data)
+        engine.best(data)
+        assert "memo_hits" not in engine.stats
+        assert "memo_misses" not in engine.stats
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            CompressionEngine(memo_capacity=-1)
+
+    def test_clear_memo(self):
+        engine = CompressionEngine()
+        data = compressible_bytes(256)
+        engine.best(data)
+        engine.clear_memo()
+        engine.best(data)
+        assert engine.stats.get("memo_misses") == 2
+
+    def test_memoized_fits_matches_cold_engine(self):
+        """Same verdicts with and without the memo, probed repeatedly
+        (also exercises the failure-ordered chunk probing)."""
+        import os
+
+        rng_blocks = [
+            bytes(512),
+            compressible_bytes(512),
+            os.urandom(512),
+            compressible_bytes(256) + os.urandom(256),
+            os.urandom(256) + compressible_bytes(256),
+        ]
+        memoized = CompressionEngine()
+        cold = CompressionEngine(memo_capacity=0)
+        for _ in range(3):  # repeats warm the memo and the fail history
+            for data in rng_blocks:
+                assert memoized.fits(data) == cold.fits(data)
+                assert memoized.is_zero(data) == cold.is_zero(data)
+
+    def test_memoized_achievable_cf_matches_cold_engine(self):
+        import os
+
+        data = compressible_bytes(1024) + os.urandom(1024)
+        memoized = CompressionEngine()
+        cold = CompressionEngine(memo_capacity=0)
+        for index in range(8):
+            assert memoized.achievable_cf(data, index) == cold.achievable_cf(
+                data, index
+            )
