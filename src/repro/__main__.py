@@ -20,6 +20,13 @@ Observability subcommands (see docs/observability.md)::
     python -m repro trace YCSB-A baryon --out trace.jsonl --accesses 5000
     python -m repro report YCSB-A baryon --metrics --format prometheus
     python -m repro report YCSB-A,YCSB-B simple,baryon --jobs 4 --metrics
+
+Fault injection and crash-safe sweeps (see docs/resilience.md)::
+
+    python -m repro YCSB-A baryon --faults read=1e-4,spike=1e-3
+    python -m repro YCSB-A baryon --faults table=1e-4 --check-invariants
+    python -m repro all baryon --jobs 8 --checkpoint sweep.json
+    python -m repro all baryon --jobs 8 --resume sweep.json
 """
 
 from __future__ import annotations
@@ -30,8 +37,41 @@ import json
 import sys
 
 from repro.analysis import DESIGNS, format_matrix, run_matrix_sharded, run_one
+from repro.common.errors import ConfigurationError
 from repro.workloads import scaled_system
 from repro.workloads.suite import WORKLOADS
+
+
+def _add_resilience_args(parser: argparse.ArgumentParser) -> None:
+    from repro.resilience import FAULT_SPEC_KEYS
+
+    parser.add_argument("--faults", metavar="SPEC",
+                        help="inject deterministic faults: comma-separated "
+                        "key=probability pairs, keys "
+                        f"{','.join(sorted(FAULT_SPEC_KEYS))} "
+                        "(e.g. read=1e-4,spike=1e-3)")
+    parser.add_argument("--fault-seed", type=int, default=0xBA51C,
+                        help="seed of the counter-based fault sequence "
+                        "(default 0xBA51C)")
+    parser.add_argument("--check-invariants", action="store_true",
+                        help="run the shadow-memory invariant checker "
+                        "(R1-R4 + metadata round-trip on every commit)")
+
+
+def _add_checkpoint_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--checkpoint", metavar="PATH",
+                        help="matrix mode: atomically checkpoint finished "
+                        "cells to this JSON file after each cell")
+    parser.add_argument("--resume", metavar="PATH",
+                        help="matrix mode: skip cells already finished in "
+                        "this checkpoint file (missing file starts fresh)")
+    parser.add_argument("--max-attempts", type=int, default=2,
+                        help="attempts per matrix cell before it is reported "
+                        "as failed (default 2)")
+    parser.add_argument("--cell-timeout", type=float, default=None,
+                        metavar="SECONDS",
+                        help="per-cell deadline; a lapsed deadline requeues "
+                        "the cell (dead-worker detection, default 600)")
 
 
 def _add_run_args(parser: argparse.ArgumentParser) -> None:
@@ -48,6 +88,7 @@ def _add_run_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--seed", type=int, default=1)
     parser.add_argument("--flat", action="store_true",
                         help="use the flat scheme (75%% flat / 25%% cache split)")
+    _add_resilience_args(parser)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -76,6 +117,8 @@ def build_parser() -> argparse.ArgumentParser:
                         help="time the simulator's phases and print a profile")
     parser.add_argument("--list", action="store_true",
                         help="list workloads and designs, then exit")
+    _add_resilience_args(parser)
+    _add_checkpoint_args(parser)
     return parser
 
 
@@ -111,6 +154,7 @@ def build_report_parser() -> argparse.ArgumentParser:
                         "(comma-separated workloads/designs)")
     parser.add_argument("--profile", action="store_true",
                         help="include the phase profile in the report")
+    _add_checkpoint_args(parser)
     return parser
 
 
@@ -146,11 +190,23 @@ def _run_matrix_outcome(args, workloads, designs):
             print(f"unknown design {design!r}; choose from {', '.join(DESIGNS)}",
                   file=sys.stderr)
             return None
-    config, sim_config = _configs(args)
-    return run_matrix_sharded(
-        workloads, designs, config, sim_config,
-        n_accesses=args.accesses, seed=args.seed, jobs=args.jobs,
-    )
+    configs = _try_configs(args)
+    if configs is None:
+        return None
+    config, sim_config = configs
+    try:
+        return run_matrix_sharded(
+            workloads, designs, config, sim_config,
+            n_accesses=args.accesses, seed=args.seed, jobs=args.jobs,
+            max_attempts=getattr(args, "max_attempts", 2),
+            cell_timeout_s=getattr(args, "cell_timeout", None),
+            checkpoint=getattr(args, "checkpoint", None),
+            resume=getattr(args, "resume", None),
+        )
+    except ConfigurationError as err:
+        # e.g. a resume checkpoint written by a different plan
+        print(str(err), file=sys.stderr)
+        return None
 
 
 def _print_matrix(outcome, workloads, designs, args) -> None:
@@ -165,6 +221,20 @@ def _print_matrix(outcome, workloads, designs, args) -> None:
                         metric="serve_rate", title="fast-memory serve rate"))
     print(f"merged serve rate: {outcome.serve.rate:.4f} "
           f"({outcome.serve.hits}/{outcome.serve.total})")
+    if outcome.resumed:
+        print(f"resumed {outcome.resumed} cell(s) from checkpoint")
+    if outcome.retries:
+        print(f"requeued {outcome.retries} cell attempt(s)")
+    resilience = outcome.resilience_counters.as_dict()
+    if resilience:
+        print("resilience counters (merged):")
+        for key, value in sorted(resilience.items()):
+            print(f"  {key:<36} {value}")
+    if outcome.failed:
+        print(f"FAILED cells ({len(outcome.failed)}):", file=sys.stderr)
+        for key, error in sorted(outcome.failed.items()):
+            print(f"  {key}: {error['type']}: {error['message']} "
+                  f"(after {error['attempt']} attempt(s))", file=sys.stderr)
 
 
 def cmd_matrix(args, workloads, designs) -> int:
@@ -173,7 +243,28 @@ def cmd_matrix(args, workloads, designs) -> int:
     if outcome is None:
         return 2
     _print_matrix(outcome, workloads, designs, args)
-    return 0
+    return 1 if outcome.failed else 0
+
+
+def _resilience_config(args):
+    """A ResilienceConfig from CLI flags, or None when none were given."""
+    spec = getattr(args, "faults", None)
+    check = getattr(args, "check_invariants", False)
+    if not spec and not check:
+        return None
+    from repro.common.config import ResilienceConfig
+    from repro.resilience import parse_fault_spec
+
+    probs = parse_fault_spec(spec) if spec else {}
+    # Table corruption is only survivable with the checker on; enabling
+    # it implicitly beats rejecting the flag combination.
+    check = check or probs.get("p_table_corruption", 0.0) > 0.0
+    return ResilienceConfig(
+        enabled=bool(probs) or check,
+        fault_seed=getattr(args, "fault_seed", 0xBA51C),
+        check_invariants=check,
+        **probs,
+    )
 
 
 def _configs(args):
@@ -181,11 +272,22 @@ def _configs(args):
     if args.flat:
         layout = dataclasses.replace(config.layout, flat_fraction=0.75)
         config = dataclasses.replace(config, layout=layout)
+    resilience = _resilience_config(args)
+    if resilience is not None:
+        config = dataclasses.replace(config, resilience=resilience)
     return config, sim_config
 
 
-def _observed_run(args, tracer=None, metrics=None, profiler=None):
-    config, sim_config = _configs(args)
+def _try_configs(args):
+    try:
+        return _configs(args)
+    except ConfigurationError as err:
+        print(str(err), file=sys.stderr)
+        return None
+
+
+def _observed_run(args, configs, tracer=None, metrics=None, profiler=None):
+    config, sim_config = configs
     return run_one(
         args.workload, args.design, config, sim_config,
         n_accesses=args.accesses, seed=args.seed,
@@ -210,11 +312,14 @@ def cmd_trace(argv) -> int:
     if args.sample_every <= 0 or args.ring <= 0:
         print("--sample-every and --ring must be positive", file=sys.stderr)
         return 2
+    configs = _try_configs(args)
+    if configs is None:
+        return 2
     with open(args.out, "w", encoding="utf-8") as sink:
         tracer = EventTracer(
             capacity=args.ring, sample_every=args.sample_every, sink=sink
         )
-        _observed_run(args, tracer=tracer)
+        _observed_run(args, configs, tracer=tracer)
         tracer.close()
     print(f"{args.workload} on {args.design}: "
           f"{tracer.sampled} events ({tracer.emitted} emitted) -> {args.out}")
@@ -279,11 +384,14 @@ def cmd_report(argv) -> int:
         return cmd_matrix_report(args, *matrix)
     if not _validate_workload(args.workload):
         return 2
+    configs = _try_configs(args)
+    if configs is None:
+        return 2
     tracer = EventTracer(capacity=1 << 20)
     registry = MetricsRegistry() if args.metrics else None
     profiler = PhaseProfiler() if args.profile else None
     result = _observed_run(
-        args, tracer=tracer, metrics=registry, profiler=profiler
+        args, configs, tracer=tracer, metrics=registry, profiler=profiler
     )
 
     print(f"{args.workload} on {args.design} "
@@ -330,12 +438,15 @@ def main(argv=None) -> int:
     if not _validate_workload(args.workload):
         return 2
 
+    configs = _try_configs(args)
+    if configs is None:
+        return 2
     profiler = None
     if args.profile:
         from repro.obs import PhaseProfiler
 
         profiler = PhaseProfiler()
-    result = _observed_run(args, profiler=profiler)
+    result = _observed_run(args, configs, profiler=profiler)
     print(f"{args.workload} on {args.design} "
           f"(1/{args.scale} scale, {args.accesses} accesses)")
     for key, value in result.summary().items():

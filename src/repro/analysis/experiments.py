@@ -7,7 +7,7 @@ from typing import Dict, Iterable, Optional, Tuple
 
 from repro.baselines import DiceCache, Hybrid2, SimpleCache, UnisonCache
 from repro.common.config import BaryonConfig, SimulationConfig
-from repro.common.errors import ConfigurationError
+from repro.common.errors import CellExecutionError, ConfigurationError
 from repro.core import BaryonController
 from repro.core.tracking import StagePhaseTracker
 from repro.obs import attach_observability
@@ -152,6 +152,10 @@ def run_matrix(
     seed: int = 1,
     jobs: int = 1,
     seeds: Optional[Iterable[int]] = None,
+    max_attempts: int = 2,
+    cell_timeout_s: Optional[float] = None,
+    checkpoint: Optional[str] = None,
+    resume: Optional[str] = None,
 ) -> Dict[Tuple, SimResult]:
     """Run the full (workload × design × seed) cross product.
 
@@ -166,11 +170,35 @@ def run_matrix(
     seed. With ``seeds`` given, the matrix is keyed
     ``(workload, design, seed)``; otherwise the single ``seed`` is used
     and keys stay ``(workload, design)`` as before.
+
+    Crashed or raising cells are retried up to ``max_attempts`` times
+    each (see :func:`repro.parallel.run_plan`); a cell still failing
+    after that raises :class:`~repro.common.errors.CellExecutionError`
+    — callers wanting partial results use :func:`run_matrix_sharded`.
+    ``checkpoint``/``resume`` name a JSON checkpoint file so an
+    interrupted sweep continues where it died.
     """
     from repro.parallel import plan_cells, run_plan
+    from repro.parallel.runner import DEFAULT_CELL_TIMEOUT_S
 
     plan = plan_cells(workloads, designs, seed=seed, seeds=seeds)
-    outcome = run_plan(plan, config, sim_config, n_accesses=n_accesses, jobs=jobs)
+    outcome = run_plan(
+        plan, config, sim_config, n_accesses=n_accesses, jobs=jobs,
+        max_attempts=max_attempts,
+        cell_timeout_s=(
+            DEFAULT_CELL_TIMEOUT_S if cell_timeout_s is None else cell_timeout_s
+        ),
+        checkpoint=checkpoint, resume=resume,
+    )
+    if outcome.failed:
+        cell_key, error = next(iter(outcome.failed.items()))
+        raise CellExecutionError(
+            f"{len(outcome.failed)} matrix cell(s) failed; first: {cell_key} "
+            f"({error['type']}: {error['message']})",
+            cell=cell_key,
+            attempts=error.get("attempt", max_attempts),
+            traceback_text=error.get("traceback"),
+        )
     return outcome.results
 
 
@@ -183,12 +211,27 @@ def run_matrix_sharded(
     seed: int = 1,
     jobs: int = 1,
     seeds: Optional[Iterable[int]] = None,
+    max_attempts: int = 2,
+    cell_timeout_s: Optional[float] = None,
+    checkpoint: Optional[str] = None,
+    resume: Optional[str] = None,
 ):
     """Like :func:`run_matrix` but returns the full
     :class:`~repro.parallel.MatrixOutcome` — per-cell results plus
     counter shards merged through the ``CounterGroup.merge`` /
-    ``RatioStat.merge`` APIs and runner telemetry."""
+    ``RatioStat.merge`` APIs and runner telemetry. Unlike
+    :func:`run_matrix` this never raises on failed cells: they are
+    reported in ``MatrixOutcome.failed`` alongside the partial results.
+    """
     from repro.parallel import plan_cells, run_plan
+    from repro.parallel.runner import DEFAULT_CELL_TIMEOUT_S
 
     plan = plan_cells(workloads, designs, seed=seed, seeds=seeds)
-    return run_plan(plan, config, sim_config, n_accesses=n_accesses, jobs=jobs)
+    return run_plan(
+        plan, config, sim_config, n_accesses=n_accesses, jobs=jobs,
+        max_attempts=max_attempts,
+        cell_timeout_s=(
+            DEFAULT_CELL_TIMEOUT_S if cell_timeout_s is None else cell_timeout_s
+        ),
+        checkpoint=checkpoint, resume=resume,
+    )

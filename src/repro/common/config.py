@@ -363,6 +363,76 @@ class CommitConfig:
 
 
 @dataclass(frozen=True)
+class ResilienceConfig:
+    """Fault-injection and recovery knobs (see docs/resilience.md).
+
+    ``enabled`` turns the deterministic fault injector on; every ``p_*``
+    is a per-draw probability evaluated from a counter-based hash of
+    ``fault_seed``, so a given configuration injects the exact same fault
+    sequence on every run. ``check_invariants`` runs the shadow-memory
+    invariant checker (R1-R4 + metadata round-trip on every commit) even
+    when injection is off; it is mandatory when remap-table corruption is
+    injected because the checker is the only component that can detect
+    and repair it — without it the corruption would be a silent wrong
+    result, which the resilience layer exists to rule out.
+    """
+
+    enabled: bool = False
+    fault_seed: int = 0xBA51C
+    #: Transient device faults: a read attempt fails (retryable) or a
+    #: writeback is dropped before reaching the medium (retryable).
+    p_read_transient: float = 0.0
+    p_write_drop: float = 0.0
+    #: Metadata bit corruption: a remap-cache line, a stage tag entry, or
+    #: an off-chip remap-table entry reads back corrupted.
+    p_remap_corruption: float = 0.0
+    p_stage_tag_corruption: float = 0.0
+    p_table_corruption: float = 0.0
+    #: Slow-memory latency spikes (media maintenance, wear leveling):
+    #: adds ``latency_spike_cycles`` to an affected read's array latency.
+    p_latency_spike: float = 0.0
+    latency_spike_cycles: int = 500
+    #: DRAM row glitch: the open-row state is lost and the access pays a
+    #: full precharge + activate reopen penalty (latency only).
+    p_row_glitch: float = 0.0
+    #: Bounded retry with exponential backoff for transient faults:
+    #: attempt ``i`` adds ``backoff_base_cycles * 2**i`` latency; after
+    #: ``max_retries`` retries the block is quarantined.
+    max_retries: int = 3
+    backoff_base_cycles: int = 16
+    #: Run the shadow-memory invariant checker continuously.
+    check_invariants: bool = False
+
+    def __post_init__(self) -> None:
+        for name in (
+            "p_read_transient", "p_write_drop", "p_remap_corruption",
+            "p_stage_tag_corruption", "p_table_corruption",
+            "p_latency_spike", "p_row_glitch",
+        ):
+            value = getattr(self, name)
+            _require(0.0 <= value <= 1.0, f"{name} must be in [0, 1]")
+        _require(self.max_retries >= 0, "max_retries must be non-negative")
+        _require(self.backoff_base_cycles >= 0, "backoff_base_cycles must be non-negative")
+        _require(self.latency_spike_cycles >= 0, "latency_spike_cycles must be non-negative")
+        _require(
+            not (self.p_table_corruption > 0.0 and not self.check_invariants),
+            "p_table_corruption requires check_invariants=True: only the "
+            "shadow checker can detect and repair remap-table corruption",
+        )
+
+    def any_faults(self) -> bool:
+        """True when at least one fault kind has a non-zero probability."""
+        return any(
+            getattr(self, name) > 0.0
+            for name in (
+                "p_read_transient", "p_write_drop", "p_remap_corruption",
+                "p_stage_tag_corruption", "p_table_corruption",
+                "p_latency_spike", "p_row_glitch",
+            )
+        )
+
+
+@dataclass(frozen=True)
 class BaryonConfig:
     """Top-level Baryon configuration bundling every subsystem.
 
@@ -393,6 +463,9 @@ class BaryonConfig:
     #: associative); explicit values from {lru, fifo, lfu, clock, random}
     #: override (Sec. III-E lists them as interchangeable).
     fast_replacement: str = "auto"
+    #: Fault-injection / recovery / invariant-checking configuration
+    #: (None keeps the resilience layer completely out of the hot path).
+    resilience: "ResilienceConfig | None" = None
 
     @staticmethod
     def cache_mode(**overrides) -> "BaryonConfig":

@@ -6,7 +6,17 @@ input) from metadata/layout invariant violations (library bugs or corrupted
 state) because the correct reaction differs: the former should be fixed by
 the caller, the latter indicates an internal inconsistency and is also what
 the property-based tests assert never happens.
+
+The resilience layer (:mod:`repro.resilience`) adds a retryable/fatal
+split on top: :class:`TransientDeviceError` marks injected device faults
+that bounded retry may recover, :class:`CorruptionError` marks detected
+metadata corruption (a :class:`MetadataError` subtype, so existing
+metadata handling still catches it), and :class:`CellExecutionError`
+carries a failed sweep cell's identity and attempt count back to matrix
+callers.
 """
+
+from typing import Optional
 
 
 class ReproError(Exception):
@@ -27,3 +37,60 @@ class LayoutError(ReproError):
 
 class SimulationError(ReproError):
     """The simulator reached an impossible state."""
+
+
+class TransientDeviceError(ReproError):
+    """A device access failed transiently; the operation may be retried.
+
+    ``site`` names the failing operation (e.g. ``"slow.read"``) so retry
+    accounting and the event tracer can attribute the fault.
+    """
+
+    def __init__(self, message: str, site: Optional[str] = None) -> None:
+        super().__init__(message)
+        self.site = site
+
+
+class CorruptionError(MetadataError):
+    """Metadata corruption was detected (injected or real).
+
+    Carries enough location context for the recovery paths: ``site``
+    names the structure (``"remap_cache"``, ``"stage_tag"``,
+    ``"remap_table"``), ``set_index``/``way`` locate a stage tag entry,
+    and ``block_id`` names the affected logical block or super-block.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        site: Optional[str] = None,
+        set_index: Optional[int] = None,
+        way: Optional[int] = None,
+        block_id: Optional[int] = None,
+    ) -> None:
+        super().__init__(message)
+        self.site = site
+        self.set_index = set_index
+        self.way = way
+        self.block_id = block_id
+
+
+class CellExecutionError(ReproError):
+    """A sweep cell failed after its bounded retry budget.
+
+    ``cell`` is the cell's matrix key (or index), ``attempts`` the number
+    of attempts made; ``traceback_text`` preserves the worker's formatted
+    traceback so the parent process can report the real failure site.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        cell=None,
+        attempts: int = 1,
+        traceback_text: Optional[str] = None,
+    ) -> None:
+        super().__init__(message)
+        self.cell = cell
+        self.attempts = attempts
+        self.traceback_text = traceback_text

@@ -53,16 +53,26 @@ class CommitPolicy:
         victim_miss_cnt: int,
         dirty_stage: int,
         dirty_area: int,
+        quarantined: bool = False,
     ) -> CommitDecision:
         """Apply Eq. 1; ``commit`` is True when B >= 0.
 
         ``dirty_area`` is the dirty-sub-block count of the cache/flat-area
         block that committing would displace; for the flat area all
         sub-blocks count as dirty because a swap moves them regardless.
+
+        ``quarantined`` vetoes the cost model entirely: a super-block the
+        recovery layer has poisoned must never be promoted into the
+        committed area, whatever Eq. 1 says — it is evicted to slow
+        memory, where degraded service is safe.
         """
         stability = mru_miss_cnt / max(1, associativity) - victim_miss_cnt
         dirty = float(dirty_stage - dirty_area)
-        if self.config.commit_all:
+        if quarantined:
+            self.stats.inc("evictions")
+            self.stats.inc("quarantine_vetoes")
+            decision = CommitDecision(False, float("-inf"), stability, dirty)
+        elif self.config.commit_all:
             self.stats.inc("commits")
             decision = CommitDecision(True, float("inf"), stability, dirty)
         else:

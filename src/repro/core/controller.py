@@ -31,7 +31,7 @@ import random
 from typing import Dict, List, Optional, Tuple
 
 from repro.common.config import BaryonConfig
-from repro.common.errors import SimulationError
+from repro.common.errors import CorruptionError, SimulationError, TransientDeviceError
 from repro.common.stats import CounterGroup
 from repro.compression.synthetic import SyntheticCompressibility
 from repro.core.commit import CommitPolicy
@@ -133,6 +133,33 @@ class BaryonController:
         # cycling pointer instead of an O(ways) recency scan.
         self._fa_victim_ptr = 0
 
+        # Resilience layer: fault injection, bounded-retry recovery, and
+        # the shadow invariant checker. All None when resilience is off,
+        # keeping the hot path free of any extra work.
+        self.faults = None
+        self.recovery = None
+        self.checker = None
+        self._quarantined: set = set()
+        res = self.config.resilience
+        if res is not None and res.enabled:
+            from repro.resilience.checker import ShadowChecker
+            from repro.resilience.faults import FaultInjector, FaultPlan
+            from repro.resilience.recovery import RecoveryManager
+
+            self.recovery = RecoveryManager(res)
+            if res.any_faults():
+                self.faults = FaultInjector(FaultPlan.from_config(res))
+                self.devices.fast.faults = self.faults
+                self.devices.slow.faults = self.faults
+                if self.devices.fast.row_buffer is not None:
+                    self.devices.fast.row_buffer.faults = self.faults
+                self.remap_cache.faults = self.faults
+                self.stage.faults = self.faults
+            if res.check_invariants:
+                pointer_bits = max(2, max(self.fast_area.ways - 1, 1).bit_length())
+                self.checker = ShadowChecker(pointer_bits=pointer_bits)
+                self.remap_table.shadow = self.checker
+
         if tracer is not None or metrics is not None:
             from repro.obs import attach_observability
 
@@ -172,19 +199,74 @@ class BaryonController:
         if self.tracker is not None:
             self.tracker.tick()
 
+        entry = None
+        staged_block = None
+        if super_id in self._quarantined:
+            # Poisoned super-block: degraded service straight from slow
+            # memory, no staging or metadata side effects (counted).
+            result = self._quarantined_serve(now, is_write)
+        else:
+            try:
+                result, entry, staged_block = self._dispatch(
+                    now, super_id, block_id, blk_off, sub_idx, line_idx, is_write
+                )
+            except (TransientDeviceError, CorruptionError) as err:
+                if self.recovery is None:
+                    raise
+                result = self._degraded(now, super_id, err, is_write)
+
+        self.stats.inc(f"case_{result.case.value}")
+        if result.served_fast:
+            self.stats.inc("served_fast")
+        if self.obs.enabled:
+            self.obs.emit(
+                "access", t=now, addr=addr, block=block_id,
+                case=result.case.value, write=is_write,
+                latency=result.latency_cycles, fast=result.served_fast,
+                overflow=result.write_overflow,
+            )
+        if self.tracker is not None and result.case is not AccessCase.FAST_HOME:
+            self.tracker.record(
+                block_id,
+                staged=staged_block is not None,
+                committed=entry.is_remapped if entry is not None else False,
+                is_write=is_write,
+                miss=result.case
+                in (AccessCase.STAGE_MISS, AccessCase.COMMIT_MISS, AccessCase.BLOCK_MISS),
+                overflow=result.write_overflow,
+            )
+        return result
+
+    def _dispatch(
+        self,
+        now: float,
+        super_id: int,
+        block_id: int,
+        blk_off: int,
+        sub_idx: int,
+        line_idx: int,
+        is_write: bool,
+    ) -> Tuple[AccessResult, RemapEntry, Optional[Tuple[int, StageTagEntry]]]:
+        """The Fig. 6 case dispatch (the body of :meth:`access`)."""
         stage_set = self.stage.set_index_of(super_id)
         self.stage.record_set_access(stage_set)
 
         # Metadata lookup: stage tag array and remap cache in parallel.
         meta_latency = float(self.config.stage.tag_latency_cycles)
-        remap_hit = self.remap_cache.access(super_id)
+        try:
+            remap_hit = self.remap_cache.access(super_id)
+        except CorruptionError:
+            # Injected remap-cache corruption: the line is dropped and
+            # rebuilt from the authoritative table. The refill runs with
+            # injection paused so the repair always terminates.
+            remap_hit = self._repair_remap_cache_line(super_id)
         remap_latency = float(self.remap_cache.latency_cycles)
         if not remap_hit:
             # Off-chip remap table probe: one super-block line (16 B).
-            table = self.devices.fast.read(now, 16, demand=True)
+            table = self._dev_read(self.devices.fast, now, 16, demand=True)
             remap_latency += table.total_cycles
             self.stats.inc("remap_table_reads")
-        entry = self.remap_table.get(block_id)
+        entry = self._table_get(now, block_id)
 
         staged_block = (
             self.stage.lookup_block(super_id, blk_off)
@@ -236,27 +318,121 @@ class BaryonController:
                     is_write,
                 )
 
-        self.stats.inc(f"case_{result.case.value}")
-        if result.served_fast:
-            self.stats.inc("served_fast")
-        if self.obs.enabled:
-            self.obs.emit(
-                "access", t=now, addr=addr, block=block_id,
-                case=result.case.value, write=is_write,
-                latency=result.latency_cycles, fast=result.served_fast,
-                overflow=result.write_overflow,
+        return result, entry, staged_block
+
+    # --------------------------------------------------- recovery paths
+    def _dev_read(self, device, now: float, nbytes: int, *, demand: bool = True,
+                  addr: Optional[int] = None):
+        """Device read, through bounded retry when recovery is armed."""
+        if self.recovery is not None and self.faults is not None:
+            return self.recovery.retry_read(device, now, nbytes, demand=demand, addr=addr)
+        return device.read(now, nbytes, demand=demand, addr=addr)
+
+    def _dev_write(self, device, now: float, nbytes: int, addr: Optional[int] = None):
+        """Device write, through bounded retry when recovery is armed."""
+        if self.recovery is not None and self.faults is not None:
+            return self.recovery.retry_write(device, now, nbytes, addr=addr)
+        return device.write(now, nbytes, addr=addr)
+
+    def _pause_faults(self) -> bool:
+        """Suspend injection for a recovery path; returns a resume token."""
+        if self.faults is not None and not self.faults.paused:
+            self.faults.paused = True
+            return True
+        return False
+
+    def _resume_faults(self, token: bool) -> None:
+        if token:
+            self.faults.paused = False
+
+    def _table_get(self, now: float, block_id: int) -> RemapEntry:
+        """Access-path remap table read, with corruption detection.
+
+        When the injector corrupts the read and the shadow checker is
+        armed, the checker returns the shadow-true entry and the repaired
+        entry is written back (one 2-byte metadata write, injection
+        paused). Without a checker this configuration is rejected at
+        config time — corruption would be a silent wrong result.
+        """
+        entry = self.remap_table.get(block_id)
+        if (
+            self.faults is not None
+            and self.faults.active
+            and self.faults.table_corruption()
+        ):
+            entry = self.checker.verified_get(block_id, entry, corrupted=True)
+            token = self._pause_faults()
+            try:
+                self._dev_write(self.devices.fast, now, 2)
+            finally:
+                self._resume_faults(token)
+            self.recovery.record("table_repairs", site="remap_table")
+        return entry
+
+    def _repair_remap_cache_line(self, super_id: int) -> bool:
+        """Drop and refill a corrupted remap-cache line. Returns False:
+        the access now pays the off-chip table probe, as any miss would."""
+        self.remap_cache.invalidate(super_id)
+        token = self._pause_faults()
+        try:
+            self.remap_cache.access(super_id)
+        finally:
+            self._resume_faults(token)
+        self.recovery.record("remap_cache_repairs", site="remap_cache")
+        return False
+
+    def _quarantined_serve(self, now: float, is_write: bool) -> AccessResult:
+        """Degraded service for a poisoned super-block (always succeeds)."""
+        self.recovery.record("quarantined_serves")
+        token = self._pause_faults()
+        try:
+            return self._slow_direct(
+                now, float(self.config.stage.tag_latency_cycles), is_write
             )
-        if self.tracker is not None and result.case is not AccessCase.FAST_HOME:
-            self.tracker.record(
-                block_id,
-                staged=staged_block is not None,
-                committed=entry.is_remapped,
-                is_write=is_write,
-                miss=result.case
-                in (AccessCase.STAGE_MISS, AccessCase.COMMIT_MISS, AccessCase.BLOCK_MISS),
-                overflow=result.write_overflow,
+        finally:
+            self._resume_faults(token)
+
+    def _degraded(
+        self, now: float, super_id: int, err: Exception, is_write: bool
+    ) -> AccessResult:
+        """Recovery exhausted (retries spent or corruption with no clean
+        repair): quarantine the super-block and serve from slow memory.
+
+        The cleanup — flushing staged data, evicting committed data back
+        to slow memory, dropping cached metadata — runs with injection
+        paused, so degradation itself cannot fault.
+        """
+        token = self._pause_faults()
+        try:
+            self._quarantine_super(now, super_id)
+            kind = "corruption" if isinstance(err, CorruptionError) else "transient"
+            self.recovery.record(
+                f"degraded_{kind}", site=getattr(err, "site", None)
             )
-        return result
+            return self._slow_direct(
+                now, float(self.config.stage.tag_latency_cycles), is_write
+            )
+        finally:
+            self._resume_faults(token)
+
+    def _quarantine_super(self, now: float, super_id: int) -> None:
+        """Poison one super-block: flush its staged and committed data to
+        slow memory and serve it slow-direct from now on."""
+        if super_id in self._quarantined:
+            return
+        self._quarantined.add(super_id)
+        self.recovery.record("quarantined_supers")
+        set_index = self.stage.set_index_of(super_id)
+        for way, _entry in list(self.stage.lookup_super(super_id)):
+            self._evict_stage_block(now, set_index, way, super_id)
+            self.recovery.record("stage_flushes")
+        base = super_id * self.geometry.super_block_blocks
+        for off in range(self.geometry.super_block_blocks):
+            block_id = base + off
+            if self.remap_table.get(block_id).is_remapped:
+                self._evict_committed_logical_block(now, super_id, block_id, off)
+            self._cf_hints.pop(block_id, None)
+        self.remap_cache.invalidate(super_id)
 
     # ----------------------------------------------------------- case 1
     def _case1_stage_hit(
@@ -286,12 +462,12 @@ class BaryonController:
                 overflow = self._stage_zero_write(
                     now, set_index, way, slot_idx, block_id, blk_off, sub_idx
                 )
-                access = self.devices.fast.write(
+                access = self._dev_write(self.devices.fast,
                     now, self.geometry.cacheline_size, addr=block_id * self.geometry.block_size
                 )
                 latency += access.total_cycles
         elif is_write:
-            access = self.devices.fast.write(
+            access = self._dev_write(self.devices.fast,
                 now, self.geometry.cacheline_size,
                 addr=block_id * self.geometry.block_size + sub_idx * self.geometry.sub_block_size,
             )
@@ -301,7 +477,7 @@ class BaryonController:
                 now, set_index, way, slot_idx, block_id, blk_off, sub_idx
             )
         else:
-            access = self.devices.fast.read(
+            access = self._dev_read(self.devices.fast,
                 now, self._demand_bytes(slot.cf),
                 addr=block_id * self.geometry.block_size + sub_idx * self.geometry.sub_block_size,
             )
@@ -346,7 +522,7 @@ class BaryonController:
                 cf=piece[1], dirty=True, blk_off=blk_off, sub_start=piece[0]
             )
             self._stage_insert(now, super_id, block_id, blk_off, piece_slot)
-            self.devices.fast.write(now, self.geometry.sub_block_size)
+            self._dev_write(self.devices.fast, now, self.geometry.sub_block_size)
         return True
 
     def _stage_zero_write(
@@ -432,7 +608,7 @@ class BaryonController:
                 self.stats.inc("commit_zero_breaks")
                 self.oracle.note_write(block_id, sub_idx)
                 self._evict_committed_logical_block(now, super_id, block_id, blk_off)
-                access = self.devices.slow.write(now, self.geometry.cacheline_size)
+                access = self._dev_write(self.devices.slow, now, self.geometry.cacheline_size)
                 latency += access.total_cycles
                 overflow = True
             return AccessResult(
@@ -440,7 +616,7 @@ class BaryonController:
             )
 
         if is_write:
-            access = self.devices.fast.write(
+            access = self._dev_write(self.devices.fast,
                 now, self.geometry.cacheline_size,
                 addr=block_id * self.geometry.block_size + sub_idx * self.geometry.sub_block_size,
             )
@@ -456,7 +632,7 @@ class BaryonController:
                     now, super_id, block_id, blk_off, start, cf, set_index, way
                 )
         else:
-            access = self.devices.fast.read(
+            access = self._dev_read(self.devices.fast,
                 now, self._demand_bytes(cf),
                 addr=block_id * self.geometry.block_size + sub_idx * self.geometry.sub_block_size,
             )
@@ -533,18 +709,18 @@ class BaryonController:
     def _case4_commit_miss(self, now: float, meta: float, is_write: bool) -> AccessResult:
         size = self.geometry.cacheline_size
         if is_write:
-            access = self.devices.slow.write(now, size)
+            access = self._dev_write(self.devices.slow, now, size)
         else:
-            access = self.devices.slow.read(now, size, demand=True)
+            access = self._dev_read(self.devices.slow, now, size, demand=True)
         return AccessResult(AccessCase.COMMIT_MISS, meta + access.total_cycles, is_write)
 
     def _slow_direct(self, now: float, meta: float, is_write: bool) -> AccessResult:
         """Serve from slow memory with no staging side effects."""
         size = self.geometry.cacheline_size
         if is_write:
-            access = self.devices.slow.write(now, size)
+            access = self._dev_write(self.devices.slow, now, size)
         else:
-            access = self.devices.slow.read(now, size, demand=True)
+            access = self._dev_read(self.devices.slow, now, size, demand=True)
         return AccessResult(AccessCase.SLOW_DIRECT, meta + access.total_cycles, is_write)
 
     # ----------------------------------------------------------- case 5
@@ -602,9 +778,9 @@ class BaryonController:
     ) -> AccessResult:
         size = self.geometry.cacheline_size
         if is_write:
-            access = self.devices.fast.write(now, size, addr=block_id * self.geometry.block_size)
+            access = self._dev_write(self.devices.fast, now, size, addr=block_id * self.geometry.block_size)
         else:
-            access = self.devices.fast.read(now, size, addr=block_id * self.geometry.block_size)
+            access = self._dev_read(self.devices.fast, now, size, addr=block_id * self.geometry.block_size)
         self._home_stamps[block_id] = self.fast_area.next_stamp()
         return AccessResult(AccessCase.FAST_HOME, meta + access.total_cycles, is_write)
 
@@ -709,7 +885,7 @@ class BaryonController:
         # Demand chunk first (one 64 B transfer; the whole compressed slot
         # when cacheline-aligned compression is disabled).
         demand_bytes = self._demand_bytes(cf) if compressed else g.cacheline_size
-        demand = self.devices.slow.read(now, demand_bytes, demand=True)
+        demand = self._dev_read(self.devices.slow, now, demand_bytes, demand=True)
         latency = meta + demand.total_cycles
         prefetched: List[int] = []
         if compressed:
@@ -721,8 +897,8 @@ class BaryonController:
         # Background: the rest of the range, plus the stage-area fill.
         rest = max(0, fetch_bytes - demand_bytes)
         if rest:
-            self.devices.slow.read(now, rest, demand=False)
-        self.devices.fast.write(now, g.sub_block_size)
+            self._dev_read(self.devices.slow, now, rest, demand=False)
+        self._dev_write(self.devices.fast, now, g.sub_block_size)
         if self._h_fetch_subs is not None:
             self._h_fetch_subs.observe(cf)
             self._h_fetch_bytes.observe(fetch_bytes)
@@ -863,8 +1039,8 @@ class BaryonController:
                 self.stage.invalidate(set_index, way)
             # Fast-to-fast regrouping traffic.
             move_bytes = moved * self.geometry.sub_block_size
-            self.devices.fast.read(now, move_bytes, demand=False)
-            self.devices.fast.write(now, move_bytes)
+            self._dev_read(self.devices.fast, now, move_bytes, demand=False)
+            self._dev_write(self.devices.fast, now, move_bytes)
             self.stats.inc("stage_regroup_moves")
             self.stage.insert_range(set_index, new_way, new_slot)
             self.stage.touch(set_index, new_way)
@@ -941,8 +1117,8 @@ class BaryonController:
                 self._record_hint(block_id, slot)
             else:
                 nbytes = slot.cf * self.geometry.sub_block_size
-            self.devices.fast.read(now, nbytes, demand=False)
-            self.devices.slow.write(now, nbytes)
+            self._dev_read(self.devices.fast, now, nbytes, demand=False)
+            self._dev_write(self.devices.slow, now, nbytes)
             self.stats.inc("stage_dirty_writebacks")
             if self.obs.enabled:
                 self.obs.emit(
@@ -1001,6 +1177,7 @@ class BaryonController:
             victim_miss_cnt=entry.miss_count,
             dirty_stage=entry.dirty_sub_block_count(),
             dirty_area=dirty_area,
+            quarantined=super_id in self._quarantined,
         )
         if decision.commit:
             self._commit_stage_block(now, set_index, victim_way, super_id)
@@ -1057,10 +1234,20 @@ class BaryonController:
         # Commit data movement: stage block -> cache/flat area block.
         move = state.slots_used * self.geometry.sub_block_size
         if move:
-            self.devices.fast.read(now, move, demand=False)
-            self.devices.fast.write(now, move)
-        self.stage.invalidate(set_index, way)
+            self._dev_read(self.devices.fast, now, move, demand=False)
+            self._dev_write(self.devices.fast, now, move)
+        snapshot = self.stage.invalidate(set_index, way)
         self.stats.inc("commits")
+        if self.checker is not None:
+            self.checker.check_commit(
+                super_id,
+                table=self.remap_table,
+                stage=self.stage,
+                fa_state=state,
+                snapshot=snapshot,
+                blocks_per_super=self.geometry.super_block_blocks,
+                slots_per_block=self.geometry.sub_blocks_per_block,
+            )
 
     def _slots_to_remap(
         self, entry: StageTagEntry, blk_off: int
@@ -1105,8 +1292,8 @@ class BaryonController:
             return home
         # Spread the original 2 kB into the freed slow sub-block spaces.
         size = self.geometry.block_size
-        self.devices.fast.read(now, size, demand=False)
-        self.devices.slow.write(now, size)
+        self._dev_read(self.devices.fast, now, size, demand=False)
+        self._dev_write(self.devices.slow, now, size)
         self._displaced[home] = (fa_set, way)
         self.stats.inc("home_displacements")
         return home
@@ -1123,8 +1310,8 @@ class BaryonController:
         if home is None:
             return
         size = self.geometry.block_size
-        self.devices.slow.read(now, size, demand=False)
-        self.devices.fast.write(now, size)
+        self._dev_read(self.devices.slow, now, size, demand=False)
+        self._dev_write(self.devices.fast, now, size)
         del self._displaced[home]
         self.stats.inc("home_restores")
 
@@ -1159,8 +1346,8 @@ class BaryonController:
                     else entry.dirty_like_count() * g.sub_block_size
                 )
                 if nbytes:
-                    self.devices.fast.read(now, nbytes, demand=False)
-                    self.devices.slow.write(now, nbytes)
+                    self._dev_read(self.devices.fast, now, nbytes, demand=False)
+                    self._dev_write(self.devices.slow, now, nbytes)
                     if self.obs.enabled:
                         self.obs.emit(
                             "writeback", block=block_id, bytes=nbytes,
@@ -1178,8 +1365,8 @@ class BaryonController:
                         nbytes = len(dirty_ranges) * g.sub_block_size
                     else:
                         nbytes = len(dirty_subs) * g.sub_block_size
-                    self.devices.fast.read(now, nbytes, demand=False)
-                    self.devices.slow.write(now, nbytes)
+                    self._dev_read(self.devices.fast, now, nbytes, demand=False)
+                    self._dev_write(self.devices.slow, now, nbytes)
                     self.stats.inc("commit_dirty_writebacks")
                     if self.obs.enabled:
                         self.obs.emit(
@@ -1194,8 +1381,8 @@ class BaryonController:
                 # Slow swap step 1: shuffle the spread original content
                 # into the spaces just vacated; the home stays displaced
                 # because a new block commits into its space right away.
-                self.devices.slow.read(now, g.block_size, demand=False)
-                self.devices.slow.write(now, g.block_size)
+                self._dev_read(self.devices.slow, now, g.block_size, demand=False)
+                self._dev_write(self.devices.slow, now, g.block_size)
                 self.stats.inc("slow_swaps")
             else:
                 self._restore_home(now, set_index, way)
@@ -1223,8 +1410,8 @@ class BaryonController:
         nbytes = self.geometry.sub_block_size * (
             1 if self.config.compressed_writeback else cf
         )
-        self.devices.fast.read(now, nbytes, demand=False)
-        self.devices.slow.write(now, nbytes)
+        self._dev_read(self.devices.fast, now, nbytes, demand=False)
+        self._dev_write(self.devices.slow, now, nbytes)
         new_entry = RemapEntry(
             remap=remap, pointer=way, cf2=cf2, cf4=cf4,
             num_subs=self.geometry.sub_blocks_per_block,
@@ -1252,8 +1439,8 @@ class BaryonController:
         if not entry.zero:
             nbytes = entry.occupied_slots() * self.geometry.sub_block_size
             if nbytes:
-                self.devices.fast.read(now, nbytes, demand=False)
-                self.devices.slow.write(now, nbytes)
+                self._dev_read(self.devices.fast, now, nbytes, demand=False)
+                self._dev_write(self.devices.slow, now, nbytes)
         self.remap_table.clear(block_id)
         state.slots_used -= state.committed.pop(blk_off, 0)
         state.dirty_subs = {
@@ -1294,7 +1481,7 @@ class BaryonController:
             start, _ = g.aligned_range(sub_idx, cf)
             compressed = False
         demand_bytes = self._demand_bytes(cf) if compressed else g.cacheline_size
-        demand = self.devices.slow.read(now, demand_bytes, demand=True)
+        demand = self._dev_read(self.devices.slow, now, demand_bytes, demand=True)
         latency = meta + demand.total_cycles
         prefetched: List[int] = []
         if compressed:
@@ -1305,7 +1492,7 @@ class BaryonController:
             fetch_bytes = cf * g.sub_block_size
         rest = max(0, fetch_bytes - demand_bytes)
         if rest:
-            self.devices.slow.read(now, rest, demand=False)
+            self._dev_read(self.devices.slow, now, rest, demand=False)
 
         fa_set = self.fast_area.set_of_super(super_id)
         if entry.is_remapped:
@@ -1334,10 +1521,10 @@ class BaryonController:
         # Re-sort penalty: rewrite the whole physical block layout.
         resort = state.slots_used * g.sub_block_size
         if resort:
-            self.devices.fast.read(now, resort, demand=False)
-            self.devices.fast.write(now, resort)
+            self._dev_read(self.devices.fast, now, resort, demand=False)
+            self._dev_write(self.devices.fast, now, resort)
             self.stats.inc("layout_resorts")
-        self.devices.fast.write(now, g.sub_block_size)
+        self._dev_write(self.devices.fast, now, g.sub_block_size)
 
         remap, cf2, cf4 = entry.remap, entry.cf2, entry.cf4
         if entry.remap == 0:

@@ -20,7 +20,7 @@ from typing import List, Optional, Tuple
 
 from repro.common.address import AddressMapper
 from repro.common.config import Geometry, StageConfig
-from repro.common.errors import LayoutError
+from repro.common.errors import CorruptionError, LayoutError
 from repro.common.stats import CounterGroup
 from repro.metadata.stage_tag import RangeSlot, StageTagArray, StageTagEntry
 from repro.obs.tracer import NULL_TRACER
@@ -43,6 +43,10 @@ class StageArea:
         self.stats = CounterGroup("stage_area")
         #: Observability hook point; see :mod:`repro.obs`.
         self.obs = NULL_TRACER
+        #: Optional :class:`~repro.resilience.faults.FaultInjector`. Stage
+        #: tag corruption surfaces on block lookups; the controller flushes
+        #: and quarantines the affected entry.
+        self.faults = None
 
     # -- lookup ------------------------------------------------------------
     def lookup_super(self, super_id: int) -> List[Tuple[int, StageTagEntry]]:
@@ -57,10 +61,27 @@ class StageArea:
         Rule 3 keeps all of one block's staged ranges in one physical
         block, so at most one way can match.
         """
-        for way, entry in self.lookup_super(super_id):
-            if entry.slots_of_block(blk_off):
-                return way, entry
-        return None
+        matches = [
+            (way, entry)
+            for way, entry in self.lookup_super(super_id)
+            if entry.slots_of_block(blk_off)
+        ]
+        if not matches:
+            return None
+        if (
+            self.faults is not None
+            and self.faults.active
+            and self.faults.stage_corruption()
+        ):
+            way, _entry = matches[0]
+            raise CorruptionError(
+                f"stage tag entry for super-block {super_id} corrupted",
+                site="stage_tag",
+                set_index=self.mapper.set_index_of_super(super_id),
+                way=way,
+                block_id=super_id,
+            )
+        return matches[0]
 
     def lookup_sub_block(
         self, super_id: int, blk_off: int, sub_index: int

@@ -58,6 +58,10 @@ class MemoryDevice:
         #: feed the ACT/PRE energy term.
         self.row_buffer = row_buffer
         self.stats = CounterGroup(name)
+        #: Optional :class:`~repro.resilience.faults.FaultInjector`. Faults
+        #: fire *before* any traffic/statistics accounting so a retried
+        #: access leaves no accounting trace of its failed attempts.
+        self.faults = None
 
     def _array_latency(self, addr: int | None, base: float) -> float:
         if self.row_buffer is None or addr is None:
@@ -73,15 +77,22 @@ class MemoryDevice:
         ``addr`` enables the row-buffer model when one is attached; calls
         without an address fall back to the fixed array latency.
         """
+        spike = 0.0
+        if self.faults is not None and self.faults.active:
+            spike = self.faults.on_read(self.name)
         queue, transfer = self.pool.transfer(now, nbytes, priority=demand)
         self.stats.inc("read_bytes", nbytes)
         self.stats.inc("reads")
         self.stats.inc("demand_read_bytes" if demand else "fill_read_bytes", nbytes)
-        return DeviceAccess(self._array_latency(addr, self.read_latency), queue, transfer)
+        return DeviceAccess(
+            self._array_latency(addr, self.read_latency) + spike, queue, transfer
+        )
 
     def write(self, now: float, nbytes: int, addr: int | None = None) -> DeviceAccess:
         """Write ``nbytes``; writes are posted (off the critical path) but
         still occupy channel bandwidth."""
+        if self.faults is not None and self.faults.active:
+            self.faults.on_write(self.name)
         queue, transfer = self.pool.transfer(now, nbytes)
         self.stats.inc("write_bytes", nbytes)
         self.stats.inc("writes")

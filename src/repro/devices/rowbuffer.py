@@ -47,6 +47,11 @@ class RowBufferModel:
         self.stats = CounterGroup("row_buffer")
         #: Observability hook point; see :mod:`repro.obs`.
         self.obs = NULL_TRACER
+        #: Optional :class:`~repro.resilience.faults.FaultInjector`. A row
+        #: glitch is a pure latency penalty (a spurious precharge+activate
+        #: delay); bank state and hit/miss counters are untouched so the
+        #: activation-energy accounting stays identical to a clean run.
+        self.faults = None
 
     def _locate(self, addr: int) -> Tuple[int, int]:
         """(bank index, row id) for a byte address.
@@ -60,22 +65,25 @@ class RowBufferModel:
 
     def access(self, addr: int) -> float:
         """Latency (cycles) of the array access; updates bank state."""
+        glitch = 0.0
+        if self.faults is not None and self.faults.active and self.faults.row_glitch():
+            glitch = self.t_rp + self.t_rcd
         bank, row = self._locate(addr)
         open_row = self._open_rows.get(bank)
         if open_row == row:
             self.stats.inc("row_hits")
             if self.obs.enabled:
                 self.obs.emit("rowbuffer", bank=bank, row=row, hit=True, closed=None)
-            return self.t_cas
+            return self.t_cas + glitch
         self._open_rows[bank] = row
         self.stats.inc("row_misses")
         if self.obs.enabled:
             self.obs.emit("rowbuffer", bank=bank, row=row, hit=False, closed=open_row)
         if open_row is not None:
             self.stats.inc("precharges")
-            return self.t_rp + self.t_rcd + self.t_cas
+            return self.t_rp + self.t_rcd + self.t_cas + glitch
         self.stats.inc("activations")
-        return self.t_rcd + self.t_cas
+        return self.t_rcd + self.t_cas + glitch
 
     @property
     def activations(self) -> int:

@@ -229,6 +229,10 @@ class RemapTable:
 
     pointer_bits: int = 2
     _entries: Dict[int, RemapEntry] = field(default_factory=dict)
+    #: Optional update observer (duck-typed ``on_set``/``on_clear``), used
+    #: by :class:`~repro.resilience.checker.ShadowChecker` to mirror every
+    #: authoritative update into its shadow copy.
+    shadow: Optional[object] = field(default=None, compare=False, repr=False)
 
     def get(self, block_id: int) -> RemapEntry:
         entry = self._entries.get(block_id)
@@ -240,9 +244,13 @@ class RemapTable:
             self._entries[block_id] = entry
         else:
             self._entries.pop(block_id, None)
+        if self.shadow is not None:
+            self.shadow.on_set(block_id, entry)
 
     def clear(self, block_id: int) -> None:
         self._entries.pop(block_id, None)
+        if self.shadow is not None:
+            self.shadow.on_clear(block_id)
 
     def super_block_entries(
         self, super_block_id: int, blocks_per_super: int = 8

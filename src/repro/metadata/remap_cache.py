@@ -16,6 +16,7 @@ from __future__ import annotations
 from typing import List
 
 from repro.cache.replacement import CacheLine, LruSet
+from repro.common.errors import CorruptionError
 from repro.common.stats import CounterGroup, RatioStat
 from repro.obs.tracer import NULL_TRACER
 
@@ -39,12 +40,28 @@ class RemapCache:
         self.hit_ratio = RatioStat("remap_cache_hits")
         #: Observability hook point; see :mod:`repro.obs`.
         self.obs = NULL_TRACER
+        #: Optional :class:`~repro.resilience.faults.FaultInjector`. A
+        #: corrupted line raises before any hit/miss accounting; recovery
+        #: invalidates and refills with injection paused.
+        self.faults = None
 
     def _split(self, super_block_id: int) -> tuple[int, int]:
         return super_block_id % self.num_sets, super_block_id // self.num_sets
 
     def access(self, super_block_id: int) -> bool:
         """Probe for a super-block line; fills on miss. Returns hit."""
+        if (
+            self.faults is not None
+            and self.faults.active
+            and self.faults.remap_corruption()
+        ):
+            index, _ = self._split(super_block_id)
+            raise CorruptionError(
+                f"remap cache line for super-block {super_block_id} corrupted",
+                site="remap_cache",
+                set_index=index,
+                block_id=super_block_id,
+            )
         index, tag = self._split(super_block_id)
         cache_set = self._sets[index]
         line = cache_set.lookup(tag)

@@ -76,7 +76,7 @@ def attach_observability(
         attach_observability(inner, tracer, metrics)
     if tracer is not None:
         controller.obs = tracer
-        for attr in ("stage", "policy", "remap_cache"):
+        for attr in ("stage", "policy", "remap_cache", "faults", "recovery", "checker"):
             component = getattr(controller, attr, None)
             if component is not None:
                 component.obs = tracer
@@ -109,7 +109,10 @@ def collect_run_metrics(
     * ``repro_compression_total{event=...}`` when a content-backed oracle
       carries a real :class:`~repro.compression.engine.CompressionEngine`
       — including the memo effectiveness events ``memo_hits`` /
-      ``memo_misses`` / ``memo_evictions`` (see docs/performance.md).
+      ``memo_misses`` / ``memo_evictions`` (see docs/performance.md);
+    * ``repro_fault_total{kind=...}``, ``repro_recovery_total{action=...}``
+      and ``repro_checker_total{event=...}`` when the resilience layer is
+      active (see docs/resilience.md).
     """
     controller = getattr(controller, "_inner", controller)
     stats = getattr(controller, "stats", None)
@@ -174,6 +177,37 @@ def collect_run_metrics(
         )
         for event, value in engine.stats.as_dict().items():
             comp.inc(value, **const_labels, event=event)
+
+    faults = getattr(controller, "faults", None)
+    if faults is not None:
+        fault_counter = registry.counter(
+            "repro_fault_total",
+            help="injected faults per kind (repro.resilience)",
+            labels=(*const_labels.keys(), "kind"),
+        )
+        for key, value in faults.stats.as_dict().items():
+            kind = key[len("injected_"):] if key.startswith("injected_") else key
+            fault_counter.inc(value, **const_labels, kind=kind)
+
+    recovery = getattr(controller, "recovery", None)
+    if recovery is not None and recovery.stats.as_dict():
+        recovery_counter = registry.counter(
+            "repro_recovery_total",
+            help="recovery actions taken (retries, repairs, quarantines)",
+            labels=(*const_labels.keys(), "action"),
+        )
+        for action, value in recovery.stats.as_dict().items():
+            recovery_counter.inc(value, **const_labels, action=action)
+
+    checker = getattr(controller, "checker", None)
+    if checker is not None and checker.stats.as_dict():
+        checker_counter = registry.counter(
+            "repro_checker_total",
+            help="shadow-checker verifications and detections",
+            labels=(*const_labels.keys(), "event"),
+        )
+        for event, value in checker.stats.as_dict().items():
+            checker_counter.inc(value, **const_labels, event=event)
 
     remap_cache = getattr(controller, "remap_cache", None)
     if remap_cache is not None:

@@ -51,6 +51,11 @@ EVENT_SCHEMA: Dict[str, tuple] = {
     "rowbuffer": ("bank", "row", "hit", "closed"),
     # Dirty data moved back toward slow memory.
     "writeback": ("block", "bytes", "kind"),
+    # A fault-injection draw fired (see repro.resilience.faults).
+    "fault": ("site", "kind"),
+    # A recovery action ran (retry, repair, quarantine, degraded serve);
+    # events may carry extra context fields beyond these.
+    "recovery": ("action", "site", "attempt"),
 }
 
 
@@ -167,13 +172,36 @@ class EventTracer:
 
 
 def load_jsonl(path: str) -> List[Dict[str, Any]]:
-    """Read a JSONL trace back into a list of event dicts."""
+    """Read a JSONL trace back into a list of event dicts.
+
+    A truncated or otherwise malformed line raises
+    :class:`~repro.common.errors.ConfigurationError` naming the line, so
+    a half-written trace (e.g. from a crashed run) fails loudly instead
+    of silently yielding a partial event list.
+    """
+    from repro.common.errors import ConfigurationError
+
     events: List[Dict[str, Any]] = []
-    with open(path, "r", encoding="utf-8") as fh:
-        for line in fh:
-            line = line.strip()
-            if line:
-                events.append(json.loads(line))
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            for lineno, line in enumerate(fh, start=1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    event = json.loads(line)
+                except json.JSONDecodeError as err:
+                    raise ConfigurationError(
+                        f"trace file {path!r} is corrupt at line {lineno}: {err}"
+                    ) from err
+                if not isinstance(event, dict):
+                    raise ConfigurationError(
+                        f"trace file {path!r} line {lineno} is not an event "
+                        f"object (got {type(event).__name__})"
+                    )
+                events.append(event)
+    except OSError as err:
+        raise ConfigurationError(f"cannot read trace file {path!r}: {err}") from err
     return events
 
 

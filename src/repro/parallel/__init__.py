@@ -22,6 +22,7 @@ through ``--jobs``. See ``docs/performance.md``.
 
 from repro.parallel.plan import Cell, plan_cells
 from repro.parallel.runner import (
+    DEFAULT_CELL_TIMEOUT_S,
     TRACE_CACHE_CAPACITY,
     MatrixOutcome,
     clear_trace_cache,
@@ -32,6 +33,7 @@ from repro.parallel.runner import (
 
 __all__ = [
     "Cell",
+    "DEFAULT_CELL_TIMEOUT_S",
     "MatrixOutcome",
     "TRACE_CACHE_CAPACITY",
     "clear_trace_cache",

@@ -3,14 +3,27 @@
 The runner turns a deterministic cell plan (:mod:`repro.parallel.plan`)
 into a :class:`MatrixOutcome`:
 
-* cells are sharded across a ``fork`` process pool (``jobs`` workers) in
-  contiguous chunks, so cells replaying the same (workload, seed) stream
-  land on the same worker and hit its per-process trace cache;
-* each worker serializes its :class:`~repro.sim.results.SimResult` and
+* cells are dispatched to a ``fork`` process pool (``jobs`` workers);
+  each worker serializes its :class:`~repro.sim.results.SimResult` and
   per-component counter snapshots back as plain dicts (pickle-free
   payloads, transport-agnostic);
 * the parent folds the shards with the ``CounterGroup.merge`` /
   ``RatioStat.merge`` aggregation APIs.
+
+Crash safety (``repro.resilience``):
+
+* a cell that raises comes back as a **tagged error payload** carrying
+  the worker's formatted traceback instead of poisoning the fold;
+* every cell has a **deadline** (``cell_timeout_s``): a worker killed
+  mid-cell (its task is silently lost by ``multiprocessing.Pool``) is
+  detected when the deadline lapses and the cell is **requeued**, up to
+  ``max_attempts`` total attempts — exhausted cells land in
+  ``MatrixOutcome.failed`` rather than aborting the matrix;
+* with ``checkpoint=path`` the parent atomically rewrites a fingerprinted
+  JSON checkpoint after every finished cell, and ``resume=path`` preloads
+  finished cells from it, so an interrupted sweep continues where it
+  died and reproduces the uninterrupted matrix exactly (every cell is a
+  pure function of its own seed).
 
 When ``jobs <= 1``, the plan has a single cell, or the platform lacks
 ``fork`` (e.g. some macOS/Windows configurations), execution gracefully
@@ -23,14 +36,20 @@ from __future__ import annotations
 import math
 import multiprocessing
 import os
+import traceback
 from collections import OrderedDict
 from dataclasses import dataclass, field
-from time import perf_counter
+from time import monotonic, perf_counter, sleep
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.common.config import BaryonConfig, SimulationConfig
 from repro.common.stats import CounterGroup, RatioStat
 from repro.parallel.plan import Cell
+from repro.resilience.checkpoint import (
+    load_checkpoint,
+    plan_fingerprint,
+    write_checkpoint,
+)
 from repro.sim.results import SimResult
 from repro.workloads import build_workload
 from repro.workloads.base import Trace
@@ -38,6 +57,11 @@ from repro.workloads.base import Trace
 #: Bound on the per-process trace cache (distinct (workload, seed,
 #: length, capacity) streams kept alive at once).
 TRACE_CACHE_CAPACITY = 32
+
+#: Default wall-clock budget per cell attempt. Deliberately generous —
+#: it includes pool queue wait, and its job is dead-worker detection,
+#: not fine-grained scheduling.
+DEFAULT_CELL_TIMEOUT_S = 600.0
 
 _trace_cache: "OrderedDict[Tuple, Trace]" = OrderedDict()
 
@@ -98,8 +122,14 @@ def _execute_cell(
     config: BaryonConfig,
     sim_config: SimulationConfig,
     n_accesses: int,
+    attempt: int = 1,
 ) -> Dict[str, Any]:
-    """Run one cell and package its result + counter shards as dicts."""
+    """Run one cell and package its result + counter shards as dicts.
+
+    ``attempt`` is 1-based and carries no semantics here — the cell is a
+    pure function of its seed, so a retry is bit-identical — but it lets
+    fault-injection test doubles behave attempt-dependently.
+    """
     from repro.analysis.experiments import run_cell
 
     trace, generated = _cell_trace(cell, config, n_accesses)
@@ -122,14 +152,49 @@ def _execute_cell(
     engine = getattr(getattr(inner, "oracle", None), "engine", None)
     if engine is not None:
         compression = engine.stats.as_dict()
+    resilience: Dict[str, int] = {}
+    for attr, prefix in (("faults", "fault"), ("recovery", "recovery"), ("checker", "checker")):
+        component = getattr(inner, attr, None)
+        if component is not None:
+            for key, value in component.stats.as_dict().items():
+                resilience[f"{prefix}.{key}"] = value
     return {
         "index": cell.index,
         "result": result.to_dict(),
         "controller": inner.stats.as_dict(),
         "devices": devices,
         "compression": compression,
+        "resilience": resilience,
         "generated_trace": generated,
     }
+
+
+def _error_payload(index: int, attempt: int, err: BaseException,
+                   traceback_text: Optional[str]) -> Dict[str, Any]:
+    return {
+        "index": index,
+        "error": {
+            "type": type(err).__name__,
+            "message": str(err),
+            "traceback": traceback_text,
+            "attempt": attempt,
+        },
+    }
+
+
+def _safe_execute(
+    cell: Cell,
+    config: BaryonConfig,
+    sim_config: SimulationConfig,
+    n_accesses: int,
+    attempt: int,
+) -> Dict[str, Any]:
+    """Run one cell; exceptions become tagged error payloads with the
+    worker-side traceback, never a poisoned fold."""
+    try:
+        return _execute_cell(cell, config, sim_config, n_accesses, attempt)
+    except Exception as err:
+        return _error_payload(cell.index, attempt, err, traceback.format_exc())
 
 
 def _init_worker(
@@ -139,23 +204,27 @@ def _init_worker(
     _worker_context = (config, sim_config, n_accesses)
 
 
-def _worker_cell(cell: Cell) -> Dict[str, Any]:
+def _worker_cell(task: Tuple[Cell, int]) -> Dict[str, Any]:
     assert _worker_context is not None, "worker used before initialization"
+    cell, attempt = task
     config, sim_config, n_accesses = _worker_context
-    return _execute_cell(cell, config, sim_config, n_accesses)
+    return _safe_execute(cell, config, sim_config, n_accesses, attempt)
 
 
 @dataclass
 class MatrixOutcome:
     """Results of a plan plus merged counter shards and runner telemetry.
 
-    ``counters``/``device_counters``/``compression_counters`` are the
-    fold of every cell's per-component snapshots through
-    :meth:`~repro.common.stats.CounterGroup.merge`; ``serve`` merges the
-    per-cell served-fast ratios with
+    ``counters``/``device_counters``/``compression_counters``/
+    ``resilience_counters`` are the fold of every cell's per-component
+    snapshots through :meth:`~repro.common.stats.CounterGroup.merge`;
+    ``serve`` merges the per-cell served-fast ratios with
     :meth:`~repro.common.stats.RatioStat.merge`. ``traces_generated``
     counts actual generations — ``cells - traces_generated`` streams
-    were replayed from cache.
+    were replayed from cache. ``failed`` maps a cell key to its final
+    error record (type, message, worker traceback, attempts) for cells
+    that exhausted their retry budget; ``retries`` counts requeued
+    attempts and ``resumed`` counts cells preloaded from a checkpoint.
     """
 
     results: Dict[Tuple, SimResult] = field(default_factory=dict)
@@ -168,11 +237,17 @@ class MatrixOutcome:
     compression_counters: CounterGroup = field(
         default_factory=lambda: CounterGroup("matrix.compression")
     )
+    resilience_counters: CounterGroup = field(
+        default_factory=lambda: CounterGroup("matrix.resilience")
+    )
     serve: RatioStat = field(default_factory=lambda: RatioStat("matrix.serve"))
+    failed: Dict[Tuple, Dict[str, Any]] = field(default_factory=dict)
     cells: int = 0
     jobs: int = 1
     elapsed_s: float = 0.0
     traces_generated: int = 0
+    retries: int = 0
+    resumed: int = 0
 
 
 def _group(name: str, snapshot: Dict[str, int]) -> CounterGroup:
@@ -197,6 +272,9 @@ def _fold(
         outcome.counters.merge(_group("cell", payload["controller"]))
         outcome.device_counters.merge(_group("cell", payload["devices"]))
         outcome.compression_counters.merge(_group("cell", payload["compression"]))
+        outcome.resilience_counters.merge(
+            _group("cell", payload.get("resilience", {}))
+        )
         shard = RatioStat("cell")
         shard.hits = result.served_fast
         shard.total = result.memory_accesses
@@ -205,33 +283,170 @@ def _fold(
     return outcome
 
 
+def _run_serial(
+    cells: Sequence[Cell],
+    config: BaryonConfig,
+    sim_config: SimulationConfig,
+    n_accesses: int,
+    max_attempts: int,
+    note_success,
+    failures: Dict[int, Dict[str, Any]],
+) -> int:
+    retries = 0
+    for cell in cells:
+        payload: Dict[str, Any] = {}
+        for attempt in range(1, max_attempts + 1):
+            payload = _safe_execute(cell, config, sim_config, n_accesses, attempt)
+            if "error" not in payload:
+                break
+            if attempt < max_attempts:
+                retries += 1
+        if "error" in payload:
+            failures[cell.index] = payload["error"]
+        else:
+            note_success(cell.index, payload)
+    return retries
+
+
+def _run_pool(
+    cells: Sequence[Cell],
+    config: BaryonConfig,
+    sim_config: SimulationConfig,
+    n_accesses: int,
+    effective: int,
+    max_attempts: int,
+    cell_timeout_s: float,
+    note_success,
+    failures: Dict[int, Dict[str, Any]],
+) -> int:
+    """Dispatch cells to a fork pool with deadlines and requeue.
+
+    ``multiprocessing.Pool`` silently respawns a killed worker and the
+    task it was running never completes — so a lapsed deadline *is* the
+    dead-worker signal, and the cell is resubmitted (the respawned
+    worker re-derives everything from the cell seed).
+    """
+    retries = 0
+    ctx = multiprocessing.get_context("fork")
+    by_index = {cell.index: cell for cell in cells}
+    with ctx.Pool(
+        processes=effective,
+        initializer=_init_worker,
+        initargs=(config, sim_config, n_accesses),
+    ) as pool:
+
+        def _submit(index: int, attempt: int):
+            handle = pool.apply_async(_worker_cell, ((by_index[index], attempt),))
+            return attempt, handle, monotonic() + cell_timeout_s
+
+        inflight = {cell.index: _submit(cell.index, 1) for cell in cells}
+        while inflight:
+            progressed = False
+            for index in list(inflight):
+                attempt, handle, deadline = inflight[index]
+                if handle.ready():
+                    progressed = True
+                    try:
+                        payload = handle.get()
+                    except Exception as err:
+                        # Transport-level failure (e.g. unpicklable
+                        # payload); same shape as a worker-side error.
+                        payload = _error_payload(index, attempt, err, None)
+                    if "error" not in payload:
+                        note_success(index, payload)
+                        del inflight[index]
+                    elif attempt < max_attempts:
+                        retries += 1
+                        inflight[index] = _submit(index, attempt + 1)
+                    else:
+                        failures[index] = payload["error"]
+                        del inflight[index]
+                elif monotonic() > deadline:
+                    progressed = True
+                    if attempt < max_attempts:
+                        retries += 1
+                        inflight[index] = _submit(index, attempt + 1)
+                    else:
+                        failures[index] = {
+                            "type": "TimeoutError",
+                            "message": (
+                                f"cell {index} exceeded {cell_timeout_s:.0f}s "
+                                f"on attempt {attempt} (worker presumed dead)"
+                            ),
+                            "traceback": None,
+                            "attempt": attempt,
+                        }
+                        del inflight[index]
+            if inflight and not progressed:
+                sleep(0.01)
+    return retries
+
+
 def run_plan(
     plan: Sequence[Cell],
     config: BaryonConfig,
     sim_config: SimulationConfig,
     n_accesses: int = 50_000,
     jobs: int = 1,
+    *,
+    max_attempts: int = 2,
+    cell_timeout_s: float = DEFAULT_CELL_TIMEOUT_S,
+    checkpoint: Optional[str] = None,
+    resume: Optional[str] = None,
 ) -> MatrixOutcome:
     """Execute a cell plan, in-process or across a ``fork`` pool.
 
-    Shards are chunked contiguously (``ceil(cells / jobs)`` per chunk)
-    over the workload-major plan order, so every (workload, seed) stream
-    is generated at most once per worker. The outcome is independent of
-    ``jobs`` — the parallel/serial equivalence test pins this down.
+    The outcome is independent of ``jobs``, retries, and resumption —
+    the parallel/serial equivalence tests pin this down. Failed cells
+    (after ``max_attempts`` attempts each) are reported in
+    ``MatrixOutcome.failed`` instead of aborting the whole matrix.
+
+    ``checkpoint`` names a JSON file atomically rewritten after every
+    finished cell; ``resume`` preloads finished cells from such a file
+    (missing file: start fresh; malformed or wrong-plan file: raise
+    :class:`~repro.common.errors.ConfigurationError`). The two may name
+    the same path.
     """
+    if max_attempts < 1:
+        raise ValueError("max_attempts must be >= 1")
     start = perf_counter()
     effective = resolve_jobs(jobs, len(plan))
-    if effective <= 1:
-        payloads = [
-            _execute_cell(cell, config, sim_config, n_accesses) for cell in plan
-        ]
+    fingerprint = plan_fingerprint(plan, n_accesses, config, sim_config)
+    done: Dict[int, Dict[str, Any]] = {}
+    resumed = 0
+    if resume is not None and os.path.exists(resume):
+        wanted = {cell.index for cell in plan}
+        done = {
+            index: payload
+            for index, payload in load_checkpoint(resume, fingerprint).items()
+            if index in wanted
+        }
+        resumed = len(done)
+    pending = [cell for cell in plan if cell.index not in done]
+    failures: Dict[int, Dict[str, Any]] = {}
+
+    def note_success(index: int, payload: Dict[str, Any]) -> None:
+        done[index] = payload
+        if checkpoint is not None:
+            write_checkpoint(checkpoint, fingerprint, done)
+
+    if not pending:
+        retries = 0
+    elif effective <= 1:
+        retries = _run_serial(
+            pending, config, sim_config, n_accesses, max_attempts,
+            note_success, failures,
+        )
     else:
-        ctx = multiprocessing.get_context("fork")
-        chunksize = max(1, math.ceil(len(plan) / effective))
-        with ctx.Pool(
-            processes=effective,
-            initializer=_init_worker,
-            initargs=(config, sim_config, n_accesses),
-        ) as pool:
-            payloads = pool.map(_worker_cell, plan, chunksize=chunksize)
-    return _fold(plan, payloads, effective, perf_counter() - start)
+        retries = _run_pool(
+            pending, config, sim_config, n_accesses, effective, max_attempts,
+            cell_timeout_s, note_success, failures,
+        )
+
+    outcome = _fold(plan, list(done.values()), effective, perf_counter() - start)
+    outcome.retries = retries
+    outcome.resumed = resumed
+    by_index = {cell.index: cell for cell in plan}
+    for index, error in failures.items():
+        outcome.failed[by_index[index].key] = dict(error)
+    return outcome

@@ -1,0 +1,51 @@
+"""Fault injection, recovery, and crash-safe sweeps (``repro.resilience``).
+
+Three coordinated pieces:
+
+* :mod:`~repro.resilience.faults` — a seeded, deterministic
+  :class:`FaultPlan`/:class:`FaultInjector` pair hooked into the device
+  and metadata models;
+* :mod:`~repro.resilience.recovery` — :class:`RecoveryManager`, the
+  controller's bounded-retry/backoff engine and recovery scoreboard;
+* :mod:`~repro.resilience.checker` — :class:`ShadowChecker`, a shadow
+  remap table plus R1-R4 validation on every commit;
+* :mod:`~repro.resilience.checkpoint` — atomic, fingerprinted JSON
+  checkpoints that let ``run_matrix(..., resume=path)`` skip finished
+  cells after a crash.
+
+Everything is opt-in through
+:class:`~repro.common.config.ResilienceConfig`; with
+``BaryonConfig.resilience`` left as ``None`` the hot path is untouched.
+
+See ``docs/resilience.md`` for the fault model and recovery state machine.
+"""
+
+from repro.resilience.checker import ShadowChecker
+from repro.resilience.checkpoint import (
+    CHECKPOINT_MAGIC,
+    CHECKPOINT_VERSION,
+    load_checkpoint,
+    plan_fingerprint,
+    write_checkpoint,
+)
+from repro.resilience.faults import (
+    FAULT_SPEC_KEYS,
+    FaultInjector,
+    FaultPlan,
+    parse_fault_spec,
+)
+from repro.resilience.recovery import RecoveryManager
+
+__all__ = [
+    "CHECKPOINT_MAGIC",
+    "CHECKPOINT_VERSION",
+    "FAULT_SPEC_KEYS",
+    "FaultInjector",
+    "FaultPlan",
+    "RecoveryManager",
+    "ShadowChecker",
+    "load_checkpoint",
+    "parse_fault_spec",
+    "plan_fingerprint",
+    "write_checkpoint",
+]

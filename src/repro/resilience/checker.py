@@ -1,0 +1,203 @@
+"""Continuous shadow-memory invariant checker.
+
+The checker mirrors every authoritative :class:`~repro.metadata.remap.RemapTable`
+update into a shadow copy kept outside the modelled metadata path. That
+gives fault injection a detector: when the injector corrupts a table read,
+the checker notices the divergence from shadow truth and the controller
+repairs the entry (counted, plus a charged metadata write). Without the
+checker such corruption would be a silent wrong result — which is why
+:class:`~repro.common.config.ResilienceConfig` refuses
+``p_table_corruption > 0`` unless ``check_invariants`` is on.
+
+On every commit it also re-validates the paper's layout rules over the
+affected super-block:
+
+* **R1** — a sub-block is never simultaneously staged and committed;
+* **R2** — compressed ranges are aligned/contiguous
+  (:meth:`RemapEntry.validate`);
+* **R3/R4** — the compact encoding round-trips bit-exactly, i.e. the
+  sorted-frozen slot layout is reconstructible from Remap/CF2/CF4 bits
+  alone, and the physical block's slot budget is respected.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Optional
+
+from repro.common.errors import CorruptionError, MetadataError
+from repro.common.stats import CounterGroup
+from repro.metadata.remap import RemapEntry
+from repro.metadata.stage_tag import StageTagEntry
+from repro.obs.tracer import NULL_TRACER
+
+_IDENTITY = RemapEntry()
+
+
+def _signature(entry: RemapEntry):
+    return (entry.remap, entry.pointer, entry.cf2, entry.cf4, entry.zero)
+
+
+class ShadowChecker:
+    """Shadow remap table + R1-R4 commit validation."""
+
+    def __init__(self, pointer_bits: int = 2) -> None:
+        self.pointer_bits = pointer_bits
+        self.stats = CounterGroup("checker")
+        #: Observability hook point; see :mod:`repro.obs`.
+        self.obs = NULL_TRACER
+        self._shadow: Dict[int, RemapEntry] = {}
+
+    # -- RemapTable observer hooks ------------------------------------------
+    def on_set(self, block_id: int, entry: RemapEntry) -> None:
+        if entry.is_remapped:
+            self._shadow[block_id] = dataclasses.replace(entry)
+        else:
+            self._shadow.pop(block_id, None)
+
+    def on_clear(self, block_id: int) -> None:
+        self._shadow.pop(block_id, None)
+
+    def shadow_entry(self, block_id: int) -> RemapEntry:
+        entry = self._shadow.get(block_id)
+        return entry if entry is not None else _IDENTITY
+
+    def __len__(self) -> int:
+        return len(self._shadow)
+
+    # -- read-path verification ---------------------------------------------
+    def verified_get(
+        self, block_id: int, entry: RemapEntry, corrupted: bool = False
+    ) -> RemapEntry:
+        """Cross-check a table read against the shadow copy.
+
+        ``corrupted`` marks an injected corruption of this read: the
+        checker counts the detection and returns the shadow-true entry
+        (the repair the controller then writes back). A mismatch *without*
+        injection is a real inconsistency and raises.
+        """
+        truth = self.shadow_entry(block_id)
+        if corrupted:
+            self.stats.inc("corruptions_detected")
+            self.stats.inc("entries_repaired")
+            if self.obs.enabled:
+                self.obs.emit(
+                    "recovery", action="table_repair", site="remap_table",
+                    attempt=None,
+                )
+            return dataclasses.replace(truth) if truth is not _IDENTITY else _IDENTITY
+        self.stats.inc("reads_verified")
+        if _signature(entry) != _signature(truth):
+            raise CorruptionError(
+                f"remap table entry for block {block_id} diverged from shadow",
+                site="remap_table",
+                block_id=block_id,
+            )
+        return entry
+
+    # -- commit-time validation ---------------------------------------------
+    def check_commit(
+        self,
+        super_id: int,
+        *,
+        table,
+        stage,
+        fa_state=None,
+        snapshot: Optional[StageTagEntry] = None,
+        blocks_per_super: int = 8,
+        slots_per_block: int = 8,
+    ) -> None:
+        """Validate R1-R4 for one super-block after a commit.
+
+        Called with the stage entry already invalidated (``snapshot`` is
+        its pre-invalidation copy) and the committed state installed, so
+        staged/committed exclusivity must hold unconditionally.
+        """
+        self.stats.inc("commit_checks")
+        base = super_id * blocks_per_super
+        for off in range(blocks_per_super):
+            block_id = base + off
+            entry = table.get(block_id)
+            try:
+                entry.validate()  # R2: aligned, contiguous, consistent ranges
+            except MetadataError as err:
+                raise CorruptionError(
+                    f"R2 violated for block {block_id}: {err}",
+                    site="remap_table",
+                    block_id=block_id,
+                ) from err
+            if _signature(entry) != _signature(self.shadow_entry(block_id)):
+                raise CorruptionError(
+                    f"shadow divergence at commit for block {block_id}",
+                    site="remap_table",
+                    block_id=block_id,
+                )
+            if not entry.is_remapped:
+                continue
+            # R3/R4: the compact encoding must reconstruct the frozen
+            # layout exactly (pointer width permitting).
+            if entry.num_subs == 8 and entry.pointer < (1 << self.pointer_bits):
+                decoded = RemapEntry.decode(
+                    entry.encode(self.pointer_bits), self.pointer_bits
+                )
+                if _signature(decoded) != _signature(entry):
+                    raise CorruptionError(
+                        f"remap entry round-trip mismatch for block {block_id}",
+                        site="remap_table",
+                        block_id=block_id,
+                    )
+            if entry.occupied_slots() > slots_per_block:
+                raise CorruptionError(
+                    f"R4 violated: block {block_id} occupies "
+                    f"{entry.occupied_slots()} > {slots_per_block} slots",
+                    site="remap_table",
+                    block_id=block_id,
+                )
+            # R1: a committed sub-block must no longer be staged.
+            if entry.zero:
+                continue
+            for sub in range(entry.num_subs):
+                if not entry.sub_block_remapped(sub):
+                    continue
+                if stage.lookup_sub_block(super_id, off, sub) is not None:
+                    raise CorruptionError(
+                        f"R1 violated: sub-block {sub} of block {block_id} "
+                        "is both staged and committed",
+                        site="stage_tag",
+                        block_id=block_id,
+                    )
+        if fa_state is not None:
+            expected = sum(fa_state.committed.values())
+            if fa_state.slots_used != expected or fa_state.slots_used > slots_per_block:
+                raise CorruptionError(
+                    f"R4 violated: fast block for super {super_id} reports "
+                    f"{fa_state.slots_used} slots, layout holds {expected}",
+                    site="fast_area",
+                    block_id=super_id,
+                )
+        # Data round-trip of the just-retired stage entry: the 108-bit
+        # tag encoding must reproduce every slot bit-exactly.
+        if (
+            snapshot is not None
+            and len(snapshot.slots) == 8
+            and snapshot.tag < (1 << 21)
+        ):
+            try:
+                decoded = StageTagEntry.decode(snapshot.encode())
+            except MetadataError as err:
+                raise CorruptionError(
+                    f"stage tag entry of super {super_id} failed to encode: {err}",
+                    site="stage_tag",
+                    block_id=super_id,
+                ) from err
+            if (
+                decoded.slots != snapshot.slots
+                or decoded.valid != snapshot.valid
+                or decoded.tag != snapshot.tag
+                or decoded.miss_count != snapshot.miss_count
+            ):
+                raise CorruptionError(
+                    f"stage tag round-trip mismatch for super {super_id}",
+                    site="stage_tag",
+                    block_id=super_id,
+                )

@@ -1,0 +1,110 @@
+"""Crash-safe sweep checkpoints.
+
+A checkpoint is one JSON document recording the finished cells of a
+matrix run, written atomically (temp file + ``os.replace``) after each
+completed cell so a killed sweep loses at most the in-flight cells. The
+file is self-describing — magic string, format version, and a SHA-256
+fingerprint of the exact plan (cells, access count, configs) — so
+``run_matrix(..., resume=path)`` refuses, with a clear
+:class:`~repro.common.errors.ConfigurationError`, to resume a different
+sweep or a truncated/incompatible file rather than silently mixing
+results.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from typing import Dict, Optional, Sequence
+
+from repro.common.errors import ConfigurationError
+
+CHECKPOINT_MAGIC = "repro-matrix-checkpoint"
+CHECKPOINT_VERSION = 1
+
+
+def plan_fingerprint(plan: Sequence, n_accesses: int, config, sim_config) -> str:
+    """SHA-256 over the full plan identity.
+
+    Frozen-dataclass ``repr`` is deterministic and covers every field, so
+    any change to cells, configs, or access count yields a new fingerprint.
+    """
+    digest = hashlib.sha256()
+    digest.update(f"n_accesses={n_accesses}\n".encode("utf-8"))
+    digest.update(f"config={config!r}\n".encode("utf-8"))
+    digest.update(f"sim_config={sim_config!r}\n".encode("utf-8"))
+    for cell in plan:
+        digest.update(f"cell={cell!r}\n".encode("utf-8"))
+    return digest.hexdigest()
+
+
+def write_checkpoint(
+    path: str, fingerprint: str, payloads: Dict[int, dict]
+) -> None:
+    """Atomically (re)write the checkpoint with all finished payloads."""
+    document = {
+        "magic": CHECKPOINT_MAGIC,
+        "version": CHECKPOINT_VERSION,
+        "fingerprint": fingerprint,
+        "cells": len(payloads),
+        "payloads": {str(index): payload for index, payload in sorted(payloads.items())},
+    }
+    directory = os.path.dirname(os.path.abspath(path))
+    fd, tmp_path = tempfile.mkstemp(prefix=".checkpoint-", dir=directory)
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            json.dump(document, handle)
+        os.replace(tmp_path, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_path)
+        except OSError:
+            pass
+        raise
+
+
+def load_checkpoint(path: str, fingerprint: Optional[str] = None) -> Dict[int, dict]:
+    """Load and validate a checkpoint; payloads keyed by cell index.
+
+    Raises :class:`ConfigurationError` for anything other than a valid
+    checkpoint of the expected plan: missing file, truncated/invalid
+    JSON, wrong magic or version, or a fingerprint mismatch.
+    """
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            document = json.load(handle)
+    except OSError as err:
+        raise ConfigurationError(f"cannot read checkpoint {path!r}: {err}") from err
+    except json.JSONDecodeError as err:
+        raise ConfigurationError(
+            f"checkpoint {path!r} is not valid JSON (truncated write?): {err}"
+        ) from err
+    if not isinstance(document, dict):
+        raise ConfigurationError(f"checkpoint {path!r} is not a JSON object")
+    magic = document.get("magic")
+    if magic != CHECKPOINT_MAGIC:
+        raise ConfigurationError(
+            f"checkpoint {path!r} has magic {magic!r}, expected {CHECKPOINT_MAGIC!r}"
+        )
+    version = document.get("version")
+    if version != CHECKPOINT_VERSION:
+        raise ConfigurationError(
+            f"checkpoint {path!r} has version {version!r}, this build reads "
+            f"version {CHECKPOINT_VERSION}"
+        )
+    if fingerprint is not None and document.get("fingerprint") != fingerprint:
+        raise ConfigurationError(
+            f"checkpoint {path!r} was written for a different sweep "
+            "(plan fingerprint mismatch); refusing to resume"
+        )
+    payloads = document.get("payloads")
+    if not isinstance(payloads, dict):
+        raise ConfigurationError(f"checkpoint {path!r} is missing its payloads table")
+    try:
+        return {int(index): payload for index, payload in payloads.items()}
+    except (TypeError, ValueError) as err:
+        raise ConfigurationError(
+            f"checkpoint {path!r} has malformed payload keys: {err}"
+        ) from err

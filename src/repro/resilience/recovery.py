@@ -1,0 +1,91 @@
+"""Bounded-retry recovery for transient device faults.
+
+:class:`RecoveryManager` wraps the controller's device accesses. When a
+:class:`~repro.common.errors.TransientDeviceError` fires it retries up to
+``max_retries`` times with exponential backoff, charging the backoff as
+extra latency on the eventually-successful access. Because the injection
+hooks fire *before* device traffic/statistics accounting, the retried
+attempts leave no accounting trace: a recovered run carries identical
+traffic and energy to the fault-free run, differing only in cycles.
+
+Recovery-side actions that the controller performs itself (quarantine,
+metadata repair, stage flush) are counted here too, so the controller's
+own :class:`~repro.common.stats.CounterGroup` stays bit-identical
+between a recovered and a fault-free run.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional
+
+from repro.common.config import ResilienceConfig
+from repro.common.errors import TransientDeviceError
+from repro.common.stats import CounterGroup
+from repro.obs.tracer import NULL_TRACER
+
+
+class RecoveryManager:
+    """Retry/backoff engine plus the recovery-action scoreboard."""
+
+    def __init__(self, config: ResilienceConfig) -> None:
+        self.max_retries = config.max_retries
+        self.backoff_base_cycles = config.backoff_base_cycles
+        self.stats = CounterGroup("recovery")
+        #: Observability hook point; see :mod:`repro.obs`.
+        self.obs = NULL_TRACER
+
+    def record(self, action: str, **context) -> None:
+        """Count a controller-side recovery action (quarantine, repair...)."""
+        self.stats.inc(action)
+        if self.obs.enabled:
+            self.obs.emit("recovery", action=action, **context)
+
+    def _backoff(self, attempt: int) -> float:
+        return float(self.backoff_base_cycles * (2 ** attempt))
+
+    def retry_read(self, device, now: float, nbytes: int, *, demand: bool = True,
+                   addr: Optional[int] = None):
+        """``device.read`` with bounded retry; backoff lands in latency."""
+        penalty = 0.0
+        for attempt in range(self.max_retries + 1):
+            try:
+                access = device.read(now + penalty, nbytes, demand=demand, addr=addr)
+            except TransientDeviceError:
+                if attempt >= self.max_retries:
+                    self.record("retry_exhausted", site=f"{device.name}.read",
+                                attempt=attempt + 1)
+                    raise
+                self.stats.inc("retries")
+                penalty += self._backoff(attempt)
+                continue
+            if penalty > 0.0:
+                self.record("retried_read", site=f"{device.name}.read")
+                access = dataclasses.replace(
+                    access, latency_cycles=access.latency_cycles + penalty
+                )
+            return access
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    def retry_write(self, device, now: float, nbytes: int, *,
+                    addr: Optional[int] = None):
+        """``device.write`` with bounded retry; backoff lands in latency."""
+        penalty = 0.0
+        for attempt in range(self.max_retries + 1):
+            try:
+                access = device.write(now + penalty, nbytes, addr=addr)
+            except TransientDeviceError:
+                if attempt >= self.max_retries:
+                    self.record("retry_exhausted", site=f"{device.name}.write",
+                                attempt=attempt + 1)
+                    raise
+                self.stats.inc("retries")
+                penalty += self._backoff(attempt)
+                continue
+            if penalty > 0.0:
+                self.record("retried_write", site=f"{device.name}.write")
+                access = dataclasses.replace(
+                    access, latency_cycles=access.latency_cycles + penalty
+                )
+            return access
+        raise AssertionError("unreachable")  # pragma: no cover

@@ -252,3 +252,124 @@ class TestCellDataclass:
         assert hash(cell) is not None
         with pytest.raises(AttributeError):
             cell.seed = 2
+
+
+class TestWorkerFailure:
+    """A failing cell becomes a tagged error record, never a poisoned fold."""
+
+    @staticmethod
+    def _explode_on_dice(monkeypatch):
+        import repro.parallel.runner as runner
+
+        original = runner._execute_cell
+
+        def explode(cell, config, sim_config, n_accesses, attempt=1):
+            if cell.design == "dice":
+                raise ValueError("synthetic mid-cell failure")
+            return original(cell, config, sim_config, n_accesses, attempt)
+
+        monkeypatch.setattr(runner, "_execute_cell", explode)
+
+    def test_serial_failure_reported_with_traceback(self, monkeypatch):
+        self._explode_on_dice(monkeypatch)
+        config, sim = make_small_config(), make_small_sim_config()
+        outcome = run_matrix_sharded(
+            ["YCSB-B"], ["simple", "dice", "baryon"], config, sim,
+            n_accesses=600, jobs=1,
+        )
+        assert set(outcome.results) == {("YCSB-B", "simple"), ("YCSB-B", "baryon")}
+        error = outcome.failed[("YCSB-B", "dice")]
+        assert error["type"] == "ValueError"
+        assert "synthetic mid-cell failure" in error["message"]
+        assert "ValueError" in error["traceback"]
+        assert error["attempt"] == 2
+        assert outcome.retries == 1  # one bounded requeue before giving up
+
+    @pytest.mark.skipif(not fork_available(), reason="platform lacks fork")
+    def test_pool_failure_reported_with_traceback(self, monkeypatch):
+        self._explode_on_dice(monkeypatch)
+        config, sim = make_small_config(), make_small_sim_config()
+        outcome = run_matrix_sharded(
+            ["YCSB-B"], ["simple", "dice", "baryon"], config, sim,
+            n_accesses=600, jobs=2,
+        )
+        assert set(outcome.results) == {("YCSB-B", "simple"), ("YCSB-B", "baryon")}
+        error = outcome.failed[("YCSB-B", "dice")]
+        assert error["type"] == "ValueError"
+        assert "ValueError" in error["traceback"]
+
+    def test_run_matrix_raises_cell_execution_error(self, monkeypatch):
+        from repro.common.errors import CellExecutionError
+
+        self._explode_on_dice(monkeypatch)
+        config, sim = make_small_config(), make_small_sim_config()
+        with pytest.raises(CellExecutionError) as excinfo:
+            run_matrix(["YCSB-B"], ["dice"], config, sim, n_accesses=600)
+        assert excinfo.value.cell == ("YCSB-B", "dice")
+        assert "ValueError" in excinfo.value.traceback_text
+
+    def test_transient_failure_recovered_by_retry(self, monkeypatch):
+        """A cell failing only on attempt 1 succeeds on the requeue."""
+        import repro.parallel.runner as runner
+
+        original = runner._execute_cell
+
+        def flaky(cell, config, sim_config, n_accesses, attempt=1):
+            if cell.design == "dice" and attempt == 1:
+                raise ValueError("first-attempt-only failure")
+            return original(cell, config, sim_config, n_accesses, attempt)
+
+        monkeypatch.setattr(runner, "_execute_cell", flaky)
+        config, sim = make_small_config(), make_small_sim_config()
+        outcome = run_matrix_sharded(
+            ["YCSB-B"], ["simple", "dice"], config, sim,
+            n_accesses=600, jobs=1,
+        )
+        assert not outcome.failed
+        assert outcome.retries == 1
+        clear_trace_cache()
+        clean = run_matrix_sharded(
+            ["YCSB-B"], ["simple", "dice"], config, sim,
+            n_accesses=600, jobs=1,
+        )
+        assert {k: v.to_dict() for k, v in outcome.results.items()} == {
+            k: v.to_dict() for k, v in clean.results.items()
+        }
+
+
+class TestKilledWorker:
+    @pytest.mark.skipif(not fork_available(), reason="platform lacks fork")
+    def test_sigkilled_worker_cell_requeued_and_bit_identical(self, monkeypatch):
+        """A worker SIGKILLed mid-cell: the pool silently loses the task,
+        the deadline detects it, and the requeued attempt reproduces the
+        fault-free matrix exactly."""
+        import os
+        import signal
+
+        import repro.parallel.runner as runner
+
+        config, sim = make_small_config(), make_small_sim_config()
+        clean = run_matrix_sharded(
+            ["YCSB-B"], ["simple", "dice", "baryon"], config, sim,
+            n_accesses=600, jobs=1,
+        )
+
+        original = runner._execute_cell
+
+        def die_once(cell, config, sim_config, n_accesses, attempt=1):
+            if cell.design == "dice" and attempt == 1:
+                os.kill(os.getpid(), signal.SIGKILL)
+            return original(cell, config, sim_config, n_accesses, attempt)
+
+        monkeypatch.setattr(runner, "_execute_cell", die_once)
+        clear_trace_cache()
+        outcome = run_matrix_sharded(
+            ["YCSB-B"], ["simple", "dice", "baryon"], config, sim,
+            n_accesses=600, jobs=2, cell_timeout_s=5.0, max_attempts=2,
+        )
+        assert not outcome.failed
+        assert outcome.retries >= 1
+        assert {k: v.to_dict() for k, v in outcome.results.items()} == {
+            k: v.to_dict() for k, v in clean.results.items()
+        }
+        assert outcome.counters.as_dict() == clean.counters.as_dict()
