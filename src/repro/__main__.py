@@ -27,6 +27,11 @@ Fault injection and crash-safe sweeps (see docs/resilience.md)::
     python -m repro YCSB-A baryon --faults table=1e-4 --check-invariants
     python -m repro all baryon --jobs 8 --checkpoint sweep.json
     python -m repro all baryon --jobs 8 --resume sweep.json
+
+Differential-oracle validation (see docs/validation.md)::
+
+    python -m repro validate --fuzz 25 --seed 7
+    python -m repro validate --fuzz 100 --seed 7 --minimize --metrics
 """
 
 from __future__ import annotations
@@ -156,6 +161,154 @@ def build_report_parser() -> argparse.ArgumentParser:
                         help="include the phase profile in the report")
     _add_checkpoint_args(parser)
     return parser
+
+
+def build_validate_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro validate",
+        description="Differential-oracle validation: content-backed replay "
+        "through every Baryon variant and baseline, seeded trace fuzzing, "
+        "and a bug-injection selftest with delta-debugged fixture emission.",
+    )
+    parser.add_argument("--fuzz", type=int, default=25, metavar="N",
+                        help="fuzz iterations (default 25; 0 skips fuzzing)")
+    parser.add_argument("--seed", type=int, default=7,
+                        help="base seed of the deterministic fuzz sequence "
+                        "(default 7)")
+    parser.add_argument("--accesses", type=int, default=600,
+                        help="trace records per fuzz iteration (default 600)")
+    parser.add_argument("--minimize", action="store_true",
+                        help="delta-debug any fuzzer-found failure before "
+                        "reporting it (the selftest is always minimized)")
+    parser.add_argument("--emit-dir", metavar="DIR", default=None,
+                        help="directory for emitted regression fixtures "
+                        "(default: a fresh temporary directory)")
+    parser.add_argument("--skip-selftest", action="store_true",
+                        help="skip the injected-bug selftest (clean checks "
+                        "only)")
+    parser.add_argument("--metrics", action="store_true",
+                        help="export validation counters as a metrics "
+                        "registry")
+    parser.add_argument("--format", choices=("text", "json", "prometheus"),
+                        default="text", help="metrics export format")
+    return parser
+
+
+def cmd_validate(argv) -> int:
+    """``python -m repro validate``: oracle + differential + fuzz + selftest.
+
+    Exit status 0 requires BOTH directions of evidence: every clean check
+    passes (differential agreement across designs, zero fuzz violations)
+    AND the deliberately injected placement bug is caught, minimized and
+    re-raised by its emitted regression fixture.
+    """
+    import tempfile
+    from pathlib import Path
+
+    from repro.common.errors import OracleViolation
+    from repro.validation import (
+        ddmin, emit_fixture, generate_trace, make_tiny_config, run_case,
+        run_differential, run_fixture, run_fuzz, selftest_case,
+    )
+
+    args = build_validate_parser().parse_args(argv)
+    if args.fuzz < 0 or args.accesses <= 0:
+        print("--fuzz must be >= 0 and --accesses positive", file=sys.stderr)
+        return 2
+    ok = True
+    stats = None
+
+    # 1. Differential: one deterministic trace, every design, same data.
+    import random
+
+    config = make_tiny_config()
+    trace = generate_trace(random.Random(args.seed), config, args.accesses)
+    try:
+        streams = run_differential(config, trace, seed=args.seed)
+    except OracleViolation as err:
+        print(f"differential check FAILED: {err}", file=sys.stderr)
+        ok = False
+    else:
+        reads = len(next(iter(streams.values())))
+        print(f"differential check: {len(streams)} designs agree on "
+              f"{reads} served reads")
+
+    # 2. Seeded fuzzing over random tiny configs and traces.
+    if args.fuzz:
+        report = run_fuzz(args.fuzz, args.seed, n_accesses=args.accesses)
+        stats = report.stats
+        print(f"fuzz: {report.iterations} iterations, {report.accesses} "
+              f"accesses, {len(report.failures)} violation(s)")
+        for failure in report.failures:
+            ok = False
+            print(f"  iteration {failure.iteration}: {failure.error}",
+                  file=sys.stderr)
+            print(f"    config: {failure.config_kwargs}", file=sys.stderr)
+            if args.minimize:
+                def _fails(t, f=failure):
+                    try:
+                        run_case(f.config_kwargs, list(t), f.seed)
+                        return False
+                    except OracleViolation:
+                        return True
+                failure.minimized = ddmin(failure.trace, _fails)
+                print(f"    minimized to {len(failure.minimized)} record(s): "
+                      f"{failure.minimized}", file=sys.stderr)
+
+    # 3. Selftest: an injected placement bug must be caught end to end.
+    if not args.skip_selftest:
+        bug = "drop_dirty_writeback"
+        config_kwargs, selftest_trace = selftest_case()
+
+        def _bug_fails(t):
+            try:
+                run_case(config_kwargs, list(t), args.seed, inject_bug=bug)
+                return False
+            except OracleViolation:
+                return True
+
+        if not _bug_fails(selftest_trace):
+            print(f"selftest FAILED: injected bug {bug!r} was not caught",
+                  file=sys.stderr)
+            ok = False
+        else:
+            minimized = ddmin(selftest_trace, _bug_fails)
+            emit_dir = Path(args.emit_dir or tempfile.mkdtemp(prefix="repro-validate-"))
+            emit_dir.mkdir(parents=True, exist_ok=True)
+            fixture = emit_fixture(
+                emit_dir / f"test_regression_{bug}.py",
+                minimized, config_kwargs, seed=args.seed, inject_bug=bug,
+                tag=bug,
+                command=f"python -m repro validate --seed {args.seed}",
+            )
+            try:
+                run_fixture(fixture)
+            except Exception as err:  # noqa: BLE001 - report any breakage
+                print(f"selftest FAILED: emitted fixture did not reproduce: "
+                      f"{err}", file=sys.stderr)
+                ok = False
+            else:
+                print(f"selftest: injected bug {bug!r} caught, minimized to "
+                      f"{len(minimized)} record(s), fixture at {fixture}")
+            # The bug hook must not fire without injection.
+            try:
+                run_case(config_kwargs, selftest_trace, args.seed)
+            except OracleViolation as err:
+                print(f"selftest FAILED: clean replay violated the oracle: "
+                      f"{err}", file=sys.stderr)
+                ok = False
+
+    if args.metrics and stats is not None:
+        from repro.obs import MetricsRegistry
+
+        registry = MetricsRegistry()
+        registry.ingest_counter_group(
+            "repro_validation_total", stats,
+            help="validation-subsystem counters (fuzz + oracle)",
+        )
+        _print_registry(registry, args.format)
+    print("validation " + ("PASSED" if ok else "FAILED"))
+    return 0 if ok else 1
 
 
 def _validate_workload(workload: str) -> bool:
@@ -421,6 +574,8 @@ def main(argv=None) -> int:
         return cmd_trace(argv[1:])
     if argv and argv[0] == "report":
         return cmd_report(argv[1:])
+    if argv and argv[0] == "validate":
+        return cmd_validate(argv[1:])
 
     args = build_parser().parse_args(argv)
     if args.list:

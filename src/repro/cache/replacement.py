@@ -18,7 +18,7 @@ from typing import Callable, Dict, Hashable, List, Optional
 class CacheLine:
     """One resident line: tag plus dirty bit plus policy/user state."""
 
-    __slots__ = ("tag", "dirty", "payload", "counter", "referenced")
+    __slots__ = ("tag", "dirty", "payload", "counter", "referenced", "stamp")
 
     def __init__(self, tag: Hashable, dirty: bool = False, payload=None) -> None:
         self.tag = tag
@@ -26,6 +26,7 @@ class CacheLine:
         self.payload = payload
         self.counter = 0  # LFU frequency / FIFO sequence number
         self.referenced = False  # CLOCK reference bit
+        self.stamp = 0  # LFU insertion order (tiebreak)
 
 
 class BaseSet:
@@ -109,12 +110,12 @@ class LfuSet(BaseSet):
 
     def touch(self, line: CacheLine) -> None:
         line.counter += 1
-        if line.referenced is False:
+        if line.stamp == 0:
             self._clock += 1
-            line.referenced = True
+            line.stamp = self._clock
 
     def victim(self) -> CacheLine:
-        return min(self.lines.values(), key=lambda l: (l.counter, id(l)))
+        return min(self.lines.values(), key=lambda l: (l.counter, l.stamp))
 
 
 class ClockSet(BaseSet):
@@ -132,18 +133,28 @@ class ClockSet(BaseSet):
         super().insert(line)
         self._ring.append(line.tag)
 
-    def evict(self, tag: Hashable) -> CacheLine:
-        self._ring.remove(tag)
+    def _ring_remove(self, tag: Hashable) -> None:
+        """Drop ``tag`` from the ring, keeping the hand on the same line.
+
+        Removing an element below the hand shifts every later element left
+        one position, so the hand must follow it or it silently skips a
+        line's second chance.
+        """
+        index = self._ring.index(tag)
+        self._ring.pop(index)
+        if index < self._hand:
+            self._hand -= 1
         if self._hand >= len(self._ring):
             self._hand = 0
+
+    def evict(self, tag: Hashable) -> CacheLine:
+        self._ring_remove(tag)
         return super().evict(tag)
 
     def invalidate(self, tag: Hashable) -> Optional[CacheLine]:
         line = super().invalidate(tag)
         if line is not None:
-            self._ring.remove(tag)
-            if self._hand >= len(self._ring) and self._ring:
-                self._hand = 0
+            self._ring_remove(tag)
         return line
 
     def victim(self) -> CacheLine:

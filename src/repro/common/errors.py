@@ -75,6 +75,36 @@ class CorruptionError(MetadataError):
         self.block_id = block_id
 
 
+class OracleViolation(ReproError):
+    """The content oracle caught a data-integrity failure.
+
+    Raised by :mod:`repro.validation` when a demand read returns bytes
+    that differ from the last write to that cacheline, when a sub-block
+    is resident in more than one tier at once (conservation), or when
+    two designs serve different data for the same trace (differential).
+    ``kind`` is one of ``"stale_read"``, ``"conservation"`` or
+    ``"differential"``; the remaining fields locate the failure.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        kind: str = "stale_read",
+        addr: Optional[int] = None,
+        access_index: Optional[int] = None,
+        location: Optional[str] = None,
+        expected: Optional[int] = None,
+        got: Optional[int] = None,
+    ) -> None:
+        super().__init__(message)
+        self.kind = kind
+        self.addr = addr
+        self.access_index = access_index
+        self.location = location
+        self.expected = expected
+        self.got = got
+
+
 class CellExecutionError(ReproError):
     """A sweep cell failed after its bounded retry budget.
 

@@ -49,6 +49,8 @@ class StagePhaseTracker:
         self._access_no += 1
 
     def block_staged(self, block_id: int) -> None:
+        if self._sampled_phases >= self.sample_blocks:
+            return
         if block_id not in self._phases:
             self._phases[block_id] = _Phase(start_access=self._access_no)
 
@@ -74,6 +76,16 @@ class StagePhaseTracker:
             if accesses:
                 self.bin_stats[index].add(1000.0 * misses / accesses)
 
+    def finalize(self) -> None:
+        """Flush phases still open at end of run.
+
+        Without this, any block staged but neither committed nor evicted by
+        the time the trace ends never reaches the Fig. 3b/4 bins, silently
+        dropping the tail of every trace.
+        """
+        for block_id in list(self._phases):
+            self.block_unstaged(block_id, committed=False)
+
     # -- access classification ----------------------------------------------------
     def record(
         self,
@@ -90,9 +102,10 @@ class StagePhaseTracker:
         """
         if staged:
             category = "S"
-            phase = self._phases.get(block_id)
-            if phase is not None:
-                phase.events.append((self._access_no, miss))
+            if self._sampled_phases < self.sample_blocks:
+                phase = self._phases.get(block_id)
+                if phase is not None:
+                    phase.events.append((self._access_no, miss))
         elif committed:
             category = "C"
         else:

@@ -138,6 +138,10 @@ class SystemSimulator:
                     self.instructions / self.cycles if self.cycles else 0.0
                 )
 
+        tracker = getattr(self.controller, "tracker", None)
+        if tracker is not None:
+            tracker.finalize()
+
         if mark is None:
             # Warmup covered the whole trace (or it was empty): the
             # measured window is empty and every delta below is zero.

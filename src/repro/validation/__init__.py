@@ -1,0 +1,69 @@
+"""Differential-oracle validation subsystem.
+
+Three layers of end-to-end data-integrity checking for the controller:
+
+* :mod:`repro.validation.content` — content-backed oracle mode: a
+  :class:`~repro.validation.content.ContentBackedController` threads a
+  write-token value through every data movement (staging, commit,
+  eviction, swaps, home displacement) and asserts every read returns
+  the last-written value, plus conservation invariants (each sub-block
+  resident in exactly one tier).
+* :mod:`repro.validation.differential` — replays one trace through all
+  Baryon variants and the baselines and asserts bit-identical served
+  data.
+* :mod:`repro.validation.fuzz` / :mod:`~repro.validation.minimize` /
+  :mod:`~repro.validation.emit` — seeded trace fuzzing, ddmin trace
+  minimization and pytest regression-fixture emission.
+
+CLI: ``python -m repro validate --fuzz N --seed S``. Docs:
+``docs/validation.md``.
+"""
+
+from repro.common.errors import OracleViolation
+from repro.validation.content import (
+    ContentBackedController,
+    GoldenReference,
+    INJECTABLE_BUGS,
+    replay,
+)
+from repro.validation.differential import (
+    BARYON_VARIANTS,
+    BASELINE_DESIGNS,
+    run_differential,
+    variant_config,
+)
+from repro.validation.emit import emit_fixture, run_fixture
+from repro.validation.fuzz import (
+    FuzzFailure,
+    FuzzReport,
+    generate_trace,
+    make_tiny_config,
+    run_case,
+    run_fuzz,
+    sample_config_kwargs,
+    selftest_case,
+)
+from repro.validation.minimize import ddmin
+
+__all__ = [
+    "BARYON_VARIANTS",
+    "BASELINE_DESIGNS",
+    "ContentBackedController",
+    "FuzzFailure",
+    "FuzzReport",
+    "GoldenReference",
+    "INJECTABLE_BUGS",
+    "OracleViolation",
+    "ddmin",
+    "emit_fixture",
+    "generate_trace",
+    "make_tiny_config",
+    "replay",
+    "run_case",
+    "run_differential",
+    "run_fixture",
+    "run_fuzz",
+    "sample_config_kwargs",
+    "selftest_case",
+    "variant_config",
+]

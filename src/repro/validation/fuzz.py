@@ -1,0 +1,255 @@
+"""Deterministic trace fuzzing for the content oracle.
+
+Random traces through random tiny configurations exercise controller
+paths no hand-written test reaches: stage overflow under every toggle
+combination, commits racing home displacement, zero-block breaks in the
+flat scheme, 64 B sub-blocking, the no-stage ablation. Everything is
+seeded — an iteration is fully reproduced by ``(seed, iteration)`` — so
+any violation the fuzzer finds can be replayed, delta-debugged
+(:mod:`repro.validation.minimize`) and frozen as a pytest fixture
+(:mod:`repro.validation.emit`).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.common.config import (
+    BaryonConfig,
+    CommitConfig,
+    CompressionConfig,
+    HybridLayout,
+    StageConfig,
+)
+from repro.common.errors import OracleViolation
+from repro.common.stats import CounterGroup
+from repro.validation.content import ContentBackedController, replay
+
+KB = 1024
+TraceRecord = Tuple[int, bool]
+
+
+def make_tiny_config(
+    fast_kb: int = 64,
+    ratio: int = 8,
+    stage_kb: int = 4,
+    stage_ways: int = 2,
+    flat: float = 0.0,
+    fully_associative: bool = False,
+    stage_enabled: bool = True,
+    sub_block_size: Optional[int] = None,
+    compression_enabled: bool = True,
+    compressed_writeback: bool = True,
+    two_level_replacement: bool = True,
+    share_physical_blocks: bool = True,
+    cacheline_aligned: bool = True,
+    zero_block_support: bool = True,
+    commit_all: bool = False,
+    stability_only: bool = False,
+) -> BaryonConfig:
+    """A deliberately tiny configuration for fast, stressful fuzzing.
+
+    Small capacities force constant replacement/commit/swap traffic, so a
+    few hundred accesses visit every movement path. All parameters are
+    plain scalars so a sampled configuration round-trips through the
+    emitted fixture's ``CONFIG_KWARGS`` literal.
+    """
+    layout = HybridLayout(
+        fast_capacity=fast_kb * KB,
+        slow_capacity=ratio * fast_kb * KB,
+        associativity=4,
+        flat_fraction=flat,
+        fully_associative=fully_associative,
+    )
+    stage = StageConfig(
+        size_bytes=stage_kb * KB,
+        ways=stage_ways,
+        enabled=stage_enabled,
+        aging_period_accesses=64,
+    )
+    compression = CompressionConfig(
+        cacheline_aligned=cacheline_aligned,
+        zero_block_support=zero_block_support,
+    )
+    commit = CommitConfig(commit_all=commit_all, stability_only=stability_only)
+    config = dataclasses.replace(
+        BaryonConfig(),
+        layout=layout,
+        stage=stage,
+        compression=compression,
+        commit=commit,
+        compression_enabled=compression_enabled,
+        compressed_writeback=compressed_writeback,
+        two_level_replacement=two_level_replacement,
+        share_physical_blocks=share_physical_blocks,
+    )
+    if sub_block_size is not None:
+        config = config.with_sub_block_size(sub_block_size)
+    return config
+
+
+def sample_config_kwargs(rng: random.Random) -> Dict:
+    """Draw one :func:`make_tiny_config` parameterization."""
+    kwargs: Dict = {
+        "fast_kb": rng.choice([64, 128, 256]),
+        "ratio": rng.choice([4, 8]),
+        "stage_kb": rng.choice([4, 8, 16]),
+        "stage_ways": rng.choice([2, 4]),
+        "flat": rng.choice([0.0, 0.0, 0.75, 1.0]),
+        "stage_enabled": rng.random() > 0.15,
+        "compression_enabled": rng.random() > 0.25,
+        "compressed_writeback": rng.random() > 0.5,
+        "two_level_replacement": rng.random() > 0.25,
+        "share_physical_blocks": rng.random() > 0.25,
+        "cacheline_aligned": rng.random() > 0.5,
+        "zero_block_support": rng.random() > 0.5,
+    }
+    if kwargs["flat"] > 0 and rng.random() > 0.5:
+        kwargs["fully_associative"] = True
+    if rng.random() > 0.8:
+        kwargs["sub_block_size"] = 64
+    commit = rng.random()
+    if commit > 0.85:
+        kwargs["commit_all"] = True
+    elif commit > 0.7:
+        kwargs["stability_only"] = True
+    # stage blocks must divide evenly into ways
+    if (kwargs["stage_kb"] * KB) // 2048 < kwargs["stage_ways"]:
+        kwargs["stage_ways"] = 2
+    return kwargs
+
+
+def generate_trace(
+    rng: random.Random, config: BaryonConfig, n_accesses: int = 600
+) -> List[TraceRecord]:
+    """A seeded workload with enough locality to stage and commit.
+
+    Accesses concentrate on a small hot set of super-blocks (so stage
+    phases complete and commits happen) with a cold tail (so evictions,
+    swaps and zero-block fetches happen), mixing sequential bursts with
+    random single accesses at a configurable write fraction.
+    """
+    g = config.geometry
+    span_bytes = config.layout.fast_capacity + config.layout.slow_capacity
+    n_supers = max(2, span_bytes // g.super_block_size)
+    hot = rng.sample(range(n_supers), min(n_supers, rng.randint(4, 12)))
+    write_fraction = rng.uniform(0.2, 0.6)
+    trace: List[TraceRecord] = []
+    while len(trace) < n_accesses:
+        super_id = (
+            rng.choice(hot) if rng.random() < 0.85 else rng.randrange(n_supers)
+        )
+        base = super_id * g.super_block_size
+        offset = rng.randrange(g.super_block_size // g.cacheline_size)
+        addr = base + offset * g.cacheline_size
+        if rng.random() < 0.3:
+            # Sequential burst: consecutive cachelines, one r/w mode.
+            is_write = rng.random() < write_fraction
+            for step in range(rng.randint(2, 8)):
+                line_addr = addr + step * g.cacheline_size
+                if line_addr >= base + g.super_block_size:
+                    break
+                trace.append((line_addr, is_write))
+        else:
+            trace.append((addr, rng.random() < write_fraction))
+    return trace[:n_accesses]
+
+
+@dataclass
+class FuzzFailure:
+    """One fuzzer-found violation, with everything needed to replay it."""
+
+    iteration: int
+    config_kwargs: Dict
+    seed: int
+    trace: List[TraceRecord]
+    error: OracleViolation
+    minimized: Optional[List[TraceRecord]] = None
+
+
+@dataclass
+class FuzzReport:
+    iterations: int = 0
+    accesses: int = 0
+    failures: List[FuzzFailure] = field(default_factory=list)
+    stats: CounterGroup = field(
+        default_factory=lambda: CounterGroup("repro_validation")
+    )
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+
+def run_case(
+    config_kwargs: Dict,
+    trace: List[TraceRecord],
+    seed: int,
+    inject_bug: Optional[str] = None,
+) -> ContentBackedController:
+    """Replay one (config, trace) case content-backed; raises on violation."""
+    controller = ContentBackedController(
+        make_tiny_config(**config_kwargs), seed=seed, inject_bug=inject_bug
+    )
+    return replay(controller, trace)
+
+
+def run_fuzz(
+    iterations: int,
+    seed: int,
+    n_accesses: int = 600,
+    inject_bug: Optional[str] = None,
+) -> FuzzReport:
+    """Run ``iterations`` seeded fuzz cases; collect (don't raise) failures."""
+    report = FuzzReport()
+    for iteration in range(iterations):
+        rng = random.Random(f"{seed}:{iteration}")
+        config_kwargs = sample_config_kwargs(rng)
+        trace = generate_trace(rng, make_tiny_config(**config_kwargs), n_accesses)
+        report.iterations += 1
+        report.accesses += len(trace)
+        report.stats.inc("fuzz_iterations")
+        report.stats.inc("fuzz_accesses", len(trace))
+        try:
+            controller = run_case(config_kwargs, trace, seed, inject_bug)
+        except OracleViolation as error:
+            report.stats.inc("fuzz_violations")
+            report.failures.append(
+                FuzzFailure(
+                    iteration=iteration,
+                    config_kwargs=config_kwargs,
+                    seed=seed,
+                    trace=trace,
+                    error=error,
+                )
+            )
+        else:
+            report.stats.merge(controller.vstats)
+    return report
+
+
+def selftest_case() -> Tuple[Dict, List[TraceRecord]]:
+    """A deterministic case where ``drop_dirty_writeback`` must be caught.
+
+    Compression is disabled (single-sub staging, no zero blocks), the
+    stage area is one set of two 2 kB ways. Writes fill one stage entry's
+    eight slots, a ninth range insert FIFO-evicts the first (dirty) slot
+    — the injected bug drops its writeback — and the final read of that
+    sub-block observes the stale slow copy.
+    """
+    config_kwargs = {
+        "fast_kb": 64,
+        "stage_kb": 4,
+        "stage_ways": 2,
+        "compression_enabled": False,
+    }
+    block = 2048
+    sub = 256
+    trace: List[TraceRecord] = [(0 * block, True)]
+    trace += [(b * block, True) for b in range(1, 8)]
+    trace.append((0 * block + 1 * sub, True))
+    trace.append((0 * block, False))
+    return config_kwargs, trace

@@ -1,0 +1,58 @@
+"""Delta debugging: shrink a failing trace to a minimal reproducer.
+
+A fuzzer-found violation typically sits at the end of hundreds of
+records, most of which are irrelevant. :func:`ddmin` is Zeller's
+classic delta-debugging minimizer: it repeatedly tries dropping chunks
+(complements of an ever-finer partition) of the trace, keeping any
+subset that still fails, until the result is 1-minimal — removing any
+single record makes the failure disappear. The output is small enough
+to read, reason about, and freeze as a pytest regression fixture (see
+:mod:`repro.validation.emit`).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Sequence, Tuple
+
+TraceRecord = Tuple[int, bool]
+
+
+def ddmin(
+    trace: Sequence[TraceRecord],
+    fails: Callable[[Sequence[TraceRecord]], bool],
+    max_tests: int = 10_000,
+) -> List[TraceRecord]:
+    """Return a 1-minimal subsequence of ``trace`` on which ``fails`` holds.
+
+    ``fails`` must be deterministic and return True for ``trace`` itself
+    (checked). ``max_tests`` bounds the number of predicate evaluations;
+    on exhaustion the best reduction found so far is returned (still a
+    failing trace, merely not guaranteed 1-minimal).
+    """
+    current = list(trace)
+    if not fails(current):
+        raise ValueError("ddmin needs a failing input to minimize")
+    tests = 0
+    granularity = 2
+    while len(current) >= 2:
+        chunk = len(current) // granularity or 1
+        reduced = False
+        start = 0
+        while start < len(current):
+            candidate = current[:start] + current[start + chunk:]
+            tests += 1
+            if tests > max_tests:
+                return current
+            if candidate and fails(candidate):
+                current = candidate
+                granularity = max(granularity - 1, 2)
+                reduced = True
+                # Re-test from the same offset: the records that moved
+                # into this window are exactly the ones not yet tried.
+            else:
+                start += chunk
+        if not reduced:
+            if granularity >= len(current):
+                break
+            granularity = min(len(current), granularity * 2)
+    return current

@@ -141,3 +141,48 @@ class TestStagePhaseTracker:
         for addr, w in zip(trace.addrs, trace.writes):
             ctrl.access(int(addr), bool(w))
         assert any(cat == "S" for cat, _ in tracker.breakdown)
+
+    def test_finalize_flushes_open_phases(self):
+        t = StagePhaseTracker()
+        t.block_staged(3)
+        for _ in range(8):
+            t.tick()
+            t.record(3, True, False, False, miss=True, overflow=False)
+        # Phase never committed/evicted: only finalize() can sample it.
+        assert t._sampled_phases == 0
+        t.finalize()
+        assert t._sampled_phases == 1
+        assert not t._phases
+        t.finalize()  # idempotent
+        assert t._sampled_phases == 1
+
+    def test_events_bounded_after_sample_cap(self):
+        t = StagePhaseTracker(sample_blocks=1)
+        t.block_staged(1)
+        t.block_staged(2)
+        for _ in range(2):
+            t.tick()
+            t.record(1, True, False, False, miss=True, overflow=False)
+            t.record(2, True, False, False, miss=True, overflow=False)
+        t.block_unstaged(1, committed=True)  # reaches the sample cap
+        assert t._sampled_phases == 1
+        events_before = len(t._phases[2].events)
+        for _ in range(100):
+            t.tick()
+            t.record(2, True, False, False, miss=True, overflow=False)
+        # Beyond the cap the phase can never be sampled, so buffering
+        # its events would only grow memory without bound.
+        assert len(t._phases[2].events) == events_before
+        # New phases are not even opened past the cap.
+        t.block_staged(5)
+        assert 5 not in t._phases
+
+    def test_simulator_run_finalizes_tracker(self):
+        config = make_small_config()
+        tracker = StagePhaseTracker()
+        ctrl = BaryonController(config, tracker=tracker, seed=1)
+        sim = SystemSimulator(ctrl, make_small_sim_config())
+        trace = ZipfWorkload("z", 4 * config.layout.fast_capacity, seed=3).generate(3000)
+        trace.apply_compressibility(ctrl.oracle)
+        sim.run(trace)
+        assert not tracker._phases
