@@ -173,6 +173,181 @@ def _bench_matrix(workloads, designs, scale, accesses, seed, jobs):
     }
 
 
+def _bench_hotpath(workloads, designs, scale, accesses, seed, repeats=3):
+    """Time the batched simulation loop against the scalar reference loop.
+
+    Each (workload, design) cell runs the same pre-generated trace through
+    a fresh controller in both modes; the cell's results must be
+    bit-identical before any timing is reported.
+
+    Returns ``(summary, results_by_cell)`` — the latter keyed
+    ``"workload/design"`` with the batched :meth:`SimResult.to_dict`, for
+    comparison against a reference-revision run.
+    """
+    from time import perf_counter
+
+    from repro.analysis import build_controller
+    from repro.sim import SystemSimulator
+    from repro.workloads import build_workload, scaled_system
+
+    config, sim_config = scaled_system(scale)
+    cells = []
+    results_by_cell = {}
+    total_scalar = 0.0
+    total_batched = 0.0
+    for workload in workloads:
+        trace = build_workload(
+            workload, config.layout.fast_capacity, n_accesses=accesses, seed=seed
+        )
+        for design in designs:
+            times = {}
+            results = {}
+            for mode, scalar in (("scalar", True), ("batched", False)):
+                best = None
+                for _ in range(repeats):
+                    ctrl = build_controller(design, config, seed=seed)
+                    if hasattr(ctrl, "oracle"):
+                        trace.apply_compressibility(ctrl.oracle)
+                    sim = SystemSimulator(ctrl, sim_config)
+                    t0 = perf_counter()
+                    result = sim.run(trace, workload, design, scalar=scalar)
+                    elapsed = perf_counter() - t0
+                    payload = result.to_dict()
+                    if mode in results and results[mode] != payload:
+                        raise AssertionError(
+                            f"{mode} run not deterministic across repeats: "
+                            f"({workload}, {design})"
+                        )
+                    results[mode] = payload
+                    best = elapsed if best is None else min(best, elapsed)
+                times[mode] = best
+            if results["scalar"] != results["batched"]:
+                raise AssertionError(
+                    f"hot path diverges from scalar loop: ({workload}, {design})"
+                )
+            total_scalar += times["scalar"]
+            total_batched += times["batched"]
+            results_by_cell[f"{workload}/{design}"] = results["batched"]
+            cells.append({
+                "workload": workload,
+                "design": design,
+                "scalar_s": round(times["scalar"], 4),
+                "batched_s": round(times["batched"], 4),
+                "speedup": round(times["scalar"] / times["batched"], 3),
+            })
+    summary = {
+        "workloads": list(workloads),
+        "designs": list(designs),
+        "accesses": accesses,
+        "scale": scale,
+        "repeats": repeats,
+        "cells": cells,
+        "scalar_total_s": round(total_scalar, 4),
+        "batched_total_s": round(total_batched, 4),
+        "loop_speedup": round(total_scalar / total_batched, 3),
+        "results_match": True,
+    }
+    return summary, results_by_cell
+
+
+#: Sweep script executed (via ``python -c``) against a reference checkout's
+#: ``src`` so the pre-change revision's modules time the same cells
+#: end-to-end. It reads the cell spec as JSON on stdin and prints one JSON
+#: line: total wall seconds plus each cell's SimResult dict.
+_REF_SWEEP_SCRIPT = r"""
+import json, sys
+from time import perf_counter
+from repro.workloads import scaled_system, build_workload
+from repro.analysis import build_controller
+from repro.sim import SystemSimulator
+
+spec = json.loads(sys.stdin.read())
+config, sim_config = scaled_system(spec["scale"])
+total = 0.0
+cells = {}
+for workload in spec["workloads"]:
+    trace = build_workload(
+        workload, config.layout.fast_capacity,
+        n_accesses=spec["accesses"], seed=spec["seed"],
+    )
+    for design in spec["designs"]:
+        best = None
+        for _ in range(spec.get("repeats", 1)):
+            ctrl = build_controller(design, config, seed=spec["seed"])
+            if hasattr(ctrl, "oracle"):
+                trace.apply_compressibility(ctrl.oracle)
+            sim = SystemSimulator(ctrl, sim_config)
+            t0 = perf_counter()
+            result = sim.run(trace, workload, design)
+            elapsed = perf_counter() - t0
+            best = elapsed if best is None else min(best, elapsed)
+        total += best
+        cells[workload + "/" + design] = result.to_dict()
+print(json.dumps({"total_s": total, "cells": cells}))
+"""
+
+
+def _bench_hotpath_reference(
+    ref_src, workloads, designs, scale, accesses, seed, repeats=3
+):
+    """End-to-end time of the same sweep on a reference checkout's code.
+
+    The subprocess imports ``repro`` from ``ref_src`` (PYTHONPATH), so the
+    numbers measure the whole pre-change stack — per-access loop and
+    subsystems — not just the loop. Returns the parsed result dict.
+    """
+    import json
+    import os
+    import subprocess
+    import sys
+
+    env = dict(os.environ, PYTHONPATH=ref_src)
+    spec = {
+        "workloads": list(workloads),
+        "designs": list(designs),
+        "scale": scale,
+        "accesses": accesses,
+        "seed": seed,
+        "repeats": repeats,
+    }
+    proc = subprocess.run(
+        [sys.executable, "-c", _REF_SWEEP_SCRIPT],
+        input=json.dumps(spec),
+        capture_output=True,
+        text=True,
+        env=env,
+        check=True,
+    )
+    return json.loads(proc.stdout.strip().splitlines()[-1])
+
+
+def _add_ref_worktree(rev):
+    """Materialize ``rev`` in a temporary git worktree; returns its path."""
+    import subprocess
+    import tempfile
+
+    path = tempfile.mkdtemp(prefix="hotpath-ref-")
+    subprocess.run(
+        ["git", "worktree", "add", "--detach", "--force", path, rev],
+        check=True,
+        capture_output=True,
+        text=True,
+    )
+    return path
+
+
+def _remove_ref_worktree(path):
+    import shutil
+    import subprocess
+
+    subprocess.run(
+        ["git", "worktree", "remove", "--force", path],
+        check=False,
+        capture_output=True,
+    )
+    shutil.rmtree(path, ignore_errors=True)
+
+
 def _bench_memo(scale, accesses, memo_capacity):
     """One controller run over a real-content (FPC/BDI) oracle."""
     from time import perf_counter
@@ -225,10 +400,112 @@ def main(argv=None):
     parser.add_argument("--memo-accesses", type=int, default=4_000,
                         help="accesses for the real-content memo benchmark")
     parser.add_argument("--out", default="BENCH_parallel.json")
+    parser.add_argument("--hotpath-accesses", type=int, default=40_000,
+                        help="accesses per cell for the hot-path benchmark")
+    parser.add_argument("--hotpath-out", default="BENCH_hotpath.json",
+                        help="artifact for the batched-vs-scalar loop numbers")
+    parser.add_argument("--hotpath-repeats", type=int, default=3,
+                        help="repeats per cell/mode; best-of-N is reported")
+    parser.add_argument("--min-hotpath-speedup", type=float, default=0.0,
+                        help="fail when the end-to-end hot-path speedup "
+                        "falls below this factor (0 disables the check)")
+    parser.add_argument("--hotpath-ref-rev", default=None,
+                        help="git revision of the pre-change code to time "
+                        "end-to-end (materialized in a temporary worktree)")
+    parser.add_argument("--hotpath-ref-src", default=None,
+                        help="path to a pre-change checkout's src/ to time "
+                        "end-to-end (overrides --hotpath-ref-rev)")
+    parser.add_argument("--skip-matrix", action="store_true",
+                        help="skip the parallel-runner/memo benchmarks and "
+                        "only run the hot-path benchmark")
     args = parser.parse_args(argv)
 
     workloads = [w for w in args.workloads.split(",") if w]
     designs = [d for d in args.designs.split(",") if d]
+
+    hotpath, batched_results = _bench_hotpath(
+        workloads, designs, args.scale, args.hotpath_accesses, args.seed,
+        repeats=args.hotpath_repeats,
+    )
+    print(f"hot path {len(hotpath['cells'])} cells x "
+          f"{args.hotpath_accesses} accesses: "
+          f"scalar {hotpath['scalar_total_s']}s -> "
+          f"batched {hotpath['batched_total_s']}s "
+          f"({hotpath['loop_speedup']}x loop speedup, bit-identical results)")
+
+    # End-to-end measurement against the pre-change revision. The scalar
+    # loop above shares this tree's optimized subsystems, so it isolates
+    # only the loop overhead; the reference run times the whole old stack.
+    headline = hotpath["loop_speedup"]
+    ref_src = args.hotpath_ref_src
+    ref_label = ref_src
+    worktree = None
+    if ref_src is None and args.hotpath_ref_rev:
+        try:
+            worktree = _add_ref_worktree(args.hotpath_ref_rev)
+            ref_src = os.path.join(worktree, "src")
+            ref_label = args.hotpath_ref_rev
+        except Exception as err:  # shallow clone, detached worktree, ...
+            print(f"reference worktree for {args.hotpath_ref_rev!r} "
+                  f"unavailable, skipping end-to-end comparison: {err}",
+                  file=sys.stderr)
+    if ref_src is not None:
+        try:
+            ref = _bench_hotpath_reference(
+                ref_src, workloads, designs,
+                args.scale, args.hotpath_accesses, args.seed,
+                repeats=args.hotpath_repeats,
+            )
+            # ``energy`` and ``extra`` intentionally changed semantics
+            # (measured-window deltas instead of full-run totals), so the
+            # bit-identity requirement covers every *counter* field only.
+            def _counters(result):
+                return {
+                    k: v for k, v in result.items()
+                    if k not in ("energy", "extra")
+                }
+
+            mismatched = [
+                cell for cell, result in ref["cells"].items()
+                if _counters(batched_results.get(cell, {})) != _counters(result)
+            ]
+            if mismatched:
+                raise AssertionError(
+                    "batched results diverge from the reference revision: "
+                    + ", ".join(sorted(mismatched))
+                )
+            end_to_end = round(ref["total_s"] / hotpath["batched_total_s"], 3)
+            hotpath["reference"] = {
+                "rev": ref_label,
+                "total_s": round(ref["total_s"], 4),
+                "end_to_end_speedup": end_to_end,
+                "results_match": True,
+            }
+            headline = end_to_end
+            print(f"reference {ref_label}: {hotpath['reference']['total_s']}s "
+                  f"-> batched {hotpath['batched_total_s']}s "
+                  f"({end_to_end}x end-to-end, bit-identical results)")
+        finally:
+            if worktree is not None:
+                _remove_ref_worktree(worktree)
+    hotpath["speedup"] = headline
+
+    hotpath_payload = {
+        "generated": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        "python": sys.version.split()[0],
+        "cpus": os.cpu_count(),
+        "hotpath": hotpath,
+    }
+    with open(args.hotpath_out, "w", encoding="utf-8") as sink:
+        json.dump(hotpath_payload, sink, indent=2)
+        sink.write("\n")
+    print(f"wrote {args.hotpath_out}")
+    if args.min_hotpath_speedup and hotpath["speedup"] < args.min_hotpath_speedup:
+        print(f"hot-path speedup {hotpath['speedup']}x below required "
+              f"{args.min_hotpath_speedup}x", file=sys.stderr)
+        return 1
+    if args.skip_matrix:
+        return 0
 
     matrix = _bench_matrix(
         workloads, designs, args.scale, args.accesses, args.seed, args.jobs

@@ -12,7 +12,7 @@ from typing import Optional
 
 from repro.common.config import BaryonConfig
 from repro.common.stats import CounterGroup
-from repro.core.events import AccessResult
+from repro.core.events import CASE_COUNTER_KEYS, FAST_CASES, AccessResult
 from repro.devices.memory import HybridMemoryDevices
 from repro.obs.tracer import NULL_TRACER
 
@@ -49,17 +49,19 @@ class BaselineController(abc.ABC):
     def _count(
         self, result: AccessResult, is_write: bool, addr: Optional[int] = None
     ) -> AccessResult:
-        self.stats.inc("accesses")
-        self.stats.inc("writes" if is_write else "reads")
-        if result.served_fast:
-            self.stats.inc("served_fast")
-        self.stats.inc(f"case_{result.case.value}")
+        stats = self.stats
+        stats.inc("accesses")
+        stats.inc("writes" if is_write else "reads")
+        fast = result.case in FAST_CASES
+        if fast:
+            stats.inc("served_fast")
+        stats.inc(CASE_COUNTER_KEYS[result.case])
         if self.obs.enabled:
             self.obs.emit(
                 "access", t=self._now, addr=addr,
                 block=None if addr is None else self.geometry.block_id(addr),
                 case=result.case.value, write=is_write,
-                latency=result.latency_cycles, fast=result.served_fast,
+                latency=result.latency_cycles, fast=fast,
                 overflow=result.write_overflow,
             )
         return result

@@ -11,12 +11,18 @@ downward level by level. :meth:`install_llc` supports the bandwidth-free
 memory-to-LLC prefetch of Sec. III-E — when the controller decompresses one
 64 B chunk into up to four cachelines, the extra lines are installed into
 the LLC directly.
+
+Hot-path engineering: :meth:`access_fast` is the allocation-free form the
+simulator's batched loop drives — ``None`` for the dominant L1-hit case, a
+plain tuple otherwise — and level hit counters accumulate in integers that
+fold into the public ``stats`` group lazily on read. :meth:`access` wraps
+it into the original :class:`HierarchyResult` for compatibility.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import List, Optional, Tuple
 
 from repro.cache.sram_cache import SetAssociativeCache
 from repro.common.config import HierarchyConfig
@@ -51,57 +57,134 @@ class CacheHierarchy:
             SetAssociativeCache(self.config.l2) for _ in range(cores)
         ]
         self.llc = SetAssociativeCache(self.config.llc)
-        self.stats = CounterGroup("hierarchy")
+        self._stats = CounterGroup("hierarchy")
+        self._cores = cores
+        self._lat_l1 = self.config.l1d.latency_cycles
+        self._lat_l12 = self._lat_l1 + self.config.l2.latency_cycles
+        self._lat_full = self._lat_l12 + self.config.llc.latency_cycles
+        # Deferred level-hit counters, folded into ``stats`` on read.
+        self._n_l1_hits = 0
+        self._n_l2_hits = 0
+        self._n_llc_hits = 0
+        self._n_llc_misses = 0
+        self._n_prefetch_installs = 0
+
+    @property
+    def stats(self) -> CounterGroup:
+        """Counter group with all pending hot-path counts folded in."""
+        if self._n_l1_hits:
+            self._stats.inc("l1_hits", self._n_l1_hits)
+            self._n_l1_hits = 0
+        if self._n_l2_hits:
+            self._stats.inc("l2_hits", self._n_l2_hits)
+            self._n_l2_hits = 0
+        if self._n_llc_hits:
+            self._stats.inc("llc_hits", self._n_llc_hits)
+            self._n_llc_hits = 0
+        if self._n_llc_misses:
+            self._stats.inc("llc_misses", self._n_llc_misses)
+            self._n_llc_misses = 0
+        if self._n_prefetch_installs:
+            self._stats.inc("llc_prefetch_installs", self._n_prefetch_installs)
+            self._n_prefetch_installs = 0
+        return self._stats
+
+    def access_fast(
+        self, addr: int, is_write: bool, core: int = 0
+    ) -> Optional[Tuple[str, int, bool, Optional[List[int]]]]:
+        """Run one demand access through L1 -> L2 -> LLC, allocation-free.
+
+        Returns ``None`` for the dominant L1-hit case; otherwise a tuple
+        ``(hit_level, latency_cycles, llc_miss, writebacks)`` where
+        ``writebacks`` is ``None`` when no dirty LLC victims spilled.
+        Simulation effects are identical to :meth:`access`.
+        """
+        core %= self._cores
+        l1 = self._l1[core]
+        if l1._is_lru:
+            # Inlined L1 LRU probe: the L1 hit is the dominant outcome and
+            # this skips the access_raw call for it (same state effects).
+            line = addr // l1._line_size
+            index = line % l1.num_sets
+            cache_set = l1._sets[index]
+            tag = line // l1.num_sets
+            lines = cache_set.lines
+            entry = lines.get(tag)
+            l1._n_accesses += 1
+            if entry is not None:
+                cache_set._clock += 1
+                entry.counter = cache_set._clock
+                lines[tag] = lines.pop(tag)
+                if is_write:
+                    entry.dirty = True
+                l1._n_hits += 1
+                self._n_l1_hits += 1
+                return None
+            l1._n_misses += 1
+            l1_wb, _ = l1._allocate(cache_set, index, tag, is_write)
+        else:
+            hit, l1_wb, _ = l1.access_raw(addr, is_write)
+            if hit:
+                self._n_l1_hits += 1
+                return None
+
+        writebacks: Optional[List[int]] = None
+        l2 = self._l2[core]
+        hit2, l2_wb, _ = l2.access_raw(addr, False)
+        if l1_wb is not None:
+            # Dirty L1 victim lands in L2 (write-allocate at L2).
+            _, spill, _ = l2.access_raw(l1_wb, True)
+            if spill is not None:
+                _, llc_wb, _ = self.llc.access_raw(spill, True)
+                # Truthiness (not `is not None`) preserves the historical
+                # spill semantics exactly.
+                if llc_wb:
+                    writebacks = [llc_wb]
+        if hit2:
+            self._n_l2_hits += 1
+            # Dirtiness is tracked at L1; the L2 copy stays clean (NINE).
+            return ("L2", self._lat_l12, False, writebacks)
+        if l2_wb is not None:
+            _, llc_wb, _ = self.llc.access_raw(l2_wb, True)
+            if llc_wb:
+                if writebacks is None:
+                    writebacks = [llc_wb]
+                else:
+                    writebacks.append(llc_wb)
+
+        hit3, llc_wb, _ = self.llc.access_raw(addr, False)
+        if llc_wb is not None:
+            if writebacks is None:
+                writebacks = [llc_wb]
+            else:
+                writebacks.append(llc_wb)
+        if hit3:
+            self._n_llc_hits += 1
+            return ("LLC", self._lat_full, False, writebacks)
+        self._n_llc_misses += 1
+        return ("MEM", self._lat_full, True, writebacks)
 
     def access(self, addr: int, is_write: bool, core: int = 0) -> HierarchyResult:
         """Run one demand access through L1 -> L2 -> LLC."""
-        core %= self.config.cores
-        writebacks: List[int] = []
-        latency = self.config.l1d.latency_cycles
+        outcome = self.access_fast(addr, is_write, core)
+        if outcome is None:
+            return HierarchyResult("L1", False, self._lat_l1, [])
+        level, latency, llc_miss, writebacks = outcome
+        return HierarchyResult(
+            level, llc_miss, latency, writebacks if writebacks is not None else []
+        )
 
-        l1 = self._l1[core]
-        outcome = l1.access(addr, is_write)
-        if outcome.hit:
-            self.stats.inc("l1_hits")
-            return HierarchyResult("L1", False, latency, writebacks)
-        l1_victim_wb = outcome.writeback_addr
-
-        latency += self.config.l2.latency_cycles
-        l2 = self._l2[core]
-        outcome2 = l2.access(addr, False)
-        if l1_victim_wb is not None:
-            # Dirty L1 victim lands in L2 (write-allocate at L2).
-            wb_out = l2.access(l1_victim_wb, True)
-            if wb_out.writeback_addr is not None:
-                writebacks.extend(self._spill_to_llc(wb_out.writeback_addr))
-        if outcome2.hit:
-            self.stats.inc("l2_hits")
-            if is_write:
-                pass  # dirtiness tracked at L1; L2 copy stays clean (NINE).
-            return HierarchyResult("L2", False, latency, writebacks)
-        if outcome2.writeback_addr is not None:
-            writebacks.extend(self._spill_to_llc(outcome2.writeback_addr))
-
-        latency += self.config.llc.latency_cycles
-        outcome3 = self.llc.access(addr, False)
-        if outcome3.writeback_addr is not None:
-            writebacks.append(outcome3.writeback_addr)
-        if outcome3.hit:
-            self.stats.inc("llc_hits")
-            return HierarchyResult("LLC", False, latency, writebacks)
-        self.stats.inc("llc_misses")
-        return HierarchyResult("MEM", True, latency, writebacks)
+    def install_llc_fast(self, addr: int) -> Optional[int]:
+        """Install a prefetched line into the LLC; returns the dirty
+        writeback address, if any (allocation-free form)."""
+        writeback = self.llc.install_raw(addr)
+        self._n_prefetch_installs += 1
+        return writeback
 
     def install_llc(self, addr: int) -> List[int]:
         """Install a prefetched line into the LLC; returns dirty writebacks."""
-        outcome = self.llc.install(addr)
-        self.stats.inc("llc_prefetch_installs")
-        return [outcome.writeback_addr] if outcome.writeback_addr else []
-
-    def _spill_to_llc(self, addr: int) -> List[int]:
-        """A dirty L2 victim is written into the LLC."""
-        outcome = self.llc.access(addr, True)
-        return [outcome.writeback_addr] if outcome.writeback_addr else []
+        writeback = self.install_llc_fast(addr)
+        return [writeback] if writeback else []
 
     @property
     def llc_miss_rate(self) -> float:

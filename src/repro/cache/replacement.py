@@ -65,7 +65,15 @@ class BaseSet:
 
 
 class LruSet(BaseSet):
-    """Least-recently-used via a monotonic timestamp per line."""
+    """Least-recently-used via a monotonic timestamp per line.
+
+    The ``lines`` dict doubles as the recency order (Python dicts preserve
+    insertion order): ``touch`` re-inserts the line at the tail, so the
+    head is always the least-recently-used entry and ``victim`` is O(1)
+    instead of an O(ways) minimum scan. Timestamps are unique and strictly
+    increasing, so dict order and counter order agree and the O(1) victim
+    is exactly the line the counter scan used to pick.
+    """
 
     def __init__(self, ways: int) -> None:
         super().__init__(ways)
@@ -74,19 +82,28 @@ class LruSet(BaseSet):
     def touch(self, line: CacheLine) -> None:
         self._clock += 1
         line.counter = self._clock
+        # Move to the tail of the recency order.
+        tag = line.tag
+        lines = self.lines
+        lines[tag] = lines.pop(tag)
 
     def victim(self) -> CacheLine:
-        return min(self.lines.values(), key=lambda l: l.counter)
+        return next(iter(self.lines.values()))
 
     def mru(self) -> Optional[CacheLine]:
         """Most-recently-used line (needed by the MRUMissCnt statistic)."""
         if not self.lines:
             return None
-        return max(self.lines.values(), key=lambda l: l.counter)
+        return next(reversed(self.lines.values()))
 
 
 class FifoSet(BaseSet):
-    """First-in-first-out: timestamp assigned at insert only."""
+    """First-in-first-out: timestamp assigned at insert only.
+
+    Hits never reorder, so dict insertion order *is* FIFO order and the
+    head of ``lines`` is the oldest entry — an O(1) victim identical to
+    the counter-minimum scan (timestamps are unique and increasing).
+    """
 
     def __init__(self, ways: int) -> None:
         super().__init__(ways)
@@ -98,7 +115,7 @@ class FifoSet(BaseSet):
             line.counter = self._clock
 
     def victim(self) -> CacheLine:
-        return min(self.lines.values(), key=lambda l: l.counter)
+        return next(iter(self.lines.values()))
 
 
 class LfuSet(BaseSet):

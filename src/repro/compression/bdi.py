@@ -18,8 +18,10 @@ from __future__ import annotations
 
 from typing import List, Optional, Tuple
 
+import numpy as np
+
 from repro.compression.base import CompressionResult, Compressor
-from repro.compression.bitstream import BitReader, BitWriter, fits_signed, sign_extend
+from repro.compression.bitstream import BitReader, BitWriter, sign_extend
 
 # Header codes for the encoding variants.
 _ZEROS = 0b0000
@@ -38,10 +40,7 @@ _HEADER_BITS = 4
 
 
 def _granules(data: bytes, size: int) -> List[int]:
-    return [
-        int.from_bytes(data[i : i + size], "big")
-        for i in range(0, len(data), size)
-    ]
+    return np.frombuffer(data, dtype=f">u{size}").tolist()
 
 
 def _try_base_delta(
@@ -52,29 +51,41 @@ def _try_base_delta(
     Returns ``(base, zero_mask, deltas)`` on success — ``zero_mask[i]`` is
     True when granule ``i`` is a delta from the zero base — or ``None`` when
     some granule fits neither base.
+
+    Vectorized over the whole line with one ``numpy.frombuffer`` view. The
+    delta-range test runs in exact unsigned arithmetic (``value >= base``
+    split), so 8-byte granules classify identically to the arbitrary-
+    precision scalar check — modular uint64 wrap-around can never turn a
+    huge true delta into a small accepted one.
     """
     if len(data) % base_bytes != 0:
         return None
-    values = _granules(data, base_bytes)
+    values = np.frombuffer(data, dtype=f">u{base_bytes}").astype(np.uint64)
+    bits = base_bytes * 8
     delta_bits = delta_bytes * 8
-    base: Optional[int] = None
-    zero_mask: List[bool] = []
-    deltas: List[int] = []
-    for value in values:
-        if fits_signed(sign_extend(value, base_bytes * 8), delta_bits):
-            zero_mask.append(True)
-            deltas.append(value & ((1 << delta_bits) - 1))
-            continue
-        if base is None:
-            base = value
-        delta = value - base
-        if not fits_signed(delta, delta_bits):
-            return None
-        zero_mask.append(False)
-        deltas.append(delta & ((1 << delta_bits) - 1))
-    if base is None:
+    half = 1 << (delta_bits - 1)
+    hi = half - 1
+    # Zero base: the sign-extended granule must fit delta_bits, i.e. the
+    # unsigned value is tiny or sits in the top `half` of the bits-range.
+    zero_fits = (values <= hi) | (values >= (1 << bits) - half)
+    nonzero = ~zero_fits
+    if not nonzero.any():
         base = 0
-    return base, zero_mask, deltas
+        deltas = values & np.uint64((1 << delta_bits) - 1)
+    else:
+        base = values[int(np.argmax(nonzero))]
+        ge = values >= base
+        # Exact |value - base| tests on the unsigned split; the wrapped
+        # differences are only used on the side where they are exact.
+        pos_ok = (values - base) <= np.uint64(hi)
+        neg_ok = (base - values) <= np.uint64(half)
+        ok = zero_fits | (ge & pos_ok) | (~ge & neg_ok)
+        if not ok.all():
+            return None
+        origins = np.where(zero_fits, np.uint64(0), base)
+        deltas = (values - origins) & np.uint64((1 << delta_bits) - 1)
+        base = int(base)
+    return base, zero_fits.tolist(), deltas.tolist()
 
 
 class BdiCompressor(Compressor):
@@ -87,7 +98,7 @@ class BdiCompressor(Compressor):
             raise ValueError("BDI input must be a non-empty multiple of 8 bytes")
         best = self._encode_raw(data)
 
-        if all(byte == 0 for byte in data):
+        if data.count(0) == len(data):
             writer = BitWriter()
             writer.write(_ZEROS, _HEADER_BITS)
             best = self._result(data, writer)
@@ -108,10 +119,17 @@ class BdiCompressor(Compressor):
                 writer = BitWriter()
                 writer.write(header, _HEADER_BITS)
                 writer.write(base, base_bytes * 8)
+                # Pack the mask bits and all deltas with one write each;
+                # the emitted bit stream is identical to per-field writes.
+                mask_word = 0
                 for is_zero in zero_mask:
-                    writer.write(1 if is_zero else 0, 1)
+                    mask_word = (mask_word << 1) | (1 if is_zero else 0)
+                writer.write(mask_word, len(zero_mask))
+                delta_bits = delta_bytes * 8
+                delta_word = 0
                 for delta in deltas:
-                    writer.write(delta, delta_bytes * 8)
+                    delta_word = (delta_word << delta_bits) | delta
+                writer.write(delta_word, delta_bits * len(deltas))
                 candidate = self._result(data, writer)
                 if candidate.compressed_bits < best.compressed_bits:
                     best = candidate

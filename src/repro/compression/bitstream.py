@@ -2,7 +2,12 @@
 
 Hardware compressors produce a bit stream, not a byte stream; counting bits
 honestly matters because CF quantization is decided on the encoded size.
-The writer packs MSB-first into a ``bytearray``; the reader mirrors it.
+The writer packs MSB-first and the reader mirrors it. Both are backed by a
+single arbitrary-precision integer instead of per-bit byte twiddling, so an
+n-bit stream costs O(writes) big-int shifts rather than n loop iterations —
+the difference between the compressors being usable on the per-access hot
+path and not. The byte-level output format (MSB-first, last byte
+zero-padded) is unchanged.
 """
 
 from __future__ import annotations
@@ -12,7 +17,7 @@ class BitWriter:
     """Append-only MSB-first bit packer."""
 
     def __init__(self) -> None:
-        self._buffer = bytearray()
+        self._acc = 0
         self._bit_count = 0
 
     @property
@@ -26,25 +31,22 @@ class BitWriter:
             raise ValueError("width must be non-negative")
         if value < 0 or (width < value.bit_length()):
             raise ValueError(f"value {value} does not fit in {width} bits")
-        for shift in range(width - 1, -1, -1):
-            bit = (value >> shift) & 1
-            byte_index = self._bit_count // 8
-            if byte_index == len(self._buffer):
-                self._buffer.append(0)
-            if bit:
-                self._buffer[byte_index] |= 1 << (7 - (self._bit_count % 8))
-            self._bit_count += 1
+        self._acc = (self._acc << width) | value
+        self._bit_count += width
 
     def getvalue(self) -> bytes:
         """The packed bytes (last byte zero-padded)."""
-        return bytes(self._buffer)
+        nbytes = (self._bit_count + 7) // 8
+        pad = nbytes * 8 - self._bit_count
+        return (self._acc << pad).to_bytes(nbytes, "big")
 
 
 class BitReader:
     """Sequential MSB-first bit reader over :class:`BitWriter` output."""
 
     def __init__(self, data: bytes) -> None:
-        self._data = data
+        self._value = int.from_bytes(data, "big")
+        self._nbits = len(data) * 8
         self._pos = 0
 
     @property
@@ -55,15 +57,10 @@ class BitReader:
         """Read ``width`` bits as an unsigned integer."""
         if width < 0:
             raise ValueError("width must be non-negative")
-        if self._pos + width > len(self._data) * 8:
+        if self._pos + width > self._nbits:
             raise EOFError("bit stream exhausted")
-        value = 0
-        for _ in range(width):
-            byte = self._data[self._pos // 8]
-            bit = (byte >> (7 - (self._pos % 8))) & 1
-            value = (value << 1) | bit
-            self._pos += 1
-        return value
+        self._pos += width
+        return (self._value >> (self._nbits - self._pos)) & ((1 << width) - 1)
 
 
 def sign_extend(value: int, bits: int) -> int:

@@ -151,7 +151,8 @@ class CompressionEngine:
         """Z-bit check: the range is entirely zero bytes."""
         if not self.config.zero_block_support:
             return False
-        return not any(data)
+        # bytes.count runs in C; `not any(data)` iterates Python ints.
+        return data.count(0) == len(data)
 
     def _chunk_order(self, chunks: int) -> List[int]:
         """Chunk indices ordered most-likely-to-fail first.

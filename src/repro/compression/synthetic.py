@@ -136,9 +136,14 @@ class SyntheticCompressibility:
         self._default = PROFILE_LIBRARY["medium"]
         self._versions: Dict[int, int] = {}
         self._write_counts: Dict[int, int] = {}
+        # ``fits`` is pure given (block, quad, version): memoized verdicts.
+        # Keys carry the version, so a version bump naturally misses; the
+        # cache only needs explicit invalidation when profiles change.
+        self._fits_cache: Dict[Tuple[int, int, int, int, bool], bool] = {}
 
     def set_default_profile(self, profile: CompressibilityProfile) -> None:
         self._default = profile
+        self._fits_cache.clear()
 
     def add_region(
         self, first_block: int, last_block: int, profile: CompressibilityProfile
@@ -147,6 +152,7 @@ class SyntheticCompressibility:
         if first_block > last_block:
             raise ConfigurationError("region bounds out of order")
         self._regions.append((first_block, last_block, profile))
+        self._fits_cache.clear()
 
     def profile_of(self, block_id: int) -> CompressibilityProfile:
         for first, last, profile in self._regions:
@@ -172,12 +178,18 @@ class SyntheticCompressibility:
         """
         if n_sub == 1:
             return True
-        profile = self.profile_of(block_id)
         version = self._versions.get(block_id, 0)
         quad_start = (start_sub // 4) * 4
+        key = (block_id, quad_start, version, n_sub, cacheline_aligned)
+        cached = self._fits_cache.get(key)
+        if cached is not None:
+            return cached
+        profile = self.profile_of(block_id)
         u = _hash_unit(self.seed, block_id, quad_start, version, 4)
         p = min(1.0, profile.effective_p(n_sub, cacheline_aligned) * self.cf_boost)
-        return u < p
+        result = u < p
+        self._fits_cache[key] = result
+        return result
 
     def is_zero(self, block_id: int, start_sub: int, n_sub: int) -> bool:
         """Z-bit oracle for the aligned range."""

@@ -35,7 +35,11 @@ from repro.common.errors import CorruptionError, SimulationError, TransientDevic
 from repro.common.stats import CounterGroup
 from repro.compression.synthetic import SyntheticCompressibility
 from repro.core.commit import CommitPolicy
-from repro.core.events import AccessCase, AccessResult
+from repro.core.events import (
+    CASE_COUNTER_KEYS,
+    AccessCase,
+    AccessResult,
+)
 from repro.core.fast_area import FastArea, FastBlockState
 from repro.core.stage_area import StageArea
 from repro.core.tracking import StagePhaseTracker
@@ -80,7 +84,19 @@ class BaryonController:
         )
         self.stage = StageArea(self.config.stage, self.geometry)
         self._rng = random.Random(seed)
-        self.stats = CounterGroup("baryon")
+        self._stats = CounterGroup("baryon")
+        # Deferred per-access counters, folded into ``stats`` on read.
+        self._n_accesses = 0
+        self._n_reads = 0
+        self._n_writes = 0
+        self._n_served_fast = 0
+        self._n_cases = [0] * len(AccessCase)
+        # Cached geometry constants for the per-access address split.
+        g = self.geometry
+        self._g_block_size = g.block_size
+        self._g_super_blocks = g.super_block_blocks
+        self._g_sub_size = g.sub_block_size
+        self._g_line_size = g.cacheline_size
         #: Observability hook point; see :mod:`repro.obs`. Attached here
         #: and on every instrumented sub-component by
         #: :func:`repro.obs.attach_observability`.
@@ -179,6 +195,30 @@ class BaryonController:
             buckets=[self.geometry.cacheline_size * 2 ** i for i in range(8)],
         )
 
+    @property
+    def stats(self) -> CounterGroup:
+        """Counter group with all pending per-access counts folded in."""
+        stats = self._stats
+        if self._n_accesses:
+            stats.inc("accesses", self._n_accesses)
+            self._n_accesses = 0
+        if self._n_reads:
+            stats.inc("reads", self._n_reads)
+            self._n_reads = 0
+        if self._n_writes:
+            stats.inc("writes", self._n_writes)
+            self._n_writes = 0
+        if self._n_served_fast:
+            stats.inc("served_fast", self._n_served_fast)
+            self._n_served_fast = 0
+        cases = self._n_cases
+        for case in AccessCase:
+            count = cases[case.index]
+            if count:
+                stats.inc(CASE_COUNTER_KEYS[case], count)
+                cases[case.index] = 0
+        return stats
+
     # ------------------------------------------------------------------ API
     def access(self, addr: int, is_write: bool, now: Optional[float] = None) -> AccessResult:
         """Serve one 64 B memory access; the single external entry point."""
@@ -187,15 +227,21 @@ class BaryonController:
         else:
             self._now += 1.0
         now = self._now
-        g = self.geometry
-        block_id = g.block_id(addr)
-        super_id = g.super_block_id(addr)
-        blk_off = g.block_offset_in_super(addr)
-        sub_idx = g.sub_block_index(addr)
-        line_idx = g.cacheline_index_in_sub_block(addr)
+        # Inline address split on cached power-of-two geometry constants
+        # (identical to the Geometry methods for non-negative addresses).
+        block_size = self._g_block_size
+        block_id = addr // block_size
+        super_id = block_id // self._g_super_blocks
+        blk_off = block_id % self._g_super_blocks
+        rem = addr % block_size
+        sub_idx = rem // self._g_sub_size
+        line_idx = (rem % self._g_sub_size) // self._g_line_size
 
-        self.stats.inc("accesses")
-        self.stats.inc("writes" if is_write else "reads")
+        self._n_accesses += 1
+        if is_write:
+            self._n_writes += 1
+        else:
+            self._n_reads += 1
         if self.tracker is not None:
             self.tracker.tick()
 
@@ -215,14 +261,16 @@ class BaryonController:
                     raise
                 result = self._degraded(now, super_id, err, is_write)
 
-        self.stats.inc(f"case_{result.case.value}")
-        if result.served_fast:
-            self.stats.inc("served_fast")
+        case = result.case
+        self._n_cases[case.index] += 1
+        fast = case.fast
+        if fast:
+            self._n_served_fast += 1
         if self.obs.enabled:
             self.obs.emit(
                 "access", t=now, addr=addr, block=block_id,
                 case=result.case.value, write=is_write,
-                latency=result.latency_cycles, fast=result.served_fast,
+                latency=result.latency_cycles, fast=fast,
                 overflow=result.write_overflow,
             )
         if self.tracker is not None and result.case is not AccessCase.FAST_HOME:
@@ -246,7 +294,7 @@ class BaryonController:
         sub_idx: int,
         line_idx: int,
         is_write: bool,
-    ) -> Tuple[AccessResult, RemapEntry, Optional[Tuple[int, StageTagEntry]]]:
+    ) -> Tuple[AccessResult, Optional[RemapEntry], Optional[Tuple[int, StageTagEntry]]]:
         """The Fig. 6 case dispatch (the body of :meth:`access`)."""
         stage_set = self.stage.set_index_of(super_id)
         self.stage.record_set_access(stage_set)
@@ -265,8 +313,14 @@ class BaryonController:
             # Off-chip remap table probe: one super-block line (16 B).
             table = self._dev_read(self.devices.fast, now, 16, demand=True)
             remap_latency += table.total_cycles
-            self.stats.inc("remap_table_reads")
-        entry = self._table_get(now, block_id)
+            self._stats.inc("remap_table_reads")
+        # Fast path: with no fault injection armed, `_table_get` is a pure
+        # read, so the entry materialization can be deferred until a
+        # consumer needs it. The dominant stage-hit/remap-cache-hit case
+        # then skips it entirely unless a tracker is recording (the
+        # existing zero-cost guards stay in place).
+        defer_entry = self.faults is None
+        entry = None if defer_entry else self._table_get(now, block_id)
 
         staged_block = (
             self.stage.lookup_block(super_id, blk_off)
@@ -285,7 +339,12 @@ class BaryonController:
                 now, meta, super_id, block_id, blk_off, sub_idx, line_idx,
                 staged_sub, is_write,
             )
+            if defer_entry and self.tracker is not None:
+                entry = self._table_get(now, block_id)
+            return result, entry, staged_block
         else:
+            if defer_entry:
+                entry = self._table_get(now, block_id)
             meta = max(meta_latency, remap_latency)
             if entry.is_remapped and entry.sub_block_remapped(sub_idx):
                 result = self._case2_commit_hit(
@@ -514,7 +573,7 @@ class BaryonController:
             return False
         # Overflow: remove the range and reinsert it as freshly fetched
         # pieces (case 3 semantics) — data are already in fast memory.
-        self.stats.inc("stage_write_overflows")
+        self._stats.inc("stage_write_overflows")
         removed = self.stage.remove_slot(set_index, way, slot_idx)
         super_id = self.stage.mapper.super_block_of(set_index, entry.tag)
         for piece in self._split_range(block_id, removed.sub_start, removed.cf):
@@ -536,7 +595,7 @@ class BaryonController:
         sub_idx: int,
     ) -> bool:
         """A write to a staged all-zero block breaks the Z encoding."""
-        self.stats.inc("stage_zero_breaks")
+        self._stats.inc("stage_zero_breaks")
         self.oracle.note_write(block_id, sub_idx)
         entry = self.stage.entry(set_index, way)
         self.stage.remove_slot(set_index, way, slot_idx)
@@ -605,7 +664,7 @@ class BaryonController:
             if is_write:
                 # Writing a committed all-zero block invalidates the Z
                 # encoding: evict the whole logical block, write to slow.
-                self.stats.inc("commit_zero_breaks")
+                self._stats.inc("commit_zero_breaks")
                 self.oracle.note_write(block_id, sub_idx)
                 self._evict_committed_logical_block(now, super_id, block_id, blk_off)
                 access = self._dev_write(self.devices.slow, now, self.geometry.cacheline_size)
@@ -627,7 +686,7 @@ class BaryonController:
                 block_id, start, cf, self.config.compression.cacheline_aligned
             ):
                 overflow = True
-                self.stats.inc("commit_write_overflows")
+                self._stats.inc("commit_write_overflows")
                 self._handle_commit_overflow(
                     now, super_id, block_id, blk_off, start, cf, set_index, way
                 )
@@ -862,7 +921,7 @@ class BaryonController:
         ):
             slot = RangeSlot(cf=1, dirty=is_write, blk_off=blk_off, zero=True)
             self._stage_insert(now, super_id, block_id, blk_off, slot)
-            self.stats.inc("zero_block_stages")
+            self._stats.inc("zero_block_stages")
             return meta, []
 
         start, cf, compressed = self._choose_fetch_range(block_id, blk_off, sub_idx)
@@ -948,7 +1007,7 @@ class BaryonController:
         expected = profile_of(block_id).expected_cf(comp.cacheline_aligned)
         if expected >= comp.selective_threshold:
             return False
-        self.stats.inc("compression_skips")
+        self._stats.inc("compression_skips")
         return True
 
     def _chunk_lines(
@@ -1041,7 +1100,7 @@ class BaryonController:
             move_bytes = moved * self.geometry.sub_block_size
             self._dev_read(self.devices.fast, now, move_bytes, demand=False)
             self._dev_write(self.devices.fast, now, move_bytes)
-            self.stats.inc("stage_regroup_moves")
+            self._stats.inc("stage_regroup_moves")
             self.stage.insert_range(set_index, new_way, new_slot)
             self.stage.touch(set_index, new_way)
             return
@@ -1055,7 +1114,7 @@ class BaryonController:
         if with_room:
             way, _ = self._rng.choice(with_room)
             if len(candidates) > 1:
-                self.stats.inc("multi_block_super_stages")
+                self._stats.inc("multi_block_super_stages")
             self.stage.insert_range(set_index, way, new_slot)
             self.stage.touch(set_index, way)
             return
@@ -1095,7 +1154,7 @@ class BaryonController:
         slot_idx = self.stage.fifo_victim_slot(set_index, way)
         slot = self.stage.remove_slot(set_index, way, slot_idx)
         self._writeback_stage_slot(now, set_index, super_id, slot)
-        self.stats.inc("sub_block_replacements")
+        self._stats.inc("sub_block_replacements")
 
     def _writeback_stage_slot(
         self, now: float, set_index: int, super_id: int, slot: RangeSlot
@@ -1119,7 +1178,7 @@ class BaryonController:
                 nbytes = slot.cf * self.geometry.sub_block_size
             self._dev_read(self.devices.fast, now, nbytes, demand=False)
             self._dev_write(self.devices.slow, now, nbytes)
-            self.stats.inc("stage_dirty_writebacks")
+            self._stats.inc("stage_dirty_writebacks")
             if self.obs.enabled:
                 self.obs.emit(
                     "writeback", block=block_id, bytes=nbytes, kind="stage_dirty"
@@ -1183,7 +1242,7 @@ class BaryonController:
             self._commit_stage_block(now, set_index, victim_way, super_id)
         else:
             self._evict_stage_block(now, set_index, victim_way, super_id)
-        self.stats.inc("block_level_replacements")
+        self._stats.inc("block_level_replacements")
 
     def _evict_stage_block(
         self, now: float, set_index: int, way: int, super_id: int
@@ -1195,7 +1254,7 @@ class BaryonController:
             if slot is not None:
                 self._writeback_stage_slot(now, set_index, super_id, slot)
         self.stage.invalidate(set_index, way)
-        self.stats.inc("stage_evictions")
+        self._stats.inc("stage_evictions")
         if self.tracker is not None:
             base = super_id * self.geometry.super_block_blocks
             for blk_off in blocks:
@@ -1237,7 +1296,7 @@ class BaryonController:
             self._dev_read(self.devices.fast, now, move, demand=False)
             self._dev_write(self.devices.fast, now, move)
         snapshot = self.stage.invalidate(set_index, way)
-        self.stats.inc("commits")
+        self._stats.inc("commits")
         if self.checker is not None:
             self.checker.check_commit(
                 super_id,
@@ -1295,7 +1354,7 @@ class BaryonController:
         self._dev_read(self.devices.fast, now, size, demand=False)
         self._dev_write(self.devices.slow, now, size)
         self._displaced[home] = (fa_set, way)
-        self.stats.inc("home_displacements")
+        self._stats.inc("home_displacements")
         return home
 
     def _home_displaced_at(self, fa_set: int, way: int) -> Optional[int]:
@@ -1313,7 +1372,7 @@ class BaryonController:
         self._dev_read(self.devices.slow, now, size, demand=False)
         self._dev_write(self.devices.fast, now, size)
         del self._displaced[home]
-        self.stats.inc("home_restores")
+        self._stats.inc("home_restores")
 
     # -------------------------------------------------------------- eviction
     def _evict_fast_block(
@@ -1367,7 +1426,7 @@ class BaryonController:
                         nbytes = len(dirty_subs) * g.sub_block_size
                     self._dev_read(self.devices.fast, now, nbytes, demand=False)
                     self._dev_write(self.devices.slow, now, nbytes)
-                    self.stats.inc("commit_dirty_writebacks")
+                    self._stats.inc("commit_dirty_writebacks")
                     if self.obs.enabled:
                         self.obs.emit(
                             "writeback", block=block_id, bytes=nbytes,
@@ -1383,11 +1442,11 @@ class BaryonController:
                 # because a new block commits into its space right away.
                 self._dev_read(self.devices.slow, now, g.block_size, demand=False)
                 self._dev_write(self.devices.slow, now, g.block_size)
-                self.stats.inc("slow_swaps")
+                self._stats.inc("slow_swaps")
             else:
                 self._restore_home(now, set_index, way)
         self.fast_area.remove(set_index, way)
-        self.stats.inc("fast_block_evictions")
+        self._stats.inc("fast_block_evictions")
 
     def _evict_committed_range(
         self, now: float, super_id: int, block_id: int, blk_off: int, start: int, cf: int
@@ -1425,7 +1484,7 @@ class BaryonController:
                 set_index = self.fast_area.set_of_super(super_id)
                 self._restore_home(now, set_index, way)
                 self.fast_area.remove(set_index, way)
-        self.stats.inc("committed_range_evictions")
+        self._stats.inc("committed_range_evictions")
 
     def _evict_committed_logical_block(
         self, now: float, super_id: int, block_id: int, blk_off: int
@@ -1523,7 +1582,7 @@ class BaryonController:
         if resort:
             self._dev_read(self.devices.fast, now, resort, demand=False)
             self._dev_write(self.devices.fast, now, resort)
-            self.stats.inc("layout_resorts")
+            self._stats.inc("layout_resorts")
         self._dev_write(self.devices.fast, now, g.sub_block_size)
 
         remap, cf2, cf4 = entry.remap, entry.cf2, entry.cf4

@@ -27,7 +27,27 @@ class AccessCase(enum.Enum):
     @property
     def is_fast(self) -> bool:
         """Did the demanded data come from the fast memory?"""
-        return self in (AccessCase.STAGE_HIT, AccessCase.COMMIT_HIT, AccessCase.FAST_HOME)
+        return self in FAST_CASES
+
+
+#: Cases served from fast memory — a frozenset membership test instead of
+#: a tuple scan on the per-access path.
+FAST_CASES = frozenset(
+    (AccessCase.STAGE_HIT, AccessCase.COMMIT_HIT, AccessCase.FAST_HOME)
+)
+
+#: Precomputed per-case stats counter keys, so the per-access accounting
+#: never rebuilds the ``case_*`` f-string.
+CASE_COUNTER_KEYS = {case: f"case_{case.value}" for case in AccessCase}
+
+# Per-member attributes precomputed for the per-access path: enum ``__hash__``
+# and the frozenset probe are measurable at hot-loop call counts, while an
+# attribute load is not. ``fast`` mirrors ``is_fast``; ``index`` gives each
+# case a stable list position for dense counter arrays.
+for _index, _case in enumerate(AccessCase):
+    _case.fast = _case in FAST_CASES
+    _case.index = _index
+del _index, _case
 
 
 @dataclass

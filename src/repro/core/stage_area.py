@@ -61,40 +61,50 @@ class StageArea:
         Rule 3 keeps all of one block's staged ranges in one physical
         block, so at most one way can match.
         """
-        matches = [
-            (way, entry)
-            for way, entry in self.lookup_super(super_id)
-            if entry.slots_of_block(blk_off)
-        ]
-        if not matches:
+        num_sets = self.num_sets
+        set_index = super_id % num_sets
+        tag = super_id // num_sets
+        match = None
+        for way, entry in enumerate(self.tags.entries[set_index]):
+            if entry.valid and entry.tag == tag:
+                for slot in entry.slots:
+                    if slot is not None and slot.blk_off == blk_off:
+                        match = (way, entry)
+                        break
+                if match is not None:
+                    break
+        if match is None:
             return None
         if (
             self.faults is not None
             and self.faults.active
             and self.faults.stage_corruption()
         ):
-            way, _entry = matches[0]
             raise CorruptionError(
                 f"stage tag entry for super-block {super_id} corrupted",
                 site="stage_tag",
-                set_index=self.mapper.set_index_of_super(super_id),
-                way=way,
+                set_index=set_index,
+                way=match[0],
                 block_id=super_id,
             )
-        return matches[0]
+        return match
 
     def lookup_sub_block(
         self, super_id: int, blk_off: int, sub_index: int
     ) -> Optional[Tuple[int, StageTagEntry, int]]:
         """(way, entry, slot) holding the sub-block, when staged."""
-        for way, entry in self.lookup_super(super_id):
-            slot = entry.find_sub_block(blk_off, sub_index)
-            if slot is not None:
-                return way, entry, slot
+        num_sets = self.num_sets
+        set_index = super_id % num_sets
+        tag = super_id // num_sets
+        for way, entry in enumerate(self.tags.entries[set_index]):
+            if entry.valid and entry.tag == tag:
+                slot = entry.find_sub_block(blk_off, sub_index)
+                if slot is not None:
+                    return way, entry, slot
         return None
 
     def set_index_of(self, super_id: int) -> int:
-        return self.mapper.set_index_of_super(super_id)
+        return super_id % self.num_sets
 
     def entry(self, set_index: int, way: int) -> StageTagEntry:
         return self.tags.entry(set_index, way)

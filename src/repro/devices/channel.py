@@ -61,8 +61,14 @@ class ChannelPool:
             raise ValueError("nbytes must be non-negative")
         if nbytes == 0:
             return 0.0, 0.0
-        index = min(range(self.channels), key=self._busy_until.__getitem__)
-        start = max(now, self._busy_until[index])
+        busy = self._busy_until
+        if self.channels == 1:
+            index = 0
+        else:
+            # list.index(min(...)) picks the same (first) earliest-free
+            # channel as the key-based scan, at C speed.
+            index = busy.index(min(busy))
+        start = now if now > busy[index] else busy[index]
         duration = nbytes * self.cycles_per_byte
         self._busy_until[index] = start + duration
         self.total_busy_cycles += duration

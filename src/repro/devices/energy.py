@@ -36,17 +36,36 @@ class EnergyModel:
         self.timings = timings or MemoryTimings()
 
     def report(self, fast: MemoryDevice, slow: MemoryDevice) -> EnergyReport:
+        return self.report_deltas(
+            fast.stats.get("read_bytes"),
+            fast.stats.get("write_bytes"),
+            fast.stats.get("reads") + fast.stats.get("writes"),
+            slow.stats.get("read_bytes"),
+            slow.stats.get("write_bytes"),
+        )
+
+    def report_deltas(
+        self,
+        fast_read_bytes: int,
+        fast_write_bytes: int,
+        fast_ops: int,
+        slow_read_bytes: int,
+        slow_write_bytes: int,
+    ) -> EnergyReport:
+        """Energy for a window of traffic given raw counter deltas.
+
+        Used to report the measured window only (post-warmup), instead of
+        charging the whole run's traffic to the measurement window.
+        """
         t = self.timings
         pj = 1e-12
         fast_dynamic = (
-            fast.stats.get("read_bytes") * 8 * t.fast_read_pj_per_bit
-            + fast.stats.get("write_bytes") * 8 * t.fast_write_pj_per_bit
+            fast_read_bytes * 8 * t.fast_read_pj_per_bit
+            + fast_write_bytes * 8 * t.fast_write_pj_per_bit
         ) * pj
-        fast_act = (
-            (fast.stats.get("reads") + fast.stats.get("writes")) * t.fast_act_pre_pj * pj
-        )
+        fast_act = fast_ops * t.fast_act_pre_pj * pj
         slow_dynamic = (
-            slow.stats.get("read_bytes") * 8 * t.slow_read_pj_per_bit
-            + slow.stats.get("write_bytes") * 8 * t.slow_write_pj_per_bit
+            slow_read_bytes * 8 * t.slow_read_pj_per_bit
+            + slow_write_bytes * 8 * t.slow_write_pj_per_bit
         ) * pj
         return EnergyReport(fast_dynamic, fast_act, slow_dynamic)

@@ -10,15 +10,19 @@ the (modified) memory controller.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from typing import NamedTuple
 
 from repro.common.config import MemoryTimings
 from repro.common.stats import CounterGroup
 
 
-@dataclass(frozen=True)
-class DeviceAccess:
-    """Timing outcome of one device access."""
+class DeviceAccess(NamedTuple):
+    """Timing outcome of one device access.
+
+    A NamedTuple rather than a frozen dataclass: one is created per device
+    operation, and tuple construction is measurably cheaper than the
+    ``object.__setattr__`` path frozen dataclasses pay per field.
+    """
 
     latency_cycles: float
     queue_cycles: float
@@ -57,11 +61,41 @@ class MemoryDevice:
         #: fixed ``read_latency``/``write_latency``, and activation counts
         #: feed the ACT/PRE energy term.
         self.row_buffer = row_buffer
-        self.stats = CounterGroup(name)
+        self._stats = CounterGroup(name)
+        # Deferred traffic counters, folded into ``stats`` on read.
+        self._n_reads = 0
+        self._n_read_bytes = 0
+        self._n_demand_read_bytes = 0
+        self._n_fill_read_bytes = 0
+        self._n_writes = 0
+        self._n_write_bytes = 0
         #: Optional :class:`~repro.resilience.faults.FaultInjector`. Faults
         #: fire *before* any traffic/statistics accounting so a retried
         #: access leaves no accounting trace of its failed attempts.
         self.faults = None
+
+    @property
+    def stats(self) -> CounterGroup:
+        """Counter group with all pending hot-path counts folded in."""
+        if self._n_reads:
+            self._stats.inc("reads", self._n_reads)
+            self._n_reads = 0
+        if self._n_read_bytes:
+            self._stats.inc("read_bytes", self._n_read_bytes)
+            self._n_read_bytes = 0
+        if self._n_demand_read_bytes:
+            self._stats.inc("demand_read_bytes", self._n_demand_read_bytes)
+            self._n_demand_read_bytes = 0
+        if self._n_fill_read_bytes:
+            self._stats.inc("fill_read_bytes", self._n_fill_read_bytes)
+            self._n_fill_read_bytes = 0
+        if self._n_writes:
+            self._stats.inc("writes", self._n_writes)
+            self._n_writes = 0
+        if self._n_write_bytes:
+            self._stats.inc("write_bytes", self._n_write_bytes)
+            self._n_write_bytes = 0
+        return self._stats
 
     def _array_latency(self, addr: int | None, base: float) -> float:
         if self.row_buffer is None or addr is None:
@@ -81,9 +115,12 @@ class MemoryDevice:
         if self.faults is not None and self.faults.active:
             spike = self.faults.on_read(self.name)
         queue, transfer = self.pool.transfer(now, nbytes, priority=demand)
-        self.stats.inc("read_bytes", nbytes)
-        self.stats.inc("reads")
-        self.stats.inc("demand_read_bytes" if demand else "fill_read_bytes", nbytes)
+        self._n_read_bytes += nbytes
+        self._n_reads += 1
+        if demand:
+            self._n_demand_read_bytes += nbytes
+        else:
+            self._n_fill_read_bytes += nbytes
         return DeviceAccess(
             self._array_latency(addr, self.read_latency) + spike, queue, transfer
         )
@@ -94,17 +131,24 @@ class MemoryDevice:
         if self.faults is not None and self.faults.active:
             self.faults.on_write(self.name)
         queue, transfer = self.pool.transfer(now, nbytes)
-        self.stats.inc("write_bytes", nbytes)
-        self.stats.inc("writes")
+        self._n_write_bytes += nbytes
+        self._n_writes += 1
         return DeviceAccess(self._array_latency(addr, self.write_latency), queue, transfer)
 
     @property
     def total_bytes(self) -> int:
-        return self.stats.get("read_bytes") + self.stats.get("write_bytes")
+        stats = self.stats  # flushes pending counts
+        return stats.get("read_bytes") + stats.get("write_bytes")
 
     def reset(self) -> None:
         self.pool.reset()
-        self.stats.reset()
+        self._stats.reset()
+        self._n_reads = 0
+        self._n_read_bytes = 0
+        self._n_demand_read_bytes = 0
+        self._n_fill_read_bytes = 0
+        self._n_writes = 0
+        self._n_write_bytes = 0
 
 
 class HybridMemoryDevices:

@@ -57,6 +57,18 @@ class RemapEntry:
 
     def validate(self) -> None:
         n = self.num_subs
+        # Fast accept for the all-clear entry: RemapTable.get constructs one
+        # per probe of an unremapped block, and every check below passes
+        # trivially when no field is set.
+        if (
+            n == 8
+            and not self.zero
+            and self.remap == 0
+            and self.pointer == 0
+            and self.cf2 == 0
+            and self.cf4 == 0
+        ):
+            return
         if n < 4 or n % 4:
             raise MetadataError("num_subs must be a multiple of 4")
         if not 0 <= self.remap <= _mask(n):

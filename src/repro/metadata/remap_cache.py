@@ -36,7 +36,11 @@ class RemapCache:
         self.entries_per_line = entries_per_line
         self.latency_cycles = latency_cycles
         self._sets: List[LruSet] = [LruSet(ways) for _ in range(num_sets)]
-        self.stats = CounterGroup("remap_cache")
+        self._stats = CounterGroup("remap_cache")
+        # Deferred per-probe counters, folded into ``stats`` on read.
+        self._n_hits = 0
+        self._n_misses = 0
+        self._n_evictions = 0
         self.hit_ratio = RatioStat("remap_cache_hits")
         #: Observability hook point; see :mod:`repro.obs`.
         self.obs = NULL_TRACER
@@ -48,6 +52,20 @@ class RemapCache:
     def _split(self, super_block_id: int) -> tuple[int, int]:
         return super_block_id % self.num_sets, super_block_id // self.num_sets
 
+    @property
+    def stats(self) -> CounterGroup:
+        """Counter group with all pending probe counts folded in."""
+        if self._n_hits:
+            self._stats.inc("hits", self._n_hits)
+            self._n_hits = 0
+        if self._n_misses:
+            self._stats.inc("misses", self._n_misses)
+            self._n_misses = 0
+        if self._n_evictions:
+            self._stats.inc("evictions", self._n_evictions)
+            self._n_evictions = 0
+        return self._stats
+
     def access(self, super_block_id: int) -> bool:
         """Probe for a super-block line; fills on miss. Returns hit."""
         if (
@@ -55,30 +73,39 @@ class RemapCache:
             and self.faults.active
             and self.faults.remap_corruption()
         ):
-            index, _ = self._split(super_block_id)
             raise CorruptionError(
                 f"remap cache line for super-block {super_block_id} corrupted",
                 site="remap_cache",
-                set_index=index,
+                set_index=super_block_id % self.num_sets,
                 block_id=super_block_id,
             )
-        index, tag = self._split(super_block_id)
+        index = super_block_id % self.num_sets
+        tag = super_block_id // self.num_sets
         cache_set = self._sets[index]
-        line = cache_set.lookup(tag)
+        lines = cache_set.lines
+        line = lines.get(tag)
         hit = line is not None
-        self.hit_ratio.record(hit)
+        ratio = self.hit_ratio
+        ratio.total += 1
         if self.obs.enabled:
             self.obs.emit("remap_cache", super=super_block_id, hit=hit)
         if hit:
-            cache_set.touch(line)
-            self.stats.inc("hits")
+            ratio.hits += 1
+            # LRU touch inlined (same transitions as LruSet.touch).
+            cache_set._clock += 1
+            line.counter = cache_set._clock
+            lines[tag] = lines.pop(tag)
+            self._n_hits += 1
         else:
-            self.stats.inc("misses")
-            if cache_set.is_full():
-                victim = cache_set.victim()
-                cache_set.evict(victim.tag)
-                self.stats.inc("evictions")
-            cache_set.insert(CacheLine(tag))
+            self._n_misses += 1
+            if len(lines) >= cache_set.ways:
+                victim_tag = next(iter(lines))
+                del lines[victim_tag]
+                self._n_evictions += 1
+            line = CacheLine(tag)
+            cache_set._clock += 1
+            line.counter = cache_set._clock
+            lines[tag] = line
         return hit
 
     def contains(self, super_block_id: int) -> bool:

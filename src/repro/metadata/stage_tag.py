@@ -166,8 +166,13 @@ class StageTagEntry:
     # -- queries -----------------------------------------------------------
     def find_sub_block(self, blk_off: int, sub_index: int) -> Optional[int]:
         """Slot index holding ``sub_index`` of block ``blk_off``, if staged."""
+        # ``covers`` inlined: this is the innermost loop of the stage tag probe.
         for i, slot in enumerate(self.slots):
-            if slot is not None and slot.covers(blk_off, sub_index):
+            if (
+                slot is not None
+                and slot.blk_off == blk_off
+                and (slot.zero or slot.sub_start <= sub_index < slot.sub_start + slot.cf)
+            ):
                 return i
         return None
 

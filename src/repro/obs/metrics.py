@@ -197,6 +197,32 @@ class TimeSeries:
             self.points = self.points[::2]
             self.every *= 2
 
+    def next_due(self) -> int:
+        """The tick count at which the next point will be recorded.
+
+        Lets a batched driver compute values only at recording ticks:
+        calling :meth:`sample_at` at every due tick (re-querying after
+        each, since decimation widens the window) and :meth:`advance_to`
+        at the end yields a series identical to per-access :meth:`tick`.
+        """
+        return (self.ticks // self.every + 1) * self.every
+
+    def sample_at(self, tick: int, value: float) -> None:
+        """Record the point for ``tick`` (must be a due tick)."""
+        self.ticks = tick
+        if tick % self.every:
+            return
+        self.points.append((tick, float(value)))
+        if len(self.points) > self.capacity:
+            self.points = self.points[::2]
+            self.every *= 2
+
+    def advance_to(self, tick: int) -> None:
+        """Advance the tick count without recording (trailing partial
+        window, exactly like per-access ticks past the last due point)."""
+        if tick > self.ticks:
+            self.ticks = tick
+
     @property
     def last(self) -> float:
         return self.points[-1][1] if self.points else 0.0

@@ -16,7 +16,6 @@ between a recovered and a fault-free run.
 
 from __future__ import annotations
 
-import dataclasses
 from typing import Optional
 
 from repro.common.config import ResilienceConfig
@@ -61,8 +60,8 @@ class RecoveryManager:
                 continue
             if penalty > 0.0:
                 self.record("retried_read", site=f"{device.name}.read")
-                access = dataclasses.replace(
-                    access, latency_cycles=access.latency_cycles + penalty
+                access = access._replace(
+                    latency_cycles=access.latency_cycles + penalty
                 )
             return access
         raise AssertionError("unreachable")  # pragma: no cover
@@ -84,8 +83,8 @@ class RecoveryManager:
                 continue
             if penalty > 0.0:
                 self.record("retried_write", site=f"{device.name}.write")
-                access = dataclasses.replace(
-                    access, latency_cycles=access.latency_cycles + penalty
+                access = access._replace(
+                    latency_cycles=access.latency_cycles + penalty
                 )
             return access
         raise AssertionError("unreachable")  # pragma: no cover

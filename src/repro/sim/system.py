@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from time import perf_counter
-from typing import Dict, Optional
+from typing import Dict, Optional, Tuple
 
 from repro.cache.hierarchy import CacheHierarchy
 from repro.common.config import SimulationConfig
@@ -21,6 +21,22 @@ class SystemSimulator:
     baseline). A fresh :class:`~repro.cache.hierarchy.CacheHierarchy` is
     built per simulator unless one is injected.
 
+    Two interchangeable per-access loops drive the trace:
+
+    ``scalar``
+        The original reference loop, kept verbatim: one
+        :class:`~repro.cache.hierarchy.HierarchyResult` per access,
+        per-access metric ticks, per-access profiling.
+    ``batched`` (default)
+        The hot-path loop: trace arrays are converted to plain Python
+        lists once, the hierarchy runs through the allocation-free
+        :meth:`~repro.cache.hierarchy.CacheHierarchy.access_fast`, and
+        observing/profiling hooks fire on interval samples instead of
+        every access. Simulation state and every :class:`SimResult`
+        counter are bit-identical to the scalar loop (the float
+        accumulation order of ``cycles`` is preserved operation for
+        operation); ``tests/test_hotpath_equivalence.py`` asserts this.
+
     Observability (all optional, all free when absent):
 
     ``metrics``
@@ -30,7 +46,8 @@ class SystemSimulator:
     ``profiler``
         A :class:`~repro.obs.profiler.PhaseProfiler`; wall-clock is split
         into warmup/measured phases and cache-hierarchy vs controller
-        time, with instruction counts per phase.
+        time, with instruction counts per phase. The batched loop samples
+        the hierarchy/controller timers one access in 64.
     """
 
     def __init__(
@@ -49,6 +66,8 @@ class SystemSimulator:
         self.metrics = metrics
         self.cycles = 0.0
         self.instructions = 0
+        self._served_fast = 0
+        self._mem_seen = 0
         if metrics is not None:
             self._h_latency = metrics.histogram(
                 "repro_mem_latency_cycles",
@@ -64,16 +83,31 @@ class SystemSimulator:
                 every=metrics_window,
             )
 
-    def run(self, trace, name: str = "", design: str = "") -> SimResult:
+    def run(
+        self, trace, name: str = "", design: str = "", *, scalar: bool = False
+    ) -> SimResult:
         """Simulate the whole trace; measure after the warmup fraction.
 
         The measured window is ``[warmup_end, n)``: the snapshot is taken
         just before access ``warmup_end`` runs, or after the loop when
         warmup covers the whole (possibly empty) trace — so the window is
-        always well-defined, at worst empty.
+        always well-defined, at worst empty. ``scalar=True`` selects the
+        reference per-access loop instead of the batched hot path.
         """
         n = len(trace)
         warmup_end = min(n, int(n * self.config.warmup_fraction))
+        if scalar:
+            mark, wall_start = self._run_scalar(trace, n, warmup_end)
+        else:
+            mark, wall_start = self._run_batched(trace, n, warmup_end)
+        return self._finalize(trace, name, design, n, warmup_end, mark, wall_start)
+
+    # ----------------------------------------------------- reference loop
+    def _run_scalar(
+        self, trace, n: int, warmup_end: int
+    ) -> Tuple[Optional[Dict[str, float]], float]:
+        """The original per-access loop, kept verbatim as the equivalence
+        reference for the batched hot path."""
         mark: Optional[Dict[str, float]] = None
 
         addrs = trace.addrs
@@ -138,6 +172,162 @@ class SystemSimulator:
                     self.instructions / self.cycles if self.cycles else 0.0
                 )
 
+        self._served_fast = served_fast
+        self._mem_seen = mem_seen
+        return mark, wall_start
+
+    # ----------------------------------------------------- batched hot path
+    def _run_batched(
+        self, trace, n: int, warmup_end: int
+    ) -> Tuple[Optional[Dict[str, float]], float]:
+        """Segmented hot-path loop: warmup span, boundary snapshot,
+        measured span. State effects are bit-identical to the scalar
+        loop (see :meth:`run`)."""
+        mark: Optional[Dict[str, float]] = None
+        profiling = self.profiler.enabled
+        self._served_fast = 0
+        self._mem_seen = 0
+
+        # One bulk conversion: list indexing beats numpy scalar reads in
+        # a Python loop, and ``tolist`` yields native int/bool objects.
+        addrs = trace.addrs
+        writes = trace.writes
+        igaps = trace.igaps
+        cores = trace.cores
+        addrs = addrs.tolist() if hasattr(addrs, "tolist") else list(addrs)
+        writes = writes.tolist() if hasattr(writes, "tolist") else list(writes)
+        igaps = igaps.tolist() if hasattr(igaps, "tolist") else list(igaps)
+        cores = cores.tolist() if hasattr(cores, "tolist") else list(cores)
+
+        wall_start = perf_counter() if profiling else 0.0
+        self._batched_span(0, warmup_end, addrs, writes, igaps, cores)
+        if warmup_end < n:
+            mark = self._snapshot()
+            if profiling:
+                self.profiler.add(
+                    "warmup", perf_counter() - wall_start, calls=warmup_end
+                )
+                self.profiler.count("warmup_instructions", self.instructions)
+                wall_start = perf_counter()
+            self._batched_span(warmup_end, n, addrs, writes, igaps, cores)
+        return mark, wall_start
+
+    def _batched_span(
+        self, start: int, stop: int, addrs, writes, igaps, cores
+    ) -> None:
+        """Run accesses ``[start, stop)`` through the allocation-free path.
+
+        The float accumulation into ``cycles`` keeps the scalar loop's
+        operation order exactly: the only skipped additions are ``+ 0.0``
+        terms (zero instruction gaps), which cannot change a non-negative
+        accumulator bit pattern, and the precomputed L1 quotient equals
+        the per-access division bit for bit.
+        """
+        if start >= stop:
+            return
+        cfg = self.config
+        base_cpi = cfg.base_cpi
+        mlp = cfg.memory_level_parallelism
+        threads = max(1, cfg.hierarchy.cores)
+        hierarchy = self.hierarchy
+        access_fast = hierarchy.access_fast
+        install_fast = hierarchy.install_llc_fast
+        ctrl_access = self.controller.access
+        l1_div = hierarchy.config.l1d.latency_cycles / threads
+        profiler = self.profiler
+        profiling = profiler.enabled
+        observing = self.metrics is not None
+
+        cycles = self.cycles
+        instructions = self.instructions
+        served_fast = self._served_fast
+        mem_seen = self._mem_seen
+        if observing:
+            ts_serve = self._ts_serve
+            ts_ipc = self._ts_ipc
+            observe_latency = self._h_latency.observe
+            serve_ticks = ts_serve.ticks
+            due_serve = ts_serve.next_due()
+            ipc_ticks = ts_ipc.ticks
+            due_ipc = ts_ipc.next_due()
+
+        for i in range(start, stop):
+            gap = igaps[i]
+            instructions += gap + 1
+            if gap:
+                cycles += gap * base_cpi / threads
+
+            addr = addrs[i]
+            is_write = writes[i]
+            if profiling and not (i & 63):
+                t0 = perf_counter()
+                outcome = access_fast(addr, is_write, cores[i])
+                profiler.add("hierarchy", perf_counter() - t0)
+            else:
+                outcome = access_fast(addr, is_write, cores[i])
+            if outcome is None:
+                cycles += l1_div
+            else:
+                cycles += outcome[1] / threads
+                if outcome[2]:  # LLC miss: the controller serves it.
+                    if profiling and not (i & 63):
+                        t0 = perf_counter()
+                        mem = ctrl_access(addr, is_write, cycles)
+                        profiler.add("controller", perf_counter() - t0)
+                    else:
+                        mem = ctrl_access(addr, is_write, cycles)
+                    if not is_write:
+                        # Writes are posted; only reads stall the core.
+                        cycles += mem.latency_cycles / mlp
+                    if observing:
+                        observe_latency(mem.latency_cycles)
+                        mem_seen += 1
+                        if mem.served_fast:
+                            served_fast += 1
+                    pls = mem.prefetched_lines
+                    if pls:
+                        for line_addr in pls:
+                            wb = install_fast(line_addr)
+                            if wb:
+                                ctrl_access(wb, True, cycles)
+                wbs = outcome[3]
+                if wbs is not None:
+                    for wb in wbs:
+                        ctrl_access(wb, True, cycles)
+            if observing:
+                serve_ticks += 1
+                if serve_ticks == due_serve:
+                    ts_serve.sample_at(
+                        serve_ticks, served_fast / mem_seen if mem_seen else 0.0
+                    )
+                    due_serve = ts_serve.next_due()
+                ipc_ticks += 1
+                if ipc_ticks == due_ipc:
+                    ts_ipc.sample_at(
+                        ipc_ticks, instructions / cycles if cycles else 0.0
+                    )
+                    due_ipc = ts_ipc.next_due()
+
+        self.cycles = cycles
+        self.instructions = instructions
+        self._served_fast = served_fast
+        self._mem_seen = mem_seen
+        if observing:
+            ts_serve.advance_to(serve_ticks)
+            ts_ipc.advance_to(ipc_ticks)
+
+    # -------------------------------------------------------- result assembly
+    def _finalize(
+        self,
+        trace,
+        name: str,
+        design: str,
+        n: int,
+        warmup_end: int,
+        mark: Optional[Dict[str, float]],
+        wall_start: float,
+    ) -> SimResult:
+        profiling = self.profiler.enabled
         tracker = getattr(self.controller, "tracker", None)
         if tracker is not None:
             tracker.finalize()
@@ -155,37 +345,53 @@ class SystemSimulator:
             )
             self.profiler.count("accesses", n)
         end = self._snapshot()
-        ctrl_stats = self.controller.stats
         cases = {
             key[len("case_"):]: int(end.get(key, 0) - mark.get(key, 0))
             for key in end
             if key.startswith("case_")
         }
-        energy = EnergyModel(self.controller.devices.timings).report(
-            self.controller.devices.fast, self.controller.devices.slow
+        # Energy for the measured window only: charging the whole run's
+        # traffic would inflate the window's joules by the warmup share.
+        energy = EnergyModel(self.controller.devices.timings).report_deltas(
+            int(end["fast_read_bytes"] - mark["fast_read_bytes"]),
+            int(end["fast_write_bytes"] - mark["fast_write_bytes"]),
+            int(end["fast_ops"] - mark["fast_ops"]),
+            int(end["slow_read_bytes"] - mark["slow_read_bytes"]),
+            int(end["slow_write_bytes"] - mark["slow_write_bytes"]),
         )
+        # Windowed extras: full-run rates would smear warmup transients
+        # into the measurement window (e.g. cold-cache misses).
+        d_llc_accesses = end["llc_accesses"] - mark["llc_accesses"]
+        d_llc_misses = end["llc_misses"] - mark["llc_misses"]
+        extra = {
+            "llc_miss_rate": (
+                d_llc_misses / d_llc_accesses if d_llc_accesses else 0.0
+            ),
+            "ctrl_commits": end["commits"] - mark["commits"],
+        }
         return SimResult(
             name=name or getattr(trace, "name", ""),
             design=design or getattr(self.controller, "name", type(self.controller).__name__),
             instructions=int(end["instructions"] - mark["instructions"]),
             cycles=end["cycles"] - mark["cycles"],
             memory_accesses=int(end["mem_accesses"] - mark["mem_accesses"]),
-            llc_misses=int(end["llc_misses"] - mark["llc_misses"]),
+            llc_misses=int(d_llc_misses),
             served_fast=int(end["served_fast"] - mark["served_fast"]),
             fast_traffic_bytes=int(end["fast_bytes"] - mark["fast_bytes"]),
             slow_traffic_bytes=int(end["slow_bytes"] - mark["slow_bytes"]),
             useful_bytes=int(end["useful_bytes"] - mark["useful_bytes"]),
             case_counts=cases,
             energy=energy,
-            extra={
-                "llc_miss_rate": self.hierarchy.llc_miss_rate,
-                "ctrl_commits": float(ctrl_stats.get("commits")),
-            },
+            extra=extra,
         )
 
     def _snapshot(self) -> Dict[str, float]:
         devices = self.controller.devices
         stats = self.controller.stats
+        fast_stats = devices.fast.stats
+        slow_stats = devices.slow.stats
+        llc_stats = self.hierarchy.llc.stats
+        llc_misses = llc_stats.get("misses")
         snap: Dict[str, float] = {
             "instructions": float(self.instructions),
             "cycles": self.cycles,
@@ -193,10 +399,17 @@ class SystemSimulator:
             "served_fast": float(stats.get("served_fast")),
             "fast_bytes": float(devices.fast.total_bytes),
             "slow_bytes": float(devices.slow.total_bytes),
-            "llc_misses": float(self.hierarchy.llc.stats.get("misses")),
-            "useful_bytes": float(
-                self.hierarchy.llc.stats.get("misses") * 64
-            ),
+            "llc_misses": float(llc_misses),
+            "llc_accesses": float(llc_stats.get("accesses")),
+            # Useful bytes = demanded lines at the configured LLC line
+            # granularity (the unit moved between memory and the LLC).
+            "useful_bytes": float(llc_misses * self.hierarchy.llc.geometry.line_size),
+            "commits": float(stats.get("commits")),
+            "fast_read_bytes": float(fast_stats.get("read_bytes")),
+            "fast_write_bytes": float(fast_stats.get("write_bytes")),
+            "fast_ops": float(fast_stats.get("reads") + fast_stats.get("writes")),
+            "slow_read_bytes": float(slow_stats.get("read_bytes")),
+            "slow_write_bytes": float(slow_stats.get("write_bytes")),
         }
         for key, value in stats.as_dict().items():
             if key.startswith("case_"):
