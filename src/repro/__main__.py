@@ -32,6 +32,14 @@ Differential-oracle validation (see docs/validation.md)::
 
     python -m repro validate --fuzz 25 --seed 7
     python -m repro validate --fuzz 100 --seed 7 --minimize --metrics
+
+Sweep telemetry and run manifests (see docs/observability.md)::
+
+    python -m repro all baryon --jobs 8 --progress --trace-spans spans.jsonl
+    python -m repro all baryon --jobs 8 --progress-out progress.jsonl
+    python -m repro all baryon --jobs 8 --manifest run.manifest.json
+    python -m repro manifest show run.manifest.json
+    python -m repro manifest diff a.manifest.json b.manifest.json
 """
 
 from __future__ import annotations
@@ -79,6 +87,31 @@ def _add_checkpoint_args(parser: argparse.ArgumentParser) -> None:
                         "the cell (dead-worker detection, default 600)")
 
 
+def _add_telemetry_args(parser: argparse.ArgumentParser) -> None:
+    from repro.parallel.telemetry import DEFAULT_HEARTBEAT_EVERY
+
+    parser.add_argument("--progress", action="store_true",
+                        help="matrix mode: render a live status line on "
+                        "stderr from worker heartbeats (cells done, "
+                        "accesses/sec, ETA)")
+    parser.add_argument("--progress-out", metavar="PATH",
+                        help="matrix mode: mirror every heartbeat/cell "
+                        "event to this JSONL file")
+    parser.add_argument("--trace-spans", metavar="PATH",
+                        help="matrix mode: record the sweep->cell->phase "
+                        "span tree and write it to this JSONL file")
+    parser.add_argument("--manifest", metavar="PATH",
+                        help="matrix mode: write a run manifest (plan "
+                        "fingerprint, git revision, counter digest, "
+                        "timings) to this file; with --checkpoint one is "
+                        "always written next to the checkpoint")
+    parser.add_argument("--heartbeat-every", type=int,
+                        default=DEFAULT_HEARTBEAT_EVERY, metavar="N",
+                        help="simulated accesses between worker heartbeats "
+                        f"(default {DEFAULT_HEARTBEAT_EVERY}; 0 disables "
+                        "the heartbeat channel)")
+
+
 def _add_run_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("workload",
                         help="workload name, comma-separated list, or 'all' "
@@ -124,6 +157,7 @@ def build_parser() -> argparse.ArgumentParser:
                         help="list workloads and designs, then exit")
     _add_resilience_args(parser)
     _add_checkpoint_args(parser)
+    _add_telemetry_args(parser)
     return parser
 
 
@@ -160,6 +194,7 @@ def build_report_parser() -> argparse.ArgumentParser:
     parser.add_argument("--profile", action="store_true",
                         help="include the phase profile in the report")
     _add_checkpoint_args(parser)
+    _add_telemetry_args(parser)
     return parser
 
 
@@ -333,6 +368,38 @@ def _parse_matrix(args):
     return workloads, designs
 
 
+def _build_telemetry(args, n_cells: int):
+    """``(SweepTelemetry, span tracer, progress sink)`` from CLI flags.
+
+    Everything is ``None`` when no telemetry flag was given, so the
+    untelemetered CLI path is exactly the pre-telemetry one.
+    """
+    from repro.obs import SpanTracer, make_cli_tracker
+    from repro.parallel import SweepTelemetry
+    from repro.parallel.telemetry import DEFAULT_HEARTBEAT_EVERY
+
+    render = getattr(args, "progress", False)
+    progress_out = getattr(args, "progress_out", None)
+    spans_out = getattr(args, "trace_spans", None)
+    collect_metrics = getattr(args, "metrics", False)
+    if not (render or progress_out or spans_out or collect_metrics):
+        return None, None, None
+    spans = SpanTracer(origin="sweep") if spans_out else None
+    sink = None
+    tracker = None
+    if render or progress_out:
+        sink = (open(progress_out, "w", encoding="utf-8")
+                if progress_out else None)
+        tracker = make_cli_tracker(n_cells, render=render, sink=sink)
+    telemetry = SweepTelemetry(
+        spans=spans, progress=tracker, collect_metrics=collect_metrics,
+        heartbeat_every=getattr(
+            args, "heartbeat_every", DEFAULT_HEARTBEAT_EVERY
+        ),
+    )
+    return telemetry, spans, sink
+
+
 def _run_matrix_outcome(args, workloads, designs):
     """Validate, run the sharded matrix, and return the outcome (or None)."""
     for workload in workloads:
@@ -347,19 +414,34 @@ def _run_matrix_outcome(args, workloads, designs):
     if configs is None:
         return None
     config, sim_config = configs
+    telemetry, spans, progress_sink = _build_telemetry(
+        args, len(workloads) * len(designs)
+    )
     try:
-        return run_matrix_sharded(
+        outcome = run_matrix_sharded(
             workloads, designs, config, sim_config,
             n_accesses=args.accesses, seed=args.seed, jobs=args.jobs,
             max_attempts=getattr(args, "max_attempts", 2),
             cell_timeout_s=getattr(args, "cell_timeout", None),
             checkpoint=getattr(args, "checkpoint", None),
             resume=getattr(args, "resume", None),
+            telemetry=telemetry,
+            manifest=getattr(args, "manifest", None),
         )
     except ConfigurationError as err:
         # e.g. a resume checkpoint written by a different plan
         print(str(err), file=sys.stderr)
         return None
+    finally:
+        if telemetry is not None and telemetry.progress is not None:
+            telemetry.progress.finish()
+        if progress_sink is not None:
+            progress_sink.close()
+    if spans is not None:
+        spans_out = getattr(args, "trace_spans", None)
+        count = spans.dump_jsonl(spans_out)
+        print(f"wrote {count} span(s) -> {spans_out}", file=sys.stderr)
+    return outcome
 
 
 def _print_matrix(outcome, workloads, designs, args) -> None:
@@ -509,7 +591,11 @@ def cmd_matrix_report(args, workloads, designs) -> int:
         return 2
     _print_matrix(outcome, workloads, designs, args)
     if args.metrics:
-        registry = MetricsRegistry()
+        # Cross-shard worker registries (shard-labeled counters, folded
+        # histograms) when the sweep collected them, plus the merged
+        # matrix totals either way — one registry, one export.
+        registry = (outcome.metrics if outcome.metrics is not None
+                    else MetricsRegistry())
         registry.ingest_counter_group(
             "repro_matrix_controller_total", outcome.counters,
             help="controller counters merged across matrix cells",
@@ -567,6 +653,61 @@ def cmd_report(argv) -> int:
     return 0
 
 
+def build_manifest_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro manifest",
+        description="Inspect and compare run manifests written by matrix "
+        "sweeps (--manifest / --checkpoint).",
+    )
+    sub = parser.add_subparsers(dest="action", required=True)
+    show = sub.add_parser("show", help="print one manifest's summary")
+    show.add_argument("path", help="manifest JSON file")
+    diff = sub.add_parser(
+        "diff",
+        help="compare two manifests; exit 1 when identity fields "
+        "(fingerprint, counter digest, results) differ",
+    )
+    diff.add_argument("a", help="first manifest")
+    diff.add_argument("b", help="second manifest")
+    return parser
+
+
+def cmd_manifest(argv) -> int:
+    """``python -m repro manifest``: show or diff run manifests."""
+    from repro.obs import diff_manifests, format_diff, load_manifest
+
+    args = build_manifest_parser().parse_args(argv)
+    try:
+        if args.action == "show":
+            doc = load_manifest(args.path)
+            print(f"manifest {args.path}")
+            print(f"  fingerprint     {doc['fingerprint']}")
+            print(f"  counter digest  {doc['counter_digest']}")
+            print(f"  git revision    {doc.get('git_revision') or '(none)'}")
+            packages = ", ".join(
+                f"{name} {version}"
+                for name, version in sorted(doc.get("packages", {}).items())
+            )
+            print(f"  packages        {packages}")
+            print(f"  cells           {doc['cells']} "
+                  f"({len(doc.get('failed', []))} failed, "
+                  f"{doc.get('retries', 0)} retried, "
+                  f"{doc.get('resumed', 0)} resumed)")
+            print(f"  wall/cpu        {doc['wall_s']:.2f}s / "
+                  + (f"{doc['cpu_s']:.2f}s" if doc.get("cpu_s") is not None
+                     else "n/a"))
+            for cell, entry in sorted(doc.get("results", {}).items()):
+                print(f"  {cell:<28} ipc={entry['ipc']:.4f} "
+                      f"digest={entry['digest'][:12]}")
+            return 0
+        diff = diff_manifests(load_manifest(args.a), load_manifest(args.b))
+        print(format_diff(diff))
+        return 1 if diff["identity"] else 0
+    except ConfigurationError as err:
+        print(str(err), file=sys.stderr)
+        return 2
+
+
 def main(argv=None) -> int:
     if argv is None:
         argv = sys.argv[1:]
@@ -576,6 +717,8 @@ def main(argv=None) -> int:
         return cmd_report(argv[1:])
     if argv and argv[0] == "validate":
         return cmd_validate(argv[1:])
+    if argv and argv[0] == "manifest":
+        return cmd_manifest(argv[1:])
 
     args = build_parser().parse_args(argv)
     if args.list:

@@ -83,6 +83,9 @@ def run_cell(
     metrics=None,
     profiler=None,
     trace=None,
+    spans=None,
+    progress=None,
+    progress_every: int = 2048,
 ):
     """Run one (workload, design) cell; return ``(result, controller)``.
 
@@ -95,6 +98,11 @@ def run_cell(
     designs of one workload); when absent the trace is generated from
     ``(workload, seed)`` exactly as before, so injected and generated
     streams are bit-identical for the same seed.
+
+    ``spans``/``progress``/``progress_every`` feed the sweep-telemetry
+    layer (see :mod:`repro.obs.spans` and :mod:`repro.obs.progress`):
+    the simulator records ``sim.*`` phase spans into ``spans`` and calls
+    ``progress(done, total)`` every ``progress_every`` accesses.
     """
     if trace is None:
         trace = build_workload(
@@ -106,7 +114,8 @@ def run_cell(
     if hasattr(controller, "oracle"):
         trace.apply_compressibility(controller.oracle)
     simulator = SystemSimulator(
-        controller, sim_config, metrics=metrics, profiler=profiler
+        controller, sim_config, metrics=metrics, profiler=profiler,
+        spans=spans, progress=progress, progress_every=progress_every,
     )
     result = simulator.run(trace, name=workload, design=design)
     if metrics is not None:
@@ -128,17 +137,19 @@ def run_one(
     metrics=None,
     profiler=None,
     trace=None,
+    spans=None,
+    progress=None,
 ) -> SimResult:
     """Run one (workload, design) cell and return its result.
 
-    ``tracer``/``metrics``/``profiler`` attach the observability layer
-    (see :mod:`repro.obs`) to the controller and simulator; all default
-    to off and cost nothing when absent.
+    ``tracer``/``metrics``/``profiler``/``spans``/``progress`` attach
+    the observability layer (see :mod:`repro.obs`) to the controller and
+    simulator; all default to off and cost nothing when absent.
     """
     result, _ = run_cell(
         workload, design, config, sim_config, n_accesses, seed,
         tracker=tracker, tracer=tracer, metrics=metrics, profiler=profiler,
-        trace=trace,
+        trace=trace, spans=spans, progress=progress,
     )
     return result
 
@@ -156,6 +167,8 @@ def run_matrix(
     cell_timeout_s: Optional[float] = None,
     checkpoint: Optional[str] = None,
     resume: Optional[str] = None,
+    telemetry=None,
+    manifest: Optional[str] = None,
 ) -> Dict[Tuple, SimResult]:
     """Run the full (workload × design × seed) cross product.
 
@@ -189,6 +202,7 @@ def run_matrix(
             DEFAULT_CELL_TIMEOUT_S if cell_timeout_s is None else cell_timeout_s
         ),
         checkpoint=checkpoint, resume=resume,
+        telemetry=telemetry, manifest=manifest,
     )
     if outcome.failed:
         cell_key, error = next(iter(outcome.failed.items()))
@@ -215,6 +229,8 @@ def run_matrix_sharded(
     cell_timeout_s: Optional[float] = None,
     checkpoint: Optional[str] = None,
     resume: Optional[str] = None,
+    telemetry=None,
+    manifest: Optional[str] = None,
 ):
     """Like :func:`run_matrix` but returns the full
     :class:`~repro.parallel.MatrixOutcome` — per-cell results plus
@@ -234,4 +250,5 @@ def run_matrix_sharded(
             DEFAULT_CELL_TIMEOUT_S if cell_timeout_s is None else cell_timeout_s
         ),
         checkpoint=checkpoint, resume=resume,
+        telemetry=telemetry, manifest=manifest,
     )

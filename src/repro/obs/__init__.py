@@ -21,6 +21,22 @@ from __future__ import annotations
 
 from typing import Optional
 
+from repro.obs.aggregate import (
+    SHARD_LABEL,
+    aggregate_shard_snapshots,
+    merge_snapshot,
+    sum_over_label,
+)
+from repro.obs.manifest import (
+    MANIFEST_MAGIC,
+    MANIFEST_VERSION,
+    build_manifest,
+    counter_digest,
+    diff_manifests,
+    format_diff,
+    load_manifest,
+    write_manifest,
+)
 from repro.obs.metrics import (
     DEFAULT_LATENCY_BUCKETS,
     Histogram,
@@ -29,6 +45,20 @@ from repro.obs.metrics import (
     TimeSeries,
 )
 from repro.obs.profiler import NULL_PROFILER, NullProfiler, PhaseProfiler
+from repro.obs.progress import (
+    HEARTBEAT_SCHEMA,
+    ProgressTracker,
+    make_cli_tracker,
+    make_heartbeat,
+)
+from repro.obs.spans import (
+    NULL_SPANS,
+    NullSpanTracer,
+    Span,
+    SpanTracer,
+    format_span_tree,
+    load_spans,
+)
 from repro.obs.tracer import (
     EVENT_SCHEMA,
     NULL_TRACER,
@@ -40,21 +70,43 @@ from repro.obs.tracer import (
 
 __all__ = [
     "EVENT_SCHEMA",
+    "HEARTBEAT_SCHEMA",
+    "MANIFEST_MAGIC",
+    "MANIFEST_VERSION",
     "NULL_TRACER",
     "NULL_PROFILER",
+    "NULL_SPANS",
     "DEFAULT_LATENCY_BUCKETS",
+    "SHARD_LABEL",
     "EventTracer",
     "NullTracer",
+    "NullSpanTracer",
     "Histogram",
     "LabeledCounter",
     "MetricsRegistry",
+    "ProgressTracker",
+    "Span",
+    "SpanTracer",
     "TimeSeries",
     "NullProfiler",
     "PhaseProfiler",
+    "aggregate_shard_snapshots",
     "attach_observability",
+    "build_manifest",
     "case_breakdown",
     "collect_run_metrics",
+    "counter_digest",
+    "diff_manifests",
+    "format_diff",
+    "format_span_tree",
     "load_jsonl",
+    "load_manifest",
+    "load_spans",
+    "make_cli_tracker",
+    "make_heartbeat",
+    "merge_snapshot",
+    "sum_over_label",
+    "write_manifest",
 ]
 
 

@@ -1,0 +1,149 @@
+"""Cross-shard aggregation of :class:`~repro.obs.metrics.MetricsRegistry`.
+
+The matrix runner's workers each build a private registry (live
+histograms plus counter snapshots via
+:func:`~repro.obs.collect_run_metrics`) and ship it back as the plain
+``to_json()`` snapshot. This module folds those snapshots into one
+parent registry:
+
+* **counters** gain a ``shard`` label dimension, so the merged registry
+  preserves per-cell attribution while ``sum_over_label`` recovers the
+  exact serial totals (bit-identical — counter folding is integer
+  addition in the same order-independent form ``CounterGroup.merge``
+  uses);
+* **histograms** fold element-wise into one global histogram (bucket
+  bounds must match — they come from the same code, so a mismatch means
+  mixed versions and raises);
+* **time series** keep each shard's trajectory intact under a
+  ``<name>:<shard>`` metric name (points from different cells are not
+  interleavable — each series has its own tick domain).
+
+The merged registry exports through the existing Prometheus/JSON paths
+unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Mapping, Optional, Tuple
+
+from repro.obs.metrics import LabeledCounter, MetricsRegistry
+
+#: Label added to every counter folded in from a shard snapshot.
+SHARD_LABEL = "shard"
+
+
+def merge_snapshot(
+    registry: MetricsRegistry,
+    snapshot: Mapping[str, Any],
+    shard: Optional[str] = None,
+) -> MetricsRegistry:
+    """Fold one ``MetricsRegistry.to_json()`` snapshot into ``registry``.
+
+    ``shard`` labels the origin (typically the cell's plan index);
+    ``None`` merges without the extra dimension (straight accumulation).
+    """
+    for name, metric in snapshot.items():
+        kind = metric.get("kind")
+        if kind == "counter":
+            _merge_counter(registry, name, metric, shard)
+        elif kind == "histogram":
+            _merge_histogram(registry, name, metric)
+        elif kind == "series":
+            _merge_series(registry, name, metric, shard)
+        else:
+            raise ValueError(
+                f"snapshot metric {name!r} has unknown kind {kind!r}"
+            )
+    return registry
+
+
+def _merge_counter(
+    registry: MetricsRegistry, name: str, metric: Mapping[str, Any],
+    shard: Optional[str],
+) -> None:
+    base_labels = tuple(metric.get("labels", ()))
+    labels = ((SHARD_LABEL, *base_labels) if shard is not None else base_labels)
+    counter = registry.counter(name, help=metric.get("help", ""), labels=labels)
+    for entry in metric.get("values", ()):
+        label_values = dict(entry["labels"])
+        if shard is not None:
+            label_values[SHARD_LABEL] = shard
+        counter.inc(entry["value"], **label_values)
+
+
+def _merge_histogram(
+    registry: MetricsRegistry, name: str, metric: Mapping[str, Any]
+) -> None:
+    buckets = tuple(metric.get("buckets", ()))
+    histogram = registry.histogram(
+        name, help=metric.get("help", ""), buckets=buckets
+    )
+    if histogram.bounds != tuple(float(b) for b in buckets):
+        raise ValueError(
+            f"histogram {name!r} bucket bounds differ across shards: "
+            f"{histogram.bounds} vs {buckets}"
+        )
+    counts = metric.get("counts", ())
+    for i, count in enumerate(counts):
+        histogram.counts[i] += count
+    histogram.total += metric.get("count", 0)
+    histogram.sum += metric.get("sum", 0.0)
+    for bound, reducer in (("min", min), ("max", max)):
+        value = metric.get(bound)
+        if value is None:
+            continue
+        current = getattr(histogram, bound)
+        setattr(histogram, bound,
+                value if current is None else reducer(current, value))
+
+
+def _merge_series(
+    registry: MetricsRegistry, name: str, metric: Mapping[str, Any],
+    shard: Optional[str],
+) -> None:
+    target = f"{name}:{shard}" if shard is not None else name
+    series = registry.series(
+        target, help=metric.get("help", ""),
+        every=max(1, int(metric.get("every", 1))),
+    )
+    points = [(int(t), float(v)) for t, v in metric.get("points", ())]
+    if shard is not None or not series.points:
+        series.points.extend(points)
+    else:
+        series.points = sorted(set(series.points) | set(points))
+    if points:
+        series.ticks = max(series.ticks, points[-1][0])
+
+
+def aggregate_shard_snapshots(
+    snapshots: Mapping[Any, Mapping[str, Any]],
+    registry: Optional[MetricsRegistry] = None,
+) -> MetricsRegistry:
+    """Merge many shard snapshots (keyed by shard id) into one registry."""
+    registry = registry if registry is not None else MetricsRegistry()
+    for shard, snapshot in sorted(snapshots.items(), key=lambda kv: str(kv[0])):
+        merge_snapshot(registry, snapshot, shard=str(shard))
+    return registry
+
+
+def sum_over_label(
+    counter: LabeledCounter, label: str = SHARD_LABEL
+) -> Dict[Tuple[str, ...], float]:
+    """Collapse one label dimension of a counter by summation.
+
+    Returns ``{remaining-label-values-tuple: total}`` — with
+    ``label="shard"`` this recovers exactly what a single serial
+    registry would hold, which the cross-shard equivalence tests assert
+    bit for bit.
+    """
+    if label not in counter.label_names:
+        raise ValueError(
+            f"counter {counter.name!r} has no label {label!r} "
+            f"(labels: {counter.label_names})"
+        )
+    keep = [i for i, name in enumerate(counter.label_names) if name != label]
+    totals: Dict[Tuple[str, ...], float] = {}
+    for labels, value in counter.series():
+        key = tuple(labels[counter.label_names[i]] for i in keep)
+        totals[key] = totals.get(key, 0) + value
+    return totals

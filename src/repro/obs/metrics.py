@@ -35,8 +35,20 @@ def _label_key(label_names: Sequence[str], labels: Mapping[str, Any]) -> LabelKe
     return tuple(str(labels[name]) for name in label_names)
 
 
+def _escape_label_value(value: str) -> str:
+    """Escape a label value per the Prometheus text exposition format.
+
+    Backslash, double quote and newline are the three characters the
+    format requires escaping inside quoted label values; anything else
+    passes through verbatim.
+    """
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
 def _format_labels(label_names: Sequence[str], key: LabelKey, extra: str = "") -> str:
-    parts = [f'{n}="{v}"' for n, v in zip(label_names, key)]
+    parts = [f'{n}="{_escape_label_value(v)}"' for n, v in zip(label_names, key)]
     if extra:
         parts.append(extra)
     return "{" + ",".join(parts) + "}" if parts else ""

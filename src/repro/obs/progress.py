@@ -1,0 +1,196 @@
+"""Live sweep progress: worker heartbeats, ETA, rendering, JSONL sink.
+
+A *heartbeat* is one JSON-compatible dict a worker emits every
+``heartbeat_every`` simulated accesses (plus one at cell start and one
+at cell end), carrying enough to answer "how far along is this sweep
+and how fast is it going" without waiting for the matrix to return:
+
+``{"type": "heartbeat", "cell": <plan index>, "workload": ...,
+"design": ..., "seed": ..., "attempt": ..., "done": <accesses run>,
+"total": <trace length>, "elapsed_s": ..., "accesses_per_s": ...,
+"pid": ..., "ts": <unix seconds>}``
+
+Cell completion/failure is reported the same way with ``type``
+``"cell_done"`` / ``"cell_failed"``. :data:`HEARTBEAT_SCHEMA` documents
+the field sets.
+
+:class:`ProgressTracker` is the parent-side consumer: it folds
+heartbeats into per-cell state, computes an aggregate rate and ETA,
+optionally re-renders one status line on a terminal stream
+(``--progress``), and optionally mirrors every event to a
+machine-readable JSONL sink (``--progress-out``). The matrix runner
+also feeds the same heartbeats into dead-worker detection: a cell's
+deadline is measured from its *last heartbeat*, not its start, so a
+slow-but-alive cell is never reaped while a genuinely dead worker still
+trips the timeout.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from time import monotonic
+from time import time as _wall
+from typing import Any, Dict, Optional, TextIO
+
+#: Event types a progress stream contains, with their fields (all events
+#: also carry ``type`` and ``ts``, unix seconds).
+HEARTBEAT_SCHEMA: Dict[str, tuple] = {
+    # Periodic worker-side progress report for one running cell.
+    "heartbeat": ("cell", "workload", "design", "seed", "attempt",
+                  "done", "total", "elapsed_s", "accesses_per_s", "pid"),
+    # A cell finished and its payload was accepted by the parent.
+    "cell_done": ("cell", "workload", "design", "seed", "attempt",
+                  "elapsed_s"),
+    # A cell exhausted its retry budget (mirror of MatrixOutcome.failed).
+    "cell_failed": ("cell", "workload", "design", "seed", "attempt",
+                    "error"),
+}
+
+
+def make_heartbeat(cell, attempt: int, done: int, total: int,
+                   elapsed_s: float, pid: int) -> Dict[str, Any]:
+    """Build one heartbeat event for a plan cell (worker side)."""
+    return {
+        "type": "heartbeat",
+        "ts": _wall(),
+        "cell": cell.index,
+        "workload": cell.workload,
+        "design": cell.design,
+        "seed": cell.seed,
+        "attempt": attempt,
+        "done": done,
+        "total": total,
+        "elapsed_s": elapsed_s,
+        "accesses_per_s": (done / elapsed_s) if elapsed_s > 0 else 0.0,
+        "pid": pid,
+    }
+
+
+class ProgressTracker:
+    """Parent-side fold of the heartbeat stream into live sweep status.
+
+    ``total_cells``
+        Number of cells the sweep will run (for the ``done/total`` line).
+    ``stream``
+        Terminal stream for the single re-rendered status line; ``None``
+        disables rendering (the tracker still aggregates and sinks).
+    ``sink``
+        Optional text file receiving every event as one JSON line.
+    ``min_render_interval_s``
+        Floor between terminal repaints so a chatty sweep does not spend
+        its time writing carriage returns.
+    """
+
+    def __init__(
+        self,
+        total_cells: int = 0,
+        stream: Optional[TextIO] = None,
+        sink: Optional[TextIO] = None,
+        min_render_interval_s: float = 0.1,
+        clock=monotonic,
+    ) -> None:
+        self.total_cells = total_cells
+        self.stream = stream
+        self.sink = sink
+        self.min_render_interval_s = min_render_interval_s
+        self.clock = clock
+        self.cells_done = 0
+        self.cells_failed = 0
+        self.events_seen = 0
+        self._running: Dict[int, Dict[str, Any]] = {}
+        self._last_render = 0.0
+        self._rendered = False
+
+    # -- event intake -------------------------------------------------------
+    def on_event(self, event: Dict[str, Any]) -> None:
+        """Fold one heartbeat/cell_done/cell_failed event in."""
+        self.events_seen += 1
+        etype = event.get("type")
+        index = event.get("cell")
+        if etype == "heartbeat":
+            self._running[index] = event
+        elif etype == "cell_done":
+            self._running.pop(index, None)
+            self.cells_done += 1
+        elif etype == "cell_failed":
+            self._running.pop(index, None)
+            self.cells_done += 1
+            self.cells_failed += 1
+        if self.sink is not None:
+            self.sink.write(json.dumps(event, separators=(",", ":")) + "\n")
+        self._maybe_render()
+
+    # -- aggregate views ----------------------------------------------------
+    @property
+    def running_cells(self) -> int:
+        return len(self._running)
+
+    def aggregate_rate(self) -> float:
+        """Summed accesses/sec over all currently running cells."""
+        return sum(e.get("accesses_per_s", 0.0) for e in self._running.values())
+
+    def eta_s(self) -> Optional[float]:
+        """Remaining-work estimate from the live rate; ``None`` when the
+        rate is unknown (no heartbeat yet or nothing running)."""
+        rate = self.aggregate_rate()
+        if rate <= 0.0:
+            return None
+        remaining_running = sum(
+            max(0, e.get("total", 0) - e.get("done", 0))
+            for e in self._running.values()
+        )
+        per_cell = max(
+            (e.get("total", 0) for e in self._running.values()), default=0
+        )
+        queued = max(
+            0, self.total_cells - self.cells_done - self.running_cells
+        )
+        return (remaining_running + queued * per_cell) / rate
+
+    def status_line(self) -> str:
+        rate = self.aggregate_rate()
+        eta = self.eta_s()
+        parts = [
+            f"cells {self.cells_done}/{self.total_cells}",
+            f"{self.running_cells} running",
+            f"{rate / 1e3:.1f}k acc/s",
+            f"eta {eta:.1f}s" if eta is not None else "eta ?",
+        ]
+        if self.cells_failed:
+            parts.append(f"{self.cells_failed} FAILED")
+        return " | ".join(parts)
+
+    # -- rendering ----------------------------------------------------------
+    def _maybe_render(self) -> None:
+        if self.stream is None:
+            return
+        now = self.clock()
+        if now - self._last_render < self.min_render_interval_s:
+            return
+        self._last_render = now
+        self.stream.write("\r\x1b[K" + self.status_line())
+        self.stream.flush()
+        self._rendered = True
+
+    def finish(self) -> None:
+        """Final repaint plus newline; flush and detach the sink."""
+        if self.stream is not None:
+            self.stream.write("\r\x1b[K" + self.status_line() + "\n")
+            self.stream.flush()
+        if self.sink is not None:
+            self.sink.flush()
+            self.sink = None
+
+
+def make_cli_tracker(
+    total_cells: int,
+    render: bool = False,
+    sink: Optional[TextIO] = None,
+) -> ProgressTracker:
+    """The tracker the CLI wires up for ``--progress``/``--progress-out``."""
+    return ProgressTracker(
+        total_cells=total_cells,
+        stream=sys.stderr if render else None,
+        sink=sink,
+    )

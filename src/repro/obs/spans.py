@@ -1,0 +1,293 @@
+"""Hierarchical span tracing for sweep-scale runs.
+
+Where :mod:`repro.obs.tracer` records *point* events inside one
+simulation, this module records *intervals* across a whole sweep: an
+OpenTelemetry-style tree of spans (``span_id`` / ``parent_id`` /
+``name`` / ``attributes`` / timed events) wrapping
+
+``sweep`` → ``cell`` → phase (``plan`` / ``fork`` / ``simulate`` /
+``merge`` / ``checkpoint``),
+
+with worker-side spans generated inside the fork pool and re-parented
+(:meth:`SpanTracer.adopt`) under the parent's cell span when the
+payload comes back.
+
+The same design rules as the event tracer apply:
+
+1. **Zero cost when disabled.** Hook sites guard on
+   ``spans.enabled`` against :data:`NULL_SPANS`; a disabled run never
+   takes a timestamp or builds a span.
+2. **Plain dict transport.** :meth:`Span.to_dict` /
+   :meth:`SpanTracer.adopt` move spans across process boundaries as
+   JSON-compatible dicts — the same pickle-free discipline the matrix
+   runner uses for :class:`~repro.sim.results.SimResult`.
+3. **Wall-clock timestamps.** Span boundaries are ``time.time()``
+   seconds so spans from forked workers align with the parent's
+   timeline without cross-process clock translation.
+"""
+
+from __future__ import annotations
+
+import json
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from time import time as _wall
+from typing import Any, Dict, Iterator, List, Optional, Sequence
+
+
+class NullSpanTracer:
+    """Disabled span tracer: ``enabled`` False, every call a no-op."""
+
+    enabled = False
+
+    def start(self, name: str, parent: Optional["Span"] = None,
+              **attributes: Any) -> None:
+        return None
+
+    def end(self, span: Optional["Span"], **attributes: Any) -> None:
+        pass
+
+    def event(self, span: Optional["Span"], name: str, **fields: Any) -> None:
+        pass
+
+    @contextmanager
+    def span(self, name: str, parent: Optional["Span"] = None,
+             **attributes: Any) -> Iterator[None]:
+        yield None
+
+    def adopt(self, payload: Sequence[Dict[str, Any]],
+              parent: Optional["Span"] = None) -> None:
+        pass
+
+    def export(self) -> List[Dict[str, Any]]:
+        return []
+
+    def __len__(self) -> int:
+        return 0
+
+
+#: Shared no-op span tracer; hook sites default to it.
+NULL_SPANS = NullSpanTracer()
+
+
+@dataclass
+class Span:
+    """One timed interval in the sweep tree.
+
+    ``start_s``/``end_s`` are wall-clock (``time.time()``) seconds;
+    ``end_s`` is ``None`` while the span is open. ``events`` are point
+    annotations (``{"t": unix_s, "name": ..., ...fields}``) — the
+    resilience layer records requeues, resumes and checkpoint writes
+    this way instead of inventing new top-level record types.
+    """
+
+    span_id: str
+    parent_id: Optional[str]
+    name: str
+    start_s: float
+    end_s: Optional[float] = None
+    attributes: Dict[str, Any] = field(default_factory=dict)
+    events: List[Dict[str, Any]] = field(default_factory=list)
+
+    @property
+    def duration_s(self) -> float:
+        return (self.end_s - self.start_s) if self.end_s is not None else 0.0
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "name": self.name,
+            "start_s": self.start_s,
+            "end_s": self.end_s,
+            "attributes": dict(self.attributes),
+            "events": list(self.events),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "Span":
+        return cls(
+            span_id=payload["span_id"],
+            parent_id=payload.get("parent_id"),
+            name=payload["name"],
+            start_s=payload["start_s"],
+            end_s=payload.get("end_s"),
+            attributes=dict(payload.get("attributes", {})),
+            events=list(payload.get("events", [])),
+        )
+
+
+class SpanTracer:
+    """Records a tree of spans with deterministic, origin-prefixed ids.
+
+    ``origin`` namespaces span ids (e.g. ``"c7"`` for the worker running
+    cell 7) so ids minted in forked workers never collide with the
+    parent's when adopted. Ids are counter-based — ``sweep-0001`` — and
+    therefore reproducible run to run; only timestamps vary.
+    """
+
+    enabled = True
+
+    def __init__(self, origin: str = "", clock=_wall) -> None:
+        self.origin = origin
+        self.clock = clock
+        self.finished: List[Span] = []
+        self._open = 0
+        self._seq = 0
+
+    # -- lifecycle ----------------------------------------------------------
+    def _next_id(self) -> str:
+        self._seq += 1
+        return f"{self.origin}-{self._seq:04d}" if self.origin else f"{self._seq:04d}"
+
+    def start(self, name: str, parent: Optional[Span] = None,
+              **attributes: Any) -> Span:
+        """Open a span; ``parent`` may be a :class:`Span` or ``None``."""
+        span = Span(
+            span_id=self._next_id(),
+            parent_id=parent.span_id if parent is not None else None,
+            name=name,
+            start_s=self.clock(),
+            attributes=dict(attributes),
+        )
+        self._open += 1
+        return span
+
+    def end(self, span: Optional[Span], **attributes: Any) -> None:
+        """Close a span, folding any final attributes in."""
+        if span is None or span.end_s is not None:
+            return
+        span.end_s = self.clock()
+        if attributes:
+            span.attributes.update(attributes)
+        self._open -= 1
+        self.finished.append(span)
+
+    def event(self, span: Optional[Span], name: str, **fields: Any) -> None:
+        """Attach a timed point annotation to a span (open or closed)."""
+        if span is None:
+            return
+        record: Dict[str, Any] = {"t": self.clock(), "name": name}
+        record.update(fields)
+        span.events.append(record)
+
+    @contextmanager
+    def span(self, name: str, parent: Optional[Span] = None,
+             **attributes: Any) -> Iterator[Span]:
+        """Context-manager form; exceptions mark the span ``error``."""
+        sp = self.start(name, parent=parent, **attributes)
+        try:
+            yield sp
+        except BaseException as err:
+            sp.attributes["error"] = f"{type(err).__name__}: {err}"
+            raise
+        finally:
+            self.end(sp)
+
+    # -- cross-process ------------------------------------------------------
+    def adopt(self, payload: Sequence[Dict[str, Any]],
+              parent: Optional[Span] = None) -> None:
+        """Fold spans exported by another tracer (a worker) into this one.
+
+        Root spans of the payload (``parent_id`` ``None``) are
+        re-parented under ``parent`` so the worker's subtree hangs off
+        the parent-side cell span.
+        """
+        for item in payload:
+            span = Span.from_dict(item)
+            if span.parent_id is None and parent is not None:
+                span.parent_id = parent.span_id
+            self.finished.append(span)
+
+    # -- inspection / persistence -------------------------------------------
+    def __len__(self) -> int:
+        return len(self.finished)
+
+    @property
+    def open_spans(self) -> int:
+        return self._open
+
+    def export(self) -> List[Dict[str, Any]]:
+        """Finished spans as JSON-compatible dicts (transport form)."""
+        return [span.to_dict() for span in self.finished]
+
+    def dump_jsonl(self, path: str) -> int:
+        """Write finished spans to ``path`` as JSON lines; returns count."""
+        with open(path, "w", encoding="utf-8") as fh:
+            for span in self.finished:
+                fh.write(json.dumps(span.to_dict(), separators=(",", ":")) + "\n")
+        return len(self.finished)
+
+    def format_tree(self) -> str:
+        """Indented sweep→cell→phase rendering for terminal output."""
+        return format_span_tree(self.export())
+
+
+def load_spans(path: str) -> List[Dict[str, Any]]:
+    """Read a span JSONL file back into a list of span dicts.
+
+    Malformed lines raise :class:`~repro.common.errors.ConfigurationError`
+    with the offending line number, mirroring
+    :func:`repro.obs.tracer.load_jsonl`.
+    """
+    from repro.common.errors import ConfigurationError
+
+    spans: List[Dict[str, Any]] = []
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            for lineno, line in enumerate(fh, start=1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    item = json.loads(line)
+                except json.JSONDecodeError as err:
+                    raise ConfigurationError(
+                        f"span file {path!r} is corrupt at line {lineno}: {err}"
+                    ) from err
+                if not isinstance(item, dict) or "span_id" not in item:
+                    raise ConfigurationError(
+                        f"span file {path!r} line {lineno} is not a span object"
+                    )
+                spans.append(item)
+    except OSError as err:
+        raise ConfigurationError(f"cannot read span file {path!r}: {err}") from err
+    return spans
+
+
+def format_span_tree(spans: Sequence[Dict[str, Any]]) -> str:
+    """Render span dicts as an indented tree ordered by start time.
+
+    Orphans (spans whose parent is absent, e.g. a truncated export) are
+    promoted to roots rather than dropped.
+    """
+    by_id = {span["span_id"]: span for span in spans}
+    children: Dict[Optional[str], List[Dict[str, Any]]] = {}
+    for span in spans:
+        parent = span.get("parent_id")
+        if parent is not None and parent not in by_id:
+            parent = None
+        children.setdefault(parent, []).append(span)
+    for siblings in children.values():
+        siblings.sort(key=lambda s: (s["start_s"], s["span_id"]))
+
+    lines: List[str] = []
+
+    def _walk(span: Dict[str, Any], depth: int) -> None:
+        end = span.get("end_s")
+        duration = (end - span["start_s"]) if end is not None else None
+        timing = f"{duration * 1e3:.1f}ms" if duration is not None else "open"
+        attrs = span.get("attributes") or {}
+        summary = " ".join(f"{k}={v}" for k, v in sorted(attrs.items()))
+        events = len(span.get("events") or ())
+        suffix = f" [{events} event(s)]" if events else ""
+        lines.append(
+            f"{'  ' * depth}{span['name']} ({timing})"
+            + (f" {summary}" if summary else "") + suffix
+        )
+        for child in children.get(span["span_id"], ()):
+            _walk(child, depth + 1)
+
+    for root in children.get(None, ()):
+        _walk(root, 0)
+    return "\n".join(lines)

@@ -72,6 +72,9 @@ class NullTracer:
     def emit(self, etype: str, **fields: Any) -> None:  # pragma: no cover
         pass
 
+    def flush(self) -> None:
+        pass
+
     def close(self) -> None:
         pass
 
@@ -129,8 +132,22 @@ class EventTracer:
         if self._sink is not None:
             self._sink.write(json.dumps(event, separators=(",", ":")) + "\n")
 
+    def flush(self) -> None:
+        """Push buffered sink writes to the OS without detaching.
+
+        :meth:`SystemSimulator._finalize <repro.sim.system.SystemSimulator>`
+        calls this at the end of every run, so a short traced run whose
+        caller never reaches :meth:`close` still has its tail events on
+        disk deterministically.
+        """
+        if self._sink is not None:
+            self._sink.flush()
+
     def close(self) -> None:
-        """Flush and detach the sink (the caller owns closing the file)."""
+        """Flush and detach the sink (the caller owns closing the file).
+
+        Idempotent: closing an already-closed tracer is a no-op.
+        """
         if self._sink is not None:
             self._sink.flush()
             self._sink = None

@@ -30,12 +30,20 @@ from repro.parallel.runner import (
     resolve_jobs,
     run_plan,
 )
+from repro.parallel.telemetry import (
+    DEFAULT_HEARTBEAT_EVERY,
+    SweepTelemetry,
+    WorkerTelemetry,
+)
 
 __all__ = [
     "Cell",
     "DEFAULT_CELL_TIMEOUT_S",
+    "DEFAULT_HEARTBEAT_EVERY",
     "MatrixOutcome",
+    "SweepTelemetry",
     "TRACE_CACHE_CAPACITY",
+    "WorkerTelemetry",
     "clear_trace_cache",
     "fork_available",
     "plan_cells",

@@ -36,15 +36,23 @@ from __future__ import annotations
 import math
 import multiprocessing
 import os
+import queue as queue_mod
 import traceback
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from time import monotonic, perf_counter, sleep
+from time import time as _wall
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.common.config import BaryonConfig, SimulationConfig
 from repro.common.stats import CounterGroup, RatioStat
+from repro.obs.aggregate import merge_snapshot
+from repro.obs.manifest import build_manifest, write_manifest
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.progress import make_heartbeat
+from repro.obs.spans import NULL_SPANS, Span, SpanTracer
 from repro.parallel.plan import Cell
+from repro.parallel.telemetry import SweepTelemetry, WorkerTelemetry
 from repro.resilience.checkpoint import (
     load_checkpoint,
     plan_fingerprint,
@@ -66,8 +74,10 @@ DEFAULT_CELL_TIMEOUT_S = 600.0
 _trace_cache: "OrderedDict[Tuple, Trace]" = OrderedDict()
 
 # Per-worker execution context installed by the pool initializer; the
-# in-process path passes the context explicitly instead.
-_worker_context: Optional[Tuple[BaryonConfig, SimulationConfig, int]] = None
+# in-process path passes the context explicitly instead. The last two
+# slots are the telemetry spec and the heartbeat queue (both None on an
+# untelemetered run).
+_worker_context: Optional[Tuple] = None
 
 
 def fork_available() -> bool:
@@ -123,16 +133,49 @@ def _execute_cell(
     sim_config: SimulationConfig,
     n_accesses: int,
     attempt: int = 1,
+    telemetry: Optional[WorkerTelemetry] = None,
+    beat=None,
 ) -> Dict[str, Any]:
     """Run one cell and package its result + counter shards as dicts.
 
     ``attempt`` is 1-based and carries no semantics here — the cell is a
     pure function of its seed, so a retry is bit-identical — but it lets
     fault-injection test doubles behave attempt-dependently.
+
+    ``telemetry`` (a :class:`~repro.parallel.telemetry.WorkerTelemetry`)
+    turns on worker-side spans and/or a private metrics registry; both
+    travel home inside the payload (``"spans"``/``"metrics"`` keys,
+    absent on untelemetered runs). ``beat`` is a callable receiving one
+    heartbeat dict every ``telemetry.heartbeat_every`` accesses.
     """
     from repro.analysis.experiments import run_cell
 
-    trace, generated = _cell_trace(cell, config, n_accesses)
+    spans = NULL_SPANS
+    registry = None
+    if telemetry is not None:
+        if telemetry.spans:
+            spans = SpanTracer(origin=f"c{cell.index}a{attempt}")
+        if telemetry.metrics:
+            registry = MetricsRegistry()
+    progress = None
+    heartbeat_every = telemetry.heartbeat_every if telemetry is not None else 0
+    if beat is not None and heartbeat_every > 0:
+        cell_start = perf_counter()
+        pid = os.getpid()
+
+        def progress(done: int, total: int, _cell=cell, _attempt=attempt) -> None:
+            try:
+                beat(make_heartbeat(
+                    _cell, _attempt, done, total,
+                    perf_counter() - cell_start, pid,
+                ))
+            except Exception:
+                pass  # a torn heartbeat channel must never fail the cell
+
+    with spans.span("cell.trace", workload=cell.workload, seed=cell.seed):
+        trace, generated = _cell_trace(cell, config, n_accesses)
+    if progress is not None:
+        progress(0, n_accesses)
     result, controller = run_cell(
         cell.workload,
         cell.design,
@@ -141,6 +184,10 @@ def _execute_cell(
         n_accesses=n_accesses,
         seed=cell.seed,
         trace=trace,
+        metrics=registry,
+        spans=spans if spans.enabled else None,
+        progress=progress,
+        progress_every=heartbeat_every if heartbeat_every > 0 else 2048,
     )
     inner = getattr(controller, "_inner", controller)
     devices: Dict[str, int] = {}
@@ -158,7 +205,7 @@ def _execute_cell(
         if component is not None:
             for key, value in component.stats.as_dict().items():
                 resilience[f"{prefix}.{key}"] = value
-    return {
+    payload: Dict[str, Any] = {
         "index": cell.index,
         "result": result.to_dict(),
         "controller": inner.stats.as_dict(),
@@ -167,6 +214,19 @@ def _execute_cell(
         "resilience": resilience,
         "generated_trace": generated,
     }
+    if spans.enabled:
+        # Resilience activity surfaces as span events on a summary span,
+        # so faults/recoveries are visible in the sweep tree without a
+        # separate record type.
+        summary = spans.start("cell.collect", index=cell.index)
+        for key, value in sorted(resilience.items()):
+            if value:
+                spans.event(summary, f"resilience.{key}", count=value)
+        spans.end(summary)
+        payload["spans"] = spans.export()
+    if registry is not None:
+        payload["metrics"] = registry.to_json()
+    return payload
 
 
 def _error_payload(index: int, attempt: int, err: BaseException,
@@ -188,27 +248,45 @@ def _safe_execute(
     sim_config: SimulationConfig,
     n_accesses: int,
     attempt: int,
+    telemetry: Optional[WorkerTelemetry] = None,
+    beat=None,
 ) -> Dict[str, Any]:
     """Run one cell; exceptions become tagged error payloads with the
     worker-side traceback, never a poisoned fold."""
     try:
-        return _execute_cell(cell, config, sim_config, n_accesses, attempt)
+        # Positional-only call when untelemetered, so test doubles that
+        # monkeypatch ``_execute_cell`` with the historical five-argument
+        # signature keep working.
+        if telemetry is None and beat is None:
+            return _execute_cell(cell, config, sim_config, n_accesses, attempt)
+        return _execute_cell(
+            cell, config, sim_config, n_accesses, attempt,
+            telemetry=telemetry, beat=beat,
+        )
     except Exception as err:
         return _error_payload(cell.index, attempt, err, traceback.format_exc())
 
 
 def _init_worker(
-    config: BaryonConfig, sim_config: SimulationConfig, n_accesses: int
+    config: BaryonConfig,
+    sim_config: SimulationConfig,
+    n_accesses: int,
+    telemetry: Optional[WorkerTelemetry] = None,
+    beat_queue=None,
 ) -> None:
     global _worker_context
-    _worker_context = (config, sim_config, n_accesses)
+    _worker_context = (config, sim_config, n_accesses, telemetry, beat_queue)
 
 
 def _worker_cell(task: Tuple[Cell, int]) -> Dict[str, Any]:
     assert _worker_context is not None, "worker used before initialization"
     cell, attempt = task
-    config, sim_config, n_accesses = _worker_context
-    return _safe_execute(cell, config, sim_config, n_accesses, attempt)
+    config, sim_config, n_accesses, telemetry, beat_queue = _worker_context
+    beat = beat_queue.put if beat_queue is not None else None
+    return _safe_execute(
+        cell, config, sim_config, n_accesses, attempt,
+        telemetry=telemetry, beat=beat,
+    )
 
 
 @dataclass
@@ -225,6 +303,13 @@ class MatrixOutcome:
     error record (type, message, worker traceback, attempts) for cells
     that exhausted their retry budget; ``retries`` counts requeued
     attempts and ``resumed`` counts cells preloaded from a checkpoint.
+
+    ``metrics`` is the cross-shard
+    :class:`~repro.obs.metrics.MetricsRegistry` — every worker
+    registry's snapshot folded with a ``shard`` label (the cell's plan
+    index) through :func:`repro.obs.aggregate.merge_snapshot` — present
+    only when the sweep ran with
+    :attr:`~repro.parallel.telemetry.SweepTelemetry.collect_metrics`.
     """
 
     results: Dict[Tuple, SimResult] = field(default_factory=dict)
@@ -248,6 +333,7 @@ class MatrixOutcome:
     traces_generated: int = 0
     retries: int = 0
     resumed: int = 0
+    metrics: Optional[MetricsRegistry] = None
 
 
 def _group(name: str, snapshot: Dict[str, int]) -> CounterGroup:
@@ -280,7 +366,37 @@ def _fold(
         shard.total = result.memory_accesses
         outcome.serve.merge(shard)
         outcome.traces_generated += bool(payload["generated_trace"])
+        snapshot = payload.get("metrics")
+        if snapshot:
+            if outcome.metrics is None:
+                outcome.metrics = MetricsRegistry()
+            merge_snapshot(outcome.metrics, snapshot, shard=str(cell.index))
     return outcome
+
+
+def _telemetry_parts(telemetry: Optional[SweepTelemetry]):
+    """``(span tracer, progress tracker, worker spec)`` with the null
+    tracer standing in when spans are off."""
+    if telemetry is None:
+        return NULL_SPANS, None, None
+    spans = telemetry.spans if telemetry.spans is not None else NULL_SPANS
+    return spans, telemetry.progress, telemetry.worker_spec()
+
+
+def _cell_event(etype: str, cell: Cell, attempt: int, **fields: Any) -> Dict[str, Any]:
+    """A parent-side ``cell_done``/``cell_failed`` progress event (see
+    :data:`repro.obs.progress.HEARTBEAT_SCHEMA`)."""
+    event: Dict[str, Any] = {
+        "type": etype,
+        "ts": _wall(),
+        "cell": cell.index,
+        "workload": cell.workload,
+        "design": cell.design,
+        "seed": cell.seed,
+        "attempt": attempt,
+    }
+    event.update(fields)
+    return event
 
 
 def _run_serial(
@@ -291,20 +407,56 @@ def _run_serial(
     max_attempts: int,
     note_success,
     failures: Dict[int, Dict[str, Any]],
+    telemetry: Optional[SweepTelemetry] = None,
+    parent_span: Optional[Span] = None,
 ) -> int:
     retries = 0
+    spans, progress, spec = _telemetry_parts(telemetry)
+    beat = progress.on_event if progress is not None else None
     for cell in cells:
         payload: Dict[str, Any] = {}
+        attempt = 1
+        cell_span = spans.start(
+            "cell", parent=parent_span, index=cell.index,
+            workload=cell.workload, design=cell.design, seed=cell.seed,
+        ) if spans.enabled else None
+        started = perf_counter()
         for attempt in range(1, max_attempts + 1):
-            payload = _safe_execute(cell, config, sim_config, n_accesses, attempt)
+            if spec is None and beat is None:
+                payload = _safe_execute(
+                    cell, config, sim_config, n_accesses, attempt
+                )
+            else:
+                payload = _safe_execute(
+                    cell, config, sim_config, n_accesses, attempt,
+                    telemetry=spec, beat=beat,
+                )
             if "error" not in payload:
                 break
             if attempt < max_attempts:
                 retries += 1
+                spans.event(
+                    cell_span, "requeue",
+                    attempt=attempt, error=payload["error"]["type"],
+                )
         if "error" in payload:
             failures[cell.index] = payload["error"]
+            spans.end(cell_span, error=payload["error"]["type"])
+            if progress is not None:
+                progress.on_event(_cell_event(
+                    "cell_failed", cell, attempt,
+                    error=payload["error"]["type"],
+                ))
         else:
+            if cell_span is not None and payload.get("spans"):
+                spans.adopt(payload["spans"], parent=cell_span)
+            spans.end(cell_span, attempt=attempt)
             note_success(cell.index, payload)
+            if progress is not None:
+                progress.on_event(_cell_event(
+                    "cell_done", cell, attempt,
+                    elapsed_s=perf_counter() - started,
+                ))
     return retries
 
 
@@ -318,6 +470,8 @@ def _run_pool(
     cell_timeout_s: float,
     note_success,
     failures: Dict[int, Dict[str, Any]],
+    telemetry: Optional[SweepTelemetry] = None,
+    parent_span: Optional[Span] = None,
 ) -> int:
     """Dispatch cells to a fork pool with deadlines and requeue.
 
@@ -325,25 +479,107 @@ def _run_pool(
     task it was running never completes — so a lapsed deadline *is* the
     dead-worker signal, and the cell is resubmitted (the respawned
     worker re-derives everything from the cell seed).
+
+    With telemetry attached, workers stream heartbeats through a shared
+    queue; each heartbeat refreshes its cell's *last activity*, and the
+    deadline is measured from that instead of submission — a
+    slow-but-beating cell is never reaped, while a dead worker stops
+    beating and lapses exactly as before. Without heartbeats the last
+    activity stays at submission time, which is bit-for-bit the
+    pre-telemetry deadline behavior.
     """
     retries = 0
     ctx = multiprocessing.get_context("fork")
     by_index = {cell.index: cell for cell in cells}
-    with ctx.Pool(
+    spans, progress, spec = _telemetry_parts(telemetry)
+    beat_queue = (
+        ctx.Queue()
+        if telemetry is not None and telemetry.wants_heartbeats
+        else None
+    )
+    cell_spans: Dict[int, Span] = {}
+    submitted: Dict[int, float] = {}
+    fork_span = spans.start(
+        "fork", parent=parent_span, workers=effective,
+    ) if spans.enabled else None
+    pool_obj = ctx.Pool(
         processes=effective,
         initializer=_init_worker,
-        initargs=(config, sim_config, n_accesses),
-    ) as pool:
+        initargs=(config, sim_config, n_accesses, spec, beat_queue),
+    )
+    spans.end(fork_span)
+    with pool_obj as pool:
 
         def _submit(index: int, attempt: int):
-            handle = pool.apply_async(_worker_cell, ((by_index[index], attempt),))
-            return attempt, handle, monotonic() + cell_timeout_s
+            cell = by_index[index]
+            if spans.enabled:
+                cell_spans[index] = spans.start(
+                    "cell", parent=parent_span, index=index,
+                    workload=cell.workload, design=cell.design,
+                    seed=cell.seed, attempt=attempt,
+                )
+            now = monotonic()
+            submitted[index] = now
+            handle = pool.apply_async(_worker_cell, ((cell, attempt),))
+            return attempt, handle, now
+
+        def _drain_heartbeats() -> None:
+            if beat_queue is None:
+                return
+            while True:
+                try:
+                    event = beat_queue.get_nowait()
+                except queue_mod.Empty:
+                    return
+                except (OSError, EOFError):  # channel torn down mid-poll
+                    return
+                index = event.get("cell")
+                entry = inflight.get(index)
+                # Only the current attempt refreshes the deadline; a
+                # stale beat from a superseded attempt is still shown.
+                if entry is not None and event.get("attempt") == entry[0]:
+                    inflight[index] = (entry[0], entry[1], monotonic())
+                if progress is not None:
+                    progress.on_event(event)
+
+        def _close_cell(index: int, payload: Dict[str, Any], attempt: int) -> None:
+            span = cell_spans.pop(index, None)
+            if span is not None:
+                if payload.get("spans"):
+                    spans.adopt(payload["spans"], parent=span)
+                spans.end(span)
+            note_success(index, payload)
+            if progress is not None:
+                progress.on_event(_cell_event(
+                    "cell_done", by_index[index], attempt,
+                    elapsed_s=monotonic() - submitted.get(index, monotonic()),
+                ))
+
+        def _fail_cell(index: int, error: Dict[str, Any], attempt: int) -> None:
+            failures[index] = error
+            spans.end(cell_spans.pop(index, None), error=error["type"])
+            if progress is not None:
+                progress.on_event(_cell_event(
+                    "cell_failed", by_index[index], attempt,
+                    error=error["type"],
+                ))
+
+        def _requeue(index: int, attempt: int, reason: str) -> None:
+            spans.end(
+                cell_spans.pop(index, None), error=reason, requeued=True,
+            )
+            spans.event(
+                parent_span, "requeue",
+                cell=index, attempt=attempt, error=reason,
+            )
+            inflight[index] = _submit(index, attempt + 1)
 
         inflight = {cell.index: _submit(cell.index, 1) for cell in cells}
         while inflight:
             progressed = False
+            _drain_heartbeats()
             for index in list(inflight):
-                attempt, handle, deadline = inflight[index]
+                attempt, handle, last_activity = inflight[index]
                 if handle.ready():
                     progressed = True
                     try:
@@ -353,32 +589,42 @@ def _run_pool(
                         # payload); same shape as a worker-side error.
                         payload = _error_payload(index, attempt, err, None)
                     if "error" not in payload:
-                        note_success(index, payload)
+                        _close_cell(index, payload, attempt)
                         del inflight[index]
                     elif attempt < max_attempts:
                         retries += 1
-                        inflight[index] = _submit(index, attempt + 1)
+                        _requeue(index, attempt, payload["error"]["type"])
                     else:
-                        failures[index] = payload["error"]
+                        _fail_cell(index, payload["error"], attempt)
                         del inflight[index]
-                elif monotonic() > deadline:
+                elif monotonic() > last_activity + cell_timeout_s:
                     progressed = True
+                    spans.event(
+                        parent_span, "deadline_lapsed",
+                        cell=index, attempt=attempt,
+                        idle_s=monotonic() - last_activity,
+                    )
                     if attempt < max_attempts:
                         retries += 1
-                        inflight[index] = _submit(index, attempt + 1)
+                        _requeue(index, attempt, "TimeoutError")
                     else:
-                        failures[index] = {
+                        _fail_cell(index, {
                             "type": "TimeoutError",
                             "message": (
                                 f"cell {index} exceeded {cell_timeout_s:.0f}s "
-                                f"on attempt {attempt} (worker presumed dead)"
+                                f"without a heartbeat on attempt {attempt} "
+                                f"(worker presumed dead)"
                             ),
                             "traceback": None,
                             "attempt": attempt,
-                        }
+                        }, attempt)
                         del inflight[index]
             if inflight and not progressed:
                 sleep(0.01)
+        _drain_heartbeats()
+    if beat_queue is not None:
+        beat_queue.close()
+        beat_queue.join_thread()
     return retries
 
 
@@ -393,6 +639,8 @@ def run_plan(
     cell_timeout_s: float = DEFAULT_CELL_TIMEOUT_S,
     checkpoint: Optional[str] = None,
     resume: Optional[str] = None,
+    telemetry: Optional[SweepTelemetry] = None,
+    manifest: Optional[str] = None,
 ) -> MatrixOutcome:
     """Execute a cell plan, in-process or across a ``fork`` pool.
 
@@ -406,11 +654,31 @@ def run_plan(
     (missing file: start fresh; malformed or wrong-plan file: raise
     :class:`~repro.common.errors.ConfigurationError`). The two may name
     the same path.
+
+    ``telemetry`` (a :class:`~repro.parallel.telemetry.SweepTelemetry`)
+    attaches sweep-scale observability: a span tree
+    (``sweep`` → ``plan``/``fork``/``simulate``/``merge``/``checkpoint``
+    phases, a ``cell`` span per attempt with the worker's own spans
+    adopted underneath), live heartbeat-driven progress, and cross-shard
+    metrics in :attr:`MatrixOutcome.metrics`. Counters and results are
+    bit-identical with telemetry on, off, or partially on.
+
+    ``manifest`` names a run-manifest JSON to write after the fold; when
+    omitted but ``checkpoint`` is set, ``<checkpoint>.manifest.json`` is
+    written so every checkpointed sweep carries its provenance.
     """
     if max_attempts < 1:
         raise ValueError("max_attempts must be >= 1")
     start = perf_counter()
     effective = resolve_jobs(jobs, len(plan))
+    spans, progress, _ = _telemetry_parts(telemetry)
+    by_index = {cell.index: cell for cell in plan}
+    sweep_span = spans.start(
+        "sweep", cells=len(plan), jobs=effective, accesses=n_accesses,
+    ) if spans.enabled else None
+    plan_span = spans.start(
+        "plan", parent=sweep_span,
+    ) if spans.enabled else None
     fingerprint = plan_fingerprint(plan, n_accesses, config, sim_config)
     done: Dict[int, Dict[str, Any]] = {}
     resumed = 0
@@ -422,31 +690,74 @@ def run_plan(
             if index in wanted
         }
         resumed = len(done)
+        spans.event(sweep_span, "resume", cells=resumed, path=resume)
     pending = [cell for cell in plan if cell.index not in done]
+    spans.end(plan_span, pending=len(pending), resumed=resumed)
+    if spans.enabled and done:
+        # Resumed cells still appear in the tree: a zero-work cell span
+        # (marked ``resumed``) adopting whatever spans the original
+        # attempt shipped in its checkpointed payload.
+        for index in sorted(done):
+            cell = by_index[index]
+            cell_span = spans.start(
+                "cell", parent=sweep_span, index=index,
+                workload=cell.workload, design=cell.design,
+                seed=cell.seed, resumed=True,
+            )
+            if done[index].get("spans"):
+                spans.adopt(done[index]["spans"], parent=cell_span)
+            spans.end(cell_span)
+    if progress is not None:
+        for index in sorted(done):
+            progress.on_event(_cell_event(
+                "cell_done", by_index[index], 0,
+                elapsed_s=0.0, resumed=True,
+            ))
     failures: Dict[int, Dict[str, Any]] = {}
 
     def note_success(index: int, payload: Dict[str, Any]) -> None:
         done[index] = payload
         if checkpoint is not None:
+            ckpt_span = spans.start(
+                "checkpoint", parent=sweep_span, cells=len(done),
+            ) if spans.enabled else None
             write_checkpoint(checkpoint, fingerprint, done)
+            spans.end(ckpt_span)
 
+    simulate_span = spans.start(
+        "simulate", parent=sweep_span, pending=len(pending),
+    ) if spans.enabled else None
     if not pending:
         retries = 0
     elif effective <= 1:
         retries = _run_serial(
             pending, config, sim_config, n_accesses, max_attempts,
             note_success, failures,
+            telemetry=telemetry, parent_span=simulate_span,
         )
     else:
         retries = _run_pool(
             pending, config, sim_config, n_accesses, effective, max_attempts,
             cell_timeout_s, note_success, failures,
+            telemetry=telemetry, parent_span=simulate_span,
         )
+    spans.end(simulate_span, retries=retries, failed=len(failures))
 
+    merge_span = spans.start(
+        "merge", parent=sweep_span,
+    ) if spans.enabled else None
     outcome = _fold(plan, list(done.values()), effective, perf_counter() - start)
     outcome.retries = retries
     outcome.resumed = resumed
-    by_index = {cell.index: cell for cell in plan}
     for index, error in failures.items():
         outcome.failed[by_index[index].key] = dict(error)
+    spans.end(merge_span, results=len(outcome.results))
+
+    manifest_path = manifest
+    if manifest_path is None and checkpoint is not None:
+        manifest_path = checkpoint + ".manifest.json"
+    if manifest_path is not None:
+        write_manifest(manifest_path, build_manifest(fingerprint, outcome, plan))
+        spans.event(sweep_span, "manifest", path=manifest_path)
+    spans.end(sweep_span, failed=len(outcome.failed), retries=retries)
     return outcome

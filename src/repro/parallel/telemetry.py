@@ -1,0 +1,79 @@
+"""Sweep-scale telemetry configuration for the matrix runner.
+
+:class:`SweepTelemetry` is the parent-side bundle ``run_plan`` (and
+``run_matrix``/``run_matrix_sharded`` through their ``telemetry``
+keyword) accepts: a span tracer for the sweep→cell→phase tree, a
+progress tracker consuming worker heartbeats, and switches for
+worker-side span/metrics collection. :class:`WorkerTelemetry` is the
+small picklable spec actually shipped to fork workers through the pool
+initializer — workers never see the parent's tracer objects, only
+booleans and the heartbeat cadence, and report back through plain-dict
+payload fields (``spans``, ``metrics``) plus the heartbeat queue.
+
+Everything defaults to off; a ``telemetry=None`` sweep takes the exact
+pre-telemetry code path (same payloads, same deadline bookkeeping), so
+counters and timings of untelemetered runs are untouched.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.obs.progress import ProgressTracker
+from repro.obs.spans import SpanTracer
+
+#: Default simulated accesses between worker heartbeats. Small enough
+#: that a stuck cell is noticed within a second on typical simulation
+#: rates, large enough that beat overhead is unmeasurable.
+DEFAULT_HEARTBEAT_EVERY = 2000
+
+
+@dataclass
+class WorkerTelemetry:
+    """Picklable per-worker telemetry spec (pool initializer payload)."""
+
+    spans: bool = False
+    metrics: bool = False
+    heartbeat_every: int = DEFAULT_HEARTBEAT_EVERY
+
+
+@dataclass
+class SweepTelemetry:
+    """Parent-side telemetry wiring for one matrix run.
+
+    ``spans``
+        A :class:`~repro.obs.spans.SpanTracer` receiving the sweep span
+        tree (parent phases plus adopted worker spans).
+    ``progress``
+        A :class:`~repro.obs.progress.ProgressTracker` fed every
+        heartbeat / cell_done / cell_failed event live.
+    ``collect_metrics``
+        Ship each worker's :class:`~repro.obs.MetricsRegistry` snapshot
+        back and merge them shard-labeled into ``MatrixOutcome.metrics``.
+    ``worker_spans``
+        Let workers record their own phase spans (``cell.trace``,
+        ``cell.simulate``, ``sim.*``) for adoption; requires ``spans``.
+    ``heartbeat_every``
+        Simulated accesses between worker heartbeats; ``0`` disables the
+        heartbeat channel entirely (progress and heartbeat-based
+        deadlines then degrade to cell-start deadlines).
+    """
+
+    spans: Optional[SpanTracer] = None
+    progress: Optional[ProgressTracker] = None
+    collect_metrics: bool = False
+    worker_spans: bool = True
+    heartbeat_every: int = DEFAULT_HEARTBEAT_EVERY
+
+    @property
+    def wants_heartbeats(self) -> bool:
+        return self.heartbeat_every > 0
+
+    def worker_spec(self) -> WorkerTelemetry:
+        """The picklable subset a worker process needs."""
+        return WorkerTelemetry(
+            spans=self.spans is not None and self.worker_spans,
+            metrics=self.collect_metrics,
+            heartbeat_every=self.heartbeat_every,
+        )

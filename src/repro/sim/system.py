@@ -10,6 +10,7 @@ from repro.common.config import SimulationConfig
 from repro.devices.energy import EnergyModel
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.profiler import NULL_PROFILER, PhaseProfiler
+from repro.obs.spans import NULL_SPANS, SpanTracer
 from repro.sim.results import SimResult
 
 
@@ -48,6 +49,17 @@ class SystemSimulator:
         into warmup/measured phases and cache-hierarchy vs controller
         time, with instruction counts per phase. The batched loop samples
         the hierarchy/controller timers one access in 64.
+    ``spans``
+        A :class:`~repro.obs.spans.SpanTracer`; the run is wrapped in a
+        ``sim.run`` span with ``sim.warmup``/``sim.measured`` child
+        phase spans (batched loop; the scalar reference loop records the
+        run span only).
+    ``progress``
+        A ``callable(done, total)`` invoked every ``progress_every``
+        accesses (and at each phase boundary). With a callback attached
+        the batched loop runs in ``progress_every``-sized chunks — the
+        chunking only changes where local accumulators are written back,
+        so results stay bit-identical to the unchunked loop.
     """
 
     def __init__(
@@ -58,12 +70,19 @@ class SystemSimulator:
         metrics: Optional[MetricsRegistry] = None,
         profiler: Optional[PhaseProfiler] = None,
         metrics_window: int = 1000,
+        spans: Optional[SpanTracer] = None,
+        progress=None,
+        progress_every: int = 2048,
     ) -> None:
         self.controller = controller
         self.config = config or SimulationConfig()
         self.hierarchy = hierarchy or CacheHierarchy(self.config.hierarchy)
         self.profiler = profiler or NULL_PROFILER
         self.metrics = metrics
+        self.spans = spans or NULL_SPANS
+        self._progress = progress
+        self._progress_every = max(1, progress_every)
+        self._run_span = None
         self.cycles = 0.0
         self.instructions = 0
         self._served_fast = 0
@@ -96,11 +115,27 @@ class SystemSimulator:
         """
         n = len(trace)
         warmup_end = min(n, int(n * self.config.warmup_fraction))
-        if scalar:
-            mark, wall_start = self._run_scalar(trace, n, warmup_end)
-        else:
-            mark, wall_start = self._run_batched(trace, n, warmup_end)
-        return self._finalize(trace, name, design, n, warmup_end, mark, wall_start)
+        spans = self.spans
+        if spans.enabled:
+            self._run_span = spans.start(
+                "sim.run", design=design or getattr(self.controller, "name", ""),
+                workload=name, accesses=n, warmup=warmup_end,
+            )
+        try:
+            if scalar:
+                mark, wall_start = self._run_scalar(trace, n, warmup_end)
+            else:
+                mark, wall_start = self._run_batched(trace, n, warmup_end)
+            return self._finalize(
+                trace, name, design, n, warmup_end, mark, wall_start
+            )
+        finally:
+            if self._run_span is not None:
+                spans.end(
+                    self._run_span,
+                    instructions=self.instructions, cycles=self.cycles,
+                )
+                self._run_span = None
 
     # ----------------------------------------------------- reference loop
     def _run_scalar(
@@ -122,6 +157,8 @@ class SystemSimulator:
 
         profiling = self.profiler.enabled
         observing = self.metrics is not None
+        progress = self._progress
+        progress_stride = self._progress_every
         served_fast = 0
         mem_seen = 0
         wall_start = perf_counter() if profiling else 0.0
@@ -171,9 +208,13 @@ class SystemSimulator:
                 self._ts_ipc.tick(
                     self.instructions / self.cycles if self.cycles else 0.0
                 )
+            if progress is not None and not ((i + 1) % progress_stride):
+                progress(i + 1, n)
 
         self._served_fast = served_fast
         self._mem_seen = mem_seen
+        if progress is not None and n % progress_stride:
+            progress(n, n)
         return mark, wall_start
 
     # ----------------------------------------------------- batched hot path
@@ -199,8 +240,15 @@ class SystemSimulator:
         igaps = igaps.tolist() if hasattr(igaps, "tolist") else list(igaps)
         cores = cores.tolist() if hasattr(cores, "tolist") else list(cores)
 
+        spans = self.spans
         wall_start = perf_counter() if profiling else 0.0
-        self._batched_span(0, warmup_end, addrs, writes, igaps, cores)
+        phase_span = (
+            spans.start("sim.warmup", parent=self._run_span, accesses=warmup_end)
+            if spans.enabled and warmup_end else None
+        )
+        self._segment(0, warmup_end, addrs, writes, igaps, cores, n)
+        if phase_span is not None:
+            spans.end(phase_span)
         if warmup_end < n:
             mark = self._snapshot()
             if profiling:
@@ -209,8 +257,35 @@ class SystemSimulator:
                 )
                 self.profiler.count("warmup_instructions", self.instructions)
                 wall_start = perf_counter()
-            self._batched_span(warmup_end, n, addrs, writes, igaps, cores)
+            phase_span = (
+                spans.start(
+                    "sim.measured", parent=self._run_span,
+                    accesses=n - warmup_end,
+                )
+                if spans.enabled else None
+            )
+            self._segment(warmup_end, n, addrs, writes, igaps, cores, n)
+            if phase_span is not None:
+                spans.end(phase_span)
         return mark, wall_start
+
+    def _segment(
+        self, start: int, stop: int, addrs, writes, igaps, cores, total: int
+    ) -> None:
+        """One warmup/measured segment, chunked only when a progress
+        callback is attached (state write-back between chunks is the
+        only difference, so counters stay bit-identical)."""
+        progress = self._progress
+        if progress is None:
+            self._batched_span(start, stop, addrs, writes, igaps, cores)
+            return
+        stride = self._progress_every
+        pos = start
+        while pos < stop:
+            chunk_end = min(stop, pos + stride)
+            self._batched_span(pos, chunk_end, addrs, writes, igaps, cores)
+            pos = chunk_end
+            progress(pos, total)
 
     def _batched_span(
         self, start: int, stop: int, addrs, writes, igaps, cores
@@ -331,6 +406,13 @@ class SystemSimulator:
         tracker = getattr(self.controller, "tracker", None)
         if tracker is not None:
             tracker.finalize()
+        # Deterministic tail flush: a traced run's JSONL sink holds every
+        # event the moment the simulator finalizes, even if the caller
+        # never closes the tracer (short runs used to lose buffered tail
+        # events to the file object's write buffer).
+        obs = getattr(self.controller, "obs", None)
+        if obs is not None and obs.enabled:
+            obs.flush()
 
         if mark is None:
             # Warmup covered the whole trace (or it was empty): the

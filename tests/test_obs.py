@@ -483,3 +483,112 @@ class TestCliObservability:
         assert code == 0
         out = capsys.readouterr().out
         assert "phase" in out and "controller" in out
+
+
+# ------------------------------------------------- sweep-telemetry satellites
+class TestLabelEscaping:
+    """Prometheus label values must escape backslash, quote, newline."""
+
+    def test_quote_backslash_newline_escaped(self):
+        c = LabeledCounter("n", label_names=("path",))
+        c.inc(1, path='C:\\dir\\"quoted"\nline')
+        line = c.exposition()[-1]
+        assert line == 'n{path="C:\\\\dir\\\\\\"quoted\\"\\nline"} 1'
+        # The rendered value must not contain a raw newline or an
+        # unescaped quote that would break the exposition line format.
+        assert "\n" not in line
+
+    def test_plain_values_untouched(self):
+        c = LabeledCounter("n", label_names=("case",))
+        c.inc(2, case="commit_hit")
+        assert 'n{case="commit_hit"} 2' in c.exposition()
+
+    def test_histogram_and_series_unaffected(self):
+        h = Histogram("h", buckets=(1.0,))
+        h.observe(0.5)
+        assert 'h_bucket{le="1"} 1' in h.exposition()
+
+
+class TestTimeSeriesNextDue:
+    """``next_due``-driven interval sampling must replay per-access
+    ``tick`` exactly, including across decimation."""
+
+    def test_next_due_reports_next_window_boundary(self):
+        ts = TimeSeries("s", every=10)
+        assert ts.next_due() == 10
+        for _ in range(9):
+            ts.tick(1.0)
+        assert ts.next_due() == 10
+        ts.tick(1.0)
+        assert ts.next_due() == 20
+
+    def test_sample_at_replays_tick_exactly(self):
+        ticked = TimeSeries("a", every=7)
+        values = [float(i * i % 13) for i in range(1, 101)]
+        for i, v in enumerate(values, start=1):
+            ticked.tick(v)
+        sampled = TimeSeries("b", every=7)
+        while sampled.next_due() <= len(values):
+            due = sampled.next_due()
+            sampled.sample_at(due, values[due - 1])
+        sampled.advance_to(len(values))
+        assert sampled.points == ticked.points
+        assert sampled.ticks == ticked.ticks
+        assert sampled.every == ticked.every
+
+    def test_equivalence_across_decimation(self):
+        n = 400
+        ticked = TimeSeries("a", every=2, capacity=16)
+        for i in range(1, n + 1):
+            ticked.tick(float(i))
+        sampled = TimeSeries("b", every=2, capacity=16)
+        # next_due must be re-queried after every sample: decimation
+        # widens the window mid-run.
+        while sampled.next_due() <= n:
+            due = sampled.next_due()
+            sampled.sample_at(due, float(due))
+        sampled.advance_to(n)
+        assert sampled.every == ticked.every
+        assert sampled.points == ticked.points
+
+    def test_trailing_partial_window_not_recorded(self):
+        ts = TimeSeries("s", every=10)
+        ts.sample_at(10, 1.0)
+        ts.advance_to(15)
+        assert ts.points == [(10, 1.0)]
+        assert ts.ticks == 15
+        assert ts.next_due() == 20
+
+
+class TestTracerFlushOnFinalize:
+    """The simulator must flush the JSONL sink at run end, so short
+    traced runs have their tail events on disk without ``close()``."""
+
+    def test_sink_flushed_without_close(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        with open(path, "w", encoding="utf-8") as sink:
+            tracer = EventTracer(capacity=1 << 16, sink=sink)
+            run_traced(n=600, tracer=tracer)
+            # Sink deliberately NOT closed and tracer.close() not called:
+            # _finalize's flush alone must have pushed every line out.
+            lines = path.read_text().strip().splitlines()
+            assert len(lines) == tracer.sampled
+            assert all(json.loads(line)["seq"] for line in lines)
+
+    def test_close_is_idempotent_and_detaches(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        with open(path, "w", encoding="utf-8") as sink:
+            tracer = EventTracer(sink=sink)
+            tracer.emit("access", case="x")
+            tracer.close()
+            tracer.close()  # second close: no-op, no error
+            tracer.emit("access", case="y")  # post-close emits drop the sink
+        lines = path.read_text().strip().splitlines()
+        assert len(lines) == 1
+
+    def test_flush_without_sink_is_noop(self):
+        tracer = EventTracer()
+        tracer.flush()
+        tracer.close()
+        assert NULL_TRACER.flush() is None
+        assert NULL_TRACER.close() is None

@@ -1,0 +1,201 @@
+"""The span tracer: ids, nesting, adoption, persistence, rendering."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.obs.spans import (
+    NULL_SPANS,
+    Span,
+    SpanTracer,
+    format_span_tree,
+    load_spans,
+)
+
+
+class FakeClock:
+    """Deterministic wall clock: each read advances by ``step``."""
+
+    def __init__(self, start=100.0, step=0.5):
+        self.now = start
+        self.step = step
+
+    def __call__(self):
+        value = self.now
+        self.now += self.step
+        return value
+
+
+class TestSpanLifecycle:
+    def test_ids_are_deterministic_and_origin_prefixed(self):
+        tracer = SpanTracer(origin="c7")
+        a = tracer.start("a")
+        b = tracer.start("b")
+        assert a.span_id == "c7-0001"
+        assert b.span_id == "c7-0002"
+        plain = SpanTracer()
+        assert plain.start("x").span_id == "0001"
+
+    def test_parentage_and_duration(self):
+        tracer = SpanTracer(clock=FakeClock())
+        root = tracer.start("sweep")
+        child = tracer.start("cell", parent=root, index=3)
+        assert child.parent_id == root.span_id
+        assert child.attributes == {"index": 3}
+        tracer.end(child)
+        tracer.end(root, failed=0)
+        assert child.end_s is not None and child.duration_s > 0
+        assert root.attributes == {"failed": 0}
+        # Children end first, so they are appended first.
+        assert [s.name for s in tracer.finished] == ["cell", "sweep"]
+
+    def test_end_is_idempotent_and_tolerates_none(self):
+        tracer = SpanTracer()
+        span = tracer.start("s")
+        tracer.end(span)
+        first_end = span.end_s
+        tracer.end(span)  # second end: no-op
+        assert span.end_s == first_end
+        assert len(tracer.finished) == 1
+        tracer.end(None)  # disabled-path convenience
+
+    def test_open_span_accounting(self):
+        tracer = SpanTracer()
+        a = tracer.start("a")
+        tracer.start("b")
+        assert tracer.open_spans == 2
+        tracer.end(a)
+        assert tracer.open_spans == 1
+        assert len(tracer) == 1
+
+    def test_events_carry_timestamp_and_fields(self):
+        tracer = SpanTracer(clock=FakeClock())
+        span = tracer.start("sweep")
+        tracer.event(span, "requeue", cell=4, attempt=1)
+        tracer.event(None, "dropped")  # None target: no-op
+        assert len(span.events) == 1
+        event = span.events[0]
+        assert event["name"] == "requeue"
+        assert event["cell"] == 4 and event["attempt"] == 1
+        assert event["t"] > 100.0
+
+    def test_context_manager_closes_and_marks_errors(self):
+        tracer = SpanTracer()
+        with tracer.span("ok", phase="merge") as span:
+            assert span.end_s is None
+        assert span.end_s is not None
+        with pytest.raises(ValueError):
+            with tracer.span("bad") as span:
+                raise ValueError("boom")
+        assert span.attributes["error"] == "ValueError: boom"
+        assert span.end_s is not None
+
+
+class TestAdoption:
+    def test_worker_roots_are_reparented(self):
+        worker = SpanTracer(origin="c3")
+        with worker.span("cell.trace"):
+            pass
+        with worker.span("sim.run") as run:
+            with worker.span("sim.measured", parent=run):
+                pass
+        parent = SpanTracer(origin="sweep")
+        cell = parent.start("cell", index=3)
+        parent.adopt(worker.export(), parent=cell)
+        parent.end(cell)
+        by_name = {s.name: s for s in parent.finished}
+        assert by_name["cell.trace"].parent_id == cell.span_id
+        assert by_name["sim.run"].parent_id == cell.span_id
+        # Non-root worker spans keep their worker-side parent.
+        assert by_name["sim.measured"].parent_id == by_name["sim.run"].span_id
+
+    def test_adopt_without_parent_keeps_roots(self):
+        worker = SpanTracer(origin="c1")
+        with worker.span("sim.run"):
+            pass
+        parent = SpanTracer()
+        parent.adopt(worker.export())
+        assert parent.finished[0].parent_id is None
+
+
+class TestPersistence:
+    def test_dict_roundtrip(self):
+        tracer = SpanTracer(origin="t")
+        with tracer.span("s", k="v") as span:
+            tracer.event(span, "e", n=1)
+        restored = Span.from_dict(tracer.export()[0])
+        assert restored == tracer.finished[0]
+
+    def test_jsonl_roundtrip(self, tmp_path):
+        tracer = SpanTracer(origin="sweep")
+        with tracer.span("sweep"):
+            with tracer.span("cell"):
+                pass
+        path = tmp_path / "spans.jsonl"
+        assert tracer.dump_jsonl(str(path)) == 2
+        loaded = load_spans(str(path))
+        assert loaded == tracer.export()
+
+    def test_load_rejects_corrupt_lines(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"span_id": "a", "name": "x", "start_s": 1}\n{oops\n')
+        with pytest.raises(ConfigurationError, match="line 2"):
+            load_spans(str(path))
+        path.write_text('[1, 2]\n')
+        with pytest.raises(ConfigurationError, match="not a span object"):
+            load_spans(str(path))
+        with pytest.raises(ConfigurationError, match="cannot read"):
+            load_spans(str(tmp_path / "missing.jsonl"))
+
+
+class TestFormatTree:
+    def test_renders_nested_tree_in_start_order(self):
+        clock = FakeClock()
+        tracer = SpanTracer(clock=clock)
+        root = tracer.start("sweep", cells=2)
+        first = tracer.start("cell", parent=root, index=0)
+        tracer.end(first)
+        second = tracer.start("cell", parent=root, index=1)
+        tracer.end(second)
+        tracer.end(root)
+        text = tracer.format_tree()
+        lines = text.splitlines()
+        assert lines[0].startswith("sweep")
+        assert lines[1].startswith("  cell") and "index=0" in lines[1]
+        assert lines[2].startswith("  cell") and "index=1" in lines[2]
+
+    def test_orphans_are_promoted_to_roots(self):
+        spans = [{
+            "span_id": "x-1", "parent_id": "gone", "name": "orphan",
+            "start_s": 1.0, "end_s": 2.0, "attributes": {}, "events": [],
+        }]
+        assert format_span_tree(spans).startswith("orphan")
+
+    def test_open_spans_and_events_annotated(self):
+        tracer = SpanTracer()
+        span = tracer.start("s")
+        tracer.event(span, "e")
+        text = format_span_tree([span.to_dict()])
+        assert "(open)" in text and "[1 event(s)]" in text
+
+
+class TestNullSpanTracer:
+    def test_every_call_is_a_noop(self):
+        assert not NULL_SPANS.enabled
+        assert NULL_SPANS.start("x") is None
+        NULL_SPANS.end(None, k=1)
+        NULL_SPANS.event(None, "e")
+        NULL_SPANS.adopt([{"span_id": "a"}])
+        with NULL_SPANS.span("x") as span:
+            assert span is None
+        assert NULL_SPANS.export() == []
+        assert len(NULL_SPANS) == 0
+
+    def test_export_is_json_serializable(self):
+        tracer = SpanTracer()
+        with tracer.span("s", design="baryon", seed=3):
+            pass
+        json.dumps(tracer.export())
