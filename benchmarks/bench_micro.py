@@ -173,6 +173,79 @@ def _bench_matrix(workloads, designs, scale, accesses, seed, jobs):
     }
 
 
+def _hotpath_breakdown(ctrl, sim, trace, workload, design):
+    """One untimed batched run with the controller entry points wrapped.
+
+    Attributes wall time to the deferred fast path (``access_deferred``
+    classification plus ``access_batch`` replay) versus the scalar
+    ``access`` fallback, and reports the full-run :class:`AccessCase`
+    counts — so a hot-path regression is attributable to a specific case
+    mix shift or a fallback-rate change.
+    """
+    from time import perf_counter
+
+    acc = {
+        "deferred_ops": 0, "deferred_declined": 0, "deferred_s": 0.0,
+        "batch_flushes": 0, "batch_s": 0.0,
+        "fallback_calls": 0, "fallback_s": 0.0,
+    }
+    real_access = ctrl.access
+
+    def timed_access(addr, is_write, now):
+        t0 = perf_counter()
+        out = real_access(addr, is_write, now)
+        acc["fallback_s"] += perf_counter() - t0
+        acc["fallback_calls"] += 1
+        return out
+
+    # Instance attributes shadow the class methods, so the simulator's
+    # lookups bind the wrappers without any simulator-side hooks.
+    ctrl.access = timed_access
+    if getattr(ctrl, "supports_batching", False):
+        real_deferred = ctrl.access_deferred
+        real_batch = ctrl.access_batch
+
+        def timed_deferred(addr, is_write):
+            t0 = perf_counter()
+            op = real_deferred(addr, is_write)
+            acc["deferred_s"] += perf_counter() - t0
+            if op is None:
+                acc["deferred_declined"] += 1
+            else:
+                acc["deferred_ops"] += 1
+            return op
+
+        def timed_batch(ops, cycles, mlp):
+            t0 = perf_counter()
+            out = real_batch(ops, cycles, mlp)
+            acc["batch_s"] += perf_counter() - t0
+            acc["batch_flushes"] += 1
+            return out
+
+        ctrl.access_deferred = timed_deferred
+        ctrl.access_batch = timed_batch
+    sim.run(trace, workload, design)
+    cases = {
+        key[len("case_"):]: value
+        for key, value in ctrl.stats.as_dict().items()
+        if key.startswith("case_")
+    }
+    return {
+        "access_cases": cases,
+        "fast_path": {
+            "deferred_ops": acc["deferred_ops"],
+            "classify_s": round(acc["deferred_s"], 4),
+            "batch_flushes": acc["batch_flushes"],
+            "replay_s": round(acc["batch_s"], 4),
+        },
+        "scalar_fallback": {
+            "calls": acc["fallback_calls"],
+            "declined_classifications": acc["deferred_declined"],
+            "time_s": round(acc["fallback_s"], 4),
+        },
+    }
+
+
 def _bench_hotpath(workloads, designs, scale, accesses, seed, repeats=3):
     """Time the batched simulation loop against the scalar reference loop.
 
@@ -228,12 +301,19 @@ def _bench_hotpath(workloads, designs, scale, accesses, seed, repeats=3):
             total_scalar += times["scalar"]
             total_batched += times["batched"]
             results_by_cell[f"{workload}/{design}"] = results["batched"]
+            ctrl = build_controller(design, config, seed=seed)
+            if hasattr(ctrl, "oracle"):
+                trace.apply_compressibility(ctrl.oracle)
+            breakdown = _hotpath_breakdown(
+                ctrl, SystemSimulator(ctrl, sim_config), trace, workload, design
+            )
             cells.append({
                 "workload": workload,
                 "design": design,
                 "scalar_s": round(times["scalar"], 4),
                 "batched_s": round(times["batched"], 4),
                 "speedup": round(times["scalar"] / times["batched"], 3),
+                "breakdown": breakdown,
             })
     summary = {
         "workloads": list(workloads),
@@ -253,7 +333,9 @@ def _bench_hotpath(workloads, designs, scale, accesses, seed, repeats=3):
 #: Sweep script executed (via ``python -c``) against a reference checkout's
 #: ``src`` so the pre-change revision's modules time the same cells
 #: end-to-end. It reads the cell spec as JSON on stdin and prints one JSON
-#: line: total wall seconds plus each cell's SimResult dict.
+#: line: total wall seconds plus, per cell, the best wall time and the
+#: SimResult dict (the script text ships with *this* tree, so the output
+#: format does not depend on the reference revision).
 _REF_SWEEP_SCRIPT = r"""
 import json, sys
 from time import perf_counter
@@ -282,7 +364,9 @@ for workload in spec["workloads"]:
             elapsed = perf_counter() - t0
             best = elapsed if best is None else min(best, elapsed)
         total += best
-        cells[workload + "/" + design] = result.to_dict()
+        cells[workload + "/" + design] = {
+            "best_s": best, "result": result.to_dict(),
+        }
 print(json.dumps({"total_s": total, "cells": cells}))
 """
 
@@ -415,6 +499,13 @@ def main(argv=None):
     parser.add_argument("--hotpath-ref-src", default=None,
                         help="path to a pre-change checkout's src/ to time "
                         "end-to-end (overrides --hotpath-ref-rev)")
+    parser.add_argument("--ratio-baseline", default=None,
+                        help="JSON baseline of design-time ratios (e.g. "
+                        "baryon/simple); fail when a ratio regresses past "
+                        "the tolerance")
+    parser.add_argument("--max-ratio-regression", type=float, default=0.15,
+                        help="allowed fractional worsening of a baseline "
+                        "design-time ratio (default 0.15 = +15%%)")
     parser.add_argument("--skip-matrix", action="store_true",
                         help="skip the parallel-runner/memo benchmarks and "
                         "only run the hot-path benchmark")
@@ -466,8 +557,9 @@ def main(argv=None):
                 }
 
             mismatched = [
-                cell for cell, result in ref["cells"].items()
-                if _counters(batched_results.get(cell, {})) != _counters(result)
+                cell for cell, payload in ref["cells"].items()
+                if _counters(batched_results.get(cell, {}))
+                != _counters(payload["result"])
             ]
             if mismatched:
                 raise AssertionError(
@@ -475,6 +567,18 @@ def main(argv=None):
                     + ", ".join(sorted(mismatched))
                 )
             end_to_end = round(ref["total_s"] / hotpath["batched_total_s"], 3)
+            # Per-cell end-to-end ratios: the baryon cells are the ones
+            # the deferred path targets, so they are judged individually
+            # instead of being averaged with the baseline cells.
+            for cell in hotpath["cells"]:
+                ref_cell = ref["cells"].get(
+                    cell["workload"] + "/" + cell["design"]
+                )
+                if ref_cell is not None:
+                    cell["ref_s"] = round(ref_cell["best_s"], 4)
+                    cell["end_to_end"] = round(
+                        ref_cell["best_s"] / cell["batched_s"], 3
+                    )
             hotpath["reference"] = {
                 "rev": ref_label,
                 "total_s": round(ref["total_s"], 4),
@@ -485,10 +589,33 @@ def main(argv=None):
             print(f"reference {ref_label}: {hotpath['reference']['total_s']}s "
                   f"-> batched {hotpath['batched_total_s']}s "
                   f"({end_to_end}x end-to-end, bit-identical results)")
+            for cell in hotpath["cells"]:
+                if "end_to_end" in cell:
+                    print(f"  {cell['workload']}/{cell['design']}: "
+                          f"ref {cell['ref_s']}s -> {cell['batched_s']}s "
+                          f"({cell['end_to_end']}x)")
         finally:
             if worktree is not None:
                 _remove_ref_worktree(worktree)
     hotpath["speedup"] = headline
+
+    # Design-time ratios (e.g. baryon/simple per workload): machine speed
+    # cancels inside one run, so these are the stable regression signal
+    # the CI gate checks against the committed baseline.
+    by_cell = {(c["workload"], c["design"]): c["batched_s"]
+               for c in hotpath["cells"]}
+    ratios = {}
+    if "simple" in designs:
+        for workload in workloads:
+            simple_s = by_cell.get((workload, "simple"))
+            if not simple_s:
+                continue
+            for design in designs:
+                if design != "simple" and (workload, design) in by_cell:
+                    ratios[f"{workload}:{design}/simple"] = round(
+                        by_cell[(workload, design)] / simple_s, 3
+                    )
+    hotpath["design_time_ratios"] = ratios
 
     hotpath_payload = {
         "generated": datetime.now(timezone.utc).isoformat(timespec="seconds"),
@@ -504,6 +631,22 @@ def main(argv=None):
         print(f"hot-path speedup {hotpath['speedup']}x below required "
               f"{args.min_hotpath_speedup}x", file=sys.stderr)
         return 1
+    if args.ratio_baseline and ratios:
+        with open(args.ratio_baseline, encoding="utf-8") as source:
+            baseline = json.load(source)
+        tolerance = args.max_ratio_regression
+        regressed = []
+        for key, base in baseline.get("ratios", {}).items():
+            current = ratios.get(key)
+            if current is not None and current > base * (1.0 + tolerance):
+                regressed.append(
+                    f"{key}: {current} vs baseline {base} "
+                    f"(+{(current / base - 1.0):.0%} > {tolerance:.0%})"
+                )
+        if regressed:
+            print("design-time ratio regression:\n  "
+                  + "\n  ".join(regressed), file=sys.stderr)
+            return 1
     if args.skip_matrix:
         return 0
 

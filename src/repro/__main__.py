@@ -212,6 +212,11 @@ def build_validate_parser() -> argparse.ArgumentParser:
                         "(default 7)")
     parser.add_argument("--accesses", type=int, default=600,
                         help="trace records per fuzz iteration (default 600)")
+    parser.add_argument("--fuzz-batched", action="store_true",
+                        help="additionally cross-check every fuzz case "
+                        "across the controller's deferred-batch seam "
+                        "(access_deferred/access_batch vs scalar access; "
+                        "fault injection off, oracle on)")
     parser.add_argument("--minimize", action="store_true",
                         help="delta-debug any fuzzer-found failure before "
                         "reporting it (the selftest is always minimized)")
@@ -270,10 +275,17 @@ def cmd_validate(argv) -> int:
 
     # 2. Seeded fuzzing over random tiny configs and traces.
     if args.fuzz:
-        report = run_fuzz(args.fuzz, args.seed, n_accesses=args.accesses)
+        report = run_fuzz(
+            args.fuzz, args.seed, n_accesses=args.accesses,
+            batched=args.fuzz_batched,
+        )
         stats = report.stats
+        batched_note = (
+            f", {report.stats.get('fuzz_batched_checks')} batched-seam "
+            f"check(s)" if args.fuzz_batched else ""
+        )
         print(f"fuzz: {report.iterations} iterations, {report.accesses} "
-              f"accesses, {len(report.failures)} violation(s)")
+              f"accesses, {len(report.failures)} violation(s){batched_note}")
         for failure in report.failures:
             ok = False
             print(f"  iteration {failure.iteration}: {failure.error}",

@@ -130,7 +130,29 @@ class CacheHierarchy:
 
         writebacks: Optional[List[int]] = None
         l2 = self._l2[core]
-        hit2, l2_wb, _ = l2.access_raw(addr, False)
+        if l2._is_lru:
+            # Inlined L2 demand probe (read-only at L2 under NINE; same
+            # state transitions and counters as access_raw).
+            line = addr // l2._line_size
+            index = line % l2.num_sets
+            cache_set = l2._sets[index]
+            tag = line // l2.num_sets
+            lines = cache_set.lines
+            entry = lines.get(tag)
+            l2._n_accesses += 1
+            if entry is not None:
+                cache_set._clock += 1
+                entry.counter = cache_set._clock
+                lines[tag] = lines.pop(tag)
+                l2._n_hits += 1
+                hit2 = True
+                l2_wb = None
+            else:
+                l2._n_misses += 1
+                hit2 = False
+                l2_wb, _ = l2._allocate(cache_set, index, tag, False)
+        else:
+            hit2, l2_wb, _ = l2.access_raw(addr, False)
         if l1_wb is not None:
             # Dirty L1 victim lands in L2 (write-allocate at L2).
             _, spill, _ = l2.access_raw(l1_wb, True)
@@ -152,7 +174,29 @@ class CacheHierarchy:
                 else:
                     writebacks.append(llc_wb)
 
-        hit3, llc_wb, _ = self.llc.access_raw(addr, False)
+        llc = self.llc
+        if llc._is_lru:
+            # Inlined LLC demand probe (see the L2 probe above).
+            line = addr // llc._line_size
+            index = line % llc.num_sets
+            cache_set = llc._sets[index]
+            tag = line // llc.num_sets
+            lines = cache_set.lines
+            entry = lines.get(tag)
+            llc._n_accesses += 1
+            if entry is not None:
+                cache_set._clock += 1
+                entry.counter = cache_set._clock
+                lines[tag] = lines.pop(tag)
+                llc._n_hits += 1
+                hit3 = True
+                llc_wb = None
+            else:
+                llc._n_misses += 1
+                hit3 = False
+                llc_wb, _ = llc._allocate(cache_set, index, tag, False)
+        else:
+            hit3, llc_wb, _ = llc.access_raw(addr, False)
         if llc_wb is not None:
             if writebacks is None:
                 writebacks = [llc_wb]

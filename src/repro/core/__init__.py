@@ -11,9 +11,13 @@ The package composes the substrates into the paper's architecture:
   organized as hybrid sets of fast block spaces;
 * :class:`~repro.core.controller.BaryonController` — the access flow of
   Fig. 6 (cases 1-5), slow-to-stage prefetching, cacheline-aligned
-  transfers, flat-scheme swapping and compressed writeback.
+  transfers, flat-scheme swapping and compressed writeback;
+* :class:`~repro.core.columnar.ColumnarState` — the columnar (structured
+  numpy array) mirror of the controller metadata plus the O(1) probe
+  indices behind the deferred batch fast path.
 """
 
+from repro.core.columnar import ColumnarState
 from repro.core.commit import CommitDecision, CommitPolicy
 from repro.core.controller import BaryonController
 from repro.core.events import AccessCase, AccessResult
@@ -24,6 +28,7 @@ __all__ = [
     "AccessCase",
     "AccessResult",
     "BaryonController",
+    "ColumnarState",
     "CommitDecision",
     "CommitPolicy",
     "FastArea",

@@ -1,0 +1,406 @@
+"""Columnar controller state: structured-array mirrors + probe indices.
+
+The controller's per-super-block metadata lives in small Python objects
+(:class:`~repro.metadata.stage_tag.StageTagEntry` slots,
+:class:`~repro.metadata.remap.RemapEntry`, remap-cache lines). Those
+objects stay the API — every existing mutation path still goes through
+them — but the state they hold is naturally flat and array-addressable
+(Trimma makes the same observation about hybrid-memory metadata), so this
+module maintains the *columnar* representation alongside them:
+
+* preallocated numpy structured arrays (``stage_tags``, ``stage_slots``,
+  ``stage_credit``, ``remap_rows``, ``rc_occupancy``) holding the same
+  fields column-wise;
+* derived O(1) probe indices (``stage_sub``, ``stage_block``) that answer
+  the stage tag array's associative lookups with one dict probe instead
+  of a set scan — the classification step of the controller's deferred
+  batch fast path (:meth:`~repro.core.controller.BaryonController.access_deferred`);
+* per-set remap-cache occupancy, so cache repair
+  (:meth:`~repro.metadata.remap_cache.RemapCache.repair`) reuses the set
+  index instead of re-probing.
+
+Mirroring strategy — the same idiom as the deferred integer counters:
+
+* **Eager columns** are updated by hooks at every mutation site (stage
+  allocate/invalidate/insert/remove/fifo/miss, remap-table set/clear,
+  remap-cache fill/invalidate). These sites are rare relative to the
+  access rate, so the mirror costs nothing on the hot path.
+* **Write-behind columns** (``stage_tags["lru"]``, ``stage_credit``) back
+  hot per-access counters (LRU rank promotion, per-set access credits)
+  that the fast path never reads; they are folded in bulk by
+  :meth:`ColumnarState.sync_deferred_columns` — exact at any observation
+  point, off the per-access path.
+
+:meth:`ColumnarState.verify` asserts bit-exact agreement between the
+columnar state and the authoritative objects; the equivalence tests call
+it after every controller mutation site.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+#: One stage tag array entry (per-entry metadata columns).
+STAGE_TAG_DTYPE = np.dtype(
+    [
+        ("tag", np.int64),
+        ("valid", np.bool_),
+        ("lru", np.int64),
+        ("fifo", np.int64),
+        ("miss_count", np.int64),
+    ]
+)
+
+#: One stage range slot (the 8-bit prefix-coded slot, field-expanded).
+STAGE_SLOT_DTYPE = np.dtype(
+    [
+        ("valid", np.bool_),
+        ("cf", np.int64),
+        ("dirty", np.bool_),
+        ("zero", np.bool_),
+        ("blk_off", np.int64),
+        ("sub_start", np.int64),
+    ]
+)
+
+#: Per-set commit-model credit state (MRUMissCnt + aging credit).
+STAGE_CREDIT_DTYPE = np.dtype(
+    [
+        ("mru_miss_cnt", np.int64),
+        ("set_accesses", np.int64),
+    ]
+)
+
+#: One remap-table entry row in the arena (compact format, field-expanded).
+REMAP_DTYPE = np.dtype(
+    [
+        ("block_id", np.int64),
+        ("valid", np.bool_),
+        ("remap", np.int64),
+        ("pointer", np.int64),
+        ("cf2", np.int64),
+        ("cf4", np.int64),
+        ("zero", np.bool_),
+    ]
+)
+
+_INITIAL_REMAP_ROWS = 1024
+
+
+class ColumnarState:
+    """Columnar mirror of one controller's metadata state.
+
+    Constructed by :class:`~repro.core.controller.BaryonController` after
+    the resilience layer, so the remap-table ``shadow`` observer chain is
+    preserved: this object becomes the shadow and forwards every update to
+    the previous shadow (e.g. the
+    :class:`~repro.resilience.checker.ShadowChecker`).
+    """
+
+    def __init__(self, controller) -> None:
+        stage = controller.stage
+        geometry = controller.geometry
+        self._stage = stage
+        self._remap_table = controller.remap_table
+        self._remap_cache = controller.remap_cache
+        self._stage_sets = stage.num_sets
+        self._spb = geometry.sub_blocks_per_block
+        self._bps = geometry.super_block_blocks
+
+        slots = stage.tags.slots_per_entry
+        self.stage_tags = np.zeros((stage.num_sets, stage.ways), STAGE_TAG_DTYPE)
+        self.stage_slots = np.zeros(
+            (stage.num_sets, stage.ways, slots), STAGE_SLOT_DTYPE
+        )
+        self.stage_credit = np.zeros(stage.num_sets, STAGE_CREDIT_DTYPE)
+        self.rc_occupancy = np.zeros(controller.remap_cache.num_sets, np.int64)
+
+        # Remap arena: a growable row store + block_id -> row index. Rows
+        # are recycled through a free list so the arena stays dense-ish
+        # without ever moving live rows.
+        self.remap_rows = np.zeros(_INITIAL_REMAP_ROWS, REMAP_DTYPE)
+        self._remap_index: Dict[int, int] = {}
+        self._remap_free: List[int] = []
+        self._remap_used = 0
+
+        # Derived probe indices for the deferred fast path. ``stage_sub``
+        # maps ``block_id * sub_blocks_per_block + sub_index`` to the
+        # (way, slot) holding it — exactly the answer of
+        # ``StageArea.lookup_sub_block`` (Rule 3 guarantees one way per
+        # block; ranges never overlap, so the covering slot is unique).
+        # ``stage_block`` maps ``block_id`` to ``[way, slot_refcount]`` —
+        # presence is ``StageArea.lookup_block``'s verdict.
+        self.stage_sub: Dict[int, Tuple[int, int]] = {}
+        self.stage_block: Dict[int, List[int]] = {}
+
+        # Zero templates for structured row resets.
+        self._zero_tag = np.zeros(1, STAGE_TAG_DTYPE)[0]
+        self._zero_slot = np.zeros(1, STAGE_SLOT_DTYPE)[0]
+        self._zero_remap = np.zeros(1, REMAP_DTYPE)[0]
+
+        # Wire into the observed structures. The remap shadow chains; the
+        # stage area and remap cache get a direct back-reference.
+        self._shadow_next = controller.remap_table.shadow
+        controller.remap_table.shadow = self
+        stage.columnar = self
+        controller.remap_cache.columnar = self
+
+    # ------------------------------------------------------- stage hooks
+    def stage_allocate(self, set_index: int, way: int, entry) -> None:
+        """Mirror ``StageArea.allocate``: a fresh valid entry, no slots."""
+        self.stage_tags[set_index, way] = (
+            entry.tag, True, entry.lru, entry.fifo, entry.miss_count
+        )
+
+    def stage_invalidate(self, set_index: int, way: int, snapshot) -> None:
+        """Mirror ``StageArea.invalidate`` from the pre-reset snapshot."""
+        super_id = snapshot.tag * self._stage_sets + set_index
+        base = super_id * self._bps
+        for slot in snapshot.slots:
+            if slot is not None:
+                self._drop_slot_keys(base + slot.blk_off, slot)
+        self.stage_tags[set_index, way] = self._zero_tag
+        self.stage_slots[set_index, way] = self._zero_slot
+
+    def stage_insert(
+        self, set_index: int, way: int, slot_index: int, slot, tag: int
+    ) -> None:
+        """Mirror ``StageArea.insert_range`` into columns + probe dicts."""
+        self.stage_slots[set_index, way, slot_index] = (
+            True, slot.cf, slot.dirty, slot.zero, slot.blk_off, slot.sub_start
+        )
+        super_id = tag * self._stage_sets + set_index
+        block_id = super_id * self._bps + slot.blk_off
+        base = block_id * self._spb
+        location = (way, slot_index)
+        sub_map = self.stage_sub
+        if slot.zero:
+            for sub in range(self._spb):
+                sub_map[base + sub] = location
+        else:
+            for sub in range(slot.sub_start, slot.sub_start + slot.cf):
+                sub_map[base + sub] = location
+        ref = self.stage_block.get(block_id)
+        if ref is None:
+            self.stage_block[block_id] = [way, 1]
+        else:
+            # Latest insert wins the way field: a block-level regroup
+            # interleaves remove/insert while moving a block's slots to a
+            # freshly allocated way, so the way changes mid-sequence and
+            # settles on the destination (Rule 3 holds again at the end).
+            ref[0] = way
+            ref[1] += 1
+
+    def stage_remove(
+        self, set_index: int, way: int, slot_index: int, slot, tag: int
+    ) -> None:
+        """Mirror ``StageArea.remove_slot``."""
+        self.stage_slots[set_index, way, slot_index] = self._zero_slot
+        super_id = tag * self._stage_sets + set_index
+        self._drop_slot_keys(super_id * self._bps + slot.blk_off, slot)
+
+    def _drop_slot_keys(self, block_id: int, slot) -> None:
+        base = block_id * self._spb
+        pop = self.stage_sub.pop
+        if slot.zero:
+            for sub in range(self._spb):
+                pop(base + sub, None)
+        else:
+            for sub in range(slot.sub_start, slot.sub_start + slot.cf):
+                pop(base + sub, None)
+        ref = self.stage_block.get(block_id)
+        if ref is not None:
+            ref[1] -= 1
+            if ref[1] <= 0:
+                del self.stage_block[block_id]
+
+    def stage_fifo(self, set_index: int, way: int, fifo: int) -> None:
+        """Mirror the FIFO pointer advance of ``fifo_victim_slot``."""
+        self.stage_tags["fifo"][set_index, way] = fifo
+
+    def stage_block_miss(self, set_index: int, way: int, miss_count: int) -> None:
+        """Mirror the MissCnt bump of ``record_block_miss``."""
+        self.stage_tags["miss_count"][set_index, way] = miss_count
+
+    def stage_aging(self, set_index: int) -> None:
+        """Mirror the right-shift aging of one set's MissCnt column (the
+        MRUMissCnt/credit columns are write-behind; see
+        :meth:`sync_deferred_columns`)."""
+        self.stage_tags["miss_count"][set_index] >>= 1
+
+    def stage_mark_dirty(self, set_index: int, way: int, slot_index: int) -> None:
+        """Mirror ``StageArea.mark_dirty`` (stage-hit write path)."""
+        self.stage_slots["dirty"][set_index, way, slot_index] = True
+
+    # ------------------------------------------------- remap table shadow
+    def on_set(self, block_id: int, entry) -> None:
+        """Remap-table shadow observer: upsert the arena row, then forward
+        along the shadow chain."""
+        if entry.is_remapped:
+            row = self._remap_index.get(block_id)
+            if row is None:
+                row = self._alloc_remap_row()
+                self._remap_index[block_id] = row
+            self.remap_rows[row] = (
+                block_id, True, entry.remap, entry.pointer,
+                entry.cf2, entry.cf4, entry.zero,
+            )
+        else:
+            self._drop_remap(block_id)
+        if self._shadow_next is not None:
+            self._shadow_next.on_set(block_id, entry)
+
+    def on_clear(self, block_id: int) -> None:
+        self._drop_remap(block_id)
+        if self._shadow_next is not None:
+            self._shadow_next.on_clear(block_id)
+
+    def _alloc_remap_row(self) -> int:
+        free = self._remap_free
+        if free:
+            return free.pop()
+        row = self._remap_used
+        rows = self.remap_rows
+        if row >= len(rows):
+            grown = np.zeros(len(rows) * 2, REMAP_DTYPE)
+            grown[: len(rows)] = rows
+            self.remap_rows = grown
+        self._remap_used += 1
+        return row
+
+    def _drop_remap(self, block_id: int) -> None:
+        row = self._remap_index.pop(block_id, None)
+        if row is not None:
+            self.remap_rows[row] = self._zero_remap
+            self._remap_free.append(row)
+
+    # --------------------------------------------------- deferred columns
+    def sync_deferred_columns(self) -> None:
+        """Fold the write-behind columns from the object state.
+
+        The stage LRU ranks and the per-set credit counters mutate on
+        every access (``touch``/``record_set_access``); mirroring them
+        eagerly would put numpy scalar writes on the hot path for columns
+        nothing reads between observation points. This folds them in bulk
+        — the same contract as the deferred integer counters.
+        """
+        stage = self._stage
+        self.stage_tags["lru"][:] = [
+            [entry.lru for entry in row] for row in stage.tags.entries
+        ]
+        self.stage_credit["mru_miss_cnt"][:] = stage.mru_miss_cnt
+        self.stage_credit["set_accesses"][:] = stage._set_accesses
+
+    # ------------------------------------------------------- verification
+    def verify(self) -> None:
+        """Assert bit-exact agreement with the authoritative objects.
+
+        Test-only (O(state) scans): called by the equivalence tests after
+        every mutation site. Raises ``AssertionError`` on any divergence,
+        including probe-index staleness and Rule-3 violations.
+        """
+        self.sync_deferred_columns()
+        stage = self._stage
+        tags = self.stage_tags
+        slots_col = self.stage_slots
+        expected_sub: Dict[int, Tuple[int, int]] = {}
+        expected_block: Dict[int, List[int]] = {}
+        for set_index, row in enumerate(stage.tags.entries):
+            for way, entry in enumerate(row):
+                t = tags[set_index, way]
+                assert bool(t["valid"]) == entry.valid, (set_index, way)
+                if entry.valid:
+                    assert int(t["tag"]) == entry.tag, (set_index, way)
+                    assert int(t["lru"]) == entry.lru, (set_index, way)
+                    assert int(t["fifo"]) == entry.fifo, (set_index, way)
+                    assert int(t["miss_count"]) == entry.miss_count, (
+                        set_index, way
+                    )
+                else:
+                    assert t == self._zero_tag, (set_index, way)
+                super_id = entry.tag * self._stage_sets + set_index
+                for slot_index, slot in enumerate(entry.slots):
+                    c = slots_col[set_index, way, slot_index]
+                    if slot is None:
+                        assert c == self._zero_slot, (set_index, way, slot_index)
+                        continue
+                    assert entry.valid, (set_index, way, slot_index)
+                    assert (
+                        bool(c["valid"]),
+                        int(c["cf"]),
+                        bool(c["dirty"]),
+                        bool(c["zero"]),
+                        int(c["blk_off"]),
+                        int(c["sub_start"]),
+                    ) == (
+                        True, slot.cf, slot.dirty, slot.zero,
+                        slot.blk_off, slot.sub_start,
+                    ), (set_index, way, slot_index)
+                    block_id = super_id * self._bps + slot.blk_off
+                    ref = expected_block.setdefault(block_id, [way, 0])
+                    # Rule 3: one block's staged ranges live in one way.
+                    assert ref[0] == way, ("rule-3 violation", block_id)
+                    ref[1] += 1
+                    subs = (
+                        range(self._spb)
+                        if slot.zero
+                        else range(slot.sub_start, slot.sub_start + slot.cf)
+                    )
+                    base = block_id * self._spb
+                    for sub in subs:
+                        key = base + sub
+                        # Ranges never overlap: each sub has one cover.
+                        assert key not in expected_sub, ("overlap", key)
+                        expected_sub[key] = (way, slot_index)
+        assert self.stage_sub == expected_sub, "stage_sub probe index stale"
+        assert self.stage_block == expected_block, "stage_block probe index stale"
+
+        entries = self._remap_table._entries
+        assert set(self._remap_index) == set(entries), "remap arena index stale"
+        for block_id, entry in entries.items():
+            r = self.remap_rows[self._remap_index[block_id]]
+            assert (
+                int(r["block_id"]), bool(r["valid"]), int(r["remap"]),
+                int(r["pointer"]), int(r["cf2"]), int(r["cf4"]), bool(r["zero"]),
+            ) == (
+                block_id, True, entry.remap, entry.pointer,
+                entry.cf2, entry.cf4, entry.zero,
+            ), ("remap row stale", block_id)
+        live = set(self._remap_index.values())
+        for row in range(self._remap_used):
+            if row not in live:
+                assert self.remap_rows[row] == self._zero_remap, (
+                    "freed remap row not cleared", row
+                )
+
+        for index, cache_set in enumerate(self._remap_cache._sets):
+            assert int(self.rc_occupancy[index]) == len(cache_set.lines), (
+                "remap-cache occupancy stale", index
+            )
+
+        credit = self.stage_credit
+        for set_index in range(self._stage_sets):
+            assert int(credit["mru_miss_cnt"][set_index]) == stage.mru_miss_cnt[set_index]
+            assert int(credit["set_accesses"][set_index]) == stage._set_accesses[set_index]
+
+    # -------------------------------------------------------- accounting
+    def storage_bytes(self) -> int:
+        """Bytes held by the columnar arrays (reporting convenience)."""
+        return int(
+            self.stage_tags.nbytes
+            + self.stage_slots.nbytes
+            + self.stage_credit.nbytes
+            + self.remap_rows.nbytes
+            + self.rc_occupancy.nbytes
+        )
+
+
+__all__ = [
+    "STAGE_TAG_DTYPE",
+    "STAGE_SLOT_DTYPE",
+    "STAGE_CREDIT_DTYPE",
+    "REMAP_DTYPE",
+    "ColumnarState",
+]

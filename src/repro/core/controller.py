@@ -49,6 +49,10 @@ from repro.metadata.remap_cache import RemapCache
 from repro.metadata.stage_tag import RangeSlot, StageTagEntry
 from repro.obs.tracer import NULL_TRACER
 
+#: Sentinel for "caller did not resolve the staged-block binding" — distinct
+#: from None, which means "resolved: the block is not staged".
+_UNRESOLVED: Tuple[int, StageTagEntry] = object()  # type: ignore[assignment]
+
 
 class BaryonController:
     """Hardware-transparent hybrid memory controller with compression and
@@ -176,6 +180,36 @@ class BaryonController:
                 self.checker = ShadowChecker(pointer_bits=pointer_bits)
                 self.remap_table.shadow = self.checker
 
+        # Columnar mirror of the metadata state (numpy structured arrays
+        # plus the O(1) probe indices the deferred batch fast path
+        # classifies with). Created after the resilience layer so it
+        # chains in front of any existing remap-table shadow observer.
+        from repro.core.columnar import ColumnarState
+
+        self.columnar = ColumnarState(self)
+
+        # Cached constants for the deferred fast path (access_deferred /
+        # access_batch); all are invariant after construction.
+        self._stage_on = self.config.stage.enabled
+        self._g_sub_per_block = g.sub_blocks_per_block
+        self._cl_size = g.cacheline_size
+        self._sb_size = g.sub_block_size
+        self._ca = self.config.compression.cacheline_aligned
+        self._tag_lat_f = float(self.config.stage.tag_latency_cycles)
+        self._rc_lat_f = float(self.remap_cache.latency_cycles)
+        self._meta_hit_f = max(self._tag_lat_f, self._rc_lat_f)
+        self._decomp_f = float(self.config.compression.decompression_latency_cycles)
+        self._decomp_i = self.config.compression.decompression_latency_cycles
+        self._zero_support = self.config.compression.zero_block_support
+        self._cwb = self.config.compressed_writeback
+        self._two_level = self.config.two_level_replacement
+        self._share_phys = self.config.share_physical_blocks
+        self._idx_stage_hit = AccessCase.STAGE_HIT.index
+        self._idx_commit_hit = AccessCase.COMMIT_HIT.index
+        self._idx_commit_miss = AccessCase.COMMIT_MISS.index
+        self._idx_fast_home = AccessCase.FAST_HOME.index
+        self._idx_slow_direct = AccessCase.SLOW_DIRECT.index
+
         if tracer is not None or metrics is not None:
             from repro.obs import attach_observability
 
@@ -285,6 +319,361 @@ class BaryonController:
             )
         return result
 
+    # ------------------------------------------------ deferred batch path
+    @property
+    def supports_batching(self) -> bool:
+        """May the simulator drive this controller through the deferred
+        batch fast path (:meth:`access_deferred` + :meth:`access_batch`)?
+
+        Requires every optional per-access observer to be absent: fault
+        injection, recovery, the shadow checker, the phase tracker, event
+        tracing, and quarantined super-blocks all hook the scalar flow.
+        Subclasses that intercept ``access`` (the content-backed oracle)
+        shadow this property with a class attribute ``False``.
+        """
+        return (
+            self.faults is None
+            and self.recovery is None
+            and self.checker is None
+            and self.tracker is None
+            and not self.obs.enabled
+            and not self._quarantined
+        )
+
+    def _staged_block_of(self, super_id: int, block_id: int, blk_off: int):
+        """Columnar-index form of :meth:`StageArea.lookup_block`.
+
+        One dict probe instead of the way x slot scan; identical answers
+        by the Rule-3 invariant. Falls back to the scanning lookup when
+        fault injection is armed (the scan draws the per-match corruption
+        sample).
+        """
+        if self.faults is not None:
+            return self.stage.lookup_block(super_id, blk_off)
+        ref = self.columnar.stage_block.get(block_id)
+        if ref is None:
+            return None
+        way = ref[0]
+        return way, self.stage.tags.entries[super_id % self.stage.num_sets][way]
+
+    def _count_table_probe(self) -> None:
+        """Traffic accounting of the 16 B off-chip remap-table probe; its
+        queue/transfer timing replays later from the op record."""
+        dev = self.devices.fast
+        dev._n_read_bytes += 16
+        dev._n_reads += 1
+        dev._n_demand_read_bytes += 16
+        self._stats.inc("remap_table_reads")
+
+    def access_deferred(self, addr: int, is_write: bool = False):
+        """Serve one 64 B access with state applied now and timing deferred.
+
+        The batch-safe cases — stage hit, commit hit, commit miss,
+        resident/displaced flat home — mutate no state whose transitions
+        depend on the clock, so their state effects (LRU touches,
+        remap-cache fills, credit/aging counters, dirty marks, oracle
+        write notes, traffic and case counters, prefetched-line
+        computation) are applied eagerly in trace order here, while the
+        clock-dependent part (channel queueing) is captured as one op
+        tuple for :meth:`access_batch` to replay:
+
+            (rc_miss, stage_meta, dev, nbytes, array_latency, decomp, lines)
+
+        ``dev`` is 0 (no data device: zero-encoded data), 1 (fast read),
+        2 (slow read), 3 (fast write) or 4 (slow write); ``stage_meta``
+        selects the stage-hit metadata latency rule (tag latency only)
+        over ``max(tag, remap)``; ``lines`` are the prefetched cacheline
+        addresses for the caller to install.
+
+        Write hits qualify only when they provably do not overflow: the
+        oracle's pure ``peek_write``/``fits_at`` probes test the
+        post-write verdict before anything mutates. Returns ``None`` —
+        with **no state applied** (classification uses only pure probes)
+        — whenever the access needs the scalar path: staging fetches
+        (cases 3/5), zero-encoding breaks, write overflows, the no-stage
+        ablation, or a broken fast-area invariant. The scalar
+        :meth:`access` then serves it bit-identically.
+        """
+        block_size = self._g_block_size
+        block_id = addr // block_size
+        super_id = block_id // self._g_super_blocks
+        rem = addr % block_size
+        sub_size = self._g_sub_size
+        sub_idx = rem // sub_size
+        col = self.columnar
+        staged = col.stage_sub.get(block_id * self._g_sub_per_block + sub_idx)
+        if staged is not None:
+            # Case 1: stage hit.
+            way, slot_idx = staged
+            stage = self.stage
+            set_index = super_id % stage.num_sets
+            slot = stage.tags.entries[set_index][way].slots[slot_idx]
+            if is_write:
+                if slot.zero:
+                    return None  # Z break: the scalar path re-stages.
+                cf = slot.cf
+                if (
+                    cf > 1
+                    and self.oracle.peek_write(block_id, sub_idx)
+                    and not self.oracle.fits_at(
+                        block_id, slot.sub_start, cf, self._ca,
+                        self.oracle.version_of(block_id) + 1,
+                    )
+                ):
+                    return None  # write overflow: scalar splits the range
+                stage.record_set_access(set_index)
+                rc_miss = not self.remap_cache.access(super_id)
+                if rc_miss:
+                    self._count_table_probe()
+                stage.touch(set_index, way)
+                dev = self.devices.fast
+                nbytes = self._cl_size
+                dev._n_write_bytes += nbytes
+                dev._n_writes += 1
+                dev._array_latency(
+                    block_id * block_size + sub_idx * sub_size,
+                    dev.write_latency,
+                )
+                stage.mark_dirty(set_index, way, slot_idx)
+                self.oracle.note_write(block_id, sub_idx)
+                self._n_accesses += 1
+                self._n_writes += 1
+                self._n_cases[self._idx_stage_hit] += 1
+                self._n_served_fast += 1
+                return (rc_miss, True, 3, nbytes, 0.0, 0.0, None)
+            stage.record_set_access(set_index)
+            rc_miss = not self.remap_cache.access(super_id)
+            if rc_miss:
+                self._count_table_probe()
+            stage.touch(set_index, way)
+            self._n_accesses += 1
+            self._n_reads += 1
+            self._n_cases[self._idx_stage_hit] += 1
+            self._n_served_fast += 1
+            if slot.zero:
+                return (rc_miss, True, 0, 0, 0.0, 0.0, None)
+            cf = slot.cf
+            nbytes = self._cl_size if (cf <= 1 or self._ca) else self._sb_size
+            dev = self.devices.fast
+            dev._n_read_bytes += nbytes
+            dev._n_reads += 1
+            dev._n_demand_read_bytes += nbytes
+            arr = dev._array_latency(
+                block_id * block_size + sub_idx * sub_size, dev.read_latency
+            ) + 0.0
+            if cf > 1:
+                line_idx = (rem % sub_size) // self._g_line_size
+                lines = self._chunk_lines(
+                    block_id, slot.sub_start, cf, sub_idx, line_idx
+                )
+                return (rc_miss, True, 1, nbytes, arr, self._decomp_f, lines)
+            return (rc_miss, True, 1, nbytes, arr, 0.0, None)
+
+        entry = self.remap_table._entries.get(block_id)
+        blk_off = block_id % self._g_super_blocks
+        if entry is not None and entry.sub_block_remapped(sub_idx):
+            # Case 2: commit hit.
+            located = self.fast_area.find_block(super_id, blk_off)
+            if located is None:
+                return None  # broken invariant: the scalar path raises
+            way, state = located
+            if is_write:
+                if entry.zero:
+                    return None  # Z break: scalar evicts the logical block
+                start, cf = entry.range_of(sub_idx)
+                if (
+                    self.oracle.peek_write(block_id, sub_idx)
+                    and cf > 1
+                    and not self.oracle.fits_at(
+                        block_id, start, cf, self._ca,
+                        self.oracle.version_of(block_id) + 1,
+                    )
+                ):
+                    return None  # Rule-4 overflow: scalar evicts
+                self.stage.record_set_access(super_id % self.stage.num_sets)
+                rc_miss = not self.remap_cache.access(super_id)
+                if rc_miss:
+                    self._count_table_probe()
+                self.fast_area.touch(self.fast_area.set_of_super(super_id), way)
+                dev = self.devices.fast
+                nbytes = self._cl_size
+                dev._n_write_bytes += nbytes
+                dev._n_writes += 1
+                dev._array_latency(
+                    block_id * block_size + sub_idx * sub_size,
+                    dev.write_latency,
+                )
+                state.dirty_subs.add((blk_off, sub_idx))
+                self.oracle.note_write(block_id, sub_idx)
+                self._n_accesses += 1
+                self._n_writes += 1
+                self._n_cases[self._idx_commit_hit] += 1
+                self._n_served_fast += 1
+                return (rc_miss, False, 3, nbytes, 0.0, 0.0, None)
+            self.stage.record_set_access(super_id % self.stage.num_sets)
+            rc_miss = not self.remap_cache.access(super_id)
+            if rc_miss:
+                self._count_table_probe()
+            self.fast_area.touch(self.fast_area.set_of_super(super_id), way)
+            self._n_accesses += 1
+            self._n_reads += 1
+            self._n_cases[self._idx_commit_hit] += 1
+            self._n_served_fast += 1
+            if entry.zero:
+                return (rc_miss, False, 0, 0, 0.0, 0.0, None)
+            start, cf = entry.range_of(sub_idx)
+            nbytes = self._cl_size if (cf <= 1 or self._ca) else self._sb_size
+            dev = self.devices.fast
+            dev._n_read_bytes += nbytes
+            dev._n_reads += 1
+            dev._n_demand_read_bytes += nbytes
+            arr = dev._array_latency(
+                block_id * block_size + sub_idx * sub_size, dev.read_latency
+            ) + 0.0
+            if cf > 1:
+                line_idx = (rem % sub_size) // self._g_line_size
+                lines = self._chunk_lines(block_id, start, cf, sub_idx, line_idx)
+                return (rc_miss, False, 1, nbytes, arr, self._decomp_f, lines)
+            return (rc_miss, False, 1, nbytes, arr, 0.0, None)
+        if self._stage_on and block_id in col.stage_block:
+            return None  # case 3: the staged fetch mutates, scalar path
+        if entry is not None:
+            # entry.is_remapped but the demanded sub-block is not staged
+            # or committed.
+            if not self._stage_on:
+                return None  # no-stage ablation inserts directly
+            # Case 4: commit miss — a pure slow-memory bypass.
+            self.stage.record_set_access(super_id % self.stage.num_sets)
+            rc_miss = not self.remap_cache.access(super_id)
+            if rc_miss:
+                self._count_table_probe()
+            self._n_accesses += 1
+            self._n_cases[self._idx_commit_miss] += 1
+            dev = self.devices.slow
+            nbytes = self._cl_size
+            if is_write:
+                self._n_writes += 1
+                dev._n_write_bytes += nbytes
+                dev._n_writes += 1
+                return (rc_miss, False, 4, nbytes, 0.0, 0.0, None)
+            self._n_reads += 1
+            dev._n_read_bytes += nbytes
+            dev._n_reads += 1
+            dev._n_demand_read_bytes += nbytes
+            return (rc_miss, False, 2, nbytes, dev.read_latency + 0.0, 0.0, None)
+        if (
+            self._flat_blocks
+            and block_id % self._home_period == 0
+            and block_id // self._home_period < self._flat_blocks
+        ):
+            if block_id not in self._displaced:
+                # Flat scheme: resident home block, served in place.
+                self.stage.record_set_access(super_id % self.stage.num_sets)
+                rc_miss = not self.remap_cache.access(super_id)
+                if rc_miss:
+                    self._count_table_probe()
+                self._n_accesses += 1
+                self._n_cases[self._idx_fast_home] += 1
+                self._n_served_fast += 1
+                dev = self.devices.fast
+                nbytes = self._cl_size
+                if is_write:
+                    self._n_writes += 1
+                    dev._n_write_bytes += nbytes
+                    dev._n_writes += 1
+                    dev._array_latency(
+                        block_id * block_size, dev.write_latency
+                    )
+                    self._home_stamps[block_id] = self.fast_area.next_stamp()
+                    return (rc_miss, False, 3, nbytes, 0.0, 0.0, None)
+                self._n_reads += 1
+                dev._n_read_bytes += nbytes
+                dev._n_reads += 1
+                dev._n_demand_read_bytes += nbytes
+                arr = dev._array_latency(
+                    block_id * block_size, dev.read_latency
+                ) + 0.0
+                self._home_stamps[block_id] = self.fast_area.next_stamp()
+                return (rc_miss, False, 1, nbytes, arr, 0.0, None)
+            # Displaced home: served from its spread slow copy.
+            self.stage.record_set_access(super_id % self.stage.num_sets)
+            rc_miss = not self.remap_cache.access(super_id)
+            if rc_miss:
+                self._count_table_probe()
+            self._n_accesses += 1
+            self._n_cases[self._idx_slow_direct] += 1
+            dev = self.devices.slow
+            nbytes = self._cl_size
+            if is_write:
+                self._n_writes += 1
+                dev._n_write_bytes += nbytes
+                dev._n_writes += 1
+                return (rc_miss, False, 4, nbytes, 0.0, 0.0, None)
+            self._n_reads += 1
+            dev._n_read_bytes += nbytes
+            dev._n_reads += 1
+            dev._n_demand_read_bytes += nbytes
+            return (rc_miss, False, 2, nbytes, dev.read_latency + 0.0, 0.0, None)
+        return None  # case 5: the block miss stages a fetch, scalar path
+
+    def access_batch(self, ops, cycles: float, mlp: float) -> float:
+        """Replay a span of deferred ops against the channel pools.
+
+        ``ops`` interleaves plain floats (core-side cycle increments the
+        caller deferred to keep the accumulation order) with op tuples
+        from :meth:`access_deferred`, in trace order. Each op is served at
+        the clock value the accumulator has reached — exactly the ``now``
+        the scalar loop would have passed to :meth:`access` — so the
+        channel busy-state evolution, the queueing delays and the float
+        accumulation order of ``cycles`` are bit-identical to the scalar
+        path. Returns the advanced ``cycles``.
+        """
+        fast_transfer = self.devices.fast.pool.transfer
+        slow_transfer = self.devices.slow.pool.transfer
+        tag_lat = self._tag_lat_f
+        meta_hit = self._meta_hit_f
+        rc_lat = self._rc_lat_f
+        probe_lat = self.devices.fast.read_latency + 0.0
+        now = self._now
+        for op in ops:
+            if op.__class__ is float:
+                cycles += op
+                continue
+            rc_miss, stage_meta, dev, nbytes, arr, decomp, _lines = op
+            now = cycles
+            if dev >= 3:
+                # Posted write: evolves the channel busy state (and the
+                # remap-table probe) but adds no core-visible latency —
+                # the simulator never accumulates write latencies.
+                if rc_miss:
+                    fast_transfer(now, 16, True)
+                if dev == 3:
+                    fast_transfer(now, nbytes)
+                else:
+                    slow_transfer(now, nbytes)
+                continue
+            if rc_miss:
+                queue, transfer = fast_transfer(now, 16, True)
+                if stage_meta:
+                    latency = tag_lat
+                else:
+                    remap_lat = rc_lat + ((probe_lat + queue) + transfer)
+                    latency = remap_lat if remap_lat > tag_lat else tag_lat
+            else:
+                latency = tag_lat if stage_meta else meta_hit
+            if dev:
+                queue, transfer = (
+                    fast_transfer(now, nbytes, True)
+                    if dev == 1
+                    else slow_transfer(now, nbytes, True)
+                )
+                latency += (arr + queue) + transfer
+                if decomp:
+                    latency += decomp
+            cycles += latency / mlp
+        self._now = now
+        return cycles
+
     def _dispatch(
         self,
         now: float,
@@ -322,16 +711,31 @@ class BaryonController:
         defer_entry = self.faults is None
         entry = None if defer_entry else self._table_get(now, block_id)
 
-        staged_block = (
-            self.stage.lookup_block(super_id, blk_off)
-            if self.config.stage.enabled
-            else None
-        )
-        staged_sub = (
-            self.stage.lookup_sub_block(super_id, blk_off, sub_idx)
-            if staged_block is not None
-            else None
-        )
+        staged_block = None
+        staged_sub = None
+        if self.config.stage.enabled:
+            if self.faults is None:
+                # O(1) columnar probes replace the way x slot scans. The
+                # Rule-3 and no-overlap invariants (ColumnarState.verify)
+                # make the dict answers identical to the first-match
+                # scans; with fault injection armed the scans stay, since
+                # lookup_block draws the corruption sample per match.
+                ref = self.columnar.stage_block.get(block_id)
+                if ref is not None:
+                    way = ref[0]
+                    entry_obj = self.stage.tags.entries[stage_set][way]
+                    staged_block = (way, entry_obj)
+                    hit = self.columnar.stage_sub.get(
+                        block_id * self._g_sub_per_block + sub_idx
+                    )
+                    if hit is not None:
+                        staged_sub = (way, entry_obj, hit[1])
+            else:
+                staged_block = self.stage.lookup_block(super_id, blk_off)
+                if staged_block is not None:
+                    staged_sub = self.stage.lookup_sub_block(
+                        super_id, blk_off, sub_idx
+                    )
 
         if staged_sub is not None:
             meta = meta_latency
@@ -393,6 +797,31 @@ class BaryonController:
             return self.recovery.retry_write(device, now, nbytes, addr=addr)
         return device.write(now, nbytes, addr=addr)
 
+    def _bg_read(self, device, now: float, nbytes: int) -> None:
+        """Fill-side read whose timing outcome is discarded.
+
+        Same channel occupancy and traffic counters as
+        ``_dev_read(..., demand=False)`` without materializing the
+        :class:`DeviceAccess` nobody reads; falls back to the retry
+        wrapper whenever fault injection is armed.
+        """
+        if self.faults is not None or device.faults is not None:
+            self._dev_read(device, now, nbytes, demand=False)
+            return
+        device.pool.transfer(now, nbytes, False)
+        device._n_read_bytes += nbytes
+        device._n_reads += 1
+        device._n_fill_read_bytes += nbytes
+
+    def _bg_write(self, device, now: float, nbytes: int) -> None:
+        """Posted write whose timing outcome is discarded (see _bg_read)."""
+        if self.faults is not None or device.faults is not None:
+            self._dev_write(device, now, nbytes)
+            return
+        device.pool.transfer(now, nbytes)
+        device._n_write_bytes += nbytes
+        device._n_writes += 1
+
     def _pause_faults(self) -> bool:
         """Suspend injection for a recovery path; returns a resume token."""
         if self.faults is not None and not self.faults.paused:
@@ -422,7 +851,7 @@ class BaryonController:
             entry = self.checker.verified_get(block_id, entry, corrupted=True)
             token = self._pause_faults()
             try:
-                self._dev_write(self.devices.fast, now, 2)
+                self._bg_write(self.devices.fast, now, 2)
             finally:
                 self._resume_faults(token)
             self.recovery.record("table_repairs", site="remap_table")
@@ -430,13 +859,14 @@ class BaryonController:
 
     def _repair_remap_cache_line(self, super_id: int) -> bool:
         """Drop and refill a corrupted remap-cache line. Returns False:
-        the access now pays the off-chip table probe, as any miss would."""
-        self.remap_cache.invalidate(super_id)
-        token = self._pause_faults()
-        try:
-            self.remap_cache.access(super_id)
-        finally:
-            self._resume_faults(token)
+        the access now pays the off-chip table probe, as any miss would.
+
+        Delegates to :meth:`RemapCache.repair`, which fuses the old
+        invalidate + fault-paused refill into one pass over the set (the
+        columnar occupancy column replaces the re-probe); a paused access
+        never consulted the injector, so no pause/resume is needed here.
+        """
+        self.remap_cache.repair(super_id)
         self.recovery.record("remap_cache_repairs", site="remap_cache")
         return False
 
@@ -531,7 +961,7 @@ class BaryonController:
                 addr=block_id * self.geometry.block_size + sub_idx * self.geometry.sub_block_size,
             )
             latency += access.total_cycles
-            slot.dirty = True
+            self.stage.mark_dirty(set_index, way, slot_idx)
             overflow = self._maybe_stage_overflow(
                 now, set_index, way, slot_idx, block_id, blk_off, sub_idx
             )
@@ -542,7 +972,7 @@ class BaryonController:
             )
             latency += access.total_cycles
             if slot.cf > 1:
-                latency += self.config.compression.decompression_latency_cycles
+                latency += self._decomp_i
                 prefetched = self._chunk_lines(
                     block_id, slot.sub_start, slot.cf, sub_idx, line_idx
                 )
@@ -581,7 +1011,7 @@ class BaryonController:
                 cf=piece[1], dirty=True, blk_off=blk_off, sub_start=piece[0]
             )
             self._stage_insert(now, super_id, block_id, blk_off, piece_slot)
-            self._dev_write(self.devices.fast, now, self.geometry.sub_block_size)
+            self._bg_write(self.devices.fast, now, self.geometry.sub_block_size)
         return True
 
     def _stage_zero_write(
@@ -910,17 +1340,17 @@ class BaryonController:
     ) -> Tuple[float, List[int]]:
         """Cases 3/5: fetch from slow memory, respond, stage in background."""
         g = self.geometry
-        existing = self.stage.lookup_block(super_id, blk_off)
+        existing = self._staged_block_of(super_id, block_id, blk_off)
 
         # All-zero block: the Z encoding stages the whole block for free
         # (only on the first fetch of the block, which covers it entirely).
         if (
             existing is None
-            and self.config.compression.zero_block_support
+            and self._zero_support
             and self.oracle.is_zero(block_id, 0, g.sub_blocks_per_block)
         ):
             slot = RangeSlot(cf=1, dirty=is_write, blk_off=blk_off, zero=True)
-            self._stage_insert(now, super_id, block_id, blk_off, slot)
+            self._stage_insert(now, super_id, block_id, blk_off, slot, existing)
             self._stats.inc("zero_block_stages")
             return meta, []
 
@@ -956,14 +1386,14 @@ class BaryonController:
         # Background: the rest of the range, plus the stage-area fill.
         rest = max(0, fetch_bytes - demand_bytes)
         if rest:
-            self._dev_read(self.devices.slow, now, rest, demand=False)
-        self._dev_write(self.devices.fast, now, g.sub_block_size)
+            self._bg_read(self.devices.slow, now, rest)
+        self._bg_write(self.devices.fast, now, g.sub_block_size)
         if self._h_fetch_subs is not None:
             self._h_fetch_subs.observe(cf)
             self._h_fetch_bytes.observe(fetch_bytes)
 
         slot = RangeSlot(cf=cf, dirty=is_write, blk_off=blk_off, sub_start=start)
-        self._stage_insert(now, super_id, block_id, blk_off, slot)
+        self._stage_insert(now, super_id, block_id, blk_off, slot, existing)
         if is_write:
             self.oracle.note_write(block_id, sub_idx)
         return latency, prefetched
@@ -978,9 +1408,9 @@ class BaryonController:
         a compressed writeback), so the fetch itself moves fewer bytes.
         """
         g = self.geometry
-        ca = self.config.compression.cacheline_aligned
+        ca = self._ca
         hint = self._cf_hints.get(block_id)
-        if hint is not None and self.config.compressed_writeback:
+        if hint is not None and self._cwb:
             cf2, cf4, _zero = hint
             quad = sub_idx // 4
             if (cf4 >> quad) & 1:
@@ -1054,6 +1484,7 @@ class BaryonController:
         block_id: int,
         blk_off: int,
         new_slot: RangeSlot,
+        bound: Optional[Tuple[int, StageTagEntry]] = _UNRESOLVED,
     ) -> None:
         """Insert one range into the stage area (two-level replacement).
 
@@ -1064,7 +1495,8 @@ class BaryonController:
         replacement, regrouping the data block's existing ranges into it.
         """
         set_index = self.stage.set_index_of(super_id)
-        bound = self.stage.lookup_block(super_id, blk_off)
+        if bound is _UNRESOLVED:
+            bound = self._staged_block_of(super_id, block_id, blk_off)
         if bound is not None:
             way, entry = bound
             if entry.free_slot() is not None:
@@ -1073,7 +1505,7 @@ class BaryonController:
                 return
             owns_whole_block = len(entry.slots_of_block(blk_off)) >= len(entry.slots)
             if (
-                not self.config.two_level_replacement
+                not self._two_level
                 or self.stage.is_lru(set_index, way)
                 or owns_whole_block
             ):
@@ -1098,15 +1530,15 @@ class BaryonController:
                 self.stage.invalidate(set_index, way)
             # Fast-to-fast regrouping traffic.
             move_bytes = moved * self.geometry.sub_block_size
-            self._dev_read(self.devices.fast, now, move_bytes, demand=False)
-            self._dev_write(self.devices.fast, now, move_bytes)
+            self._bg_read(self.devices.fast, now, move_bytes)
+            self._bg_write(self.devices.fast, now, move_bytes)
             self._stats.inc("stage_regroup_moves")
             self.stage.insert_range(set_index, new_way, new_slot)
             self.stage.touch(set_index, new_way)
             return
 
         candidates = self.stage.lookup_super(super_id)
-        if not self.config.share_physical_blocks:
+        if not self._share_phys:
             # Traditional sub-blocking: a physical block serves one logical
             # block only, so other blocks' stage ways are not candidates.
             candidates = []
@@ -1122,7 +1554,7 @@ class BaryonController:
             lru_full = [
                 w for w, _ in candidates if self.stage.is_lru(set_index, w)
             ]
-            if lru_full or not self.config.two_level_replacement:
+            if lru_full or not self._two_level:
                 way = lru_full[0] if lru_full else self._rng.choice(candidates)[0]
                 self._sub_block_replace(now, set_index, way, super_id)
                 self.stage.insert_range(set_index, way, new_slot)
@@ -1176,8 +1608,8 @@ class BaryonController:
                 self._record_hint(block_id, slot)
             else:
                 nbytes = slot.cf * self.geometry.sub_block_size
-            self._dev_read(self.devices.fast, now, nbytes, demand=False)
-            self._dev_write(self.devices.slow, now, nbytes)
+            self._bg_read(self.devices.fast, now, nbytes)
+            self._bg_write(self.devices.slow, now, nbytes)
             self._stats.inc("stage_dirty_writebacks")
             if self.obs.enabled:
                 self.obs.emit(
@@ -1293,8 +1725,8 @@ class BaryonController:
         # Commit data movement: stage block -> cache/flat area block.
         move = state.slots_used * self.geometry.sub_block_size
         if move:
-            self._dev_read(self.devices.fast, now, move, demand=False)
-            self._dev_write(self.devices.fast, now, move)
+            self._bg_read(self.devices.fast, now, move)
+            self._bg_write(self.devices.fast, now, move)
         snapshot = self.stage.invalidate(set_index, way)
         self._stats.inc("commits")
         if self.checker is not None:
@@ -1351,8 +1783,8 @@ class BaryonController:
             return home
         # Spread the original 2 kB into the freed slow sub-block spaces.
         size = self.geometry.block_size
-        self._dev_read(self.devices.fast, now, size, demand=False)
-        self._dev_write(self.devices.slow, now, size)
+        self._bg_read(self.devices.fast, now, size)
+        self._bg_write(self.devices.slow, now, size)
         self._displaced[home] = (fa_set, way)
         self._stats.inc("home_displacements")
         return home
@@ -1369,8 +1801,8 @@ class BaryonController:
         if home is None:
             return
         size = self.geometry.block_size
-        self._dev_read(self.devices.slow, now, size, demand=False)
-        self._dev_write(self.devices.fast, now, size)
+        self._bg_read(self.devices.slow, now, size)
+        self._bg_write(self.devices.fast, now, size)
         del self._displaced[home]
         self._stats.inc("home_restores")
 
@@ -1405,8 +1837,8 @@ class BaryonController:
                     else entry.dirty_like_count() * g.sub_block_size
                 )
                 if nbytes:
-                    self._dev_read(self.devices.fast, now, nbytes, demand=False)
-                    self._dev_write(self.devices.slow, now, nbytes)
+                    self._bg_read(self.devices.fast, now, nbytes)
+                    self._bg_write(self.devices.slow, now, nbytes)
                     if self.obs.enabled:
                         self.obs.emit(
                             "writeback", block=block_id, bytes=nbytes,
@@ -1424,8 +1856,8 @@ class BaryonController:
                         nbytes = len(dirty_ranges) * g.sub_block_size
                     else:
                         nbytes = len(dirty_subs) * g.sub_block_size
-                    self._dev_read(self.devices.fast, now, nbytes, demand=False)
-                    self._dev_write(self.devices.slow, now, nbytes)
+                    self._bg_read(self.devices.fast, now, nbytes)
+                    self._bg_write(self.devices.slow, now, nbytes)
                     self._stats.inc("commit_dirty_writebacks")
                     if self.obs.enabled:
                         self.obs.emit(
@@ -1440,8 +1872,8 @@ class BaryonController:
                 # Slow swap step 1: shuffle the spread original content
                 # into the spaces just vacated; the home stays displaced
                 # because a new block commits into its space right away.
-                self._dev_read(self.devices.slow, now, g.block_size, demand=False)
-                self._dev_write(self.devices.slow, now, g.block_size)
+                self._bg_read(self.devices.slow, now, g.block_size)
+                self._bg_write(self.devices.slow, now, g.block_size)
                 self._stats.inc("slow_swaps")
             else:
                 self._restore_home(now, set_index, way)
@@ -1469,8 +1901,8 @@ class BaryonController:
         nbytes = self.geometry.sub_block_size * (
             1 if self.config.compressed_writeback else cf
         )
-        self._dev_read(self.devices.fast, now, nbytes, demand=False)
-        self._dev_write(self.devices.slow, now, nbytes)
+        self._bg_read(self.devices.fast, now, nbytes)
+        self._bg_write(self.devices.slow, now, nbytes)
         new_entry = RemapEntry(
             remap=remap, pointer=way, cf2=cf2, cf4=cf4,
             num_subs=self.geometry.sub_blocks_per_block,
@@ -1498,8 +1930,8 @@ class BaryonController:
         if not entry.zero:
             nbytes = entry.occupied_slots() * self.geometry.sub_block_size
             if nbytes:
-                self._dev_read(self.devices.fast, now, nbytes, demand=False)
-                self._dev_write(self.devices.slow, now, nbytes)
+                self._bg_read(self.devices.fast, now, nbytes)
+                self._bg_write(self.devices.slow, now, nbytes)
         self.remap_table.clear(block_id)
         state.slots_used -= state.committed.pop(blk_off, 0)
         state.dirty_subs = {
@@ -1551,7 +1983,7 @@ class BaryonController:
             fetch_bytes = cf * g.sub_block_size
         rest = max(0, fetch_bytes - demand_bytes)
         if rest:
-            self._dev_read(self.devices.slow, now, rest, demand=False)
+            self._bg_read(self.devices.slow, now, rest)
 
         fa_set = self.fast_area.set_of_super(super_id)
         if entry.is_remapped:
@@ -1580,10 +2012,10 @@ class BaryonController:
         # Re-sort penalty: rewrite the whole physical block layout.
         resort = state.slots_used * g.sub_block_size
         if resort:
-            self._dev_read(self.devices.fast, now, resort, demand=False)
-            self._dev_write(self.devices.fast, now, resort)
+            self._bg_read(self.devices.fast, now, resort)
+            self._bg_write(self.devices.fast, now, resort)
             self._stats.inc("layout_resorts")
-        self._dev_write(self.devices.fast, now, g.sub_block_size)
+        self._bg_write(self.devices.fast, now, g.sub_block_size)
 
         remap, cf2, cf4 = entry.remap, entry.cf2, entry.cf4
         if entry.remap == 0:

@@ -28,7 +28,7 @@ from repro.common.errors import LayoutError
 from repro.common.stats import CounterGroup
 
 
-@dataclass
+@dataclass(slots=True)
 class FastBlockState:
     """State of one occupied fast block space in the cache/flat area."""
 

@@ -40,6 +40,7 @@ class StageArea:
         )
         self.mru_miss_cnt: List[int] = [0] * self.num_sets
         self._set_accesses: List[int] = [0] * self.num_sets
+        self._aging_period = config.aging_period_accesses
         self.stats = CounterGroup("stage_area")
         #: Observability hook point; see :mod:`repro.obs`.
         self.obs = NULL_TRACER
@@ -47,6 +48,11 @@ class StageArea:
         #: tag corruption surfaces on block lookups; the controller flushes
         #: and quarantines the affected entry.
         self.faults = None
+        #: Optional :class:`~repro.core.columnar.ColumnarState` mirror.
+        #: Mutation sites notify it so the columnar arrays and the O(1)
+        #: probe indices stay exact; the per-access LRU/credit columns are
+        #: write-behind (see ``ColumnarState.sync_deferred_columns``).
+        self.columnar = None
 
     # -- lookup ------------------------------------------------------------
     def lookup_super(self, super_id: int) -> List[Tuple[int, StageTagEntry]]:
@@ -117,10 +123,13 @@ class StageArea:
         if not target.valid:
             raise LayoutError("touched an invalid stage entry")
         old_rank = target.lru
+        valid = 0
         for entry in entries:
-            if entry.valid and entry.lru > old_rank:
-                entry.lru -= 1
-        target.lru = self._valid_count(set_index) - 1
+            if entry.valid:
+                valid += 1
+                if entry.lru > old_rank:
+                    entry.lru -= 1
+        target.lru = valid - 1
 
     def _valid_count(self, set_index: int) -> int:
         return sum(1 for e in self.tags.entries[set_index] if e.valid)
@@ -162,6 +171,8 @@ class StageArea:
         entry.miss_count = 0
         # A fresh entry enters at MRU; existing dense ranks 0..n-2 stand.
         entry.lru = self._valid_count(set_index) - 1
+        if self.columnar is not None:
+            self.columnar.stage_allocate(set_index, way, entry)
         self.stats.inc("allocations")
         return set_index, way
 
@@ -192,6 +203,8 @@ class StageArea:
         entry.lru = 0
         entry.fifo = 0
         entry.miss_count = 0
+        if self.columnar is not None:
+            self.columnar.stage_invalidate(set_index, way, snapshot)
         self.stats.inc("invalidations")
         return snapshot
 
@@ -203,6 +216,8 @@ class StageArea:
         if free is None:
             raise LayoutError("insert_range into a full stage block")
         entry.slots[free] = slot
+        if self.columnar is not None:
+            self.columnar.stage_insert(set_index, way, free, slot, entry.tag)
         if self.obs.enabled:
             self.obs.emit(
                 "stage_insert", set=set_index, way=way, blk_off=slot.blk_off,
@@ -220,6 +235,8 @@ class StageArea:
             index = (entry.fifo + step) % n
             if slots[index] is not None:
                 entry.fifo = (index + 1) % n
+                if self.columnar is not None:
+                    self.columnar.stage_fifo(set_index, way, entry.fifo)
                 return index
         raise LayoutError("FIFO victim requested from an empty stage block")
 
@@ -229,18 +246,34 @@ class StageArea:
         if slot is None:
             raise LayoutError("removing an empty slot")
         entry.slots[slot_index] = None
+        if self.columnar is not None:
+            self.columnar.stage_remove(set_index, way, slot_index, slot, entry.tag)
         return slot
+
+    def mark_dirty(self, set_index: int, way: int, slot_index: int) -> None:
+        """Mark one staged range dirty in place (stage-hit write path)."""
+        slot = self.tags.entries[set_index][way].slots[slot_index]
+        if slot is None:
+            raise LayoutError("dirtying an empty slot")
+        slot.dirty = True
+        if self.columnar is not None:
+            self.columnar.stage_mark_dirty(set_index, way, slot_index)
 
     # -- miss statistics for the commit model ---------------------------------
     def record_set_access(self, set_index: int) -> None:
         """Count a set access; age all counters every aging period."""
-        self._set_accesses[set_index] += 1
-        if self._set_accesses[set_index] >= self.config.aging_period_accesses:
-            self._set_accesses[set_index] = 0
-            self.mru_miss_cnt[set_index] >>= 1
-            for entry in self.tags.entries[set_index]:
-                entry.miss_count >>= 1
-            self.stats.inc("agings")
+        counts = self._set_accesses
+        n = counts[set_index] + 1
+        if n < self._aging_period:
+            counts[set_index] = n
+            return
+        counts[set_index] = 0
+        self.mru_miss_cnt[set_index] >>= 1
+        for entry in self.tags.entries[set_index]:
+            entry.miss_count >>= 1
+        if self.columnar is not None:
+            self.columnar.stage_aging(set_index)
+        self.stats.inc("agings")
 
     def record_block_miss(self, set_index: int, way: Optional[int]) -> None:
         """Count a stage miss (case 3) or block miss (case 5).
@@ -253,6 +286,8 @@ class StageArea:
         if way is not None:
             entry = self.tags.entry(set_index, way)
             entry.miss_count = min(cap, entry.miss_count + 1)
+            if self.columnar is not None:
+                self.columnar.stage_block_miss(set_index, way, entry.miss_count)
             if self.mru_way(set_index) == way:
                 self.mru_miss_cnt[set_index] = min(cap, self.mru_miss_cnt[set_index] + 1)
         else:

@@ -31,7 +31,7 @@ def _mask(bits: int) -> int:
     return (1 << bits) - 1
 
 
-@dataclass
+@dataclass(slots=True)
 class RemapEntry:
     """Compact per-block remap metadata.
 
@@ -196,6 +196,12 @@ class RemapEntry:
         return num_subs + pointer_bits + num_subs // 2 + num_subs // 4
 
 
+#: Shared all-clear entry returned for every unremapped probe. Consumers
+#: treat entries as read-only records (updates construct fresh entries and
+#: go through :meth:`RemapTable.set`), so one instance can serve them all.
+_EMPTY_ENTRY = RemapEntry()
+
+
 def block_occupied_slots(entry: RemapEntry) -> int:
     """Paper's prefix-sum term for one block (module-level convenience)."""
     return entry.occupied_slots()
@@ -241,17 +247,20 @@ class RemapTable:
 
     pointer_bits: int = 2
     _entries: Dict[int, RemapEntry] = field(default_factory=dict)
-    #: Optional update observer (duck-typed ``on_set``/``on_clear``), used
-    #: by :class:`~repro.resilience.checker.ShadowChecker` to mirror every
-    #: authoritative update into its shadow copy.
+    #: Optional update observer (duck-typed ``on_set``/``on_clear``).
+    #: Observers chain: :class:`~repro.core.columnar.ColumnarState` mirrors
+    #: every authoritative update into its structured-array arena and
+    #: forwards to the previous shadow (e.g. the
+    #: :class:`~repro.resilience.checker.ShadowChecker` shadow copy).
     shadow: Optional[object] = field(default=None, compare=False, repr=False)
 
     def get(self, block_id: int) -> RemapEntry:
         entry = self._entries.get(block_id)
-        return entry if entry is not None else RemapEntry()
+        return entry if entry is not None else _EMPTY_ENTRY
 
     def set(self, block_id: int, entry: RemapEntry) -> None:
-        entry.validate()
+        # Every entry self-validates in ``__post_init__``; re-validating
+        # here would only re-check an already-accepted construction.
         if entry.is_remapped:
             self._entries[block_id] = entry
         else:

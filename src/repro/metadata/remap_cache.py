@@ -48,6 +48,10 @@ class RemapCache:
         #: corrupted line raises before any hit/miss accounting; recovery
         #: invalidates and refills with injection paused.
         self.faults = None
+        #: Optional :class:`~repro.core.columnar.ColumnarState` mirror.
+        #: Tracks per-set occupancy so :meth:`repair` sizes the refill
+        #: without re-probing the set, and invalidations stay exact.
+        self.columnar = None
 
     def _split(self, super_block_id: int) -> tuple[int, int]:
         return super_block_id % self.num_sets, super_block_id // self.num_sets
@@ -102,6 +106,10 @@ class RemapCache:
                 victim_tag = next(iter(lines))
                 del lines[victim_tag]
                 self._n_evictions += 1
+            elif self.columnar is not None:
+                # Fill without eviction: the set gains a line (an evict +
+                # fill pair leaves the occupancy column unchanged).
+                self.columnar.rc_occupancy[index] += 1
             line = CacheLine(tag)
             cache_set._clock += 1
             line.counter = cache_set._clock
@@ -114,7 +122,45 @@ class RemapCache:
 
     def invalidate(self, super_block_id: int) -> None:
         index, tag = self._split(super_block_id)
-        self._sets[index].invalidate(tag)
+        dropped = self._sets[index].invalidate(tag)
+        if dropped is not None and self.columnar is not None:
+            self.columnar.rc_occupancy[index] -= 1
+
+    def repair(self, super_block_id: int) -> bool:
+        """Drop and refill one (corrupted) line in a single pass.
+
+        Fuses the old ``invalidate`` + fault-paused ``access`` repair
+        sequence: the set index and tag are split once and the refill
+        reuses the columnar occupancy column instead of re-probing the
+        set. Draw-for-draw identical to the two-step sequence — a paused
+        access never consults the fault injector, the dropped line makes
+        the refill an unconditional miss, and all hit/miss/eviction
+        accounting matches a plain missing probe. Returns ``False``: the
+        access now pays the off-chip table probe, as any miss would.
+        """
+        index = super_block_id % self.num_sets
+        tag = super_block_id // self.num_sets
+        cache_set = self._sets[index]
+        lines = cache_set.lines
+        col = self.columnar
+        dropped = lines.pop(tag, None)
+        if dropped is not None and col is not None:
+            col.rc_occupancy[index] -= 1
+        self.hit_ratio.total += 1
+        if self.obs.enabled:
+            self.obs.emit("remap_cache", super=super_block_id, hit=False)
+        self._n_misses += 1
+        occupancy = int(col.rc_occupancy[index]) if col is not None else len(lines)
+        if occupancy >= cache_set.ways:
+            del lines[next(iter(lines))]
+            self._n_evictions += 1
+        elif col is not None:
+            col.rc_occupancy[index] += 1
+        line = CacheLine(tag)
+        cache_set._clock += 1
+        line.counter = cache_set._clock
+        lines[tag] = line
+        return False
 
     def storage_bytes(self, entry_bytes: int = 2, tag_bytes: int = 4) -> int:
         line_bytes = self.entries_per_line * entry_bytes + tag_bytes

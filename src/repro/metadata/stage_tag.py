@@ -43,7 +43,7 @@ _MISS_BITS = 16
 ENTRY_BITS = _TAG_BITS + 1 + 8 * 8 + _LRU_BITS + _FIFO_BITS + _MISS_BITS
 
 
-@dataclass
+@dataclass(slots=True)
 class RangeSlot:
     """One physical sub-block slot holding a compressed aligned range.
 
@@ -148,7 +148,7 @@ class RangeSlot:
         return None
 
 
-@dataclass
+@dataclass(slots=True)
 class StageTagEntry:
     """One stage tag array entry: a staged physical block's full metadata."""
 

@@ -38,6 +38,17 @@ class SystemSimulator:
         accumulation order of ``cycles`` is preserved operation for
         operation); ``tests/test_hotpath_equivalence.py`` asserts this.
 
+    When the controller advertises ``supports_batching`` (no fault
+    injection, recovery, shadow checker, phase tracker or event tracing
+    attached) and neither profiling nor metrics are active, the batched
+    loop additionally *defers* the timing of safe LLC-miss reads: runs of
+    consecutive misses are classified and state-applied eagerly through
+    ``BaryonController.access_deferred`` and their channel timing replays
+    in one ``BaryonController.access_batch`` call. Any unsafe access
+    (writes, staging fetches, evictions) flushes the pending run and
+    falls back to the scalar ``access`` call, so results — cycles,
+    counters, energy — stay bit-identical to both reference loops.
+
     Observability (all optional, all free when absent):
 
     ``metrics``
@@ -83,6 +94,7 @@ class SystemSimulator:
         self._progress = progress
         self._progress_every = max(1, progress_every)
         self._run_span = None
+        self._deferred = False
         self.cycles = 0.0
         self.instructions = 0
         self._served_fast = 0
@@ -115,6 +127,15 @@ class SystemSimulator:
         """
         n = len(trace)
         warmup_end = min(n, int(n * self.config.warmup_fraction))
+        # The deferred batch path needs full custody of the per-access
+        # flow: no per-access profiling/metrics hooks, and a controller
+        # with no per-access observers of its own.
+        self._deferred = (
+            not scalar
+            and not self.profiler.enabled
+            and self.metrics is None
+            and getattr(self.controller, "supports_batching", False)
+        )
         spans = self.spans
         if spans.enabled:
             self._run_span = spans.start(
@@ -300,6 +321,9 @@ class SystemSimulator:
         """
         if start >= stop:
             return
+        if self._deferred:
+            self._deferred_span(start, stop, addrs, writes, igaps, cores)
+            return
         cfg = self.config
         base_cpi = cfg.base_cpi
         mlp = cfg.memory_level_parallelism
@@ -390,6 +414,103 @@ class SystemSimulator:
         if observing:
             ts_serve.advance_to(serve_ticks)
             ts_ipc.advance_to(ipc_ticks)
+
+    def _deferred_span(
+        self, start: int, stop: int, addrs, writes, igaps, cores
+    ) -> None:
+        """The deferred-timing variant of :meth:`_batched_span`.
+
+        Safe LLC misses (reads, and write hits that provably do not
+        overflow) are state-applied eagerly (in trace order) by
+        ``access_deferred`` and their op records accumulate in ``ops``
+        together with the interleaved core-side cycle increments; one
+        ``access_batch`` call replays the run, evolving the channel pools
+        and the ``cycles`` accumulator in the scalar loop's exact float
+        operation order. Unsafe accesses — staging cases, overflowing or
+        zero-breaking writes, LLC writebacks, prefetch-install writebacks
+        — first flush the pending run (so ``cycles`` is current) and then
+        take the scalar ``controller.access`` call with that clock,
+        exactly as the plain batched loop would.
+        """
+        cfg = self.config
+        base_cpi = cfg.base_cpi
+        mlp = cfg.memory_level_parallelism
+        threads = max(1, cfg.hierarchy.cores)
+        hierarchy = self.hierarchy
+        access_fast = hierarchy.access_fast
+        install_fast = hierarchy.install_llc_fast
+        controller = self.controller
+        ctrl_access = controller.access
+        ctrl_deferred = controller.access_deferred
+        ctrl_batch = controller.access_batch
+        l1_div = hierarchy.config.l1d.latency_cycles / threads
+
+        cycles = self.cycles
+        instructions = self.instructions
+        ops = []
+        append = ops.append
+        for i in range(start, stop):
+            gap = igaps[i]
+            instructions += gap + 1
+            if gap:
+                g = gap * base_cpi / threads
+                if ops:
+                    append(g)
+                else:
+                    cycles += g
+            outcome = access_fast(addrs[i], writes[i], cores[i])
+            if outcome is None:
+                if ops:
+                    append(l1_div)
+                else:
+                    cycles += l1_div
+                continue
+            h = outcome[1] / threads
+            if ops:
+                append(h)
+            else:
+                cycles += h
+            if outcome[2]:  # LLC miss: the controller serves it.
+                addr = addrs[i]
+                is_write = writes[i]
+                op = ctrl_deferred(addr, is_write)
+                if op is not None:
+                    append(op)
+                    pls = op[6]
+                    if pls:
+                        for line_addr in pls:
+                            wb = install_fast(line_addr)
+                            if wb:
+                                if ops:
+                                    cycles = ctrl_batch(ops, cycles, mlp)
+                                    ops.clear()
+                                ctrl_access(wb, True, cycles)
+                else:
+                    if ops:
+                        cycles = ctrl_batch(ops, cycles, mlp)
+                        ops.clear()
+                    mem = ctrl_access(addr, is_write, cycles)
+                    if not is_write:
+                        # Writes are posted; only reads stall the core.
+                        cycles += mem.latency_cycles / mlp
+                    pls = mem.prefetched_lines
+                    if pls:
+                        for line_addr in pls:
+                            wb = install_fast(line_addr)
+                            if wb:
+                                ctrl_access(wb, True, cycles)
+            wbs = outcome[3]
+            if wbs is not None:
+                if ops:
+                    cycles = ctrl_batch(ops, cycles, mlp)
+                    ops.clear()
+                for wb in wbs:
+                    ctrl_access(wb, True, cycles)
+        if ops:
+            cycles = ctrl_batch(ops, cycles, mlp)
+            ops.clear()
+        self.cycles = cycles
+        self.instructions = instructions
 
     # -------------------------------------------------------- result assembly
     def _finalize(

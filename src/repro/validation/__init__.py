@@ -38,6 +38,7 @@ from repro.validation.fuzz import (
     FuzzReport,
     generate_trace,
     make_tiny_config,
+    run_batched_case,
     run_case,
     run_fuzz,
     sample_config_kwargs,
@@ -59,6 +60,7 @@ __all__ = [
     "generate_trace",
     "make_tiny_config",
     "replay",
+    "run_batched_case",
     "run_case",
     "run_differential",
     "run_fixture",

@@ -35,7 +35,7 @@ from typing import Dict, Iterable, List, Optional, Tuple
 from repro.common.config import BaryonConfig
 from repro.common.errors import OracleViolation
 from repro.common.stats import CounterGroup
-from repro.core.controller import BaryonController
+from repro.core.controller import _UNRESOLVED, BaryonController
 from repro.metadata.stage_tag import RangeSlot
 
 #: Test-only placement bugs the oracle must catch (selftest + docs).
@@ -79,6 +79,10 @@ class ContentBackedController(BaryonController):
     call), so the oracle validates the very controller the experiments
     run, not a simplified model of it.
     """
+
+    #: Content tracking hooks every ``access`` call, so the deferred
+    #: batch path (which bypasses the override) must stay off.
+    supports_batching = False
 
     def __init__(
         self,
@@ -254,8 +258,10 @@ class ContentBackedController(BaryonController):
             )
 
     # -- movement seams ----------------------------------------------------
-    def _stage_insert(self, now, super_id, block_id, blk_off, new_slot) -> None:
-        super()._stage_insert(now, super_id, block_id, blk_off, new_slot)
+    def _stage_insert(
+        self, now, super_id, block_id, blk_off, new_slot, bound=_UNRESOLVED
+    ) -> None:
+        super()._stage_insert(now, super_id, block_id, blk_off, new_slot, bound)
         # Fetched ranges copy the slow values; re-inserted overflow pieces
         # keep the values already staged (setdefault never clobbers them).
         c_stage, c_slow = self.c_stage, self.c_slow

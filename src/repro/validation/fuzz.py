@@ -197,13 +197,110 @@ def run_case(
     return replay(controller, trace)
 
 
+def _group_dict(group) -> Dict:
+    return group.as_dict() if hasattr(group, "as_dict") else dict(group)
+
+
+def run_batched_case(config_kwargs: Dict, trace: List[TraceRecord], seed: int) -> None:
+    """Replay one fuzz case across the deferred-batch seam; raise on drift.
+
+    The batched controller configuration is *forced*: fault injection off,
+    the synthetic compressibility oracle on — exactly the shape for which
+    ``BaryonController.supports_batching`` holds. One controller replays
+    the trace through plain ``access`` calls; a twin replays it the way
+    the simulator's deferred span does — ``access_deferred`` applies state
+    eagerly in trace order and ``access_batch`` replays the channel timing
+    at every unsafe-access flush. Both must finish with bit-identical
+    counters (controller, devices, remap cache) and the same clock, and
+    the batched twin's columnar arena must verify against its object
+    state. Raises :class:`OracleViolation` (``kind="batched_divergence"``)
+    otherwise.
+    """
+    from repro.core import BaryonController
+
+    config = make_tiny_config(**config_kwargs)
+    scalar_ctrl = BaryonController(config, seed=seed)
+    batched_ctrl = BaryonController(make_tiny_config(**config_kwargs), seed=seed)
+    if not getattr(batched_ctrl, "supports_batching", False):
+        raise OracleViolation(
+            "forced batched configuration does not support batching",
+            kind="batched_divergence", location="supports_batching",
+        )
+    mlp = 4.0
+
+    cycles = 0.0
+    for addr, is_write in trace:
+        mem = scalar_ctrl.access(addr, is_write, cycles)
+        if not is_write:
+            cycles += mem.latency_cycles / mlp
+
+    b_cycles = 0.0
+    ops: List = []
+    deferred = batched_ctrl.access_deferred
+    batch = batched_ctrl.access_batch
+    for addr, is_write in trace:
+        op = deferred(addr, is_write)
+        if op is not None:
+            ops.append(op)
+            continue
+        if ops:
+            b_cycles = batch(ops, b_cycles, mlp)
+            ops.clear()
+        mem = batched_ctrl.access(addr, is_write, b_cycles)
+        if not is_write:
+            b_cycles += mem.latency_cycles / mlp
+    if ops:
+        b_cycles = batch(ops, b_cycles, mlp)
+
+    groups = [
+        ("controller", scalar_ctrl.stats, batched_ctrl.stats),
+        ("fast_device", scalar_ctrl.devices.fast.stats,
+         batched_ctrl.devices.fast.stats),
+        ("slow_device", scalar_ctrl.devices.slow.stats,
+         batched_ctrl.devices.slow.stats),
+    ]
+    if hasattr(scalar_ctrl, "remap_cache"):
+        groups.append(
+            ("remap_cache", scalar_ctrl.remap_cache.stats,
+             batched_ctrl.remap_cache.stats)
+        )
+    for name, scalar_group, batched_group in groups:
+        scalar_counts = _group_dict(scalar_group)
+        batched_counts = _group_dict(batched_group)
+        if scalar_counts != batched_counts:
+            key = next(
+                k for k in sorted(set(scalar_counts) | set(batched_counts))
+                if scalar_counts.get(k) != batched_counts.get(k)
+            )
+            raise OracleViolation(
+                f"batched seam diverged in {name} counter {key!r}: "
+                f"{scalar_counts.get(key)} vs {batched_counts.get(key)}",
+                kind="batched_divergence", location=f"{name}.{key}",
+            )
+    if b_cycles != cycles:
+        raise OracleViolation(
+            f"batched seam diverged in cycles: {cycles} vs {b_cycles}",
+            kind="batched_divergence", location="cycles",
+        )
+    columnar = getattr(batched_ctrl, "columnar", None)
+    if columnar is not None:
+        columnar.verify()
+
+
 def run_fuzz(
     iterations: int,
     seed: int,
     n_accesses: int = 600,
     inject_bug: Optional[str] = None,
+    batched: bool = False,
 ) -> FuzzReport:
-    """Run ``iterations`` seeded fuzz cases; collect (don't raise) failures."""
+    """Run ``iterations`` seeded fuzz cases; collect (don't raise) failures.
+
+    With ``batched=True`` every iteration additionally replays its trace
+    through :func:`run_batched_case`, cross-checking the controller's
+    deferred-batch seam (``access_deferred``/``access_batch``) against the
+    plain scalar replay.
+    """
     report = FuzzReport()
     for iteration in range(iterations):
         rng = random.Random(f"{seed}:{iteration}")
@@ -215,6 +312,9 @@ def run_fuzz(
         report.stats.inc("fuzz_accesses", len(trace))
         try:
             controller = run_case(config_kwargs, trace, seed, inject_bug)
+            if batched:
+                run_batched_case(config_kwargs, trace, seed)
+                report.stats.inc("fuzz_batched_checks")
         except OracleViolation as error:
             report.stats.inc("fuzz_violations")
             report.failures.append(

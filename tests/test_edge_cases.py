@@ -125,6 +125,42 @@ class TestRemapCacheBehaviour:
         cache.invalidate(7)
         assert not cache.contains(7)
 
+    def test_repair_under_full_set_with_resident_tag(self):
+        """Repairing a line that is resident in a full set refills it in
+        place: the drop frees the slot, so nothing else is evicted."""
+        cache = RemapCache(num_sets=2, ways=2)
+        cache.access(0)
+        cache.access(2)  # set 0 now full: tags for supers 0 and 2
+        assert cache.repair(2) is False  # repair reports a miss (re-probe)
+        assert cache.contains(0) and cache.contains(2)
+        assert cache.stats.get("evictions") == 0
+
+    def test_repair_under_full_set_with_absent_tag(self):
+        """Repairing a super absent from a full set behaves like a plain
+        missing probe: the LRU line is evicted to make room."""
+        cache = RemapCache(num_sets=2, ways=2)
+        cache.access(0)
+        cache.access(2)
+        assert cache.repair(4) is False
+        assert cache.contains(4) and cache.contains(2)
+        assert not cache.contains(0)  # LRU victim
+        assert cache.stats.get("evictions") == 1
+
+    def test_repair_keeps_columnar_occupancy_exact(self):
+        """With the columnar mirror attached, repair under a full set
+        must leave the occupancy column exact (verified arena-wide)."""
+        from repro.validation import make_tiny_config
+
+        ctrl = BaryonController(make_tiny_config(), seed=3)
+        rc = ctrl.remap_cache
+        target = 5
+        for way in range(rc.ways):  # fill target's set
+            rc.access(target + way * rc.num_sets)
+        assert rc.repair(target) is False
+        ctrl.columnar.verify()
+        assert rc.repair(target + rc.ways * rc.num_sets) is False
+        ctrl.columnar.verify()
+
     def test_storage_is_32kb_at_table1_geometry(self):
         """256 sets x 8 ways x 16 B entry data = 32 kB (plus 8 kB tags)."""
         cache = RemapCache(num_sets=256, ways=8, entries_per_line=8)
