@@ -40,6 +40,17 @@ Sweep telemetry and run manifests (see docs/observability.md)::
     python -m repro all baryon --jobs 8 --manifest run.manifest.json
     python -m repro manifest show run.manifest.json
     python -m repro manifest diff a.manifest.json b.manifest.json
+
+Orchestration chaos and sweep hardening (see docs/resilience.md)::
+
+    python -m repro all baryon --jobs 8 --chaos kill=0.2,torn=0.2 --progress
+    python -m repro all baryon --jobs 8 --quarantine-after 3 --retry-budget 64
+    python -m repro chaos-soak --cells 12 --chaos-seed 7
+
+Matrix-mode exit codes: 0 all cells clean; 3 completed but some cells
+quarantined by the poison-cell circuit breaker; 4 cells failed or the
+end-of-run manifest audit found a mismatch; 130 interrupted
+(SIGINT/SIGTERM) with a resumable checkpoint.
 """
 
 from __future__ import annotations
@@ -53,6 +64,14 @@ from repro.analysis import DESIGNS, format_matrix, run_matrix_sharded, run_one
 from repro.common.errors import ConfigurationError
 from repro.workloads import scaled_system
 from repro.workloads.suite import WORKLOADS
+
+#: Matrix-mode exit codes (documented in the module help above): clean,
+#: quarantined cells in an otherwise complete sweep, failed cells or a
+#: failed integrity audit, interrupted with a resumable checkpoint.
+EXIT_MATRIX_OK = 0
+EXIT_MATRIX_QUARANTINED = 3
+EXIT_MATRIX_FAILED = 4
+EXIT_MATRIX_INTERRUPTED = 130
 
 
 def _add_resilience_args(parser: argparse.ArgumentParser) -> None:
@@ -85,6 +104,40 @@ def _add_checkpoint_args(parser: argparse.ArgumentParser) -> None:
                         metavar="SECONDS",
                         help="per-cell deadline; a lapsed deadline requeues "
                         "the cell (dead-worker detection, default 600)")
+
+
+def _add_chaos_args(parser: argparse.ArgumentParser) -> None:
+    from repro.resilience import CHAOS_SPEC_KEYS
+
+    parser.add_argument("--chaos", metavar="SPEC",
+                        help="matrix mode: inject seeded orchestration chaos "
+                        "(worker kills/hangs, heartbeat loss, torn/flipped/"
+                        "ENOSPC checkpoint writes, delayed drains): "
+                        "comma-separated key=value pairs, keys "
+                        f"{','.join(sorted(CHAOS_SPEC_KEYS))} "
+                        "(e.g. kill=0.2,hang=0.1,torn=0.2)")
+    parser.add_argument("--chaos-seed", type=int, default=0xC7A05,
+                        help="seed of the deterministic chaos schedule "
+                        "(default 0xC7A05)")
+    parser.add_argument("--progress-timeout", type=float, default=None,
+                        metavar="SECONDS",
+                        help="matrix mode: declare a worker hung (heartbeats "
+                        "alive but no progress for this long) and requeue "
+                        "its cell; needs heartbeats on (default: off)")
+    parser.add_argument("--quarantine-after", type=int, default=None,
+                        metavar="N",
+                        help="matrix mode: poison-cell circuit breaker — a "
+                        "cell killing N consecutive workers is quarantined "
+                        "with a degraded partial result instead of being "
+                        "retried forever (default: off)")
+    parser.add_argument("--retry-budget", type=int, default=None, metavar="N",
+                        help="matrix mode: global cap on requeued attempts "
+                        "across all cells (default: unlimited)")
+    parser.add_argument("--backoff-base", type=float, default=0.0,
+                        metavar="SECONDS",
+                        help="matrix mode: base of the exponential backoff "
+                        "(with deterministic jitter) between a cell's "
+                        "attempts (default 0 = requeue immediately)")
 
 
 def _add_telemetry_args(parser: argparse.ArgumentParser) -> None:
@@ -157,6 +210,7 @@ def build_parser() -> argparse.ArgumentParser:
                         help="list workloads and designs, then exit")
     _add_resilience_args(parser)
     _add_checkpoint_args(parser)
+    _add_chaos_args(parser)
     _add_telemetry_args(parser)
     return parser
 
@@ -194,6 +248,7 @@ def build_report_parser() -> argparse.ArgumentParser:
     parser.add_argument("--profile", action="store_true",
                         help="include the phase profile in the report")
     _add_checkpoint_args(parser)
+    _add_chaos_args(parser)
     _add_telemetry_args(parser)
     return parser
 
@@ -426,9 +481,24 @@ def _run_matrix_outcome(args, workloads, designs):
     if configs is None:
         return None
     config, sim_config = configs
+    try:
+        chaos = _chaos_plan(args)
+    except ConfigurationError as err:
+        print(str(err), file=sys.stderr)
+        return None
     telemetry, spans, progress_sink = _build_telemetry(
         args, len(workloads) * len(designs)
     )
+    if chaos is not None and chaos.wants_worker_chaos and telemetry is None:
+        # Worker chaos (kills/hangs) is detected through heartbeats, so
+        # a bare heartbeat channel is attached even without telemetry
+        # flags; counters stay bit-identical either way.
+        from repro.parallel import SweepTelemetry
+        from repro.parallel.telemetry import DEFAULT_HEARTBEAT_EVERY
+
+        telemetry = SweepTelemetry(heartbeat_every=getattr(
+            args, "heartbeat_every", DEFAULT_HEARTBEAT_EVERY
+        ))
     try:
         outcome = run_matrix_sharded(
             workloads, designs, config, sim_config,
@@ -439,6 +509,12 @@ def _run_matrix_outcome(args, workloads, designs):
             resume=getattr(args, "resume", None),
             telemetry=telemetry,
             manifest=getattr(args, "manifest", None),
+            chaos=chaos,
+            progress_timeout_s=getattr(args, "progress_timeout", None),
+            quarantine_after=getattr(args, "quarantine_after", None),
+            retry_budget=getattr(args, "retry_budget", None),
+            backoff_base_s=getattr(args, "backoff_base", 0.0),
+            handle_signals=True,
         )
     except ConfigurationError as err:
         # e.g. a resume checkpoint written by a different plan
@@ -456,6 +532,29 @@ def _run_matrix_outcome(args, workloads, designs):
     return outcome
 
 
+def _chaos_plan(args):
+    """A ChaosPlan from ``--chaos``/``--chaos-seed``, or None."""
+    spec = getattr(args, "chaos", None)
+    if not spec:
+        return None
+    from repro.resilience import ChaosPlan, parse_chaos_spec
+
+    return ChaosPlan(
+        seed=getattr(args, "chaos_seed", 0xC7A05), **parse_chaos_spec(spec)
+    )
+
+
+def _matrix_exit_code(outcome) -> int:
+    """Map a MatrixOutcome onto the documented matrix exit codes."""
+    if outcome.failed or (outcome.audit is not None and not outcome.audit["ok"]):
+        return EXIT_MATRIX_FAILED
+    if outcome.interrupted:
+        return EXIT_MATRIX_INTERRUPTED
+    if outcome.quarantined:
+        return EXIT_MATRIX_QUARANTINED
+    return EXIT_MATRIX_OK
+
+
 def _print_matrix(outcome, workloads, designs, args) -> None:
     print(f"{len(workloads)}x{len(designs)} matrix "
           f"(1/{args.scale} scale, {args.accesses} accesses, "
@@ -470,6 +569,8 @@ def _print_matrix(outcome, workloads, designs, args) -> None:
           f"({outcome.serve.hits}/{outcome.serve.total})")
     if outcome.resumed:
         print(f"resumed {outcome.resumed} cell(s) from checkpoint")
+    if outcome.salvaged:
+        print(f"salvaged {outcome.salvaged} cell(s) from a damaged checkpoint")
     if outcome.retries:
         print(f"requeued {outcome.retries} cell attempt(s)")
     resilience = outcome.resilience_counters.as_dict()
@@ -477,6 +578,28 @@ def _print_matrix(outcome, workloads, designs, args) -> None:
         print("resilience counters (merged):")
         for key, value in sorted(resilience.items()):
             print(f"  {key:<36} {value}")
+    orchestration = outcome.orchestration.as_dict()
+    if orchestration:
+        print("orchestration counters:")
+        for key, value in sorted(orchestration.items()):
+            print(f"  {key:<36} {value}")
+    if outcome.audit is not None:
+        if outcome.audit["ok"]:
+            print(f"manifest audit: ok ({outcome.audit['checked']} checks)")
+        else:
+            print(f"manifest audit: FAILED "
+                  f"({len(outcome.audit['mismatches'])} mismatch(es)):",
+                  file=sys.stderr)
+            for mismatch in outcome.audit["mismatches"]:
+                print(f"  {mismatch}", file=sys.stderr)
+    if outcome.quarantined:
+        print(f"QUARANTINED cells ({len(outcome.quarantined)}):",
+              file=sys.stderr)
+        for key, record in sorted(outcome.quarantined.items()):
+            print(f"  {key}: {record['message']}", file=sys.stderr)
+    if outcome.interrupted:
+        print("interrupted: sweep stopped early; the checkpoint is "
+              "resumable with --resume", file=sys.stderr)
     if outcome.failed:
         print(f"FAILED cells ({len(outcome.failed)}):", file=sys.stderr)
         for key, error in sorted(outcome.failed.items()):
@@ -485,12 +608,16 @@ def _print_matrix(outcome, workloads, designs, args) -> None:
 
 
 def cmd_matrix(args, workloads, designs) -> int:
-    """Matrix mode of the default command: sweep and print the tables."""
+    """Matrix mode of the default command: sweep and print the tables.
+
+    Exit codes: 0 clean, 3 completed-with-quarantined, 4 failed cells or
+    failed audit, 130 interrupted with a resumable checkpoint.
+    """
     outcome = _run_matrix_outcome(args, workloads, designs)
     if outcome is None:
         return 2
     _print_matrix(outcome, workloads, designs, args)
-    return 1 if outcome.failed else 0
+    return _matrix_exit_code(outcome)
 
 
 def _resilience_config(args):
@@ -720,6 +847,195 @@ def cmd_manifest(argv) -> int:
         return 2
 
 
+def build_chaos_soak_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro chaos-soak",
+        description="Seeded orchestration-chaos soak: run a serial "
+        "chaos-free reference sweep, then the same plan under injected "
+        "chaos (worker kills and hangs, dropped heartbeats, torn "
+        "checkpoint writes, one mid-sweep interrupt), resume it, and "
+        "assert the merged counters are bit-identical to the reference "
+        "and the end-of-run manifest audit passes. Exit codes: 0 soak "
+        "passed; 3 passed with quarantined cells (--poison); 4 failed.",
+    )
+    parser.add_argument("--cells", type=int, default=12,
+                        help="plan size: one cell per seed 1..N (default 12)")
+    parser.add_argument("--chaos-seed", type=int, default=7,
+                        help="chaos schedule seed (default 7)")
+    parser.add_argument("--accesses", type=int, default=1500,
+                        help="trace length per cell (default 1500)")
+    parser.add_argument("--scale", type=int, default=256,
+                        help="capacity scale divisor vs Table I (default 256)")
+    parser.add_argument("--jobs", type=int, default=4,
+                        help="worker processes for the chaos runs (default 4)")
+    parser.add_argument("--workload", default="YCSB-B",
+                        help="workload to soak (default YCSB-B)")
+    parser.add_argument("--design", default="baryon",
+                        help="design to soak (default baryon)")
+    parser.add_argument("--chaos", metavar="SPEC",
+                        default="kill=0.25,hang=0.2,hang_s=0.6,"
+                        "drop=0.02,torn=0.5",
+                        help="chaos spec for the soak runs "
+                        "(default kill=0.25,hang=0.2,hang_s=0.6,"
+                        "drop=0.02,torn=0.5)")
+    parser.add_argument("--poison", type=int, default=None, metavar="CELL",
+                        help="additionally poison plan cell CELL so the "
+                        "circuit breaker quarantines it (expect exit 3)")
+    parser.add_argument("--keep-dir", metavar="DIR", default=None,
+                        help="directory for soak checkpoints/manifests "
+                        "(default: a fresh temporary directory)")
+    return parser
+
+
+def cmd_chaos_soak(argv) -> int:
+    """``python -m repro chaos-soak``: chaos the runner, prove bit-identity."""
+    import os
+    import tempfile
+
+    from repro.parallel import SweepTelemetry, plan_cells, run_plan
+    from repro.parallel.runner import _fold
+    from repro.resilience import (
+        ChaosPlan,
+        load_checkpoint,
+        parse_chaos_spec,
+        plan_fingerprint,
+    )
+
+    args = build_chaos_soak_parser().parse_args(argv)
+    if not _validate_workload(args.workload):
+        return 2
+    if args.design not in DESIGNS:
+        print(f"unknown design {args.design!r}; choose from "
+              f"{', '.join(DESIGNS)}", file=sys.stderr)
+        return 2
+    if args.cells < 2 or args.jobs < 2:
+        print("--cells and --jobs must be >= 2 (worker chaos needs a pool)",
+              file=sys.stderr)
+        return 2
+    try:
+        probs = parse_chaos_spec(args.chaos)
+        config, sim_config = scaled_system(args.scale)
+    except ConfigurationError as err:
+        print(str(err), file=sys.stderr)
+        return 2
+    plan = plan_cells(
+        [args.workload], [args.design], seeds=range(1, args.cells + 1)
+    )
+    workdir = args.keep_dir or tempfile.mkdtemp(prefix="chaos-soak-")
+    os.makedirs(workdir, exist_ok=True)
+    ref_ckpt = os.path.join(workdir, "reference.ckpt")
+    soak_ckpt = os.path.join(workdir, "soak.ckpt")
+
+    print(f"[1/3] serial chaos-free reference ({len(plan)} cells, "
+          f"{args.accesses} accesses each)")
+    reference = run_plan(
+        plan, config, sim_config, n_accesses=args.accesses, jobs=1,
+        checkpoint=ref_ckpt,
+    )
+    if reference.failed:
+        print(f"reference run failed: {reference.failed}", file=sys.stderr)
+        return EXIT_MATRIX_FAILED
+
+    poison = (args.poison,) if args.poison is not None else ()
+    base = ChaosPlan(seed=args.chaos_seed, poison_cells=poison, **probs)
+    first = dataclasses.replace(
+        base, interrupt_after_cells=max(1, args.cells // 3)
+    )
+    common = dict(
+        n_accesses=args.accesses, jobs=args.jobs, max_attempts=6,
+        cell_timeout_s=5.0, progress_timeout_s=0.4, quarantine_after=5,
+        retry_budget=10 * args.cells, backoff_base_s=0.01,
+        checkpoint=soak_ckpt, handle_signals=True, interrupt_grace_s=10.0,
+    )
+
+    print(f"[2/3] chaos sweep ({base.describe()}; interrupt after "
+          f"{first.interrupt_after_cells} cells)")
+    first_out = run_plan(
+        plan, config, sim_config, chaos=first,
+        telemetry=SweepTelemetry(heartbeat_every=200), **common,
+    )
+    print(f"      {len(first_out.results)} done, "
+          f"{first_out.retries} requeued, interrupted="
+          f"{first_out.interrupted}, "
+          f"chaos injected: {dict(sorted(first_out.orchestration.items()))}")
+
+    print("[3/3] resumed chaos sweep (same chaos, no interrupt)")
+    final = run_plan(
+        plan, config, sim_config, chaos=base, resume=soak_ckpt,
+        telemetry=SweepTelemetry(heartbeat_every=200), **common,
+    )
+    print(f"      {len(final.results)} done, {final.resumed} resumed, "
+          f"{final.salvaged} salvaged, {final.retries} requeued, "
+          f"{len(final.quarantined)} quarantined, "
+          f"chaos injected: {dict(sorted(final.orchestration.items()))}")
+
+    ok = True
+    if final.failed:
+        print(f"FAIL: {len(final.failed)} cell(s) failed: "
+              f"{sorted(final.failed)}", file=sys.stderr)
+        ok = False
+    if final.interrupted:
+        print("FAIL: resumed sweep still interrupted", file=sys.stderr)
+        ok = False
+    if final.audit is None or not final.audit["ok"]:
+        print(f"FAIL: manifest audit did not pass: {final.audit}",
+              file=sys.stderr)
+        ok = False
+    expected_quarantined = {
+        key for key in final.quarantined
+        if args.poison is not None and key == plan[args.poison].key
+    } if final.quarantined else set()
+    if set(final.quarantined) - expected_quarantined:
+        print(f"FAIL: unexpected quarantined cells: "
+              f"{sorted(set(final.quarantined) - expected_quarantined)}",
+              file=sys.stderr)
+        ok = False
+
+    # Bit-identity: fold the *reference* payloads over exactly the cells
+    # the chaos run completed (all of them, minus any poisoned cell) and
+    # compare every merged counter group. Chaos may change which attempt
+    # produced a payload — never the payload.
+    fingerprint = plan_fingerprint(plan, args.accesses, config, sim_config)
+    ref_payloads = load_checkpoint(ref_ckpt, fingerprint)
+    completed = [
+        index for index in sorted(ref_payloads)
+        if plan[index].key in final.results
+    ]
+    if len(completed) != len(plan) - len(final.quarantined):
+        print(f"FAIL: chaos run completed {len(completed)} of "
+              f"{len(plan)} cells", file=sys.stderr)
+        ok = False
+    subset = _fold(plan, [ref_payloads[i] for i in completed], 1, 0.0)
+    for attr in ("counters", "device_counters", "compression_counters",
+                 "resilience_counters"):
+        want = getattr(subset, attr).as_dict()
+        got = getattr(final, attr).as_dict()
+        if want != got:
+            diff = {key: (want.get(key), got.get(key))
+                    for key in set(want) | set(got)
+                    if want.get(key) != got.get(key)}
+            print(f"FAIL: merged {attr} differ from the chaos-free "
+                  f"reference: {diff}", file=sys.stderr)
+            ok = False
+    if (subset.serve.hits, subset.serve.total) != (
+            final.serve.hits, final.serve.total):
+        print(f"FAIL: merged serve ratio differs: "
+              f"{subset.serve.hits}/{subset.serve.total} vs "
+              f"{final.serve.hits}/{final.serve.total}", file=sys.stderr)
+        ok = False
+
+    if not ok:
+        return EXIT_MATRIX_FAILED
+    print(f"chaos soak PASSED: merged counters bit-identical to the "
+          f"chaos-free serial reference over {len(completed)} cell(s); "
+          f"manifest audit ok")
+    if final.quarantined:
+        for key, record in sorted(final.quarantined.items()):
+            print(f"quarantined (expected): {key}: {record['message']}")
+        return EXIT_MATRIX_QUARANTINED
+    return EXIT_MATRIX_OK
+
+
 def main(argv=None) -> int:
     if argv is None:
         argv = sys.argv[1:]
@@ -731,6 +1047,8 @@ def main(argv=None) -> int:
         return cmd_validate(argv[1:])
     if argv and argv[0] == "manifest":
         return cmd_manifest(argv[1:])
+    if argv and argv[0] == "chaos-soak":
+        return cmd_chaos_soak(argv[1:])
 
     args = build_parser().parse_args(argv)
     if args.list:

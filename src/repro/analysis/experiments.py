@@ -7,7 +7,11 @@ from typing import Dict, Iterable, Optional, Tuple
 
 from repro.baselines import DiceCache, Hybrid2, SimpleCache, UnisonCache
 from repro.common.config import BaryonConfig, SimulationConfig
-from repro.common.errors import CellExecutionError, ConfigurationError
+from repro.common.errors import (
+    CellExecutionError,
+    ConfigurationError,
+    PoisonCellError,
+)
 from repro.core import BaryonController
 from repro.core.tracking import StagePhaseTracker
 from repro.obs import attach_observability
@@ -169,6 +173,7 @@ def run_matrix(
     resume: Optional[str] = None,
     telemetry=None,
     manifest: Optional[str] = None,
+    **runner_kwargs,
 ) -> Dict[Tuple, SimResult]:
     """Run the full (workload × design × seed) cross product.
 
@@ -188,8 +193,14 @@ def run_matrix(
     each (see :func:`repro.parallel.run_plan`); a cell still failing
     after that raises :class:`~repro.common.errors.CellExecutionError`
     — callers wanting partial results use :func:`run_matrix_sharded`.
-    ``checkpoint``/``resume`` name a JSON checkpoint file so an
-    interrupted sweep continues where it died.
+    ``checkpoint``/``resume`` name a checkpoint file so an interrupted
+    sweep continues where it died. Extra keyword arguments (``chaos``,
+    ``progress_timeout_s``, ``quarantine_after``, ``retry_budget``,
+    ``backoff_base_s``, ``handle_signals``, ``interrupt_grace_s``) pass
+    straight through to :func:`repro.parallel.run_plan`; a quarantined
+    cell raises :class:`~repro.common.errors.PoisonCellError` here —
+    callers wanting the degraded partial outcome use
+    :func:`run_matrix_sharded`.
     """
     from repro.parallel import plan_cells, run_plan
     from repro.parallel.runner import DEFAULT_CELL_TIMEOUT_S
@@ -203,7 +214,18 @@ def run_matrix(
         ),
         checkpoint=checkpoint, resume=resume,
         telemetry=telemetry, manifest=manifest,
+        **runner_kwargs,
     )
+    if outcome.quarantined:
+        cell_key, record = next(iter(outcome.quarantined.items()))
+        raise PoisonCellError(
+            f"{len(outcome.quarantined)} matrix cell(s) quarantined; "
+            f"first: {cell_key} ({record['message']})",
+            cell=cell_key,
+            attempts=record.get("attempts", max_attempts),
+            reasons=record.get("reasons"),
+            partial=record.get("partial"),
+        )
     if outcome.failed:
         cell_key, error = next(iter(outcome.failed.items()))
         raise CellExecutionError(
@@ -231,13 +253,15 @@ def run_matrix_sharded(
     resume: Optional[str] = None,
     telemetry=None,
     manifest: Optional[str] = None,
+    **runner_kwargs,
 ):
     """Like :func:`run_matrix` but returns the full
     :class:`~repro.parallel.MatrixOutcome` — per-cell results plus
     counter shards merged through the ``CounterGroup.merge`` /
     ``RatioStat.merge`` APIs and runner telemetry. Unlike
-    :func:`run_matrix` this never raises on failed cells: they are
-    reported in ``MatrixOutcome.failed`` alongside the partial results.
+    :func:`run_matrix` this never raises on failed or quarantined cells:
+    they are reported in ``MatrixOutcome.failed`` /
+    ``MatrixOutcome.quarantined`` alongside the partial results.
     """
     from repro.parallel import plan_cells, run_plan
     from repro.parallel.runner import DEFAULT_CELL_TIMEOUT_S
@@ -251,4 +275,5 @@ def run_matrix_sharded(
         ),
         checkpoint=checkpoint, resume=resume,
         telemetry=telemetry, manifest=manifest,
+        **runner_kwargs,
     )

@@ -29,17 +29,22 @@ from repro.common.config import (
     default_geometry,
 )
 from repro.common.errors import (
+    CheckpointCorruptError,
     ConfigurationError,
     LayoutError,
     MetadataError,
+    PoisonCellError,
     ReproError,
+    WorkerHungError,
 )
+from repro.common.fsio import durable_replace
 from repro.common.stats import CounterGroup, OnlineStats, RatioStat
 
 __all__ = [
     "AddressMapper",
     "BaryonConfig",
     "CacheGeometry",
+    "CheckpointCorruptError",
     "ConfigurationError",
     "CounterGroup",
     "Geometry",
@@ -49,12 +54,15 @@ __all__ = [
     "MemoryTimings",
     "MetadataError",
     "OnlineStats",
+    "PoisonCellError",
     "RatioStat",
     "ReproError",
     "SimulationConfig",
     "StageConfig",
+    "WorkerHungError",
     "block_aligned",
     "default_geometry",
+    "durable_replace",
     "iter_cachelines",
     "iter_sub_blocks",
 ]

@@ -14,6 +14,17 @@ metadata corruption (a :class:`MetadataError` subtype, so existing
 metadata handling still catches it), and :class:`CellExecutionError`
 carries a failed sweep cell's identity and attempt count back to matrix
 callers.
+
+The orchestration layer (:mod:`repro.parallel` +
+:mod:`repro.resilience.chaos`) distinguishes three further failure
+classes: :class:`WorkerHungError` (a worker that keeps heartbeating but
+stops making progress — alive but stalled, unlike a dead worker whose
+beats stop), :class:`PoisonCellError` (a cell that killed several
+consecutive workers and was quarantined by the circuit breaker), and
+:class:`CheckpointCorruptError` (a torn or bit-flipped checkpoint file;
+a :class:`ConfigurationError` subtype so pre-salvage callers still catch
+it, but distinct so the runner can attempt per-cell salvage instead of
+refusing to resume).
 """
 
 from typing import Optional
@@ -124,3 +135,67 @@ class CellExecutionError(ReproError):
         self.cell = cell
         self.attempts = attempts
         self.traceback_text = traceback_text
+
+
+class WorkerHungError(ReproError):
+    """A pool worker kept heartbeating but stopped making progress.
+
+    Distinct from a dead worker (whose heartbeats stop entirely and who
+    trips the ``cell_timeout_s`` deadline): a hung worker holds its slot
+    while its ``done`` counter stays flat past ``progress_timeout_s``.
+    ``cell`` is the stalled cell's key, ``attempt`` the attempt that
+    hung, ``stalled_done`` the progress count it froze at.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        cell=None,
+        attempt: int = 1,
+        stalled_done: Optional[int] = None,
+    ) -> None:
+        super().__init__(message)
+        self.cell = cell
+        self.attempt = attempt
+        self.stalled_done = stalled_done
+
+
+class PoisonCellError(ReproError):
+    """A cell was quarantined after killing several consecutive workers.
+
+    The circuit breaker trips when one cell takes down
+    ``quarantine_after`` workers in a row (crash, hang, or timeout each
+    count); the sweep then records a degraded partial result instead of
+    burning the whole retry budget on it. ``reasons`` lists the per-
+    attempt failure tags, ``partial`` the last observed ``(done, total)``
+    progress.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        cell=None,
+        attempts: int = 1,
+        reasons=None,
+        partial=None,
+    ) -> None:
+        super().__init__(message)
+        self.cell = cell
+        self.attempts = attempts
+        self.reasons = tuple(reasons) if reasons else ()
+        self.partial = partial
+
+
+class CheckpointCorruptError(ConfigurationError):
+    """A checkpoint file is torn, truncated, or fails digest checks.
+
+    A :class:`ConfigurationError` subtype so callers written before
+    salvage existed still catch it, but distinct so the runner can route
+    it to per-cell salvage (recover every record whose digest verifies)
+    instead of refusing to resume. ``salvageable`` hints whether the
+    header parsed well enough for salvage to be worth attempting.
+    """
+
+    def __init__(self, message: str, salvageable: bool = False) -> None:
+        super().__init__(message)
+        self.salvageable = salvageable

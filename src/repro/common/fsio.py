@@ -1,0 +1,86 @@
+"""Crash-durable file replacement.
+
+``os.replace`` gives atomicity (readers see either the old or the new
+file, never a partial one) but not durability: after a host crash the
+rename itself — or the temp file's data — may not have reached the
+platter, leaving an empty or stale file behind the "atomic" write.
+POSIX durability needs three fsyncs worth of care:
+
+1. fsync the temp file after writing, so its *data* is on disk before
+   the rename can ever expose it;
+2. ``os.replace`` onto the destination (atomic within one filesystem);
+3. fsync the parent *directory*, so the rename (a directory-entry
+   update) itself survives the crash.
+
+:func:`durable_replace` packages that sequence for the checkpoint and
+manifest writers. It lives in ``common`` (not ``resilience``) because
+both ``repro.resilience.checkpoint`` and ``repro.obs.manifest`` need it
+and neither package may import the other.
+"""
+
+import errno
+import os
+import tempfile
+from typing import Callable, Optional
+
+__all__ = ["durable_replace", "fsync_dir"]
+
+
+def fsync_dir(path: str) -> None:
+    """fsync a directory so a just-renamed entry in it survives a crash.
+
+    Best-effort: some platforms/filesystems refuse ``open(dir)`` or
+    ``fsync`` on a directory fd (EACCES/EINVAL/EPERM, or ENOTSUP on odd
+    mounts); durability is then whatever the OS gives, which matches the
+    pre-fix behavior rather than failing the write.
+    """
+    try:
+        fd = os.open(path, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError as exc:
+        if exc.errno not in (errno.EINVAL, errno.ENOTSUP, errno.EPERM, errno.EACCES):
+            raise
+    finally:
+        os.close(fd)
+
+
+def durable_replace(
+    path: str,
+    data: bytes,
+    *,
+    prefix: str = ".tmp-",
+    mutate: Optional[Callable[[int, str], None]] = None,
+) -> None:
+    """Atomically and durably replace ``path`` with ``data``.
+
+    Writes to a temp file in the destination directory, fsyncs it,
+    renames over ``path``, then fsyncs the directory. On any failure the
+    temp file is removed and the original ``path`` is left untouched.
+
+    ``mutate``, if given, is called as ``mutate(fd, tmp_path)`` after the
+    payload is written but before fsync/rename — the chaos injector's
+    hook for tearing or bit-flipping the bytes, or raising ENOSPC, at
+    exactly the point where a real crash or full disk would strike.
+    """
+    directory = os.path.dirname(os.path.abspath(path))
+    fd, tmp_path = tempfile.mkstemp(prefix=prefix, dir=directory)
+    try:
+        os.write(fd, data)
+        if mutate is not None:
+            mutate(fd, tmp_path)
+        os.fsync(fd)
+        os.close(fd)
+        fd = -1
+        os.replace(tmp_path, path)
+    except BaseException:
+        if fd >= 0:
+            os.close(fd)
+        try:
+            os.unlink(tmp_path)
+        except OSError:
+            pass
+        raise
+    fsync_dir(directory)

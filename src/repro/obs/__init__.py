@@ -30,11 +30,13 @@ from repro.obs.aggregate import (
 from repro.obs.manifest import (
     MANIFEST_MAGIC,
     MANIFEST_VERSION,
+    audit_manifest,
     build_manifest,
     counter_digest,
     diff_manifests,
     format_diff,
     load_manifest,
+    result_digests,
     write_manifest,
 )
 from repro.obs.metrics import (
@@ -92,6 +94,7 @@ __all__ = [
     "PhaseProfiler",
     "aggregate_shard_snapshots",
     "attach_observability",
+    "audit_manifest",
     "build_manifest",
     "case_breakdown",
     "collect_run_metrics",
@@ -105,6 +108,7 @@ __all__ = [
     "make_cli_tracker",
     "make_heartbeat",
     "merge_snapshot",
+    "result_digests",
     "sum_over_label",
     "write_manifest",
 ]

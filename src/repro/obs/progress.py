@@ -45,6 +45,11 @@ HEARTBEAT_SCHEMA: Dict[str, tuple] = {
     # A cell exhausted its retry budget (mirror of MatrixOutcome.failed).
     "cell_failed": ("cell", "workload", "design", "seed", "attempt",
                     "error"),
+    # The poison-cell circuit breaker tripped: the cell killed several
+    # consecutive workers and was set aside with a degraded partial
+    # result (mirror of MatrixOutcome.quarantined).
+    "cell_quarantined": ("cell", "workload", "design", "seed", "attempt",
+                         "reasons", "done", "total"),
 }
 
 
@@ -97,6 +102,7 @@ class ProgressTracker:
         self.clock = clock
         self.cells_done = 0
         self.cells_failed = 0
+        self.cells_quarantined = 0
         self.events_seen = 0
         self._running: Dict[int, Dict[str, Any]] = {}
         self._last_render = 0.0
@@ -117,6 +123,10 @@ class ProgressTracker:
             self._running.pop(index, None)
             self.cells_done += 1
             self.cells_failed += 1
+        elif etype == "cell_quarantined":
+            self._running.pop(index, None)
+            self.cells_done += 1
+            self.cells_quarantined += 1
         if self.sink is not None:
             self.sink.write(json.dumps(event, separators=(",", ":")) + "\n")
         self._maybe_render()
@@ -159,6 +169,8 @@ class ProgressTracker:
         ]
         if self.cells_failed:
             parts.append(f"{self.cells_failed} FAILED")
+        if self.cells_quarantined:
+            parts.append(f"{self.cells_quarantined} quarantined")
         return " | ".join(parts)
 
     # -- rendering ----------------------------------------------------------

@@ -19,11 +19,36 @@ Crash safety (``repro.resilience``):
   detected when the deadline lapses and the cell is **requeued**, up to
   ``max_attempts`` total attempts — exhausted cells land in
   ``MatrixOutcome.failed`` rather than aborting the matrix;
-* with ``checkpoint=path`` the parent atomically rewrites a fingerprinted
-  JSON checkpoint after every finished cell, and ``resume=path`` preloads
-  finished cells from it, so an interrupted sweep continues where it
+* with ``checkpoint=path`` the parent durably rewrites a fingerprinted
+  checkpoint after every finished cell, and ``resume=path`` preloads
+  finished cells from it — salvaging digest-verified cells out of a
+  torn/corrupted file — so an interrupted sweep continues where it
   died and reproduces the uninterrupted matrix exactly (every cell is a
   pure function of its own seed).
+
+Service-grade hardening (exercised by ``repro chaos-soak``):
+
+* **hung-worker detection** distinct from dead: a cell whose heartbeats
+  keep arriving while ``done`` stays flat past ``progress_timeout_s`` is
+  requeued with reason ``WorkerHungError`` instead of waiting out the
+  full dead-worker deadline;
+* a **poison-cell circuit breaker**: a cell that violently takes down
+  ``quarantine_after`` consecutive workers is set aside in
+  ``MatrixOutcome.quarantined`` with its partial progress — degraded
+  result, not a failed sweep;
+* a **global retry budget** (``retry_budget``) across all cells, with
+  exponential backoff + deterministic jitter (``backoff_base_s``)
+  between a cell's attempts;
+* **graceful SIGINT/SIGTERM** (``handle_signals=True``): stop
+  dispatching, drain in-flight cells within a bounded grace window,
+  leave a resumable checkpoint, report ``MatrixOutcome.interrupted``;
+* an **end-of-run integrity audit** re-verifying the merged counters
+  and per-cell results against the manifest's SHA-256 digests
+  (``MatrixOutcome.audit``).
+
+Everything the orchestration layer itself does is counted in
+``MatrixOutcome.orchestration`` (requeues by reason, quarantines,
+checkpoint write failures, salvage results, injected chaos).
 
 When ``jobs <= 1``, the plan has a single cell, or the platform lacks
 ``fork`` (e.g. some macOS/Windows configurations), execution gracefully
@@ -37,27 +62,44 @@ import math
 import multiprocessing
 import os
 import queue as queue_mod
+import signal
+import threading
 import traceback
-from collections import OrderedDict
+from collections import OrderedDict, deque
 from dataclasses import dataclass, field
 from time import monotonic, perf_counter, sleep
 from time import time as _wall
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.common.config import BaryonConfig, SimulationConfig
+from repro.common.errors import CheckpointCorruptError, ConfigurationError
 from repro.common.stats import CounterGroup, RatioStat
 from repro.obs.aggregate import merge_snapshot
-from repro.obs.manifest import build_manifest, write_manifest
+from repro.obs.manifest import (
+    audit_manifest,
+    build_manifest,
+    load_manifest,
+    result_digests,
+    write_manifest,
+)
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.progress import make_heartbeat
 from repro.obs.spans import NULL_SPANS, Span, SpanTracer
 from repro.parallel.plan import Cell
 from repro.parallel.telemetry import SweepTelemetry, WorkerTelemetry
+from repro.resilience.chaos import (
+    ChaosInjector,
+    ChaosPlan,
+    WorkerChaos,
+    write_effect_mutator,
+)
 from repro.resilience.checkpoint import (
     load_checkpoint,
     plan_fingerprint,
+    salvage_checkpoint,
     write_checkpoint,
 )
+from repro.resilience.recovery import requeue_backoff_s
 from repro.sim.results import SimResult
 from repro.workloads import build_workload
 from repro.workloads.base import Trace
@@ -159,6 +201,16 @@ def _execute_cell(
             registry = MetricsRegistry()
     progress = None
     heartbeat_every = telemetry.heartbeat_every if telemetry is not None else 0
+    # Worker-side orchestration chaos (kills, hangs, heartbeat loss)
+    # rides the heartbeat path; ``getattr`` so pre-chaos WorkerTelemetry
+    # test doubles keep working.
+    chaos_plan = getattr(telemetry, "chaos", None)
+    if beat is not None and chaos_plan is not None and chaos_plan.wants_worker_chaos:
+        worker_chaos = WorkerChaos(chaos_plan, cell.index, attempt)
+
+        def beat(event, _chaos=worker_chaos, _emit=beat):
+            _chaos.on_beat(_emit, event)
+
     if beat is not None and heartbeat_every > 0:
         cell_start = perf_counter()
         pid = os.getpid()
@@ -274,6 +326,13 @@ def _init_worker(
     telemetry: Optional[WorkerTelemetry] = None,
     beat_queue=None,
 ) -> None:
+    # Forked workers inherit the parent's signal disposition, including
+    # any _InterruptGuard handler — which would swallow the SIGTERM that
+    # Pool.terminate() sends and deadlock the pool's join. Restore the
+    # default SIGTERM action and ignore SIGINT (a terminal ^C signals
+    # the whole foreground group; the parent alone drains gracefully).
+    signal.signal(signal.SIGTERM, signal.SIG_DFL)
+    signal.signal(signal.SIGINT, signal.SIG_IGN)
     global _worker_context
     _worker_context = (config, sim_config, n_accesses, telemetry, beat_queue)
 
@@ -287,6 +346,82 @@ def _worker_cell(task: Tuple[Cell, int]) -> Dict[str, Any]:
         cell, config, sim_config, n_accesses, attempt,
         telemetry=telemetry, beat=beat,
     )
+
+
+class _RetryBudget:
+    """Global requeue allowance across the whole plan (``None`` = ∞).
+
+    One budget object is shared by every cell: a sweep where many cells
+    flake burns the budget fast and fails loudly instead of retrying
+    forever — a service-side guard, distinct from per-cell
+    ``max_attempts``.
+    """
+
+    def __init__(self, limit: Optional[int]) -> None:
+        self.limit = limit
+        self.used = 0
+
+    def take(self) -> bool:
+        if self.limit is not None and self.used >= self.limit:
+            return False
+        self.used += 1
+        return True
+
+
+class _Inflight:
+    """Book-keeping for one submitted cell attempt.
+
+    Two independent deadlines hang off it: *dead* (no heartbeat at all
+    for ``cell_timeout_s`` — the worker's process is gone) and *hung*
+    (beats keep arriving but ``done`` never advances for
+    ``progress_timeout_s`` — the worker is alive but stalled).
+    """
+
+    __slots__ = (
+        "attempt", "handle", "submitted_t",
+        "last_beat_t", "last_done", "last_total", "last_progress_t",
+    )
+
+    def __init__(self, attempt: int, handle, now: float) -> None:
+        self.attempt = attempt
+        self.handle = handle
+        self.submitted_t = now
+        self.last_beat_t = now
+        self.last_done = -1  # no beat seen yet
+        self.last_total = 0
+        self.last_progress_t = now
+
+    def note_beat(self, event: Dict[str, Any], now: float) -> bool:
+        """Fold one heartbeat in; returns ``True`` when it refreshed the
+        deadlines. A beat from a superseded attempt must NOT reset the
+        current attempt's deadline — only an exact attempt match counts
+        (the stale worker of a requeued cell may beat for a long time).
+        """
+        if event.get("attempt") != self.attempt:
+            return False
+        self.last_beat_t = now
+        done = event.get("done")
+        if isinstance(done, int) and done > self.last_done:
+            self.last_done = done
+            self.last_progress_t = now
+        total = event.get("total")
+        if isinstance(total, int):
+            self.last_total = total
+        return True
+
+    def dead(self, now: float, cell_timeout_s: float) -> bool:
+        return now > self.last_beat_t + cell_timeout_s
+
+    def hung(self, now: float, progress_timeout_s: Optional[float]) -> bool:
+        """Stalled progress with a live heartbeat stream. Requires at
+        least one beat (queue wait is not a stall) and beats recent
+        enough that the dead path is not the right diagnosis."""
+        if progress_timeout_s is None or self.last_done < 0:
+            return False
+        return (
+            now > self.last_progress_t + progress_timeout_s
+            and now - self.last_beat_t <= progress_timeout_s
+        )
 
 
 @dataclass
@@ -334,6 +469,22 @@ class MatrixOutcome:
     retries: int = 0
     resumed: int = 0
     metrics: Optional[MetricsRegistry] = None
+    #: Cells set aside by the poison-cell circuit breaker: key → record
+    #: with the failure reasons and the last observed partial progress.
+    quarantined: Dict[Tuple, Dict[str, Any]] = field(default_factory=dict)
+    #: True when SIGINT/SIGTERM (or injected interrupt chaos) stopped
+    #: the sweep before every cell finished; the checkpoint is resumable.
+    interrupted: bool = False
+    #: Cells recovered out of a damaged checkpoint on resume.
+    salvaged: int = 0
+    #: What the orchestration layer itself did: requeues by reason,
+    #: quarantines, checkpoint write errors, salvage, injected chaos.
+    orchestration: CounterGroup = field(
+        default_factory=lambda: CounterGroup("matrix.orchestration")
+    )
+    #: End-of-run integrity audit vs the manifest on disk (``None`` when
+    #: no manifest was written).
+    audit: Optional[Dict[str, Any]] = None
 
 
 def _group(name: str, snapshot: Dict[str, int]) -> CounterGroup:
@@ -409,11 +560,23 @@ def _run_serial(
     failures: Dict[int, Dict[str, Any]],
     telemetry: Optional[SweepTelemetry] = None,
     parent_span: Optional[Span] = None,
+    *,
+    retry_budget: Optional[_RetryBudget] = None,
+    backoff_base_s: float = 0.0,
+    backoff_seed: int = 0,
+    stop: Optional[threading.Event] = None,
+    orchestration: Optional[CounterGroup] = None,
 ) -> int:
     retries = 0
+    orchestration = (
+        orchestration if orchestration is not None
+        else CounterGroup("matrix.orchestration")
+    )
     spans, progress, spec = _telemetry_parts(telemetry)
     beat = progress.on_event if progress is not None else None
     for cell in cells:
+        if stop is not None and stop.is_set():
+            break
         payload: Dict[str, Any] = {}
         attempt = 1
         cell_span = spans.start(
@@ -434,11 +597,20 @@ def _run_serial(
             if "error" not in payload:
                 break
             if attempt < max_attempts:
+                if retry_budget is not None and not retry_budget.take():
+                    orchestration.inc("retry_budget_exhausted")
+                    spans.event(cell_span, "retry_budget_exhausted", attempt=attempt)
+                    break
                 retries += 1
+                orchestration.inc("requeue_error")
                 spans.event(
                     cell_span, "requeue",
                     attempt=attempt, error=payload["error"]["type"],
                 )
+                if backoff_base_s > 0.0:
+                    sleep(requeue_backoff_s(
+                        backoff_base_s, attempt, cell.index, backoff_seed,
+                    ))
         if "error" in payload:
             failures[cell.index] = payload["error"]
             spans.end(cell_span, error=payload["error"]["type"])
@@ -472,8 +644,21 @@ def _run_pool(
     failures: Dict[int, Dict[str, Any]],
     telemetry: Optional[SweepTelemetry] = None,
     parent_span: Optional[Span] = None,
+    *,
+    chaos: Optional[ChaosPlan] = None,
+    injector: Optional[ChaosInjector] = None,
+    progress_timeout_s: Optional[float] = None,
+    quarantine_after: Optional[int] = None,
+    retry_budget: Optional[_RetryBudget] = None,
+    backoff_base_s: float = 0.0,
+    backoff_seed: int = 0,
+    stop: Optional[threading.Event] = None,
+    orchestration: Optional[CounterGroup] = None,
+    quarantined: Optional[Dict[int, Dict[str, Any]]] = None,
+    interrupt_grace_s: float = 30.0,
 ) -> int:
-    """Dispatch cells to a fork pool with deadlines and requeue.
+    """Dispatch cells to a fork pool with deadlines, requeue, and the
+    service-grade failure policies.
 
     ``multiprocessing.Pool`` silently respawns a killed worker and the
     task it was running never completes — so a lapsed deadline *is* the
@@ -481,24 +666,35 @@ def _run_pool(
     worker re-derives everything from the cell seed).
 
     With telemetry attached, workers stream heartbeats through a shared
-    queue; each heartbeat refreshes its cell's *last activity*, and the
-    deadline is measured from that instead of submission — a
-    slow-but-beating cell is never reaped, while a dead worker stops
-    beating and lapses exactly as before. Without heartbeats the last
-    activity stays at submission time, which is bit-for-bit the
+    queue; each heartbeat of the *current* attempt refreshes its cell's
+    deadlines (a superseded attempt's stale beats are shown but ignored
+    — see :meth:`_Inflight.note_beat`). Two deadlines run per cell:
+    no-beats-at-all for ``cell_timeout_s`` means dead, beats-without-
+    progress for ``progress_timeout_s`` means hung. Without heartbeats
+    the last activity stays at submission time, which is bit-for-bit the
     pre-telemetry deadline behavior.
+
+    Dispatch is windowed (at most ``2 * effective`` cells in flight) so
+    a queued-but-unstarted cell cannot trip its deadline while merely
+    waiting for a worker slot.
     """
     retries = 0
+    orchestration = (
+        orchestration if orchestration is not None
+        else CounterGroup("matrix.orchestration")
+    )
+    quarantined = quarantined if quarantined is not None else {}
     ctx = multiprocessing.get_context("fork")
     by_index = {cell.index: cell for cell in cells}
     spans, progress, spec = _telemetry_parts(telemetry)
+    if spec is not None and chaos is not None and chaos.wants_worker_chaos:
+        spec.chaos = chaos
     beat_queue = (
         ctx.Queue()
         if telemetry is not None and telemetry.wants_heartbeats
         else None
     )
     cell_spans: Dict[int, Span] = {}
-    submitted: Dict[int, float] = {}
     fork_span = spans.start(
         "fork", parent=parent_span, workers=effective,
     ) if spans.enabled else None
@@ -509,8 +705,14 @@ def _run_pool(
     )
     spans.end(fork_span)
     with pool_obj as pool:
+        ready: deque = deque((cell.index, 1) for cell in cells)
+        delayed: List[Tuple[float, int, int]] = []  # (due_t, index, attempt)
+        inflight: Dict[int, _Inflight] = {}
+        deaths: Dict[int, List[str]] = {}  # consecutive violent deaths
+        window = max(effective * 2, 1)
+        interrupted_at: Optional[float] = None
 
-        def _submit(index: int, attempt: int):
+        def _submit(index: int, attempt: int) -> _Inflight:
             cell = by_index[index]
             if spans.enabled:
                 cell_spans[index] = spans.start(
@@ -518,14 +720,26 @@ def _run_pool(
                     workload=cell.workload, design=cell.design,
                     seed=cell.seed, attempt=attempt,
                 )
-            now = monotonic()
-            submitted[index] = now
             handle = pool.apply_async(_worker_cell, ((cell, attempt),))
-            return attempt, handle, now
+            return _Inflight(attempt, handle, monotonic())
+
+        def _pump() -> None:
+            now = monotonic()
+            if delayed:
+                for item in sorted(d for d in delayed if d[0] <= now):
+                    delayed.remove(item)
+                    ready.append((item[1], item[2]))
+            while ready and len(inflight) < window:
+                index, attempt = ready.popleft()
+                inflight[index] = _submit(index, attempt)
 
         def _drain_heartbeats() -> None:
             if beat_queue is None:
                 return
+            if injector is not None:
+                delay = injector.drain_delay()
+                if delay > 0.0:
+                    sleep(delay)
             while True:
                 try:
                     event = beat_queue.get_nowait()
@@ -533,26 +747,24 @@ def _run_pool(
                     return
                 except (OSError, EOFError):  # channel torn down mid-poll
                     return
-                index = event.get("cell")
-                entry = inflight.get(index)
-                # Only the current attempt refreshes the deadline; a
-                # stale beat from a superseded attempt is still shown.
-                if entry is not None and event.get("attempt") == entry[0]:
-                    inflight[index] = (entry[0], entry[1], monotonic())
+                entry = inflight.get(event.get("cell"))
+                if entry is not None:
+                    entry.note_beat(event, monotonic())
                 if progress is not None:
                     progress.on_event(event)
 
-        def _close_cell(index: int, payload: Dict[str, Any], attempt: int) -> None:
+        def _close_cell(index: int, payload: Dict[str, Any], entry: _Inflight) -> None:
             span = cell_spans.pop(index, None)
             if span is not None:
                 if payload.get("spans"):
                     spans.adopt(payload["spans"], parent=span)
                 spans.end(span)
+            deaths.pop(index, None)
             note_success(index, payload)
             if progress is not None:
                 progress.on_event(_cell_event(
-                    "cell_done", by_index[index], attempt,
-                    elapsed_s=monotonic() - submitted.get(index, monotonic()),
+                    "cell_done", by_index[index], entry.attempt,
+                    elapsed_s=monotonic() - entry.submitted_t,
                 ))
 
         def _fail_cell(index: int, error: Dict[str, Any], attempt: int) -> None:
@@ -564,68 +776,242 @@ def _run_pool(
                     error=error["type"],
                 ))
 
-        def _requeue(index: int, attempt: int, reason: str) -> None:
+        def _quarantine(index: int, entry: _Inflight, streak: List[str]) -> None:
+            record = {
+                "type": "PoisonCellError",
+                "message": (
+                    f"cell {index} took down {len(streak)} consecutive "
+                    f"worker(s) ({', '.join(streak)}); quarantined with "
+                    f"partial progress"
+                ),
+                "attempts": entry.attempt,
+                "reasons": list(streak),
+                "partial": {
+                    "done": max(entry.last_done, 0),
+                    "total": entry.last_total,
+                },
+            }
+            quarantined[index] = record
+            orchestration.inc("quarantined")
+            spans.end(
+                cell_spans.pop(index, None),
+                error="PoisonCellError", quarantined=True,
+            )
+            spans.event(
+                parent_span, "quarantined",
+                cell=index, attempts=entry.attempt, reasons=len(streak),
+            )
+            if progress is not None:
+                progress.on_event(_cell_event(
+                    "cell_quarantined", by_index[index], entry.attempt,
+                    reasons=list(streak),
+                    done=max(entry.last_done, 0), total=entry.last_total,
+                ))
+
+        def _requeue(index: int, attempt: int, reason: str, counter: str) -> None:
+            nonlocal retries
             spans.end(
                 cell_spans.pop(index, None), error=reason, requeued=True,
             )
+            if retry_budget is not None and not retry_budget.take():
+                orchestration.inc("retry_budget_exhausted")
+                spans.event(
+                    parent_span, "retry_budget_exhausted",
+                    cell=index, attempt=attempt,
+                )
+                _fail_cell(index, {
+                    "type": reason,
+                    "message": (
+                        f"cell {index} failed on attempt {attempt} "
+                        f"({reason}) and the sweep's global retry budget "
+                        f"is exhausted"
+                    ),
+                    "traceback": None,
+                    "attempt": attempt,
+                }, attempt)
+                return
+            retries += 1
+            orchestration.inc(counter)
             spans.event(
                 parent_span, "requeue",
                 cell=index, attempt=attempt, error=reason,
             )
-            inflight[index] = _submit(index, attempt + 1)
+            if backoff_base_s > 0.0:
+                due = monotonic() + requeue_backoff_s(
+                    backoff_base_s, attempt, index, backoff_seed,
+                )
+                delayed.append((due, index, attempt + 1))
+            else:
+                ready.append((index, attempt + 1))
 
-        inflight = {cell.index: _submit(cell.index, 1) for cell in cells}
-        while inflight:
-            progressed = False
+        def _violent_death(index: int, entry: _Inflight, reason: str) -> None:
+            """A worker died under the cell (dead) or froze (hung) —
+            circuit-break, requeue, or fail, in that order."""
+            streak = deaths.setdefault(index, [])
+            streak.append(reason)
+            if quarantine_after is not None and len(streak) >= quarantine_after:
+                _quarantine(index, entry, streak)
+            elif entry.attempt < max_attempts:
+                _requeue(
+                    index, entry.attempt, reason,
+                    "requeue_hung" if reason == "WorkerHungError"
+                    else "requeue_timeout",
+                )
+            else:
+                if reason == "WorkerHungError":
+                    message = (
+                        f"cell {index} stalled (heartbeats alive, no "
+                        f"progress past {entry.last_done} for "
+                        f"{progress_timeout_s:.1f}s) on attempt "
+                        f"{entry.attempt}"
+                    )
+                else:
+                    message = (
+                        f"cell {index} exceeded {cell_timeout_s:.0f}s "
+                        f"without a heartbeat on attempt {entry.attempt} "
+                        f"(worker presumed dead)"
+                    )
+                _fail_cell(index, {
+                    "type": reason,
+                    "message": message,
+                    "traceback": None,
+                    "attempt": entry.attempt,
+                }, entry.attempt)
+
+        while inflight or ready or delayed:
+            if stop is not None and stop.is_set() and interrupted_at is None:
+                interrupted_at = monotonic()
+                abandoned = len(ready) + len(delayed)
+                ready.clear()
+                delayed.clear()
+                orchestration.inc("interrupted")
+                spans.event(
+                    parent_span, "interrupt",
+                    inflight=len(inflight), abandoned=abandoned,
+                )
+            if interrupted_at is None:
+                _pump()
+            elif not inflight:
+                break
+            elif monotonic() > interrupted_at + interrupt_grace_s:
+                orchestration.inc("interrupt_abandoned", len(inflight))
+                spans.event(
+                    parent_span, "interrupt_grace_expired",
+                    abandoned=len(inflight),
+                )
+                break
             _drain_heartbeats()
+            progressed = False
+            now = monotonic()
             for index in list(inflight):
-                attempt, handle, last_activity = inflight[index]
-                if handle.ready():
+                entry = inflight[index]
+                if entry.handle.ready():
                     progressed = True
+                    del inflight[index]
                     try:
-                        payload = handle.get()
+                        payload = entry.handle.get()
                     except Exception as err:
                         # Transport-level failure (e.g. unpicklable
                         # payload); same shape as a worker-side error.
-                        payload = _error_payload(index, attempt, err, None)
+                        payload = _error_payload(index, entry.attempt, err, None)
                     if "error" not in payload:
-                        _close_cell(index, payload, attempt)
-                        del inflight[index]
-                    elif attempt < max_attempts:
-                        retries += 1
-                        _requeue(index, attempt, payload["error"]["type"])
+                        _close_cell(index, payload, entry)
+                    elif interrupted_at is not None:
+                        # Draining after an interrupt: an error here is
+                        # left *unfinished* (resumable), not failed — the
+                        # resumed run retries it with a full budget.
+                        spans.end(
+                            cell_spans.pop(index, None),
+                            error=payload["error"]["type"], interrupted=True,
+                        )
                     else:
-                        _fail_cell(index, payload["error"], attempt)
-                        del inflight[index]
-                elif monotonic() > last_activity + cell_timeout_s:
+                        # The worker survived to report an exception, so
+                        # this was not a violent death: the streak resets.
+                        deaths.pop(index, None)
+                        if entry.attempt < max_attempts:
+                            _requeue(
+                                index, entry.attempt,
+                                payload["error"]["type"], "requeue_error",
+                            )
+                        else:
+                            _fail_cell(index, payload["error"], entry.attempt)
+                elif entry.dead(now, cell_timeout_s):
                     progressed = True
+                    del inflight[index]
                     spans.event(
                         parent_span, "deadline_lapsed",
-                        cell=index, attempt=attempt,
-                        idle_s=monotonic() - last_activity,
+                        cell=index, attempt=entry.attempt,
+                        idle_s=now - entry.last_beat_t,
                     )
-                    if attempt < max_attempts:
-                        retries += 1
-                        _requeue(index, attempt, "TimeoutError")
+                    if interrupted_at is not None:
+                        spans.end(
+                            cell_spans.pop(index, None),
+                            error="TimeoutError", interrupted=True,
+                        )
                     else:
-                        _fail_cell(index, {
-                            "type": "TimeoutError",
-                            "message": (
-                                f"cell {index} exceeded {cell_timeout_s:.0f}s "
-                                f"without a heartbeat on attempt {attempt} "
-                                f"(worker presumed dead)"
-                            ),
-                            "traceback": None,
-                            "attempt": attempt,
-                        }, attempt)
-                        del inflight[index]
-            if inflight and not progressed:
+                        _violent_death(index, entry, "TimeoutError")
+                elif entry.hung(now, progress_timeout_s):
+                    progressed = True
+                    del inflight[index]
+                    spans.event(
+                        parent_span, "progress_stalled",
+                        cell=index, attempt=entry.attempt,
+                        done=entry.last_done,
+                        stalled_s=now - entry.last_progress_t,
+                    )
+                    if interrupted_at is not None:
+                        spans.end(
+                            cell_spans.pop(index, None),
+                            error="WorkerHungError", interrupted=True,
+                        )
+                    else:
+                        _violent_death(index, entry, "WorkerHungError")
+            if (inflight or ready or delayed) and not progressed:
                 sleep(0.01)
         _drain_heartbeats()
     if beat_queue is not None:
         beat_queue.close()
         beat_queue.join_thread()
     return retries
+
+
+class _InterruptGuard:
+    """Graceful SIGINT/SIGTERM handling for one ``run_plan`` call.
+
+    The first signal sets the runner's stop flag — dispatch halts,
+    in-flight cells drain within the grace window, the checkpoint stays
+    resumable, and the sweep returns with ``interrupted=True``. A second
+    signal raises :class:`KeyboardInterrupt` (the operator means it).
+    Installs only from the main thread (elsewhere it degrades to a
+    no-op) and always restores the previous handlers.
+    """
+
+    def __init__(self, flag: threading.Event) -> None:
+        self.flag = flag
+        self._previous: Dict[int, Any] = {}
+        self._fired = False
+
+    def _handle(self, signum, frame) -> None:
+        if self._fired:
+            raise KeyboardInterrupt
+        self._fired = True
+        self.flag.set()
+
+    def __enter__(self) -> "_InterruptGuard":
+        for sig in (signal.SIGINT, signal.SIGTERM):
+            try:
+                self._previous[sig] = signal.signal(sig, self._handle)
+            except ValueError:  # not the main thread
+                break
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        for sig, previous in self._previous.items():
+            try:
+                signal.signal(sig, previous)
+            except ValueError:  # pragma: no cover - symmetric with enter
+                pass
+        return False
 
 
 def run_plan(
@@ -641,19 +1027,29 @@ def run_plan(
     resume: Optional[str] = None,
     telemetry: Optional[SweepTelemetry] = None,
     manifest: Optional[str] = None,
+    chaos: Optional[ChaosPlan] = None,
+    progress_timeout_s: Optional[float] = None,
+    quarantine_after: Optional[int] = None,
+    retry_budget: Optional[int] = None,
+    backoff_base_s: float = 0.0,
+    handle_signals: bool = False,
+    interrupt_grace_s: float = 30.0,
 ) -> MatrixOutcome:
     """Execute a cell plan, in-process or across a ``fork`` pool.
 
-    The outcome is independent of ``jobs``, retries, and resumption —
-    the parallel/serial equivalence tests pin this down. Failed cells
-    (after ``max_attempts`` attempts each) are reported in
-    ``MatrixOutcome.failed`` instead of aborting the whole matrix.
+    The outcome is independent of ``jobs``, retries, resumption, and any
+    injected chaos — the parallel/serial equivalence tests and the chaos
+    soak pin this down. Failed cells (after ``max_attempts`` attempts
+    each) are reported in ``MatrixOutcome.failed`` instead of aborting
+    the whole matrix.
 
-    ``checkpoint`` names a JSON file atomically rewritten after every
-    finished cell; ``resume`` preloads finished cells from such a file
-    (missing file: start fresh; malformed or wrong-plan file: raise
-    :class:`~repro.common.errors.ConfigurationError`). The two may name
-    the same path.
+    ``checkpoint`` names a file durably rewritten after every finished
+    cell; ``resume`` preloads finished cells from such a file (missing
+    file: start fresh; wrong-plan or wrong-format file: raise
+    :class:`~repro.common.errors.ConfigurationError`; damaged file:
+    salvage every digest-verified cell, cross-checked against the
+    sidecar manifest when present, and re-run the rest). The two may
+    name the same path.
 
     ``telemetry`` (a :class:`~repro.parallel.telemetry.SweepTelemetry`)
     attaches sweep-scale observability: a span tree
@@ -665,12 +1061,41 @@ def run_plan(
 
     ``manifest`` names a run-manifest JSON to write after the fold; when
     omitted but ``checkpoint`` is set, ``<checkpoint>.manifest.json`` is
-    written so every checkpointed sweep carries its provenance.
+    written so every checkpointed sweep carries its provenance. Whenever
+    a manifest is written, it is re-loaded from disk and audited against
+    the merged outcome (``MatrixOutcome.audit``).
+
+    Hardening knobs (all default to the pre-chaos behavior):
+    ``progress_timeout_s`` arms hung-worker detection (pool runs with
+    heartbeats only — set it well above the wall time of
+    ``heartbeat_every`` accesses); ``quarantine_after`` arms the
+    poison-cell circuit breaker; ``retry_budget`` caps requeues globally
+    across all cells; ``backoff_base_s`` spaces a cell's attempts with
+    exponential backoff + deterministic jitter; ``handle_signals``
+    installs the graceful SIGINT/SIGTERM guard; ``chaos`` injects
+    seeded orchestration chaos (see :mod:`repro.resilience.chaos`).
     """
     if max_attempts < 1:
         raise ValueError("max_attempts must be >= 1")
     start = perf_counter()
     effective = resolve_jobs(jobs, len(plan))
+    if chaos is not None and chaos.wants_worker_chaos:
+        if effective <= 1:
+            raise ConfigurationError(
+                "worker-side chaos (kill/hang/heartbeat loss) needs a "
+                "process pool; run with jobs >= 2 and a multi-cell plan"
+            )
+        if telemetry is None or not telemetry.wants_heartbeats:
+            raise ConfigurationError(
+                "worker-side chaos rides the heartbeat channel; attach a "
+                "SweepTelemetry with heartbeat_every > 0"
+            )
+    injector = ChaosInjector(chaos) if chaos is not None and chaos.active else None
+    stop = threading.Event()
+    orchestration = CounterGroup("matrix.orchestration")
+    quarantined_ix: Dict[int, Dict[str, Any]] = {}
+    budget = _RetryBudget(retry_budget) if retry_budget is not None else None
+    backoff_seed = chaos.seed if chaos is not None else 0
     spans, progress, _ = _telemetry_parts(telemetry)
     by_index = {cell.index: cell for cell in plan}
     sweep_span = spans.start(
@@ -682,11 +1107,33 @@ def run_plan(
     fingerprint = plan_fingerprint(plan, n_accesses, config, sim_config)
     done: Dict[int, Dict[str, Any]] = {}
     resumed = 0
+    salvaged = 0
     if resume is not None and os.path.exists(resume):
         wanted = {cell.index for cell in plan}
+        try:
+            loaded = load_checkpoint(resume, fingerprint)
+        except CheckpointCorruptError:
+            # Body damage (torn tail, flipped bit): salvage every cell
+            # whose digest verifies — cross-checked against the sidecar
+            # manifest when one exists — instead of refusing to resume.
+            expected = None
+            sidecar = resume + ".manifest.json"
+            if os.path.exists(sidecar):
+                try:
+                    expected = result_digests(load_manifest(sidecar), plan)
+                except ConfigurationError:
+                    expected = None
+            loaded, report = salvage_checkpoint(resume, fingerprint, expected)
+            salvaged = report["recovered"]
+            orchestration.inc("checkpoint_salvaged_cells", report["recovered"])
+            orchestration.inc("checkpoint_salvage_dropped", report["dropped"])
+            spans.event(
+                sweep_span, "checkpoint_salvage",
+                recovered=report["recovered"], dropped=report["dropped"],
+            )
         done = {
             index: payload
-            for index, payload in load_checkpoint(resume, fingerprint).items()
+            for index, payload in loaded.items()
             if index in wanted
         }
         resumed = len(done)
@@ -721,26 +1168,58 @@ def run_plan(
             ckpt_span = spans.start(
                 "checkpoint", parent=sweep_span, cells=len(done),
             ) if spans.enabled else None
-            write_checkpoint(checkpoint, fingerprint, done)
+            effect = (
+                injector.write_effect("checkpoint")
+                if injector is not None else None
+            )
+            try:
+                write_checkpoint(checkpoint, fingerprint, done, effect=effect)
+            except OSError as err:
+                # Disk-full (real or injected): the sweep keeps running
+                # on the previous checkpoint; only resumability degrades.
+                orchestration.inc("checkpoint_write_errors")
+                spans.event(
+                    sweep_span, "checkpoint_write_failed",
+                    cells=len(done), error=type(err).__name__,
+                )
             spans.end(ckpt_span)
+        if injector is not None and injector.should_interrupt(len(done)):
+            stop.set()
 
     simulate_span = spans.start(
         "simulate", parent=sweep_span, pending=len(pending),
     ) if spans.enabled else None
-    if not pending:
-        retries = 0
-    elif effective <= 1:
-        retries = _run_serial(
-            pending, config, sim_config, n_accesses, max_attempts,
-            note_success, failures,
-            telemetry=telemetry, parent_span=simulate_span,
-        )
-    else:
-        retries = _run_pool(
-            pending, config, sim_config, n_accesses, effective, max_attempts,
-            cell_timeout_s, note_success, failures,
-            telemetry=telemetry, parent_span=simulate_span,
-        )
+    guard = _InterruptGuard(stop) if handle_signals else None
+    try:
+        if guard is not None:
+            guard.__enter__()
+        if not pending:
+            retries = 0
+        elif effective <= 1:
+            retries = _run_serial(
+                pending, config, sim_config, n_accesses, max_attempts,
+                note_success, failures,
+                telemetry=telemetry, parent_span=simulate_span,
+                retry_budget=budget, backoff_base_s=backoff_base_s,
+                backoff_seed=backoff_seed, stop=stop,
+                orchestration=orchestration,
+            )
+        else:
+            retries = _run_pool(
+                pending, config, sim_config, n_accesses, effective,
+                max_attempts, cell_timeout_s, note_success, failures,
+                telemetry=telemetry, parent_span=simulate_span,
+                chaos=chaos, injector=injector,
+                progress_timeout_s=progress_timeout_s,
+                quarantine_after=quarantine_after,
+                retry_budget=budget, backoff_base_s=backoff_base_s,
+                backoff_seed=backoff_seed, stop=stop,
+                orchestration=orchestration, quarantined=quarantined_ix,
+                interrupt_grace_s=interrupt_grace_s,
+            )
+    finally:
+        if guard is not None:
+            guard.__exit__(None, None, None)
     spans.end(simulate_span, retries=retries, failed=len(failures))
 
     merge_span = spans.start(
@@ -749,15 +1228,58 @@ def run_plan(
     outcome = _fold(plan, list(done.values()), effective, perf_counter() - start)
     outcome.retries = retries
     outcome.resumed = resumed
+    outcome.salvaged = salvaged
     for index, error in failures.items():
         outcome.failed[by_index[index].key] = dict(error)
+    for index, record in quarantined_ix.items():
+        outcome.quarantined[by_index[index].key] = dict(record)
+    outcome.interrupted = stop.is_set() and (
+        len(done) + len(failures) + len(quarantined_ix) < len(plan)
+    )
+    if injector is not None:
+        orchestration.merge(injector.stats)
+    outcome.orchestration = orchestration
     spans.end(merge_span, results=len(outcome.results))
 
     manifest_path = manifest
     if manifest_path is None and checkpoint is not None:
         manifest_path = checkpoint + ".manifest.json"
     if manifest_path is not None:
-        write_manifest(manifest_path, build_manifest(fingerprint, outcome, plan))
-        spans.event(sweep_span, "manifest", path=manifest_path)
-    spans.end(sweep_span, failed=len(outcome.failed), retries=retries)
+        mutate = (
+            write_effect_mutator(injector.write_effect("manifest"))
+            if injector is not None else None
+        )
+        try:
+            write_manifest(
+                manifest_path, build_manifest(fingerprint, outcome, plan),
+                mutate=mutate,
+            )
+        except OSError as err:
+            orchestration.inc("manifest_write_errors")
+            spans.event(
+                sweep_span, "manifest_write_failed", error=type(err).__name__,
+            )
+        else:
+            spans.event(sweep_span, "manifest", path=manifest_path)
+            # End-of-run integrity audit: trust only what landed on disk.
+            try:
+                on_disk = load_manifest(manifest_path)
+            except ConfigurationError as err:
+                outcome.audit = {
+                    "ok": False, "checked": 0,
+                    "mismatches": [f"manifest unreadable after write: {err}"],
+                }
+            else:
+                outcome.audit = audit_manifest(on_disk, outcome, plan)
+            if not outcome.audit["ok"]:
+                orchestration.inc("audit_failures")
+            spans.event(
+                sweep_span, "audit",
+                ok=outcome.audit["ok"], checked=outcome.audit["checked"],
+                mismatches=len(outcome.audit["mismatches"]),
+            )
+    spans.end(
+        sweep_span, failed=len(outcome.failed), retries=retries,
+        quarantined=len(outcome.quarantined), interrupted=outcome.interrupted,
+    )
     return outcome

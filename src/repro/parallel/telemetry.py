@@ -18,10 +18,13 @@ counters and timings of untelemetered runs are untouched.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 from repro.obs.progress import ProgressTracker
 from repro.obs.spans import SpanTracer
+
+if TYPE_CHECKING:  # import cycle guard: chaos lives in repro.resilience
+    from repro.resilience.chaos import ChaosPlan
 
 #: Default simulated accesses between worker heartbeats. Small enough
 #: that a stuck cell is noticed within a second on typical simulation
@@ -31,11 +34,18 @@ DEFAULT_HEARTBEAT_EVERY = 2000
 
 @dataclass
 class WorkerTelemetry:
-    """Picklable per-worker telemetry spec (pool initializer payload)."""
+    """Picklable per-worker telemetry spec (pool initializer payload).
+
+    ``chaos`` carries the worker-side slice of an orchestration
+    :class:`~repro.resilience.chaos.ChaosPlan` (kill/hang/heartbeat
+    chaos); the runner attaches it for pool workers only — worker chaos
+    must never run in the parent process.
+    """
 
     spans: bool = False
     metrics: bool = False
     heartbeat_every: int = DEFAULT_HEARTBEAT_EVERY
+    chaos: Optional["ChaosPlan"] = None
 
 
 @dataclass

@@ -9,9 +9,13 @@ Three coordinated pieces:
   controller's bounded-retry/backoff engine and recovery scoreboard;
 * :mod:`~repro.resilience.checker` — :class:`ShadowChecker`, a shadow
   remap table plus R1-R4 validation on every commit;
-* :mod:`~repro.resilience.checkpoint` — atomic, fingerprinted JSON
-  checkpoints that let ``run_matrix(..., resume=path)`` skip finished
-  cells after a crash.
+* :mod:`~repro.resilience.checkpoint` — durable, fingerprinted JSONL
+  checkpoints (per-cell digests + salvage) that let
+  ``run_matrix(..., resume=path)`` skip finished cells after a crash;
+* :mod:`~repro.resilience.chaos` — seeded *orchestration-layer* chaos
+  (worker kills/hangs, heartbeat loss, torn/ENOSPC checkpoint writes,
+  simulated operator interrupts) for soak-testing the sweep runner
+  itself.
 
 Everything is opt-in through
 :class:`~repro.common.config.ResilienceConfig`; with
@@ -20,12 +24,20 @@ Everything is opt-in through
 See ``docs/resilience.md`` for the fault model and recovery state machine.
 """
 
+from repro.resilience.chaos import (
+    CHAOS_SPEC_KEYS,
+    ChaosInjector,
+    ChaosPlan,
+    WorkerChaos,
+    parse_chaos_spec,
+)
 from repro.resilience.checker import ShadowChecker
 from repro.resilience.checkpoint import (
     CHECKPOINT_MAGIC,
     CHECKPOINT_VERSION,
     load_checkpoint,
     plan_fingerprint,
+    salvage_checkpoint,
     write_checkpoint,
 )
 from repro.resilience.faults import (
@@ -37,15 +49,21 @@ from repro.resilience.faults import (
 from repro.resilience.recovery import RecoveryManager
 
 __all__ = [
+    "CHAOS_SPEC_KEYS",
     "CHECKPOINT_MAGIC",
     "CHECKPOINT_VERSION",
+    "ChaosInjector",
+    "ChaosPlan",
     "FAULT_SPEC_KEYS",
     "FaultInjector",
     "FaultPlan",
     "RecoveryManager",
     "ShadowChecker",
+    "WorkerChaos",
     "load_checkpoint",
+    "parse_chaos_spec",
     "parse_fault_spec",
     "plan_fingerprint",
+    "salvage_checkpoint",
     "write_checkpoint",
 ]

@@ -1,0 +1,356 @@
+"""Deterministic seeded orchestration-layer chaos injection.
+
+Where :mod:`repro.resilience.faults` chaos-tests the *simulated
+hardware*, this module chaos-tests the *sweep machinery itself*: the
+fork pool, heartbeat channel, checkpoint/manifest writers, and signal
+handling that ``run_plan`` is built from. A :class:`ChaosPlan` names the
+failure kinds and probabilities; the draws reuse the same SplitMix64
+hashing as :class:`~repro.resilience.faults.FaultInjector`, but with one
+deliberate difference:
+
+* **Worker-side** decisions (kill, hang, heartbeat drop/stall) are pure
+  functions of ``(seed, site, cell_index, attempt[, beat])`` — keyed
+  hashes, not per-site counters — because pool workers race and a
+  counter shared across processes would make the schedule depend on OS
+  scheduling. Keyed draws give the same injections for a given cell and
+  attempt no matter which worker runs it or when.
+* **Parent-side** decisions (checkpoint/manifest write effects, drain
+  delays) keep the counter-per-site design of ``faults.py``: the parent
+  is single-threaded, so the *n*-th write at a site is well defined.
+
+Either way, the *merged results* of a chaos run are bit-identical to a
+chaos-free run — every cell is a pure function of its seed, so chaos can
+only change *which attempt* produces a payload, never the payload. The
+chaos soak (``repro chaos-soak``) asserts exactly that.
+
+Worker chaos pieces run inside the worker process
+(:class:`WorkerChaos`, shipped through
+:class:`~repro.parallel.telemetry.WorkerTelemetry`); the rest runs in
+the parent (:class:`ChaosInjector`).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import errno
+import os
+import signal
+import zlib
+from dataclasses import dataclass
+from time import monotonic, sleep
+from typing import Callable, Dict, Optional, Tuple
+
+from repro.common.errors import ConfigurationError
+from repro.common.stats import CounterGroup
+from repro.resilience.faults import _MASK64, _mix64
+
+#: Short CLI spec keys (``--chaos "kill=0.2,torn=0.3"``) mapped to
+#: :class:`ChaosPlan` field names. Mirrors ``FAULT_SPEC_KEYS``.
+CHAOS_SPEC_KEYS: Dict[str, str] = {
+    "kill": "p_kill_worker",
+    "hang": "p_hang_worker",
+    "hang_s": "hang_s",
+    "drop": "p_drop_heartbeat",
+    "stall": "p_stall_heartbeats",
+    "drain": "p_delay_drain",
+    "torn": "p_torn_checkpoint",
+    "flip": "p_flip_checkpoint",
+    "enospc": "p_enospc",
+}
+
+#: Write-effect names returned by :meth:`ChaosInjector.write_effect`.
+WRITE_EFFECTS = ("torn", "flip", "enospc")
+
+
+def parse_chaos_spec(spec: str) -> Dict[str, float]:
+    """Parse ``"kill=0.2,torn=0.3"`` into :class:`ChaosPlan` kwargs."""
+    out: Dict[str, float] = {}
+    for part in spec.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        key, sep, value = part.partition("=")
+        key = key.strip()
+        if key not in CHAOS_SPEC_KEYS:
+            raise ConfigurationError(
+                f"unknown chaos kind {key!r}; choose from "
+                f"{', '.join(sorted(CHAOS_SPEC_KEYS))}"
+            )
+        if not sep:
+            raise ConfigurationError(f"chaos spec entry {part!r} needs key=value")
+        try:
+            number = float(value)
+        except ValueError as err:
+            raise ConfigurationError(f"bad value in chaos spec: {part!r}") from err
+        out[CHAOS_SPEC_KEYS[key]] = number
+    if not out:
+        raise ConfigurationError("empty chaos spec")
+    return out
+
+
+def chaos_uniform(seed: int, site: str, *coords: int) -> float:
+    """A schedule-independent U[0,1) draw keyed by site + coordinates.
+
+    Pure function of its arguments — two processes (or two runs) asking
+    about the same ``(seed, site, coords)`` always agree, which is what
+    lets worker-side chaos stay deterministic across pool scheduling.
+    """
+    value = _mix64((seed << 1) ^ zlib.crc32(site.encode("ascii")))
+    for coord in coords:
+        value = _mix64(value ^ (coord & _MASK64))
+    return _mix64(value) / 2.0 ** 64
+
+
+def chaos_randint(seed: int, site: str, bound: int, *coords: int) -> int:
+    """A keyed draw in ``[0, bound)`` (same determinism contract)."""
+    return int(chaos_uniform(seed, site, *coords) * bound)
+
+
+@dataclass(frozen=True)
+class ChaosPlan:
+    """The seeded orchestration-chaos schedule.
+
+    Probabilities are per-attempt (kill/hang/stall), per-beat (drop),
+    per-write (torn/flip/enospc), or per-drain (drain delay).
+    ``poison_cells`` names plan indices whose worker is killed on
+    *every* attempt — the input that must trip the poison-cell circuit
+    breaker. ``interrupt_after_cells`` > 0 simulates an operator SIGINT
+    after that many cells complete.
+    """
+
+    seed: int = 0xC7A05
+    p_kill_worker: float = 0.0
+    p_hang_worker: float = 0.0
+    hang_s: float = 2.0
+    p_drop_heartbeat: float = 0.0
+    p_stall_heartbeats: float = 0.0
+    stall_beats: int = 8
+    p_delay_drain: float = 0.0
+    drain_delay_s: float = 0.05
+    p_torn_checkpoint: float = 0.0
+    p_flip_checkpoint: float = 0.0
+    p_enospc: float = 0.0
+    poison_cells: Tuple[int, ...] = ()
+    interrupt_after_cells: int = 0
+
+    @property
+    def wants_worker_chaos(self) -> bool:
+        """True when any injection must run inside worker processes."""
+        return bool(
+            self.p_kill_worker > 0.0
+            or self.p_hang_worker > 0.0
+            or self.p_drop_heartbeat > 0.0
+            or self.p_stall_heartbeats > 0.0
+            or self.poison_cells
+        )
+
+    @property
+    def active(self) -> bool:
+        return bool(
+            self.wants_worker_chaos
+            or self.p_delay_drain > 0.0
+            or self.p_torn_checkpoint > 0.0
+            or self.p_flip_checkpoint > 0.0
+            or self.p_enospc > 0.0
+            or self.interrupt_after_cells > 0
+        )
+
+    def describe(self) -> Dict[str, float]:
+        """Non-zero probabilities by field name (for reporting)."""
+        out = {
+            field.name: getattr(self, field.name)
+            for field in dataclasses.fields(self)
+            if field.name.startswith("p_") and getattr(self, field.name) > 0.0
+        }
+        if self.poison_cells:
+            out["poison_cells"] = len(self.poison_cells)
+        if self.interrupt_after_cells:
+            out["interrupt_after_cells"] = self.interrupt_after_cells
+        return out
+
+
+class WorkerChaos:
+    """Worker-side chaos schedule for one ``(cell, attempt)`` execution.
+
+    Built inside the worker process from the picklable plan; all
+    decisions are keyed draws, so the schedule is identical no matter
+    which pool worker picks the task up. Hooks into the heartbeat path
+    (:meth:`on_beat`) because beats are the only periodic callback the
+    worker already has — a kill or hang therefore lands *mid-cell*, at a
+    beat boundary, which is exactly the failure mode dead/hung-worker
+    detection must catch.
+    """
+
+    #: Kills/hangs land within the first few beats so small test cells
+    #: (a handful of beats total) still exercise them.
+    _EARLY_BEATS = 3
+
+    def __init__(self, plan: ChaosPlan, cell_index: int, attempt: int) -> None:
+        self.plan = plan
+        self.cell_index = cell_index
+        self.attempt = attempt
+        self._beats = 0
+        seed = plan.seed
+        self.kill_at = -1
+        if cell_index in plan.poison_cells:
+            # A poison cell dies on every attempt: that is the input the
+            # circuit breaker exists for.
+            self.kill_at = 1 + chaos_randint(
+                seed, "worker.poison", self._EARLY_BEATS, cell_index, attempt
+            )
+        elif plan.p_kill_worker > 0.0 and (
+            chaos_uniform(seed, "worker.kill", cell_index, attempt)
+            < plan.p_kill_worker
+        ):
+            self.kill_at = 1 + chaos_randint(
+                seed, "worker.kill_at", self._EARLY_BEATS, cell_index, attempt
+            )
+        self.hang_at = -1
+        if self.kill_at < 0 and plan.p_hang_worker > 0.0 and (
+            chaos_uniform(seed, "worker.hang", cell_index, attempt)
+            < plan.p_hang_worker
+        ):
+            self.hang_at = 1 + chaos_randint(
+                seed, "worker.hang_at", self._EARLY_BEATS, cell_index, attempt
+            )
+        self.stall_from = -1
+        if plan.p_stall_heartbeats > 0.0 and (
+            chaos_uniform(seed, "worker.stall", cell_index, attempt)
+            < plan.p_stall_heartbeats
+        ):
+            self.stall_from = 1 + chaos_randint(
+                seed, "worker.stall_at", self._EARLY_BEATS, cell_index, attempt
+            )
+
+    def _dropped(self, beat: int) -> bool:
+        if self.stall_from >= 0 and (
+            self.stall_from <= beat < self.stall_from + self.plan.stall_beats
+        ):
+            return True
+        return self.plan.p_drop_heartbeat > 0.0 and (
+            chaos_uniform(
+                self.plan.seed, "worker.drop",
+                self.cell_index, self.attempt, beat,
+            )
+            < self.plan.p_drop_heartbeat
+        )
+
+    def on_beat(self, emit: Callable[[dict], None], event: dict) -> None:
+        """Filter one heartbeat through the chaos schedule.
+
+        May kill the process (SIGKILL — indistinguishable from an OOM
+        kill), hang (keep re-emitting the same frozen-progress beat for
+        ``hang_s``, then resume — alive but stalled), or swallow the
+        beat. Otherwise forwards ``event`` to ``emit``.
+        """
+        beat = self._beats
+        self._beats += 1
+        if beat == self.kill_at:
+            os.kill(os.getpid(), signal.SIGKILL)
+        if beat == self.hang_at:
+            deadline = monotonic() + self.plan.hang_s
+            while monotonic() < deadline:
+                emit(dict(event))  # frozen ``done``: beating, not progressing
+                sleep(0.1)
+            # fall through: the worker resumes, but by now the parent has
+            # usually requeued the cell and abandoned this attempt.
+        if self._dropped(beat):
+            return
+        emit(event)
+
+
+def write_effect_mutator(effect: Optional[str]) -> Optional[Callable[[int, str], None]]:
+    """The ``mutate`` hook for :func:`repro.common.fsio.durable_replace`
+    realizing a checkpoint-write effect.
+
+    ``"torn"`` truncates the payload to ~2/3 (a torn page writeback
+    surviving the rename), ``"flip"`` flips one bit in the middle
+    (silent media corruption), ``"enospc"`` raises ``OSError(ENOSPC)``
+    before anything reaches disk. ``None`` means write faithfully.
+    """
+    if effect is None:
+        return None
+    if effect not in WRITE_EFFECTS:
+        raise ConfigurationError(f"unknown write effect {effect!r}")
+
+    def mutate(fd: int, tmp_path: str) -> None:
+        if effect == "enospc":
+            raise OSError(errno.ENOSPC, "No space left on device (injected)")
+        size = os.fstat(fd).st_size
+        if effect == "torn":
+            os.ftruncate(fd, (size * 2) // 3)
+        elif effect == "flip" and size > 0:
+            offset = size // 2
+            byte = os.pread(fd, 1, offset)
+            os.pwrite(fd, bytes([byte[0] ^ 0x01]), offset)
+
+    return mutate
+
+
+class ChaosInjector:
+    """Parent-side chaos: write effects, drain delays, interrupts.
+
+    Counter-per-site draws like :class:`FaultInjector` — the parent loop
+    is single-threaded, so the *n*-th draw at a site is well defined.
+    ``stats`` counts everything injected (worker-side injections are
+    inferred by the runner from requeue reasons, since a SIGKILLed
+    worker cannot report its own death).
+    """
+
+    def __init__(self, plan: ChaosPlan) -> None:
+        self.plan = plan
+        self.stats = CounterGroup("chaos")
+        self._counts: Dict[str, int] = {}
+        self._interrupted = False
+
+    def _uniform(self, site: str) -> float:
+        n = self._counts.get(site, 0)
+        self._counts[site] = n + 1
+        return chaos_uniform(self.plan.seed, site, n)
+
+    def write_effect(self, site: str) -> Optional[str]:
+        """The effect (if any) to apply to the next write at ``site``
+        (``"checkpoint"`` or ``"manifest"``)."""
+        plan = self.plan
+        if plan.p_enospc > 0.0 and self._uniform(f"{site}.enospc") < plan.p_enospc:
+            self.stats.inc(f"injected_{site}_enospc")
+            return "enospc"
+        if site == "checkpoint":
+            if plan.p_torn_checkpoint > 0.0 and (
+                self._uniform("checkpoint.torn") < plan.p_torn_checkpoint
+            ):
+                self.stats.inc("injected_checkpoint_torn")
+                return "torn"
+            if plan.p_flip_checkpoint > 0.0 and (
+                self._uniform("checkpoint.flip") < plan.p_flip_checkpoint
+            ):
+                self.stats.inc("injected_checkpoint_flip")
+                return "flip"
+        return None
+
+    def drain_delay(self) -> float:
+        """Seconds to dawdle before draining the heartbeat queue (models
+        a parent busy elsewhere while beats pile up)."""
+        plan = self.plan
+        if plan.p_delay_drain > 0.0 and (
+            self._uniform("drain.delay") < plan.p_delay_drain
+        ):
+            self.stats.inc("injected_drain_delay")
+            return plan.drain_delay_s
+        return 0.0
+
+    def should_interrupt(self, completed_cells: int) -> bool:
+        """True exactly once, when ``interrupt_after_cells`` is reached —
+        the runner then behaves as if SIGINT arrived."""
+        if (
+            not self._interrupted
+            and self.plan.interrupt_after_cells > 0
+            and completed_cells >= self.plan.interrupt_after_cells
+        ):
+            self._interrupted = True
+            self.stats.inc("injected_interrupt")
+            return True
+        return False
+
+    def injected_total(self) -> int:
+        return sum(self.stats.as_dict().values())

@@ -1,28 +1,41 @@
-"""Crash-safe sweep checkpoints.
+"""Crash-safe sweep checkpoints with per-cell salvage.
 
-A checkpoint is one JSON document recording the finished cells of a
-matrix run, written atomically (temp file + ``os.replace``) after each
-completed cell so a killed sweep loses at most the in-flight cells. The
-file is self-describing — magic string, format version, and a SHA-256
-fingerprint of the exact plan (cells, access count, configs) — so
-``run_matrix(..., resume=path)`` refuses, with a clear
-:class:`~repro.common.errors.ConfigurationError`, to resume a different
-sweep or a truncated/incompatible file rather than silently mixing
-results.
+A checkpoint records the finished cells of a matrix run, rewritten
+durably (temp file + fsync + ``os.replace`` + directory fsync, via
+:func:`repro.common.fsio.durable_replace`) after each completed cell so
+a killed sweep loses at most the in-flight cells. Format version 2 is
+line-oriented precisely so *partial* corruption stays partially
+recoverable:
+
+* line 1 — a self-describing header: magic string, version, SHA-256
+  fingerprint of the exact plan (cells, access count, configs), and the
+  cell count;
+* one line per finished cell — ``{"index", "digest", "payload"}`` where
+  ``digest`` is the SHA-256 of the payload's canonical JSON.
+
+:func:`load_checkpoint` is strict: a wrong-plan or unreadable file
+raises :class:`~repro.common.errors.ConfigurationError` as before, and
+any body damage (torn tail, flipped bit, missing lines) raises the
+:class:`~repro.common.errors.CheckpointCorruptError` subtype.
+:func:`salvage_checkpoint` is the recovery path the runner takes on
+that subtype: it keeps every cell whose line parses *and* whose digest
+verifies (optionally cross-checked against the run manifest's per-cell
+result digests) and reports what was dropped — a torn checkpoint costs
+re-running the damaged cells, never the whole sweep.
 """
 
 from __future__ import annotations
 
 import hashlib
 import json
-import os
-import tempfile
-from typing import Dict, Optional, Sequence
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
-from repro.common.errors import ConfigurationError
+from repro.common.errors import CheckpointCorruptError, ConfigurationError
+from repro.common.fsio import durable_replace
+from repro.resilience.chaos import write_effect_mutator
 
 CHECKPOINT_MAGIC = "repro-matrix-checkpoint"
-CHECKPOINT_VERSION = 1
+CHECKPOINT_VERSION = 2
 
 
 def plan_fingerprint(plan: Sequence, n_accesses: int, config, sim_config) -> str:
@@ -40,71 +53,188 @@ def plan_fingerprint(plan: Sequence, n_accesses: int, config, sim_config) -> str
     return digest.hexdigest()
 
 
+def payload_digest(payload: dict) -> str:
+    """SHA-256 of a cell payload's canonical JSON encoding."""
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
 def write_checkpoint(
-    path: str, fingerprint: str, payloads: Dict[int, dict]
+    path: str,
+    fingerprint: str,
+    payloads: Dict[int, dict],
+    effect: Optional[str] = None,
 ) -> None:
-    """Atomically (re)write the checkpoint with all finished payloads."""
-    document = {
-        "magic": CHECKPOINT_MAGIC,
-        "version": CHECKPOINT_VERSION,
-        "fingerprint": fingerprint,
-        "cells": len(payloads),
-        "payloads": {str(index): payload for index, payload in sorted(payloads.items())},
-    }
-    directory = os.path.dirname(os.path.abspath(path))
-    fd, tmp_path = tempfile.mkstemp(prefix=".checkpoint-", dir=directory)
-    try:
-        with os.fdopen(fd, "w", encoding="utf-8") as handle:
-            json.dump(document, handle)
-        os.replace(tmp_path, path)
-    except BaseException:
-        try:
-            os.unlink(tmp_path)
-        except OSError:
-            pass
-        raise
+    """Durably (re)write the checkpoint with all finished payloads.
 
-
-def load_checkpoint(path: str, fingerprint: Optional[str] = None) -> Dict[int, dict]:
-    """Load and validate a checkpoint; payloads keyed by cell index.
-
-    Raises :class:`ConfigurationError` for anything other than a valid
-    checkpoint of the expected plan: missing file, truncated/invalid
-    JSON, wrong magic or version, or a fingerprint mismatch.
+    ``effect`` is the chaos hook (``"torn"``/``"flip"``/``"enospc"``,
+    see :func:`repro.resilience.chaos.write_effect_mutator`): the damage
+    is applied to the temp file *before* the rename, modelling a write
+    path that corrupts data the crash-consistency machinery then
+    faithfully publishes.
     """
+    lines: List[str] = [
+        json.dumps({
+            "magic": CHECKPOINT_MAGIC,
+            "version": CHECKPOINT_VERSION,
+            "fingerprint": fingerprint,
+            "cells": len(payloads),
+        })
+    ]
+    for index, payload in sorted(payloads.items()):
+        lines.append(json.dumps({
+            "index": index,
+            "digest": payload_digest(payload),
+            "payload": payload,
+        }))
+    data = ("\n".join(lines) + "\n").encode("utf-8")
+    durable_replace(
+        path, data, prefix=".checkpoint-", mutate=write_effect_mutator(effect)
+    )
+
+
+def _read_lines(path: str) -> List[str]:
     try:
         with open(path, "r", encoding="utf-8") as handle:
-            document = json.load(handle)
+            return handle.read().splitlines()
     except OSError as err:
         raise ConfigurationError(f"cannot read checkpoint {path!r}: {err}") from err
+
+
+def _parse_header(path: str, lines: List[str], fingerprint: Optional[str]) -> dict:
+    """Validate the header line; raises :class:`ConfigurationError` for
+    anything that makes the whole file untrustworthy (wrong plan, wrong
+    format) — salvage is pointless past this point."""
+    if not lines:
+        raise ConfigurationError(
+            f"checkpoint {path!r} is not valid JSON (truncated write?): empty file"
+        )
+    try:
+        header = json.loads(lines[0])
     except json.JSONDecodeError as err:
         raise ConfigurationError(
             f"checkpoint {path!r} is not valid JSON (truncated write?): {err}"
         ) from err
-    if not isinstance(document, dict):
+    if not isinstance(header, dict):
         raise ConfigurationError(f"checkpoint {path!r} is not a JSON object")
-    magic = document.get("magic")
+    magic = header.get("magic")
     if magic != CHECKPOINT_MAGIC:
         raise ConfigurationError(
             f"checkpoint {path!r} has magic {magic!r}, expected {CHECKPOINT_MAGIC!r}"
         )
-    version = document.get("version")
+    version = header.get("version")
     if version != CHECKPOINT_VERSION:
         raise ConfigurationError(
             f"checkpoint {path!r} has version {version!r}, this build reads "
             f"version {CHECKPOINT_VERSION}"
         )
-    if fingerprint is not None and document.get("fingerprint") != fingerprint:
+    if fingerprint is not None and header.get("fingerprint") != fingerprint:
         raise ConfigurationError(
             f"checkpoint {path!r} was written for a different sweep "
             "(plan fingerprint mismatch); refusing to resume"
         )
-    payloads = document.get("payloads")
-    if not isinstance(payloads, dict):
-        raise ConfigurationError(f"checkpoint {path!r} is missing its payloads table")
-    try:
-        return {int(index): payload for index, payload in payloads.items()}
-    except (TypeError, ValueError) as err:
-        raise ConfigurationError(
-            f"checkpoint {path!r} has malformed payload keys: {err}"
-        ) from err
+    return header
+
+
+def _parse_records(
+    lines: List[str],
+) -> Tuple[Dict[int, dict], Dict[int, str], List[str]]:
+    """``(verified payloads, verified digests by index, damage notes)``
+    for the body lines; damaged lines are noted, never fatal here."""
+    payloads: Dict[int, dict] = {}
+    digests: Dict[int, str] = {}
+    damage: List[str] = []
+    for lineno, line in enumerate(lines, start=2):
+        if not line.strip():
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError:
+            damage.append(f"line {lineno}: invalid JSON (torn write?)")
+            continue
+        if not isinstance(record, dict) or not isinstance(record.get("index"), int):
+            damage.append(f"line {lineno}: not a cell record")
+            continue
+        index = record["index"]
+        payload = record.get("payload")
+        if not isinstance(payload, dict):
+            damage.append(f"line {lineno}: cell {index} has no payload")
+            continue
+        if record.get("digest") != payload_digest(payload):
+            damage.append(f"line {lineno}: cell {index} failed its digest check")
+            continue
+        payloads[index] = payload
+        digests[index] = record["digest"]
+    return payloads, digests, damage
+
+
+def load_checkpoint(path: str, fingerprint: Optional[str] = None) -> Dict[int, dict]:
+    """Load and validate a checkpoint; payloads keyed by cell index.
+
+    Raises :class:`ConfigurationError` for a missing/unreadable file, a
+    wrong magic/version, or a plan-fingerprint mismatch, and its
+    :class:`CheckpointCorruptError` subtype (``salvageable=True``) for
+    body damage — torn tail, flipped bits, records missing against the
+    header count — which :func:`salvage_checkpoint` can partially
+    recover.
+    """
+    lines = _read_lines(path)
+    header = _parse_header(path, lines, fingerprint)
+    payloads, _, damage = _parse_records(lines[1:])
+    expected_cells = header.get("cells")
+    if isinstance(expected_cells, int) and len(payloads) != expected_cells:
+        damage.append(
+            f"header promises {expected_cells} cell(s), {len(payloads)} verified"
+        )
+    if damage:
+        raise CheckpointCorruptError(
+            f"checkpoint {path!r} is damaged ({'; '.join(damage)}); "
+            "per-cell salvage may recover part of it",
+            salvageable=True,
+        )
+    return payloads
+
+
+def salvage_checkpoint(
+    path: str,
+    fingerprint: Optional[str] = None,
+    expected: Optional[Dict[int, str]] = None,
+) -> Tuple[Dict[int, dict], Dict[str, Any]]:
+    """Recover every digest-verified cell from a damaged checkpoint.
+
+    ``expected`` optionally maps cell index → the *result* digest the
+    run manifest recorded for that cell
+    (:func:`repro.obs.manifest.result_digests`); a salvaged payload
+    whose re-computed result digest disagrees is dropped too — the
+    manifest is the independent witness. Header-level problems (wrong
+    plan/magic/version, unreadable file) still raise
+    :class:`ConfigurationError`: salvage recovers *cells*, never trust.
+
+    Returns ``(payloads, report)`` where ``report`` counts
+    ``recovered``/``dropped``/``manifest_mismatch`` and lists the damage.
+    """
+    lines = _read_lines(path)
+    _parse_header(path, lines, fingerprint)
+    payloads, _, damage = _parse_records(lines[1:])
+    manifest_mismatch = 0
+    if expected is not None:
+        from repro.obs.manifest import _result_digest
+
+        for index in sorted(payloads):
+            want = expected.get(index)
+            if want is None:
+                continue
+            result = payloads[index].get("result", {})
+            if _result_digest(result) != want:
+                del payloads[index]
+                manifest_mismatch += 1
+                damage.append(
+                    f"cell {index} disagrees with the manifest result digest"
+                )
+    report = {
+        "recovered": len(payloads),
+        "dropped": len(damage),
+        "manifest_mismatch": manifest_mismatch,
+        "damage": damage,
+    }
+    return payloads, report

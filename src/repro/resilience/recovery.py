@@ -22,6 +22,26 @@ from repro.common.config import ResilienceConfig
 from repro.common.errors import TransientDeviceError
 from repro.common.stats import CounterGroup
 from repro.obs.tracer import NULL_TRACER
+from repro.resilience.faults import _MASK64, _mix64
+
+
+def requeue_backoff_s(
+    base_s: float, attempt: int, cell_index: int = 0, seed: int = 0
+) -> float:
+    """Orchestration-level requeue delay: exponential + deterministic jitter.
+
+    Attempt *n* (1-based, the attempt that just failed) waits
+    ``base_s * 2**(n-1)`` scaled by a jitter factor in ``[1.0, 1.5)``
+    drawn from a keyed SplitMix64 hash of ``(seed, cell, attempt)`` — so
+    a thundering herd of requeues de-synchronizes, yet two runs of the
+    same sweep back off identically (no wall-clock or PRNG state
+    involved). ``base_s <= 0`` disables backoff entirely.
+    """
+    if base_s <= 0.0 or attempt < 1:
+        return 0.0
+    key = ((seed << 1) ^ 0x51EE9) & _MASK64
+    jitter = _mix64(_mix64(key + cell_index) + attempt) / 2.0 ** 64
+    return base_s * (2.0 ** (attempt - 1)) * (1.0 + 0.5 * jitter)
 
 
 class RecoveryManager:

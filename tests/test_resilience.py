@@ -14,7 +14,11 @@ import pytest
 
 from repro.analysis.experiments import run_cell
 from repro.common.config import ResilienceConfig
-from repro.common.errors import ConfigurationError, CorruptionError
+from repro.common.errors import (
+    CheckpointCorruptError,
+    ConfigurationError,
+    CorruptionError,
+)
 from repro.core.commit import CommitPolicy
 from repro.metadata.remap import RemapEntry
 from repro.obs.tracer import load_jsonl
@@ -26,6 +30,7 @@ from repro.resilience import (
     load_checkpoint,
     parse_fault_spec,
     plan_fingerprint,
+    salvage_checkpoint,
     write_checkpoint,
 )
 
@@ -306,6 +311,83 @@ class TestCheckpoint:
         with pytest.raises(ConfigurationError):
             load_checkpoint(str(tmp_path / "absent.json"))
 
+    def _damaged(self, tmp_path, cells=3):
+        """A checkpoint with ``cells`` records whose last line is torn."""
+        path = str(tmp_path / "ck.json")
+        plan = plan_cells(["YCSB-B"], ["simple"], seed=1)
+        fingerprint = self._fingerprint(plan)
+        payloads = {
+            i: {"index": i, "result": {"name": f"w{i}"}} for i in range(cells)
+        }
+        write_checkpoint(path, fingerprint, payloads)
+        with open(path, "r", encoding="utf-8") as fh:
+            lines = fh.read().splitlines()
+        lines[-1] = lines[-1][: len(lines[-1]) // 2]
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write("\n".join(lines) + "\n")
+        return path, fingerprint, payloads
+
+    def test_torn_tail_is_salvageable_corruption(self, tmp_path):
+        """Body damage raises the CheckpointCorruptError subtype (not a
+        bare ConfigurationError): the header still vouches for the plan,
+        so per-cell salvage is worth attempting."""
+        path, fingerprint, _ = self._damaged(tmp_path)
+        with pytest.raises(CheckpointCorruptError) as excinfo:
+            load_checkpoint(path, fingerprint)
+        assert excinfo.value.salvageable
+        assert "salvage" in str(excinfo.value)
+
+    def test_salvage_recovers_intact_prefix(self, tmp_path):
+        path, fingerprint, payloads = self._damaged(tmp_path, cells=3)
+        recovered, report = salvage_checkpoint(path, fingerprint)
+        assert recovered == {0: payloads[0], 1: payloads[1]}
+        assert report["recovered"] == 2
+        assert report["dropped"] >= 1
+
+    def test_digest_mismatch_drops_only_the_bad_cell(self, tmp_path):
+        path = str(tmp_path / "ck.json")
+        plan = plan_cells(["YCSB-B"], ["simple"], seed=1)
+        fingerprint = self._fingerprint(plan)
+        payloads = {
+            i: {"index": i, "result": {"name": f"w{i}"}} for i in range(3)
+        }
+        write_checkpoint(path, fingerprint, payloads)
+        with open(path, "r", encoding="utf-8") as fh:
+            lines = fh.read().splitlines()
+        # Flip a payload character in the middle record: still valid
+        # JSON, but the recorded digest no longer matches.
+        lines[2] = lines[2].replace('"name": "w1"', '"name": "wX"')
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write("\n".join(lines) + "\n")
+        with pytest.raises(CheckpointCorruptError, match="digest"):
+            load_checkpoint(path, fingerprint)
+        recovered, report = salvage_checkpoint(path, fingerprint)
+        assert sorted(recovered) == [0, 2]
+        assert any("digest" in note for note in report["damage"])
+
+    def test_missing_record_vs_header_count_is_corruption(self, tmp_path):
+        path = str(tmp_path / "ck.json")
+        plan = plan_cells(["YCSB-B"], ["simple"], seed=1)
+        fingerprint = self._fingerprint(plan)
+        payloads = {
+            i: {"index": i, "result": {"name": f"w{i}"}} for i in range(3)
+        }
+        write_checkpoint(path, fingerprint, payloads)
+        with open(path, "r", encoding="utf-8") as fh:
+            lines = fh.read().splitlines()
+        del lines[2]  # a whole record vanished; every surviving line parses
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write("\n".join(lines) + "\n")
+        with pytest.raises(CheckpointCorruptError, match="promises"):
+            load_checkpoint(path, fingerprint)
+        recovered, _ = salvage_checkpoint(path, fingerprint)
+        assert sorted(recovered) == [0, 2]
+
+    def test_salvage_refuses_wrong_plan(self, tmp_path):
+        path, _, _ = self._damaged(tmp_path)
+        with pytest.raises(ConfigurationError, match="different sweep"):
+            salvage_checkpoint(path, "some-other-fingerprint")
+
 
 class TestResume:
     def test_resumed_matrix_reproduces_uninterrupted_run(self, tmp_path):
@@ -331,6 +413,33 @@ class TestResume:
         }
         assert resumed.counters.as_dict() == baseline.counters.as_dict()
         assert resumed.device_counters.as_dict() == baseline.device_counters.as_dict()
+
+    def test_resume_salvages_damaged_checkpoint(self, tmp_path):
+        """A torn checkpoint no longer costs the whole sweep: resume
+        salvages every digest-verified cell and re-runs only the rest,
+        landing on the bit-identical merged outcome."""
+        config, sim = make_small_config(), make_small_sim_config()
+        plan = plan_cells(["YCSB-B"], ["simple", "dice", "baryon"], seed=1)
+        baseline = run_plan(plan, config, sim, n_accesses=800, jobs=1)
+
+        path = str(tmp_path / "sweep.json")
+        clear_trace_cache()
+        run_plan(plan, config, sim, n_accesses=800, jobs=1, checkpoint=path)
+        with open(path, "r", encoding="utf-8") as fh:
+            lines = fh.read().splitlines()
+        lines[-1] = lines[-1][: len(lines[-1]) // 2]  # tear the last record
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write("\n".join(lines) + "\n")
+
+        clear_trace_cache()
+        resumed = run_plan(plan, config, sim, n_accesses=800, jobs=1, resume=path)
+        assert resumed.salvaged == len(plan) - 1
+        assert resumed.resumed == len(plan) - 1
+        assert not resumed.failed
+        assert resumed.counters.as_dict() == baseline.counters.as_dict()
+        orchestration = resumed.orchestration.as_dict()
+        assert orchestration["checkpoint_salvaged_cells"] == len(plan) - 1
+        assert orchestration["checkpoint_salvage_dropped"] >= 1
 
     def test_missing_resume_file_starts_fresh(self, tmp_path):
         config, sim = make_small_config(), make_small_sim_config()

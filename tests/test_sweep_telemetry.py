@@ -339,6 +339,32 @@ class TestRunPlanTelemetry:
         assert outcome.retries == 0
         assert len(outcome.results) == len(plan)
 
+    def test_stale_attempt_beat_does_not_extend_deadline(self):
+        """Regression: a heartbeat from a superseded attempt must not
+        refresh the *current* attempt's dead/hung deadlines. After a
+        requeue, the abandoned worker of attempt 1 can keep beating for a
+        long time; if those beats reset attempt 2's clock, a genuinely
+        dead attempt-2 worker would never be reaped."""
+        from repro.parallel.runner import _Inflight
+
+        entry = _Inflight(attempt=2, handle=None, now=100.0)
+        stale = {"attempt": 1, "done": 700, "total": 800}
+        current = {"attempt": 2, "done": 100, "total": 800}
+
+        assert entry.note_beat(dict(current), 100.5)
+        # Interleave stale attempt-1 beats: rejected, and none of the
+        # bookkeeping (beat clock, progress clock, done counter) moves.
+        for now in (101.0, 102.0, 103.0):
+            assert not entry.note_beat(dict(stale), now)
+        assert entry.last_beat_t == 100.5
+        assert entry.last_progress_t == 100.5
+        assert entry.last_done == 100
+        # With only stale beats since 100.5, attempt 2 is declared dead…
+        assert entry.dead(104.0, 3.0)
+        # …whereas a real attempt-2 beat does extend the deadline.
+        assert entry.note_beat(dict(current, done=200), 104.0)
+        assert not entry.dead(104.5, 3.0)
+
     def test_resumed_cells_reported_to_progress(self, tmp_path):
         config, sim_config = small_configs()
         plan = make_plan()
