@@ -1,71 +1,154 @@
 """Capacity planning for a key-value store on hybrid memory.
 
-A downstream scenario the paper's intro motivates: you run memcached on a
-DDR4+NVM box and must pick how much DRAM to provision, and how large the
-stage area carve-out should be. This example sweeps both knobs under a
-YCSB-B (read-mostly) load and prints where Baryon's compression and
-sub-blocking bend the serve-rate curve — i.e. how much DRAM compression
-effectively "buys back".
+A downstream scenario the paper's intro motivates: you run memcached on
+a DDR4+NVM box and must pick how much DRAM to provision, and how large
+the stage-area carve-out should be. This example sweeps both knobs under
+a YCSB-B (read-mostly) load and prints where Baryon's compression and
+sub-blocking bend the serve-rate curve.
 
-Run:  python examples/capacity_planning.py
+Since PR 9 every sweep point is a :mod:`repro.serve` job spec, so the
+same script runs two ways:
+
+* **local** (default) — materialize each spec with
+  :func:`repro.serve.build_configs` and simulate serially in-process;
+* **client** (``--server URL``) — submit each spec to a running
+  ``python -m repro serve`` instance. The first pass simulates; repeats
+  of the same spec are answered from the fingerprint-keyed result cache
+  in milliseconds, **bit-identical** to the local run (both modes build
+  their configs through the same function).
+
+Run::
+
+    python examples/capacity_planning.py
+    python -m repro serve --port 8642 &
+    python examples/capacity_planning.py --server http://127.0.0.1:8642
 """
 
-import dataclasses
+import argparse
+import json
+import time
 
-from repro import BaryonController, SystemSimulator
-from repro.common.config import HybridLayout, StageConfig
-from repro.workloads import build_workload, scaled_system
+from repro.serve import JobSpec, build_configs
+from repro.serve.client import ServeClient
 
 MB = 1 << 20
 
+WORKLOAD = "YCSB-B"
+DESIGN = "baryon"
+SCALE = 256
+# scaled_system(256)'s stage aging window; the sweeps pin it so the
+# stage carve-out is the only variable.
+AGING = 312
 
-def run(config, sim_config, trace, seed=1):
-    controller = BaryonController(config, seed=seed)
-    trace.apply_compressibility(controller.oracle)
-    return SystemSimulator(controller, sim_config).run(trace)
 
-
-def sweep_fast_memory() -> None:
-    base_config, sim_config = scaled_system(256)
-    footprint_fast = base_config.layout.fast_capacity  # trace sized to this
-    trace = build_workload("YCSB-B", footprint_fast, n_accesses=40_000)
-    print("DRAM provisioning sweep (fixed 120 MB dataset):")
-    print(f"{'fast MB':>8} {'serve':>8} {'IPC':>8} {'slow MB moved':>14}")
+def sweep_points(n_accesses):
+    """Every sweep point as ``(sweep, label, spec-dict)``."""
+    points = []
     for fast_mb in (2, 3, 4, 8, 16):
-        layout = HybridLayout(
-            fast_capacity=fast_mb * MB,
-            slow_capacity=8 * fast_mb * MB,
-            associativity=4,
-        )
-        stage = StageConfig(
-            size_bytes=max(128 * 1024, fast_mb * MB // 64),
-            aging_period_accesses=312,
-        )
-        config = dataclasses.replace(base_config, layout=layout, stage=stage)
-        result = run(config, sim_config, trace)
-        print(
-            f"{fast_mb:>8} {result.serve_rate:>8.2f} {result.ipc:>8.3f}"
-            f" {result.slow_traffic_bytes >> 20:>14}"
-        )
+        points.append(("dram", f"{fast_mb}", {
+            "workloads": [WORKLOAD], "designs": [DESIGN],
+            "n_accesses": n_accesses, "scale": SCALE,
+            "overrides": {
+                "layout": {
+                    "fast_capacity": fast_mb * MB,
+                    "slow_capacity": 8 * fast_mb * MB,
+                    "associativity": 4,
+                },
+                "stage": {
+                    "size_bytes": max(128 * 1024, fast_mb * MB // 64),
+                    "aging_period_accesses": AGING,
+                },
+            },
+        }))
+    for stage_kb in (64, 128, 256, 512, 1024):
+        points.append(("stage", f"{stage_kb}", {
+            "workloads": [WORKLOAD], "designs": [DESIGN],
+            "n_accesses": n_accesses, "scale": SCALE,
+            "overrides": {
+                "stage": {
+                    "size_bytes": stage_kb * 1024,
+                    "aging_period_accesses": AGING,
+                },
+            },
+        }))
+    return points
 
 
-def sweep_stage_size() -> None:
-    config, sim_config = scaled_system(256)
-    trace = build_workload("YCSB-B", config.layout.fast_capacity, n_accesses=40_000)
+def run_local(spec_dict):
+    """One point, serially in-process — the reference the served result
+    must match bit for bit."""
+    from repro.analysis import run_one
+
+    spec = JobSpec.from_dict(spec_dict)
+    config, sim_config = build_configs(spec)
+    result = run_one(
+        spec.workloads[0], spec.designs[0], config, sim_config,
+        n_accesses=spec.n_accesses, seed=spec.seed,
+    )
+    return result.to_dict()
+
+
+def run_served(client, spec_dict):
+    out = client.run(spec_dict)
+    return out["records"][0]["result"]
+
+
+def print_tables(points):
+    print("DRAM provisioning sweep (YCSB-B, 1:8 fast:slow):")
+    print(f"{'fast MB':>8} {'serve':>8} {'IPC':>8} {'slow MB moved':>14}")
+    for sweep, label, _, result in points:
+        if sweep != "dram":
+            continue
+        serve = result["served_fast"] / max(1, result["memory_accesses"])
+        ipc = result["instructions"] / result["cycles"]
+        print(f"{label:>8} {serve:>8.2f} {ipc:>8.3f}"
+              f" {result['slow_traffic_bytes'] >> 20:>14}")
     print("\nStage-area carve-out sweep (16 MB DRAM):")
     print(f"{'stage kB':>9} {'serve':>8} {'IPC':>8} {'commits':>9}")
-    for stage_kb in (64, 128, 256, 512, 1024):
-        stage = StageConfig(size_bytes=stage_kb * 1024, aging_period_accesses=312)
-        cfg = dataclasses.replace(config, stage=stage)
-        controller = BaryonController(cfg, seed=1)
-        trace.apply_compressibility(controller.oracle)
-        result = SystemSimulator(controller, sim_config).run(trace)
-        print(
-            f"{stage_kb:>9} {result.serve_rate:>8.2f} {result.ipc:>8.3f}"
-            f" {controller.stats.get('commits'):>9}"
-        )
+    for sweep, label, _, result in points:
+        if sweep != "stage":
+            continue
+        serve = result["served_fast"] / max(1, result["memory_accesses"])
+        ipc = result["instructions"] / result["cycles"]
+        commits = int(result.get("extra", {}).get("ctrl_commits", 0))
+        print(f"{label:>9} {serve:>8.2f} {ipc:>8.3f} {commits:>9}")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--server", default=None,
+                        help="base URL of a running `python -m repro "
+                             "serve`; omit to simulate locally")
+    parser.add_argument("--accesses", type=int, default=40_000)
+    parser.add_argument("--json", dest="json_path", default=None,
+                        help="also write {mode, elapsed_s, points} JSON "
+                             "(for the CI cache-identity check)")
+    args = parser.parse_args()
+
+    client = ServeClient(args.server) if args.server else None
+    rows = []
+    start = time.perf_counter()
+    for sweep, label, spec in sweep_points(args.accesses):
+        result = (run_served(client, spec) if client is not None
+                  else run_local(spec))
+        rows.append((sweep, label, spec, result))
+    elapsed = time.perf_counter() - start
+
+    print_tables(rows)
+    mode = "server" if client is not None else "local"
+    print(f"\n{len(rows)} points in {elapsed:.2f}s ({mode} mode)")
+    if args.json_path:
+        with open(args.json_path, "w", encoding="utf-8") as sink:
+            json.dump({
+                "mode": mode,
+                "elapsed_s": elapsed,
+                "points": [
+                    {"sweep": sweep, "label": label, "spec": spec,
+                     "result": result}
+                    for sweep, label, spec, result in rows
+                ],
+            }, sink, indent=2, sort_keys=True)
 
 
 if __name__ == "__main__":
-    sweep_fast_memory()
-    sweep_stage_size()
+    main()

@@ -47,6 +47,11 @@ Orchestration chaos and sweep hardening (see docs/resilience.md)::
     python -m repro all baryon --jobs 8 --quarantine-after 3 --retry-budget 64
     python -m repro chaos-soak --cells 12 --chaos-seed 7
 
+Simulation-as-a-service (see docs/serving.md)::
+
+    python -m repro serve --port 8642 --jobs 4
+    python examples/capacity_planning.py --server http://127.0.0.1:8642
+
 Matrix-mode exit codes: 0 all cells clean; 3 completed but some cells
 quarantined by the poison-cell circuit breaker; 4 cells failed or the
 end-of-run manifest audit found a mismatch; 130 interrupted
@@ -1024,6 +1029,16 @@ def cmd_chaos_soak(argv) -> int:
               f"{final.serve.hits}/{final.serve.total}", file=sys.stderr)
         ok = False
 
+    # Temp-file hygiene: every durable_replace temp must have been
+    # promoted or unlinked, even on the poison/interrupt paths.
+    stray = sorted(
+        name for name in os.listdir(workdir) if name.endswith(".tmp")
+    )
+    if stray:
+        print(f"FAIL: stray temp file(s) left behind: {stray}",
+              file=sys.stderr)
+        ok = False
+
     if not ok:
         return EXIT_MATRIX_FAILED
     print(f"chaos soak PASSED: merged counters bit-identical to the "
@@ -1036,9 +1051,64 @@ def cmd_chaos_soak(argv) -> int:
     return EXIT_MATRIX_OK
 
 
+def build_serve_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro serve",
+        description="Run the simulation job server: submit matrix jobs "
+                    "over HTTP, results cached by config fingerprint "
+                    "(see docs/serving.md).",
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=8642,
+                        help="listen port (0 picks a free one; default "
+                             "%(default)s)")
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="worker processes in the shared cell executor "
+                             "(0 = all cores; default %(default)s)")
+    parser.add_argument("--workdir", default=None,
+                        help="directory for job checkpoints (default: a "
+                             "fresh temp dir)")
+    parser.add_argument("--cache-dir", default=None,
+                        help="result cache directory (default: "
+                             "<workdir>/cache)")
+    parser.add_argument("--cache-entries", type=int, default=4096,
+                        help="result cache capacity before mtime pruning")
+    parser.add_argument("--queue-limit", type=int, default=8,
+                        help="queued jobs before POST /jobs answers 503")
+    parser.add_argument("--heartbeat-every", type=int, default=1000,
+                        help="worker heartbeat cadence in accesses")
+    return parser
+
+
+def cmd_serve(argv) -> int:
+    """``python -m repro serve``: the async job server (docs/serving.md)."""
+    import asyncio
+
+    from repro.serve import JobServer
+
+    args = build_serve_parser().parse_args(argv)
+    server = JobServer(
+        host=args.host, port=args.port, jobs=args.jobs,
+        workdir=args.workdir, cache_dir=args.cache_dir,
+        cache_entries=args.cache_entries, queue_limit=args.queue_limit,
+        heartbeat_every=args.heartbeat_every,
+    )
+
+    def announce(srv):
+        print(f"serving on http://{srv.host}:{srv.port} "
+              f"(workdir {srv.workdir}, cache {srv.cache.root}, "
+              f"{srv.executor.workers} worker(s))", flush=True)
+
+    asyncio.run(server.serve(on_ready=announce))
+    print("drained cleanly")
+    return 0
+
+
 def main(argv=None) -> int:
     if argv is None:
         argv = sys.argv[1:]
+    if argv and argv[0] == "serve":
+        return cmd_serve(argv[1:])
     if argv and argv[0] == "trace":
         return cmd_trace(argv[1:])
     if argv and argv[0] == "report":

@@ -21,9 +21,14 @@ and neither package may import the other.
 import errno
 import os
 import tempfile
-from typing import Callable, Optional
+from typing import Callable, List, Optional, Sequence
 
-__all__ = ["durable_replace", "fsync_dir"]
+__all__ = ["durable_replace", "fsync_dir", "remove_stale_temps"]
+
+#: Suffix every :func:`durable_replace` temp file carries, so anything a
+#: killed process leaves behind is recognizable (and removable) by a
+#: plain ``*.tmp`` glob.
+TEMP_SUFFIX = ".tmp"
 
 
 def fsync_dir(path: str) -> None:
@@ -66,7 +71,9 @@ def durable_replace(
     exactly the point where a real crash or full disk would strike.
     """
     directory = os.path.dirname(os.path.abspath(path))
-    fd, tmp_path = tempfile.mkstemp(prefix=prefix, dir=directory)
+    fd, tmp_path = tempfile.mkstemp(
+        prefix=prefix, suffix=TEMP_SUFFIX, dir=directory
+    )
     try:
         os.write(fd, data)
         if mutate is not None:
@@ -76,11 +83,46 @@ def durable_replace(
         fd = -1
         os.replace(tmp_path, path)
     except BaseException:
+        # Every failure path must unlink the temp file — a raising
+        # close() must not leave it behind either.
         if fd >= 0:
-            os.close(fd)
+            try:
+                os.close(fd)
+            except OSError:
+                pass
         try:
             os.unlink(tmp_path)
         except OSError:
             pass
         raise
     fsync_dir(directory)
+
+
+def remove_stale_temps(path: str, prefixes: Sequence[str]) -> List[str]:
+    """Unlink ``<prefix>*.tmp`` files next to ``path`` and return their
+    names.
+
+    :func:`durable_replace` cleans up after itself on every exception,
+    so the only way a temp file persists is a process killed between
+    ``mkstemp`` and the rename (SIGKILL, power loss). Call this once at
+    the *start* of a run that owns the directory — mkstemp names are
+    random, so sweeping while another writer is mid-replace could cost
+    that writer one (non-fatal, retried-next-cell) checkpoint write.
+    """
+    directory = os.path.dirname(os.path.abspath(path))
+    removed: List[str] = []
+    try:
+        names = os.listdir(directory)
+    except OSError:
+        return removed
+    for name in names:
+        if not name.endswith(TEMP_SUFFIX):
+            continue
+        if not any(name.startswith(prefix) for prefix in prefixes):
+            continue
+        try:
+            os.unlink(os.path.join(directory, name))
+        except OSError:
+            continue
+        removed.append(name)
+    return removed

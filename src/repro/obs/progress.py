@@ -136,27 +136,77 @@ class ProgressTracker:
     def running_cells(self) -> int:
         return len(self._running)
 
+    def _running_items(self):
+        """Point-in-time copy of the running map. The serve layer's
+        status endpoint reads from the event loop while the runner's
+        thread folds events in; a copy taken mid-rehash raises
+        ``RuntimeError``, so retake it (the map is small)."""
+        for _ in range(8):
+            try:
+                return list(self._running.items())
+            except RuntimeError:
+                continue
+        return []
+
+    def _active(self):
+        """Running entries with work left. A cell's final heartbeat
+        (``done == total``) lingers in ``_running`` until the parent
+        reaps the worker's payload and emits ``cell_done``; counting it
+        would inflate the rate with a cell that contributes no remaining
+        work (and drive the ETA negative)."""
+        return [
+            e for _, e in self._running_items()
+            if not (e.get("total", 0) > 0
+                    and e.get("done", 0) >= e.get("total", 0))
+        ]
+
     def aggregate_rate(self) -> float:
-        """Summed accesses/sec over all currently running cells."""
-        return sum(e.get("accesses_per_s", 0.0) for e in self._running.values())
+        """Summed accesses/sec over running cells that still have work
+        left (a finished-but-unreaped cell's last beat is excluded)."""
+        return sum(e.get("accesses_per_s", 0.0) for e in self._active())
 
     def eta_s(self) -> Optional[float]:
-        """Remaining-work estimate from the live rate; ``None`` when the
-        rate is unknown (no heartbeat yet or nothing running)."""
-        rate = self.aggregate_rate()
+        """Remaining-work estimate from the live rate, clamped at 0;
+        ``None`` when the rate is unknown (no heartbeat yet or nothing
+        actively running)."""
+        active = self._active()
+        rate = sum(e.get("accesses_per_s", 0.0) for e in active)
         if rate <= 0.0:
             return None
         remaining_running = sum(
-            max(0, e.get("total", 0) - e.get("done", 0))
-            for e in self._running.values()
+            max(0, e.get("total", 0) - e.get("done", 0)) for e in active
         )
-        per_cell = max(
-            (e.get("total", 0) for e in self._running.values()), default=0
-        )
+        per_cell = max((e.get("total", 0) for e in active), default=0)
         queued = max(
             0, self.total_cells - self.cells_done - self.running_cells
         )
-        return (remaining_running + queued * per_cell) / rate
+        return max(0.0, (remaining_running + queued * per_cell) / rate)
+
+    def snapshot(self) -> Dict[str, Any]:
+        """JSON-safe aggregate view (the serve layer's status payload):
+        totals, live rate/ETA, and per-cell progress of running cells."""
+        eta = self.eta_s()
+        return {
+            "total_cells": self.total_cells,
+            "cells_done": self.cells_done,
+            "cells_failed": self.cells_failed,
+            "cells_quarantined": self.cells_quarantined,
+            "running_cells": self.running_cells,
+            "aggregate_rate": self.aggregate_rate(),
+            "eta_s": eta,
+            "running": [
+                {
+                    "cell": e.get("cell"),
+                    "workload": e.get("workload"),
+                    "design": e.get("design"),
+                    "attempt": e.get("attempt"),
+                    "done": e.get("done", 0),
+                    "total": e.get("total", 0),
+                    "accesses_per_s": e.get("accesses_per_s", 0.0),
+                }
+                for _, e in sorted(self._running_items(), key=lambda kv: str(kv[0]))
+            ],
+        }
 
     def status_line(self) -> str:
         rate = self.aggregate_rate()

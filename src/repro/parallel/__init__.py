@@ -24,6 +24,7 @@ from repro.parallel.plan import Cell, plan_cells
 from repro.parallel.runner import (
     DEFAULT_CELL_TIMEOUT_S,
     TRACE_CACHE_CAPACITY,
+    CellExecutor,
     MatrixOutcome,
     clear_trace_cache,
     fork_available,
@@ -38,6 +39,7 @@ from repro.parallel.telemetry import (
 
 __all__ = [
     "Cell",
+    "CellExecutor",
     "DEFAULT_CELL_TIMEOUT_S",
     "DEFAULT_HEARTBEAT_EVERY",
     "MatrixOutcome",

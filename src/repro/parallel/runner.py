@@ -73,6 +73,7 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.common.config import BaryonConfig, SimulationConfig
 from repro.common.errors import CheckpointCorruptError, ConfigurationError
+from repro.common.fsio import remove_stale_temps
 from repro.common.stats import CounterGroup, RatioStat
 from repro.obs.aggregate import merge_snapshot
 from repro.obs.manifest import (
@@ -115,11 +116,12 @@ DEFAULT_CELL_TIMEOUT_S = 600.0
 
 _trace_cache: "OrderedDict[Tuple, Trace]" = OrderedDict()
 
-# Per-worker execution context installed by the pool initializer; the
-# in-process path passes the context explicitly instead. The last two
-# slots are the telemetry spec and the heartbeat queue (both None on an
-# untelemetered run).
-_worker_context: Optional[Tuple] = None
+# The heartbeat queue installed by the pool initializer. This is the
+# only per-worker state bound at fork time: everything else a cell
+# needs (configs, access count, telemetry spec) travels inside each
+# submitted task, so one long-lived pool can serve differently
+# configured jobs back to back.
+_worker_beat_queue = None
 
 
 def fork_available() -> bool:
@@ -319,13 +321,7 @@ def _safe_execute(
         return _error_payload(cell.index, attempt, err, traceback.format_exc())
 
 
-def _init_worker(
-    config: BaryonConfig,
-    sim_config: SimulationConfig,
-    n_accesses: int,
-    telemetry: Optional[WorkerTelemetry] = None,
-    beat_queue=None,
-) -> None:
+def _init_worker(beat_queue=None) -> None:
     # Forked workers inherit the parent's signal disposition, including
     # any _InterruptGuard handler — which would swallow the SIGTERM that
     # Pool.terminate() sends and deadlock the pool's join. Restore the
@@ -333,19 +329,141 @@ def _init_worker(
     # the whole foreground group; the parent alone drains gracefully).
     signal.signal(signal.SIGTERM, signal.SIG_DFL)
     signal.signal(signal.SIGINT, signal.SIG_IGN)
-    global _worker_context
-    _worker_context = (config, sim_config, n_accesses, telemetry, beat_queue)
+    global _worker_beat_queue
+    _worker_beat_queue = beat_queue
 
 
-def _worker_cell(task: Tuple[Cell, int]) -> Dict[str, Any]:
-    assert _worker_context is not None, "worker used before initialization"
-    cell, attempt = task
-    config, sim_config, n_accesses, telemetry, beat_queue = _worker_context
-    beat = beat_queue.put if beat_queue is not None else None
+def _worker_cell(task: Tuple) -> Dict[str, Any]:
+    """Pool-side entry point: unpack one self-contained task.
+
+    ``task`` is ``(cell, attempt, config, sim_config, n_accesses,
+    worker-telemetry spec)`` — the full execution context, so the pool
+    itself is job-agnostic. Beats flow only when the task's spec asks
+    for them; an untelemetered task on a queue-bearing pool emits none.
+    """
+    cell, attempt, config, sim_config, n_accesses, spec = task
+    beat = (
+        _worker_beat_queue.put
+        if _worker_beat_queue is not None
+        and spec is not None
+        and spec.heartbeat_every > 0
+        else None
+    )
     return _safe_execute(
         cell, config, sim_config, n_accesses, attempt,
-        telemetry=telemetry, beat=beat,
+        telemetry=spec, beat=beat,
     )
+
+
+class _ImmediateHandle:
+    """AsyncResult-shaped wrapper for a synchronously computed payload."""
+
+    __slots__ = ("_value",)
+
+    def __init__(self, value: Dict[str, Any]) -> None:
+        self._value = value
+
+    def ready(self) -> bool:
+        return True
+
+    def get(self, timeout: Optional[float] = None) -> Dict[str, Any]:
+        return self._value
+
+
+class CellExecutor:
+    """Runs plan cells; owns (or forgoes) the fork process pool.
+
+    This splits "run a cell" from "own the process pool":
+    :func:`run_plan` builds a private executor per sweep by default —
+    exactly the historical behavior — while a long-running service
+    constructs one ``CellExecutor`` and passes it to every job's
+    ``run_plan`` call. The pool and its heartbeat queue then persist
+    across jobs, and each submitted task carries its own
+    ``(config, sim_config, n_accesses, telemetry spec)``, so
+    back-to-back jobs may differ in everything but the worker count.
+
+    ``jobs <= 1`` — or a platform without ``fork`` — yields an
+    in-process executor (``pooled`` is False): :meth:`submit` runs the
+    cell synchronously and returns an already-completed handle.
+    """
+
+    def __init__(self, jobs: Optional[int] = 1) -> None:
+        workers = jobs if jobs is not None and jobs > 0 else (os.cpu_count() or 1)
+        if workers > 1 and not fork_available():
+            workers = 1
+        self.workers = workers
+        self.beat_queue = None
+        self.closed = False
+        self._pool = None
+        if workers > 1:
+            ctx = multiprocessing.get_context("fork")
+            self.beat_queue = ctx.Queue()
+            self._pool = ctx.Pool(
+                processes=workers,
+                initializer=_init_worker,
+                initargs=(self.beat_queue,),
+            )
+
+    @property
+    def pooled(self) -> bool:
+        return self._pool is not None
+
+    def submit(
+        self,
+        cell: Cell,
+        config: BaryonConfig,
+        sim_config: SimulationConfig,
+        n_accesses: int,
+        attempt: int = 1,
+        spec: Optional[WorkerTelemetry] = None,
+    ):
+        """Dispatch one cell attempt; returns an ``AsyncResult``-shaped
+        handle (``ready()``/``get()``)."""
+        if self.closed:
+            raise RuntimeError("submit() on a closed CellExecutor")
+        task = (cell, attempt, config, sim_config, n_accesses, spec)
+        if self._pool is None:
+            return _ImmediateHandle(_safe_execute(
+                cell, config, sim_config, n_accesses, attempt,
+                telemetry=spec, beat=None,
+            ))
+        return self._pool.apply_async(_worker_cell, (task,))
+
+    def discard_beats(self) -> int:
+        """Drop queued heartbeats; returns how many were dropped.
+
+        A job that abandons in-flight cells (interrupt grace expired)
+        can leave stale workers beating into the shared queue — the next
+        job on this executor must not let those refresh its deadlines.
+        """
+        if self.beat_queue is None:
+            return 0
+        dropped = 0
+        while True:
+            try:
+                self.beat_queue.get_nowait()
+            except (queue_mod.Empty, OSError, EOFError):
+                return dropped
+            dropped += 1
+
+    def close(self) -> None:
+        """Terminate the pool and tear down the heartbeat channel."""
+        if self.closed:
+            return
+        self.closed = True
+        if self._pool is not None:
+            self._pool.terminate()
+            self._pool.join()
+        if self.beat_queue is not None:
+            self.beat_queue.close()
+            self.beat_queue.join_thread()
+
+    def __enter__(self) -> "CellExecutor":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self.close()
+        return False
 
 
 class _RetryBudget:
@@ -634,10 +752,10 @@ def _run_serial(
 
 def _run_pool(
     cells: Sequence[Cell],
+    executor: CellExecutor,
     config: BaryonConfig,
     sim_config: SimulationConfig,
     n_accesses: int,
-    effective: int,
     max_attempts: int,
     cell_timeout_s: float,
     note_success,
@@ -684,294 +802,285 @@ def _run_pool(
         else CounterGroup("matrix.orchestration")
     )
     quarantined = quarantined if quarantined is not None else {}
-    ctx = multiprocessing.get_context("fork")
     by_index = {cell.index: cell for cell in cells}
     spans, progress, spec = _telemetry_parts(telemetry)
     if spec is not None and chaos is not None and chaos.wants_worker_chaos:
         spec.chaos = chaos
+    # On a shared long-lived executor, beats of a previous job's
+    # abandoned cells must not refresh this run's deadlines.
+    executor.discard_beats()
     beat_queue = (
-        ctx.Queue()
+        executor.beat_queue
         if telemetry is not None and telemetry.wants_heartbeats
         else None
     )
     cell_spans: Dict[int, Span] = {}
-    fork_span = spans.start(
-        "fork", parent=parent_span, workers=effective,
-    ) if spans.enabled else None
-    pool_obj = ctx.Pool(
-        processes=effective,
-        initializer=_init_worker,
-        initargs=(config, sim_config, n_accesses, spec, beat_queue),
-    )
-    spans.end(fork_span)
-    with pool_obj as pool:
-        ready: deque = deque((cell.index, 1) for cell in cells)
-        delayed: List[Tuple[float, int, int]] = []  # (due_t, index, attempt)
-        inflight: Dict[int, _Inflight] = {}
-        deaths: Dict[int, List[str]] = {}  # consecutive violent deaths
-        window = max(effective * 2, 1)
-        interrupted_at: Optional[float] = None
+    ready: deque = deque((cell.index, 1) for cell in cells)
+    delayed: List[Tuple[float, int, int]] = []  # (due_t, index, attempt)
+    inflight: Dict[int, _Inflight] = {}
+    deaths: Dict[int, List[str]] = {}  # consecutive violent deaths
+    window = max(executor.workers * 2, 1)
+    interrupted_at: Optional[float] = None
 
-        def _submit(index: int, attempt: int) -> _Inflight:
-            cell = by_index[index]
-            if spans.enabled:
-                cell_spans[index] = spans.start(
-                    "cell", parent=parent_span, index=index,
-                    workload=cell.workload, design=cell.design,
-                    seed=cell.seed, attempt=attempt,
-                )
-            handle = pool.apply_async(_worker_cell, ((cell, attempt),))
-            return _Inflight(attempt, handle, monotonic())
+    def _submit(index: int, attempt: int) -> _Inflight:
+        cell = by_index[index]
+        if spans.enabled:
+            cell_spans[index] = spans.start(
+                "cell", parent=parent_span, index=index,
+                workload=cell.workload, design=cell.design,
+                seed=cell.seed, attempt=attempt,
+            )
+        handle = executor.submit(
+            cell, config, sim_config, n_accesses, attempt, spec,
+        )
+        return _Inflight(attempt, handle, monotonic())
 
-        def _pump() -> None:
-            now = monotonic()
-            if delayed:
-                for item in sorted(d for d in delayed if d[0] <= now):
-                    delayed.remove(item)
-                    ready.append((item[1], item[2]))
-            while ready and len(inflight) < window:
-                index, attempt = ready.popleft()
-                inflight[index] = _submit(index, attempt)
+    def _pump() -> None:
+        now = monotonic()
+        if delayed:
+            for item in sorted(d for d in delayed if d[0] <= now):
+                delayed.remove(item)
+                ready.append((item[1], item[2]))
+        while ready and len(inflight) < window:
+            index, attempt = ready.popleft()
+            inflight[index] = _submit(index, attempt)
 
-        def _drain_heartbeats() -> None:
-            if beat_queue is None:
+    def _drain_heartbeats() -> None:
+        if beat_queue is None:
+            return
+        if injector is not None:
+            delay = injector.drain_delay()
+            if delay > 0.0:
+                sleep(delay)
+        while True:
+            try:
+                event = beat_queue.get_nowait()
+            except queue_mod.Empty:
                 return
-            if injector is not None:
-                delay = injector.drain_delay()
-                if delay > 0.0:
-                    sleep(delay)
-            while True:
-                try:
-                    event = beat_queue.get_nowait()
-                except queue_mod.Empty:
-                    return
-                except (OSError, EOFError):  # channel torn down mid-poll
-                    return
-                entry = inflight.get(event.get("cell"))
-                if entry is not None:
-                    entry.note_beat(event, monotonic())
-                if progress is not None:
-                    progress.on_event(event)
-
-        def _close_cell(index: int, payload: Dict[str, Any], entry: _Inflight) -> None:
-            span = cell_spans.pop(index, None)
-            if span is not None:
-                if payload.get("spans"):
-                    spans.adopt(payload["spans"], parent=span)
-                spans.end(span)
-            deaths.pop(index, None)
-            note_success(index, payload)
+            except (OSError, EOFError):  # channel torn down mid-poll
+                return
+            entry = inflight.get(event.get("cell"))
+            if entry is not None:
+                entry.note_beat(event, monotonic())
             if progress is not None:
-                progress.on_event(_cell_event(
-                    "cell_done", by_index[index], entry.attempt,
-                    elapsed_s=monotonic() - entry.submitted_t,
-                ))
+                progress.on_event(event)
 
-        def _fail_cell(index: int, error: Dict[str, Any], attempt: int) -> None:
-            failures[index] = error
-            spans.end(cell_spans.pop(index, None), error=error["type"])
-            if progress is not None:
-                progress.on_event(_cell_event(
-                    "cell_failed", by_index[index], attempt,
-                    error=error["type"],
-                ))
+    def _close_cell(index: int, payload: Dict[str, Any], entry: _Inflight) -> None:
+        span = cell_spans.pop(index, None)
+        if span is not None:
+            if payload.get("spans"):
+                spans.adopt(payload["spans"], parent=span)
+            spans.end(span)
+        deaths.pop(index, None)
+        note_success(index, payload)
+        if progress is not None:
+            progress.on_event(_cell_event(
+                "cell_done", by_index[index], entry.attempt,
+                elapsed_s=monotonic() - entry.submitted_t,
+            ))
 
-        def _quarantine(index: int, entry: _Inflight, streak: List[str]) -> None:
-            record = {
-                "type": "PoisonCellError",
+    def _fail_cell(index: int, error: Dict[str, Any], attempt: int) -> None:
+        failures[index] = error
+        spans.end(cell_spans.pop(index, None), error=error["type"])
+        if progress is not None:
+            progress.on_event(_cell_event(
+                "cell_failed", by_index[index], attempt,
+                error=error["type"],
+            ))
+
+    def _quarantine(index: int, entry: _Inflight, streak: List[str]) -> None:
+        record = {
+            "type": "PoisonCellError",
+            "message": (
+                f"cell {index} took down {len(streak)} consecutive "
+                f"worker(s) ({', '.join(streak)}); quarantined with "
+                f"partial progress"
+            ),
+            "attempts": entry.attempt,
+            "reasons": list(streak),
+            "partial": {
+                "done": max(entry.last_done, 0),
+                "total": entry.last_total,
+            },
+        }
+        quarantined[index] = record
+        orchestration.inc("quarantined")
+        spans.end(
+            cell_spans.pop(index, None),
+            error="PoisonCellError", quarantined=True,
+        )
+        spans.event(
+            parent_span, "quarantined",
+            cell=index, attempts=entry.attempt, reasons=len(streak),
+        )
+        if progress is not None:
+            progress.on_event(_cell_event(
+                "cell_quarantined", by_index[index], entry.attempt,
+                reasons=list(streak),
+                done=max(entry.last_done, 0), total=entry.last_total,
+            ))
+
+    def _requeue(index: int, attempt: int, reason: str, counter: str) -> None:
+        nonlocal retries
+        spans.end(
+            cell_spans.pop(index, None), error=reason, requeued=True,
+        )
+        if retry_budget is not None and not retry_budget.take():
+            orchestration.inc("retry_budget_exhausted")
+            spans.event(
+                parent_span, "retry_budget_exhausted",
+                cell=index, attempt=attempt,
+            )
+            _fail_cell(index, {
+                "type": reason,
                 "message": (
-                    f"cell {index} took down {len(streak)} consecutive "
-                    f"worker(s) ({', '.join(streak)}); quarantined with "
-                    f"partial progress"
+                    f"cell {index} failed on attempt {attempt} "
+                    f"({reason}) and the sweep's global retry budget "
+                    f"is exhausted"
                 ),
-                "attempts": entry.attempt,
-                "reasons": list(streak),
-                "partial": {
-                    "done": max(entry.last_done, 0),
-                    "total": entry.last_total,
-                },
-            }
-            quarantined[index] = record
-            orchestration.inc("quarantined")
-            spans.end(
-                cell_spans.pop(index, None),
-                error="PoisonCellError", quarantined=True,
+                "traceback": None,
+                "attempt": attempt,
+            }, attempt)
+            return
+        retries += 1
+        orchestration.inc(counter)
+        spans.event(
+            parent_span, "requeue",
+            cell=index, attempt=attempt, error=reason,
+        )
+        if backoff_base_s > 0.0:
+            due = monotonic() + requeue_backoff_s(
+                backoff_base_s, attempt, index, backoff_seed,
             )
-            spans.event(
-                parent_span, "quarantined",
-                cell=index, attempts=entry.attempt, reasons=len(streak),
-            )
-            if progress is not None:
-                progress.on_event(_cell_event(
-                    "cell_quarantined", by_index[index], entry.attempt,
-                    reasons=list(streak),
-                    done=max(entry.last_done, 0), total=entry.last_total,
-                ))
+            delayed.append((due, index, attempt + 1))
+        else:
+            ready.append((index, attempt + 1))
 
-        def _requeue(index: int, attempt: int, reason: str, counter: str) -> None:
-            nonlocal retries
-            spans.end(
-                cell_spans.pop(index, None), error=reason, requeued=True,
+    def _violent_death(index: int, entry: _Inflight, reason: str) -> None:
+        """A worker died under the cell (dead) or froze (hung) —
+        circuit-break, requeue, or fail, in that order."""
+        streak = deaths.setdefault(index, [])
+        streak.append(reason)
+        if quarantine_after is not None and len(streak) >= quarantine_after:
+            _quarantine(index, entry, streak)
+        elif entry.attempt < max_attempts:
+            _requeue(
+                index, entry.attempt, reason,
+                "requeue_hung" if reason == "WorkerHungError"
+                else "requeue_timeout",
             )
-            if retry_budget is not None and not retry_budget.take():
-                orchestration.inc("retry_budget_exhausted")
-                spans.event(
-                    parent_span, "retry_budget_exhausted",
-                    cell=index, attempt=attempt,
-                )
-                _fail_cell(index, {
-                    "type": reason,
-                    "message": (
-                        f"cell {index} failed on attempt {attempt} "
-                        f"({reason}) and the sweep's global retry budget "
-                        f"is exhausted"
-                    ),
-                    "traceback": None,
-                    "attempt": attempt,
-                }, attempt)
-                return
-            retries += 1
-            orchestration.inc(counter)
-            spans.event(
-                parent_span, "requeue",
-                cell=index, attempt=attempt, error=reason,
-            )
-            if backoff_base_s > 0.0:
-                due = monotonic() + requeue_backoff_s(
-                    backoff_base_s, attempt, index, backoff_seed,
-                )
-                delayed.append((due, index, attempt + 1))
-            else:
-                ready.append((index, attempt + 1))
-
-        def _violent_death(index: int, entry: _Inflight, reason: str) -> None:
-            """A worker died under the cell (dead) or froze (hung) —
-            circuit-break, requeue, or fail, in that order."""
-            streak = deaths.setdefault(index, [])
-            streak.append(reason)
-            if quarantine_after is not None and len(streak) >= quarantine_after:
-                _quarantine(index, entry, streak)
-            elif entry.attempt < max_attempts:
-                _requeue(
-                    index, entry.attempt, reason,
-                    "requeue_hung" if reason == "WorkerHungError"
-                    else "requeue_timeout",
+        else:
+            if reason == "WorkerHungError":
+                message = (
+                    f"cell {index} stalled (heartbeats alive, no "
+                    f"progress past {entry.last_done} for "
+                    f"{progress_timeout_s:.1f}s) on attempt "
+                    f"{entry.attempt}"
                 )
             else:
-                if reason == "WorkerHungError":
-                    message = (
-                        f"cell {index} stalled (heartbeats alive, no "
-                        f"progress past {entry.last_done} for "
-                        f"{progress_timeout_s:.1f}s) on attempt "
-                        f"{entry.attempt}"
+                message = (
+                    f"cell {index} exceeded {cell_timeout_s:.0f}s "
+                    f"without a heartbeat on attempt {entry.attempt} "
+                    f"(worker presumed dead)"
+                )
+            _fail_cell(index, {
+                "type": reason,
+                "message": message,
+                "traceback": None,
+                "attempt": entry.attempt,
+            }, entry.attempt)
+
+    while inflight or ready or delayed:
+        if stop is not None and stop.is_set() and interrupted_at is None:
+            interrupted_at = monotonic()
+            abandoned = len(ready) + len(delayed)
+            ready.clear()
+            delayed.clear()
+            orchestration.inc("interrupted")
+            spans.event(
+                parent_span, "interrupt",
+                inflight=len(inflight), abandoned=abandoned,
+            )
+        if interrupted_at is None:
+            _pump()
+        elif not inflight:
+            break
+        elif monotonic() > interrupted_at + interrupt_grace_s:
+            orchestration.inc("interrupt_abandoned", len(inflight))
+            spans.event(
+                parent_span, "interrupt_grace_expired",
+                abandoned=len(inflight),
+            )
+            break
+        _drain_heartbeats()
+        progressed = False
+        now = monotonic()
+        for index in list(inflight):
+            entry = inflight[index]
+            if entry.handle.ready():
+                progressed = True
+                del inflight[index]
+                try:
+                    payload = entry.handle.get()
+                except Exception as err:
+                    # Transport-level failure (e.g. unpicklable
+                    # payload); same shape as a worker-side error.
+                    payload = _error_payload(index, entry.attempt, err, None)
+                if "error" not in payload:
+                    _close_cell(index, payload, entry)
+                elif interrupted_at is not None:
+                    # Draining after an interrupt: an error here is
+                    # left *unfinished* (resumable), not failed — the
+                    # resumed run retries it with a full budget.
+                    spans.end(
+                        cell_spans.pop(index, None),
+                        error=payload["error"]["type"], interrupted=True,
                     )
                 else:
-                    message = (
-                        f"cell {index} exceeded {cell_timeout_s:.0f}s "
-                        f"without a heartbeat on attempt {entry.attempt} "
-                        f"(worker presumed dead)"
-                    )
-                _fail_cell(index, {
-                    "type": reason,
-                    "message": message,
-                    "traceback": None,
-                    "attempt": entry.attempt,
-                }, entry.attempt)
-
-        while inflight or ready or delayed:
-            if stop is not None and stop.is_set() and interrupted_at is None:
-                interrupted_at = monotonic()
-                abandoned = len(ready) + len(delayed)
-                ready.clear()
-                delayed.clear()
-                orchestration.inc("interrupted")
+                    # The worker survived to report an exception, so
+                    # this was not a violent death: the streak resets.
+                    deaths.pop(index, None)
+                    if entry.attempt < max_attempts:
+                        _requeue(
+                            index, entry.attempt,
+                            payload["error"]["type"], "requeue_error",
+                        )
+                    else:
+                        _fail_cell(index, payload["error"], entry.attempt)
+            elif entry.dead(now, cell_timeout_s):
+                progressed = True
+                del inflight[index]
                 spans.event(
-                    parent_span, "interrupt",
-                    inflight=len(inflight), abandoned=abandoned,
+                    parent_span, "deadline_lapsed",
+                    cell=index, attempt=entry.attempt,
+                    idle_s=now - entry.last_beat_t,
                 )
-            if interrupted_at is None:
-                _pump()
-            elif not inflight:
-                break
-            elif monotonic() > interrupted_at + interrupt_grace_s:
-                orchestration.inc("interrupt_abandoned", len(inflight))
+                if interrupted_at is not None:
+                    spans.end(
+                        cell_spans.pop(index, None),
+                        error="TimeoutError", interrupted=True,
+                    )
+                else:
+                    _violent_death(index, entry, "TimeoutError")
+            elif entry.hung(now, progress_timeout_s):
+                progressed = True
+                del inflight[index]
                 spans.event(
-                    parent_span, "interrupt_grace_expired",
-                    abandoned=len(inflight),
+                    parent_span, "progress_stalled",
+                    cell=index, attempt=entry.attempt,
+                    done=entry.last_done,
+                    stalled_s=now - entry.last_progress_t,
                 )
-                break
-            _drain_heartbeats()
-            progressed = False
-            now = monotonic()
-            for index in list(inflight):
-                entry = inflight[index]
-                if entry.handle.ready():
-                    progressed = True
-                    del inflight[index]
-                    try:
-                        payload = entry.handle.get()
-                    except Exception as err:
-                        # Transport-level failure (e.g. unpicklable
-                        # payload); same shape as a worker-side error.
-                        payload = _error_payload(index, entry.attempt, err, None)
-                    if "error" not in payload:
-                        _close_cell(index, payload, entry)
-                    elif interrupted_at is not None:
-                        # Draining after an interrupt: an error here is
-                        # left *unfinished* (resumable), not failed — the
-                        # resumed run retries it with a full budget.
-                        spans.end(
-                            cell_spans.pop(index, None),
-                            error=payload["error"]["type"], interrupted=True,
-                        )
-                    else:
-                        # The worker survived to report an exception, so
-                        # this was not a violent death: the streak resets.
-                        deaths.pop(index, None)
-                        if entry.attempt < max_attempts:
-                            _requeue(
-                                index, entry.attempt,
-                                payload["error"]["type"], "requeue_error",
-                            )
-                        else:
-                            _fail_cell(index, payload["error"], entry.attempt)
-                elif entry.dead(now, cell_timeout_s):
-                    progressed = True
-                    del inflight[index]
-                    spans.event(
-                        parent_span, "deadline_lapsed",
-                        cell=index, attempt=entry.attempt,
-                        idle_s=now - entry.last_beat_t,
+                if interrupted_at is not None:
+                    spans.end(
+                        cell_spans.pop(index, None),
+                        error="WorkerHungError", interrupted=True,
                     )
-                    if interrupted_at is not None:
-                        spans.end(
-                            cell_spans.pop(index, None),
-                            error="TimeoutError", interrupted=True,
-                        )
-                    else:
-                        _violent_death(index, entry, "TimeoutError")
-                elif entry.hung(now, progress_timeout_s):
-                    progressed = True
-                    del inflight[index]
-                    spans.event(
-                        parent_span, "progress_stalled",
-                        cell=index, attempt=entry.attempt,
-                        done=entry.last_done,
-                        stalled_s=now - entry.last_progress_t,
-                    )
-                    if interrupted_at is not None:
-                        spans.end(
-                            cell_spans.pop(index, None),
-                            error="WorkerHungError", interrupted=True,
-                        )
-                    else:
-                        _violent_death(index, entry, "WorkerHungError")
-            if (inflight or ready or delayed) and not progressed:
-                sleep(0.01)
-        _drain_heartbeats()
-    if beat_queue is not None:
-        beat_queue.close()
-        beat_queue.join_thread()
+                else:
+                    _violent_death(index, entry, "WorkerHungError")
+        if (inflight or ready or delayed) and not progressed:
+            sleep(0.01)
+    _drain_heartbeats()
     return retries
 
 
@@ -1034,6 +1143,8 @@ def run_plan(
     backoff_base_s: float = 0.0,
     handle_signals: bool = False,
     interrupt_grace_s: float = 30.0,
+    executor: Optional[CellExecutor] = None,
+    stop_event: Optional[threading.Event] = None,
 ) -> MatrixOutcome:
     """Execute a cell plan, in-process or across a ``fork`` pool.
 
@@ -1074,11 +1185,24 @@ def run_plan(
     exponential backoff + deterministic jitter; ``handle_signals``
     installs the graceful SIGINT/SIGTERM guard; ``chaos`` injects
     seeded orchestration chaos (see :mod:`repro.resilience.chaos`).
+
+    ``executor`` lends this run a caller-owned :class:`CellExecutor`
+    (``jobs`` is then ignored — the executor's worker count rules); the
+    executor is left open for the caller's next run. Without one, a
+    private executor is created and torn down as before. ``stop_event``
+    shares the run's stop flag with the caller: setting it triggers the
+    same graceful drain as SIGINT/SIGTERM, which is how the job server
+    drains an in-flight sweep without signal delivery.
     """
     if max_attempts < 1:
         raise ValueError("max_attempts must be >= 1")
     start = perf_counter()
-    effective = resolve_jobs(jobs, len(plan))
+    if executor is not None:
+        if executor.closed:
+            raise ConfigurationError("run_plan() given a closed CellExecutor")
+        effective = executor.workers if executor.pooled else 1
+    else:
+        effective = resolve_jobs(jobs, len(plan))
     if chaos is not None and chaos.wants_worker_chaos:
         if effective <= 1:
             raise ConfigurationError(
@@ -1091,7 +1215,7 @@ def run_plan(
                 "SweepTelemetry with heartbeat_every > 0"
             )
     injector = ChaosInjector(chaos) if chaos is not None and chaos.active else None
-    stop = threading.Event()
+    stop = stop_event if stop_event is not None else threading.Event()
     orchestration = CounterGroup("matrix.orchestration")
     quarantined_ix: Dict[int, Dict[str, Any]] = {}
     budget = _RetryBudget(retry_budget) if retry_budget is not None else None
@@ -1104,7 +1228,17 @@ def run_plan(
     plan_span = spans.start(
         "plan", parent=sweep_span,
     ) if spans.enabled else None
-    fingerprint = plan_fingerprint(plan, n_accesses, config, sim_config)
+    fingerprint = plan_fingerprint(
+        plan, n_accesses, config, sim_config,
+        chaos=chaos, quarantine_after=quarantine_after,
+    )
+    if checkpoint is not None:
+        # A process killed between mkstemp and the rename (SIGKILL,
+        # power loss) leaves a temp file no exception path could clean
+        # up; this run owns the checkpoint directory, so sweep them now.
+        stale = remove_stale_temps(checkpoint, (".checkpoint-", ".manifest-"))
+        if stale:
+            orchestration.inc("stale_temps_removed", len(stale))
     done: Dict[int, Dict[str, Any]] = {}
     resumed = 0
     salvaged = 0
@@ -1190,12 +1324,14 @@ def run_plan(
         "simulate", parent=sweep_span, pending=len(pending),
     ) if spans.enabled else None
     guard = _InterruptGuard(stop) if handle_signals else None
+    pooled = executor.pooled if executor is not None else effective > 1
+    own_executor: Optional[CellExecutor] = None
     try:
         if guard is not None:
             guard.__enter__()
         if not pending:
             retries = 0
-        elif effective <= 1:
+        elif not pooled:
             retries = _run_serial(
                 pending, config, sim_config, n_accesses, max_attempts,
                 note_success, failures,
@@ -1205,8 +1341,14 @@ def run_plan(
                 orchestration=orchestration,
             )
         else:
+            if executor is None:
+                fork_span = spans.start(
+                    "fork", parent=simulate_span, workers=effective,
+                ) if spans.enabled else None
+                executor = own_executor = CellExecutor(jobs=effective)
+                spans.end(fork_span)
             retries = _run_pool(
-                pending, config, sim_config, n_accesses, effective,
+                pending, executor, config, sim_config, n_accesses,
                 max_attempts, cell_timeout_s, note_success, failures,
                 telemetry=telemetry, parent_span=simulate_span,
                 chaos=chaos, injector=injector,
@@ -1218,6 +1360,8 @@ def run_plan(
                 interrupt_grace_s=interrupt_grace_s,
             )
     finally:
+        if own_executor is not None:
+            own_executor.close()
         if guard is not None:
             guard.__exit__(None, None, None)
     spans.end(simulate_span, retries=retries, failed=len(failures))

@@ -35,6 +35,8 @@ from repro.resilience.checker import ShadowChecker
 from repro.resilience.checkpoint import (
     CHECKPOINT_MAGIC,
     CHECKPOINT_VERSION,
+    FINGERPRINT_VERSION,
+    cell_fingerprint,
     load_checkpoint,
     plan_fingerprint,
     salvage_checkpoint,
@@ -55,11 +57,13 @@ __all__ = [
     "ChaosInjector",
     "ChaosPlan",
     "FAULT_SPEC_KEYS",
+    "FINGERPRINT_VERSION",
     "FaultInjector",
     "FaultPlan",
     "RecoveryManager",
     "ShadowChecker",
     "WorkerChaos",
+    "cell_fingerprint",
     "load_checkpoint",
     "parse_chaos_spec",
     "parse_fault_spec",

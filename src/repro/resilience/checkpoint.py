@@ -37,12 +37,66 @@ from repro.resilience.chaos import write_effect_mutator
 CHECKPOINT_MAGIC = "repro-matrix-checkpoint"
 CHECKPOINT_VERSION = 2
 
+#: Version of the fingerprint *scheme* (independent of the file format
+#: version above). v1 digests are bare hex; v2 digests carry a ``"v2:"``
+#: prefix and additionally cover the orchestration knobs that change
+#: which cells a checkpoint can contain — worker-level chaos and the
+#: poison-cell quarantine threshold. A run with none of those knobs
+#: still produces the bare v1 digest, so every pre-v2 clean (or
+#: fault-injected: fault specs live inside ``config.resilience`` and are
+#: covered by ``config!r``) checkpoint remains resumable.
+FINGERPRINT_VERSION = 2
 
-def plan_fingerprint(plan: Sequence, n_accesses: int, config, sim_config) -> str:
+#: ChaosPlan fields folded into a v2 fingerprint. Deliberately only the
+#: *worker-level* schedule: kills/hangs/heartbeat loss change retry and
+#: quarantine outcomes, and ``poison_cells`` changes which cells can
+#: ever land in the checkpoint. Write-effect chaos (torn/flip/enospc)
+#: damages the *file*, never the payloads — the per-cell digests and
+#: salvage already guard that — and ``interrupt_after_cells`` / drain
+#: delays only change *when* a run stops, so excluding them keeps an
+#: interrupted chaos run resumable by its chaos-free (or
+#: interrupt-free) continuation.
+_CHAOS_IDENTITY_FIELDS = (
+    "seed",
+    "p_kill_worker",
+    "p_hang_worker",
+    "hang_s",
+    "p_drop_heartbeat",
+    "p_stall_heartbeats",
+    "stall_beats",
+    "poison_cells",
+)
+
+
+def _chaos_identity(chaos) -> Optional[Dict[str, Any]]:
+    """The fingerprint-relevant slice of a ChaosPlan, or ``None`` when
+    the plan injects nothing a checkpoint's contents could depend on."""
+    if chaos is None or not chaos.wants_worker_chaos:
+        return None
+    return {name: getattr(chaos, name) for name in _CHAOS_IDENTITY_FIELDS}
+
+
+def plan_fingerprint(
+    plan: Sequence,
+    n_accesses: int,
+    config,
+    sim_config,
+    *,
+    chaos=None,
+    quarantine_after: Optional[int] = None,
+) -> str:
     """SHA-256 over the full plan identity.
 
     Frozen-dataclass ``repr`` is deterministic and covers every field, so
-    any change to cells, configs, or access count yields a new fingerprint.
+    any change to cells, configs, or access count yields a new
+    fingerprint. Fault-injection specs ride along for free: they live in
+    ``config.resilience`` and are covered by ``config!r``.
+
+    ``chaos`` (a :class:`~repro.resilience.chaos.ChaosPlan`) and
+    ``quarantine_after`` extend the identity to the orchestration knobs
+    that change checkpoint contents — see :data:`FINGERPRINT_VERSION`
+    and :data:`_CHAOS_IDENTITY_FIELDS`. When neither is in play the
+    digest is byte-identical to the v1 scheme.
     """
     digest = hashlib.sha256()
     digest.update(f"n_accesses={n_accesses}\n".encode("utf-8"))
@@ -50,6 +104,38 @@ def plan_fingerprint(plan: Sequence, n_accesses: int, config, sim_config) -> str
     digest.update(f"sim_config={sim_config!r}\n".encode("utf-8"))
     for cell in plan:
         digest.update(f"cell={cell!r}\n".encode("utf-8"))
+    identity = _chaos_identity(chaos)
+    if identity is None and quarantine_after is None:
+        return digest.hexdigest()
+    digest.update(f"fingerprint_version={FINGERPRINT_VERSION}\n".encode("utf-8"))
+    if identity is not None:
+        encoded = json.dumps(identity, sort_keys=True, separators=(",", ":"))
+        digest.update(f"chaos={encoded}\n".encode("utf-8"))
+    if quarantine_after is not None:
+        digest.update(f"quarantine_after={quarantine_after}\n".encode("utf-8"))
+    return f"v{FINGERPRINT_VERSION}:{digest.hexdigest()}"
+
+
+def cell_fingerprint(
+    workload: str, design: str, seed: int, n_accesses: int, config, sim_config
+) -> str:
+    """SHA-256 identity of one cell's *simulation inputs*.
+
+    Unlike :func:`plan_fingerprint` this is independent of the
+    surrounding plan (cell index, sibling cells, orchestration knobs):
+    a cell is a pure function of ``(workload, design, seed, n_accesses,
+    configs)``, so two jobs that happen to share a cell — whatever else
+    they sweep — share this key. The serve-layer result cache is keyed
+    by it.
+    """
+    digest = hashlib.sha256()
+    digest.update(b"cell-fingerprint-v1\n")
+    digest.update(f"n_accesses={n_accesses}\n".encode("utf-8"))
+    digest.update(f"config={config!r}\n".encode("utf-8"))
+    digest.update(f"sim_config={sim_config!r}\n".encode("utf-8"))
+    digest.update(f"workload={workload}\n".encode("utf-8"))
+    digest.update(f"design={design}\n".encode("utf-8"))
+    digest.update(f"seed={seed}\n".encode("utf-8"))
     return digest.hexdigest()
 
 
@@ -94,8 +180,11 @@ def write_checkpoint(
 
 
 def _read_lines(path: str) -> List[str]:
+    # errors="replace", not strict: a bit-flip that lands outside the
+    # UTF-8 subset must surface as a digest mismatch on that line (body
+    # corruption, salvageable) — not a raw UnicodeDecodeError.
     try:
-        with open(path, "r", encoding="utf-8") as handle:
+        with open(path, "r", encoding="utf-8", errors="replace") as handle:
             return handle.read().splitlines()
     except OSError as err:
         raise ConfigurationError(f"cannot read checkpoint {path!r}: {err}") from err

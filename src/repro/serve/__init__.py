@@ -1,0 +1,39 @@
+"""Simulation-as-a-service: async job server over the matrix runner.
+
+The ROADMAP's serving milestone: capacity-planning queries become cached
+API calls instead of fresh multi-second simulations. The package splits
+into transport-free pieces (:mod:`repro.serve.jobs` — specs, config
+materialization, job execution; :mod:`repro.serve.cache` — the
+fingerprint-keyed result cache) and the stdlib-only HTTP layer
+(:mod:`repro.serve.server`, :mod:`repro.serve.client`).
+
+Design invariants:
+
+* a served result is **bit-identical** to a cold serial run — the cache
+  stores the exact per-cell checkpoint payloads the runner would have
+  produced, keyed by
+  :func:`~repro.resilience.checkpoint.cell_fingerprint`, and every
+  entry's SHA-256 digest is re-verified on read;
+* one :class:`~repro.parallel.runner.CellExecutor` is shared by every
+  job, so the fork pool survives across requests;
+* SIGTERM drains gracefully through the same stop-event machinery the
+  CLI's interrupt guard uses: the in-flight job checkpoints and reports
+  ``interrupted``, queued jobs are cancelled, and a re-submitted job
+  resumes from the cache.
+"""
+
+from repro.serve.cache import ResultCache
+from repro.serve.client import ServeClient, ServeError
+from repro.serve.jobs import Job, JobSpec, build_configs, run_job
+from repro.serve.server import JobServer
+
+__all__ = [
+    "Job",
+    "JobServer",
+    "JobSpec",
+    "ResultCache",
+    "ServeClient",
+    "ServeError",
+    "build_configs",
+    "run_job",
+]

@@ -1,0 +1,146 @@
+"""Fingerprint-keyed result cache backing the job server.
+
+Each entry is one finished cell payload stored as a **single-cell
+checkpoint file** (the v2 line-oriented format from
+:mod:`repro.resilience.checkpoint`), whose header fingerprint is the
+cell's own :func:`~repro.resilience.checkpoint.cell_fingerprint`. That
+buys the cache the checkpoint machinery wholesale:
+
+* durable writes (temp file + fsync + rename) — a crashed server never
+  publishes a torn entry;
+* per-payload SHA-256 digests re-verified on every read;
+* the salvage path for damaged files — a corrupted entry is dropped (or
+  partially recovered) and the cell is transparently re-simulated,
+  never served wrong.
+
+Entries are sharded into 256 subdirectories by the first fingerprint
+byte so a busy cache does not degenerate into one giant directory.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, Optional
+
+from repro.common.errors import CheckpointCorruptError, ConfigurationError
+from repro.common.stats import CounterGroup
+from repro.resilience.checkpoint import (
+    load_checkpoint,
+    salvage_checkpoint,
+    write_checkpoint,
+)
+
+#: Index every cached payload is stored under inside its entry file; the
+#: job layer rewrites it to the cell's plan index on the way out.
+_ENTRY_INDEX = 0
+
+
+class ResultCache:
+    """Cross-job cell-result cache keyed by ``cell_fingerprint``.
+
+    ``capacity_entries`` bounds the number of entries; when an insert
+    pushes past it, the oldest entries (by mtime) are pruned. ``stats``
+    is a :class:`~repro.common.stats.CounterGroup` with ``hit`` /
+    ``miss`` / ``store`` / ``corrupt_dropped`` / ``evicted`` /
+    ``store_errors`` counters, exported on the server's ``/metrics``.
+    """
+
+    def __init__(self, root: str, capacity_entries: int = 4096) -> None:
+        if capacity_entries < 1:
+            raise ConfigurationError("cache capacity_entries must be >= 1")
+        self.root = root
+        self.capacity_entries = capacity_entries
+        self.stats = CounterGroup("serve.cache")
+        os.makedirs(root, exist_ok=True)
+        self._entries = sum(1 for _ in self._iter_paths())
+
+    # -- layout -------------------------------------------------------------
+    def entry_path(self, key: str) -> str:
+        return os.path.join(self.root, key[:2], f"{key}.ckpt")
+
+    def _iter_paths(self):
+        for shard in sorted(os.listdir(self.root)):
+            shard_dir = os.path.join(self.root, shard)
+            if not os.path.isdir(shard_dir):
+                continue
+            for name in sorted(os.listdir(shard_dir)):
+                if name.endswith(".ckpt"):
+                    yield os.path.join(shard_dir, name)
+
+    def __len__(self) -> int:
+        return self._entries
+
+    # -- read/write ---------------------------------------------------------
+    def get(self, key: str) -> Optional[Dict]:
+        """The cached payload for ``key``, or ``None``.
+
+        A damaged entry is first run through salvage; when the payload
+        cannot be digest-verified the entry is deleted and the miss is
+        counted as ``corrupt_dropped`` — the caller re-simulates.
+        """
+        path = self.entry_path(key)
+        if not os.path.exists(path):
+            self.stats.inc("miss")
+            return None
+        try:
+            payloads = load_checkpoint(path, key)
+        except CheckpointCorruptError:
+            try:
+                payloads, _ = salvage_checkpoint(path, key)
+            except ConfigurationError:
+                payloads = {}
+        except ConfigurationError:
+            # Wrong magic/version/fingerprint: not trustworthy at all.
+            payloads = {}
+        payload = payloads.get(_ENTRY_INDEX)
+        if payload is None:
+            self._drop(path)
+            self.stats.inc("miss")
+            self.stats.inc("corrupt_dropped")
+            return None
+        self.stats.inc("hit")
+        return payload
+
+    def put(self, key: str, payload: Dict) -> bool:
+        """Store one finished cell payload; returns ``False`` when the
+        write failed (disk trouble degrades the cache, never the job)."""
+        entry = dict(payload)
+        entry["index"] = _ENTRY_INDEX
+        path = self.entry_path(key)
+        created = not os.path.exists(path)
+        try:
+            os.makedirs(os.path.dirname(path), exist_ok=True)
+            write_checkpoint(path, key, {_ENTRY_INDEX: entry})
+        except OSError:
+            self.stats.inc("store_errors")
+            return False
+        self.stats.inc("store")
+        if created:
+            self._entries += 1
+            if self._entries > self.capacity_entries:
+                self._prune()
+        return True
+
+    # -- maintenance --------------------------------------------------------
+    def _drop(self, path: str) -> None:
+        try:
+            os.unlink(path)
+        except OSError:
+            return
+        self._entries = max(0, self._entries - 1)
+
+    def _prune(self) -> None:
+        """Delete oldest entries (by mtime) down to capacity."""
+        aged = []
+        for path in self._iter_paths():
+            try:
+                aged.append((os.path.getmtime(path), path))
+            except OSError:
+                continue
+        self._entries = len(aged)
+        excess = self._entries - self.capacity_entries
+        if excess <= 0:
+            return
+        for _, path in sorted(aged)[:excess]:
+            self._drop(path)
+            self.stats.inc("evicted")

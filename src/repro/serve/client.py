@@ -1,0 +1,127 @@
+"""Tiny urllib client for the job server.
+
+No third-party HTTP stack: ``urllib.request`` against the stdlib server
+in :mod:`repro.serve.server`. The convenience :meth:`ServeClient.run`
+wraps the whole submit → poll → fetch-results cycle so callers (the
+capacity-planning example, the CI smoke job) stay one-liners.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import Any, Dict, List, Optional
+from urllib import error as urlerror
+from urllib import request as urlrequest
+
+TERMINAL_STATES = frozenset({"done", "failed", "interrupted", "cancelled"})
+
+
+class ServeError(RuntimeError):
+    """HTTP-level or job-level failure; carries the status code when the
+    server answered at all."""
+
+    def __init__(self, message: str, status: Optional[int] = None) -> None:
+        super().__init__(message)
+        self.status = status
+
+
+class ServeClient:
+    def __init__(self, base_url: str, timeout_s: float = 10.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout_s = timeout_s
+
+    # -- raw endpoints ------------------------------------------------------
+    def healthz(self) -> Dict[str, Any]:
+        return self._json("GET", "/healthz")
+
+    def metrics(self) -> str:
+        return self._raw("GET", "/metrics").decode("utf-8")
+
+    def submit(self, spec: Dict[str, Any]) -> str:
+        """Submit a job-spec dict; returns the job id."""
+        reply = self._json("POST", "/jobs", body=spec)
+        return reply["id"]
+
+    def job(self, job_id: str) -> Dict[str, Any]:
+        return self._json("GET", f"/jobs/{job_id}")
+
+    def results(self, job_id: str) -> List[Dict[str, Any]]:
+        """All finished-cell records (JSONL body, parsed)."""
+        raw = self._raw("GET", f"/jobs/{job_id}/results")
+        return [
+            json.loads(line)
+            for line in raw.decode("utf-8").splitlines()
+            if line.strip()
+        ]
+
+    # -- convenience --------------------------------------------------------
+    def wait(
+        self, job_id: str, *, timeout_s: float = 300.0,
+        poll_s: float = 0.005, max_poll_s: float = 0.25,
+    ) -> Dict[str, Any]:
+        """Poll status until the job reaches a terminal state.
+
+        The poll interval starts tight and backs off geometrically, so a
+        cache-served job is confirmed done within milliseconds while a
+        long simulation settles into a lazy ~4 Hz poll.
+        """
+        deadline = time.monotonic() + timeout_s
+        interval = poll_s
+        while True:
+            status = self.job(job_id)
+            if status["state"] in TERMINAL_STATES:
+                return status
+            if time.monotonic() >= deadline:
+                raise ServeError(
+                    f"job {job_id} still {status['state']} "
+                    f"after {timeout_s:.0f}s"
+                )
+            time.sleep(interval)
+            interval = min(max_poll_s, interval * 1.6)
+
+    def run(
+        self, spec: Dict[str, Any], *, timeout_s: float = 300.0
+    ) -> Dict[str, Any]:
+        """Submit, wait, and return ``{"status": ..., "records": [...]}``;
+        raises :class:`ServeError` unless the job finished ``done``."""
+        job_id = self.submit(spec)
+        status = self.wait(job_id, timeout_s=timeout_s)
+        if status["state"] != "done":
+            raise ServeError(
+                f"job {job_id} ended {status['state']}: "
+                f"{status.get('error') or 'no error detail'}"
+            )
+        return {"status": status, "records": self.results(job_id)}
+
+    # -- plumbing -----------------------------------------------------------
+    def _raw(
+        self, method: str, path: str, body: Optional[Dict[str, Any]] = None
+    ) -> bytes:
+        data = None
+        headers = {}
+        if body is not None:
+            data = json.dumps(body).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        req = urlrequest.Request(
+            self.base_url + path, data=data, headers=headers, method=method
+        )
+        try:
+            with urlrequest.urlopen(req, timeout=self.timeout_s) as reply:
+                return reply.read()
+        except urlerror.HTTPError as err:
+            detail = err.read().decode("utf-8", "replace")
+            try:
+                detail = json.loads(detail).get("error", detail)
+            except ValueError:
+                pass
+            raise ServeError(
+                f"{method} {path} -> {err.code}: {detail}", status=err.code
+            ) from err
+        except urlerror.URLError as err:
+            raise ServeError(f"{method} {path}: {err.reason}") from err
+
+    def _json(
+        self, method: str, path: str, body: Optional[Dict[str, Any]] = None
+    ) -> Dict[str, Any]:
+        return json.loads(self._raw(method, path, body).decode("utf-8"))

@@ -1,0 +1,382 @@
+"""Stdlib-only asyncio HTTP job server.
+
+Endpoints (HTTP/1.1, one request per connection):
+
+* ``POST /jobs`` — submit a :class:`~repro.serve.jobs.JobSpec` body;
+  202 with the job id, 503 when the bounded queue is full or the server
+  is draining, 400 on a bad spec.
+* ``GET /jobs`` — summary list of every known job.
+* ``GET /jobs/<id>`` — full status: lifecycle state, cache hits, the
+  heartbeat-fed per-cell progress snapshot, and the outcome summary.
+* ``GET /jobs/<id>/results`` — results as JSONL, one line per finished
+  cell; ``?wait=1`` streams lines as cells land until the job reaches a
+  terminal state.
+* ``GET /metrics`` — Prometheus text exposition (server, cache, and
+  executor counters) through :mod:`repro.obs.metrics`.
+* ``GET /healthz`` — liveness + drain flag.
+
+Jobs run one at a time on a single worker task: the simulation itself
+already parallelizes across the shared
+:class:`~repro.parallel.runner.CellExecutor`'s pool, so admitting a
+second concurrent job would only thrash the same workers. SIGTERM and
+SIGINT begin a graceful drain — the PR 8 interrupt machinery, driven
+through ``run_plan``'s ``stop_event``: the in-flight job stops
+dispatching, drains within its grace window, and leaves its checkpoint
+resumable; queued jobs are cancelled; new submissions get 503.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import signal
+import tempfile
+import threading
+from typing import Any, Dict, Optional, Tuple
+from urllib.parse import parse_qs, urlsplit
+
+from repro.common.errors import ConfigurationError
+from repro.common.stats import CounterGroup
+from repro.obs.metrics import MetricsRegistry
+from repro.parallel.runner import CellExecutor
+from repro.serve.cache import ResultCache
+from repro.serve.jobs import Job, JobSpec, run_job
+
+import os
+
+#: Largest request body the server will read.
+MAX_BODY_BYTES = 1 << 20
+
+#: Poll cadence of the streaming results endpoint.
+STREAM_POLL_S = 0.1
+
+_TERMINAL_STATES = frozenset({"done", "failed", "interrupted", "cancelled"})
+
+
+class JobServer:
+    """One bounded job queue + one shared executor behind HTTP."""
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 8642,
+        *,
+        jobs: int = 1,
+        workdir: Optional[str] = None,
+        cache_dir: Optional[str] = None,
+        cache_entries: int = 4096,
+        queue_limit: int = 8,
+        heartbeat_every: int = 1000,
+        max_attempts: int = 2,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.workdir = workdir or tempfile.mkdtemp(prefix="repro-serve-")
+        os.makedirs(self.workdir, exist_ok=True)
+        self.cache = ResultCache(
+            cache_dir or os.path.join(self.workdir, "cache"),
+            capacity_entries=cache_entries,
+        )
+        self.executor = CellExecutor(jobs=jobs)
+        self.heartbeat_every = heartbeat_every
+        self.max_attempts = max_attempts
+        self.queue_limit = queue_limit
+        self.stats = CounterGroup("serve.http")
+        self.stop_event = threading.Event()
+        self.draining = False
+        self._jobs: Dict[str, Job] = {}
+        self._order: list = []
+        self._next_id = 1
+        self._queue: Optional[asyncio.Queue] = None
+        self._shutdown: Optional[asyncio.Event] = None
+        self._server: Optional[asyncio.AbstractServer] = None
+
+    # -- lifecycle ----------------------------------------------------------
+    async def serve(
+        self, *, install_signal_handlers: bool = True, on_ready=None
+    ) -> None:
+        """Listen until a drain completes (SIGTERM/SIGINT or
+        :meth:`begin_drain`). ``on_ready(self)`` fires once the socket is
+        bound — by then ``self.port`` is the real port even for port 0."""
+        loop = asyncio.get_running_loop()
+        self._queue = asyncio.Queue(maxsize=self.queue_limit)
+        self._shutdown = asyncio.Event()
+        self._server = await asyncio.start_server(
+            self._handle_client, self.host, self.port,
+        )
+        if self.port == 0:
+            self.port = self._server.sockets[0].getsockname()[1]
+        if install_signal_handlers:
+            for sig in (signal.SIGTERM, signal.SIGINT):
+                try:
+                    loop.add_signal_handler(sig, self.begin_drain)
+                except (NotImplementedError, RuntimeError):
+                    pass
+        if on_ready is not None:
+            on_ready(self)
+        worker = asyncio.create_task(self._job_worker())
+        try:
+            await self._shutdown.wait()
+            # Let the in-flight job drain (run_plan honours stop_event
+            # within its grace window), then stop accepting connections.
+            await worker
+        finally:
+            worker.cancel()
+            self._server.close()
+            await self._server.wait_closed()
+            self.executor.close()
+
+    def begin_drain(self) -> None:
+        """Graceful SIGTERM path: stop admitting, stop dispatching,
+        cancel the queue, keep status endpoints honest until exit."""
+        if self.draining:
+            return
+        self.draining = True
+        self.stats.inc("drains")
+        self.stop_event.set()
+        if self._queue is not None:
+            while True:
+                try:
+                    job = self._queue.get_nowait()
+                except asyncio.QueueEmpty:
+                    break
+                if job is not None:
+                    job.state = "cancelled"
+                    self.stats.inc("jobs_cancelled")
+            # Sentinel wakes the worker even when nothing is queued.
+            self._queue.put_nowait(None)
+        if self._shutdown is not None:
+            self._shutdown.set()
+
+    # -- job execution ------------------------------------------------------
+    async def _job_worker(self) -> None:
+        while True:
+            job = await self._queue.get()
+            if job is None:
+                return
+            if self.draining or job.state == "cancelled":
+                if job.state != "cancelled":
+                    job.state = "cancelled"
+                    self.stats.inc("jobs_cancelled")
+                continue
+            job.state = "running"
+            job.started_ts = _now()
+            try:
+                outcome = await asyncio.to_thread(
+                    run_job, job, self.executor, self.cache, self.stop_event,
+                    max_attempts=self.max_attempts,
+                    heartbeat_every=self.heartbeat_every,
+                )
+            except Exception as err:  # noqa: BLE001 - job isolation barrier
+                job.state = "failed"
+                job.error = f"{type(err).__name__}: {err}"
+                self.stats.inc("jobs_failed")
+            else:
+                self.stats.inc("cells_cached", job.cache_hits)
+                self.stats.inc(
+                    "cells_simulated", len(outcome.results) - job.cache_hits,
+                )
+                if outcome.interrupted:
+                    job.state = "interrupted"
+                    self.stats.inc("jobs_interrupted")
+                elif outcome.failed:
+                    job.state = "failed"
+                    job.error = (
+                        f"{len(outcome.failed)} cell(s) failed; see results"
+                    )
+                    self.stats.inc("jobs_failed")
+                else:
+                    job.state = "done"
+                    self.stats.inc("jobs_done")
+            finally:
+                job.finished_ts = _now()
+
+    # -- HTTP ---------------------------------------------------------------
+    async def _handle_client(self, reader, writer) -> None:
+        try:
+            request = await self._read_request(reader)
+            if request is not None:
+                method, path, query, body = request
+                await self._route(writer, method, path, query, body)
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass
+        except Exception as err:  # noqa: BLE001 - connection isolation
+            try:
+                _write_json(writer, 500, {
+                    "error": f"{type(err).__name__}: {err}",
+                })
+            except ConnectionError:
+                pass
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _read_request(
+        self, reader
+    ) -> Optional[Tuple[str, str, Dict[str, list], bytes]]:
+        request_line = await reader.readline()
+        if not request_line.strip():
+            return None
+        parts = request_line.decode("latin-1").split()
+        if len(parts) < 2:
+            return None
+        method, target = parts[0].upper(), parts[1]
+        headers: Dict[str, str] = {}
+        while True:
+            line = await reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = line.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        length = int(headers.get("content-length", "0") or "0")
+        if length < 0 or length > MAX_BODY_BYTES:
+            return None
+        body = await reader.readexactly(length) if length else b""
+        split = urlsplit(target)
+        return method, split.path, parse_qs(split.query), body
+
+    async def _route(
+        self, writer, method: str, path: str,
+        query: Dict[str, list], body: bytes,
+    ) -> None:
+        self.stats.inc("requests")
+        if path == "/healthz" and method == "GET":
+            _write_json(writer, 200, {"ok": True, "draining": self.draining})
+        elif path == "/metrics" and method == "GET":
+            _write_text(writer, 200, self._metrics_text(),
+                        content_type="text/plain; version=0.0.4")
+        elif path == "/jobs" and method == "POST":
+            self._submit(writer, body)
+        elif path == "/jobs" and method == "GET":
+            _write_json(writer, 200, {
+                "jobs": [self._jobs[jid].status() for jid in self._order],
+            })
+        elif path.startswith("/jobs/") and method == "GET":
+            await self._job_endpoint(writer, path, query)
+        else:
+            _write_json(writer, 404, {"error": f"no route for {method} {path}"})
+
+    def _submit(self, writer, body: bytes) -> None:
+        if self.draining:
+            _write_json(writer, 503, {"error": "server is draining"})
+            return
+        try:
+            spec = JobSpec.from_dict(json.loads(body.decode("utf-8")))
+        except (ValueError, ConfigurationError) as err:
+            self.stats.inc("jobs_rejected")
+            _write_json(writer, 400, {"error": str(err)})
+            return
+        job_id = f"job-{self._next_id:06d}"
+        job = Job(
+            id=job_id, spec=spec,
+            workdir=os.path.join(self.workdir, job_id),
+        )
+        try:
+            self._queue.put_nowait(job)
+        except asyncio.QueueFull:
+            self.stats.inc("jobs_rejected")
+            _write_json(writer, 503, {
+                "error": f"job queue is full ({self.queue_limit})",
+            })
+            return
+        self._next_id += 1
+        self._jobs[job_id] = job
+        self._order.append(job_id)
+        self.stats.inc("jobs_submitted")
+        _write_json(writer, 202, {"id": job_id, "state": job.state})
+
+    async def _job_endpoint(
+        self, writer, path: str, query: Dict[str, list]
+    ) -> None:
+        parts = path.strip("/").split("/")
+        job = self._jobs.get(parts[1]) if len(parts) >= 2 else None
+        if job is None:
+            _write_json(writer, 404, {"error": "unknown job id"})
+            return
+        if len(parts) == 2:
+            _write_json(writer, 200, job.status())
+        elif len(parts) == 3 and parts[2] == "results":
+            wait = query.get("wait", ["0"])[0] not in ("0", "", "false")
+            await self._stream_results(writer, job, wait)
+        else:
+            _write_json(writer, 404, {"error": f"no route for {path}"})
+
+    async def _stream_results(self, writer, job: Job, wait: bool) -> None:
+        """JSONL results; with ``wait`` the connection stays open and
+        lines appear as the running job checkpoints each cell."""
+        writer.write(
+            b"HTTP/1.1 200 OK\r\n"
+            b"Content-Type: application/x-ndjson\r\n"
+            b"Connection: close\r\n\r\n"
+        )
+        sent: set = set()
+        while True:
+            records = await asyncio.to_thread(job.result_records)
+            for record in records:
+                if record["index"] in sent:
+                    continue
+                sent.add(record["index"])
+                writer.write(
+                    json.dumps(record, separators=(",", ":")).encode("utf-8")
+                    + b"\n"
+                )
+            await writer.drain()
+            if not wait or job.state in _TERMINAL_STATES:
+                return
+            await asyncio.sleep(STREAM_POLL_S)
+
+    # -- metrics ------------------------------------------------------------
+    def _metrics_text(self) -> str:
+        registry = MetricsRegistry()
+        registry.ingest_counter_group(
+            "repro_serve_events_total", self.stats,
+            help="Job server lifecycle counters",
+        )
+        registry.ingest_counter_group(
+            "repro_serve_cache_total", self.cache.stats,
+            help="Result cache reads/writes by outcome",
+        )
+        states = CounterGroup("serve.jobs")
+        for job_id in self._order:
+            states.inc(self._jobs[job_id].state)
+        registry.ingest_counter_group(
+            "repro_serve_jobs", states, label="state",
+            help="Known jobs by lifecycle state",
+        )
+        return registry.to_prometheus()
+
+
+def _now() -> float:
+    from time import time
+    return time()
+
+
+def _write_json(writer, status: int, payload: Dict[str, Any]) -> None:
+    _write_text(
+        writer, status,
+        json.dumps(payload, separators=(",", ":")),
+        content_type="application/json",
+    )
+
+
+_REASONS = {
+    200: "OK", 202: "Accepted", 400: "Bad Request", 404: "Not Found",
+    500: "Internal Server Error", 503: "Service Unavailable",
+}
+
+
+def _write_text(
+    writer, status: int, text: str,
+    content_type: str = "text/plain",
+) -> None:
+    body = text.encode("utf-8")
+    reason = _REASONS.get(status, "Unknown")
+    writer.write(
+        f"HTTP/1.1 {status} {reason}\r\n"
+        f"Content-Type: {content_type}\r\n"
+        f"Content-Length: {len(body)}\r\n"
+        f"Connection: close\r\n\r\n".encode("latin-1") + body
+    )
