@@ -176,11 +176,17 @@ def _bench_matrix(workloads, designs, scale, accesses, seed, jobs):
 def _hotpath_breakdown(ctrl, sim, trace, workload, design):
     """One untimed batched run with the controller entry points wrapped.
 
-    Attributes wall time to the deferred fast path (``access_deferred``
-    classification plus ``access_batch`` replay) versus the scalar
-    ``access`` fallback, and reports the full-run :class:`AccessCase`
-    counts — so a hot-path regression is attributable to a specific case
-    mix shift or a fallback-rate change.
+    Attributes wall time to the deferred fast path (classification plus
+    batched replay) versus the scalar ``access`` fallback, and reports
+    the full-run :class:`AccessCase` counts plus the per-reason decline
+    counters — so a hot-path regression is attributable to a specific
+    case mix shift, a fallback-rate change, or one decline reason.
+
+    Controllers that export an inlined server closure
+    (``make_deferred_server``) bypass ``access_deferred`` /
+    ``access_batch`` entirely, so the factory itself is wrapped: the
+    serve/batch closures it returns are timed the same way the bound
+    methods are.
     """
     from time import perf_counter
 
@@ -224,12 +230,52 @@ def _hotpath_breakdown(ctrl, sim, trace, workload, design):
 
         ctrl.access_deferred = timed_deferred
         ctrl.access_batch = timed_batch
+
+        real_make_server = getattr(ctrl, "make_deferred_server", None)
+        if real_make_server is not None:
+            def timed_make_server(dirty_blocks=None):
+                serve, flush, batch = real_make_server(dirty_blocks)
+
+                def timed_serve(addr, is_write, code, aux):
+                    t0 = perf_counter()
+                    op = serve(addr, is_write, code, aux)
+                    acc["deferred_s"] += perf_counter() - t0
+                    if op is None:
+                        acc["deferred_declined"] += 1
+                    else:
+                        acc["deferred_ops"] += 1
+                    return op
+
+                def timed_server_batch(ops, cycles, mlp):
+                    t0 = perf_counter()
+                    out = batch(ops, cycles, mlp)
+                    acc["batch_s"] += perf_counter() - t0
+                    acc["batch_flushes"] += 1
+                    return out
+
+                return timed_serve, flush, timed_server_batch
+
+            ctrl.make_deferred_server = timed_make_server
+    decline_base = dict(getattr(ctrl, "deferred_declines", None) or {})
     sim.run(trace, workload, design)
     cases = {
         key[len("case_"):]: value
         for key, value in ctrl.stats.as_dict().items()
         if key.startswith("case_")
     }
+    # Authoritative decline accounting: the controller's per-reason
+    # counters see every decline — serve()-time ones and the
+    # pre-resolved classifier verdicts that never reach serve().
+    decline_counters = getattr(ctrl, "deferred_declines", None)
+    if decline_counters is not None:
+        decline_reasons = {
+            reason: count - decline_base.get(reason, 0)
+            for reason, count in decline_counters.items()
+        }
+        declined = sum(decline_reasons.values())
+    else:
+        decline_reasons = {}
+        declined = acc["deferred_declined"]
     return {
         "access_cases": cases,
         "fast_path": {
@@ -240,7 +286,8 @@ def _hotpath_breakdown(ctrl, sim, trace, workload, design):
         },
         "scalar_fallback": {
             "calls": acc["fallback_calls"],
-            "declined_classifications": acc["deferred_declined"],
+            "declined_classifications": declined,
+            "decline_reasons": decline_reasons,
             "time_s": round(acc["fallback_s"], 4),
         },
     }
@@ -307,6 +354,15 @@ def _bench_hotpath(workloads, designs, scale, accesses, seed, repeats=3):
             breakdown = _hotpath_breakdown(
                 ctrl, SystemSimulator(ctrl, sim_config), trace, workload, design
             )
+            # Coverage smoke check: any batching-capable design (simple
+            # included) must actually enter the deferred seam — a cell
+            # with zero deferred ops means the seam silently disengaged.
+            if (getattr(ctrl, "supports_batching", False)
+                    and not breakdown["fast_path"]["deferred_ops"]):
+                raise AssertionError(
+                    f"deferred seam never engaged: ({workload}, {design}) "
+                    "reports deferred_ops == 0"
+                )
             cells.append({
                 "workload": workload,
                 "design": design,

@@ -65,7 +65,13 @@ import dataclasses
 import json
 import sys
 
-from repro.analysis import DESIGNS, format_matrix, run_matrix_sharded, run_one
+from repro.analysis import (
+    DESIGNS,
+    format_matrix,
+    run_cell,
+    run_matrix_sharded,
+    run_one,
+)
 from repro.common.errors import ConfigurationError
 from repro.workloads import scaled_system
 from repro.workloads.suite import WORKLOADS
@@ -341,8 +347,10 @@ def cmd_validate(argv) -> int:
         )
         stats = report.stats
         batched_note = (
-            f", {report.stats.get('fuzz_batched_checks')} batched-seam "
-            f"check(s)" if args.fuzz_batched else ""
+            f", {report.stats.get('fuzz_batched_checks')} batched-seam + "
+            f"{report.stats.get('fuzz_classifier_checks')} classifier + "
+            f"{report.stats.get('fuzz_simple_checks')} simple-seam check(s)"
+            if args.fuzz_batched else ""
         )
         print(f"fuzz: {report.iterations} iterations, {report.accesses} "
               f"accesses, {len(report.failures)} violation(s){batched_note}")
@@ -666,12 +674,32 @@ def _try_configs(args):
 
 
 def _observed_run(args, configs, tracer=None, metrics=None, profiler=None):
+    """Run one cell; returns ``(result, controller)`` so callers can read
+    controller-side diagnostics (e.g. the deferred decline counters)."""
     config, sim_config = configs
-    return run_one(
+    return run_cell(
         args.workload, args.design, config, sim_config,
-        n_accesses=args.accesses, seed=args.seed,
+        args.accesses, args.seed,
         tracer=tracer, metrics=metrics, profiler=profiler,
     )
+
+
+def _print_deferred_declines(controller) -> None:
+    """Per-reason deferred-seam decline table (``repro report``).
+
+    The counters live on the controller (not in ``stats``: only the
+    batched path classifies, and stats must stay bit-identical across
+    loops). All-zero with per-access tracing attached simply means the
+    seam never engaged.
+    """
+    declines = getattr(controller, "deferred_declines", None)
+    if declines is None:
+        return
+    total = sum(declines.values())
+    print(f"  deferred-seam declines ({total} total):")
+    for reason, count in sorted(declines.items(), key=lambda kv: -kv[1]):
+        share = count / total if total else 0.0
+        print(f"    {reason:<16} {count:>8}  {share:6.1%}")
 
 
 def _print_case_mix(case_counts) -> None:
@@ -773,7 +801,7 @@ def cmd_report(argv) -> int:
     tracer = EventTracer(capacity=1 << 20)
     registry = MetricsRegistry() if args.metrics else None
     profiler = PhaseProfiler() if args.profile else None
-    result = _observed_run(
+    result, _ = _observed_run(
         args, configs, tracer=tracer, metrics=registry, profiler=profiler
     )
 
@@ -789,6 +817,16 @@ def cmd_report(argv) -> int:
     print("  events by type:")
     for etype, count in sorted(tracer.counts_by_type().items()):
         print(f"    {etype:<16} {count}")
+    # The traced run pins the controller to the scalar path (per-access
+    # tracing disables batching), so the seam diagnostics come from one
+    # untraced batched rerun of the same cell — bit-identical results,
+    # real decline counters.
+    seam_result, seam_ctrl = _observed_run(args, configs)
+    if getattr(seam_ctrl, "deferred_declines", None) is not None:
+        _print_deferred_declines(seam_ctrl)
+        if seam_result.to_dict() != result.to_dict():
+            print("  WARNING: batched rerun diverged from the traced run",
+                  file=sys.stderr)
 
     if registry is not None:
         _print_registry(registry, args.format)
@@ -1144,12 +1182,16 @@ def main(argv=None) -> int:
         from repro.obs import PhaseProfiler
 
         profiler = PhaseProfiler()
-    result = _observed_run(args, configs, profiler=profiler)
+    result, controller = _observed_run(args, configs, profiler=profiler)
     print(f"{args.workload} on {args.design} "
           f"(1/{args.scale} scale, {args.accesses} accesses)")
     for key, value in result.summary().items():
         print(f"  {key:<18} {value:.4f}")
     _print_case_mix(result.case_counts)
+    if not args.profile:
+        # Profiling forces the scalar loop; otherwise the batched seam
+        # ran and its decline mix is a real diagnostic.
+        _print_deferred_declines(controller)
     if profiler is not None:
         print(profiler.format_report())
     return 0

@@ -22,6 +22,11 @@ class BaselineController(abc.ABC):
 
     name = "baseline"
 
+    #: May the simulator drive this controller through the deferred batch
+    #: fast path (``access_deferred`` + ``access_batch``)? Baselines are
+    #: scalar-only unless they implement the pair and shadow this.
+    supports_batching = False
+
     def __init__(
         self,
         config: Optional[BaryonConfig] = None,

@@ -12,8 +12,10 @@ from typing import Dict, Optional
 
 from repro.baselines.base import BaselineController
 from repro.cache.replacement import CacheLine, LruSet
-from repro.core.events import AccessCase, AccessResult
+from repro.core.events import CASE_COUNTER_KEYS, AccessCase, AccessResult
 from repro.metadata.remap_cache import RemapCache
+
+_COMMIT_HIT_KEY = CASE_COUNTER_KEYS[AccessCase.COMMIT_HIT]
 
 
 class SimpleCache(BaselineController):
@@ -33,6 +35,10 @@ class SimpleCache(BaselineController):
             ways=self.config.remap_cache.ways,
             latency_cycles=self.config.remap_cache.latency_cycles,
         )
+        #: Deferred-classification decline counters (see the Baryon
+        #: controller's attribute of the same name). The only scalar-path
+        #: case here is the whole-block fill with its eviction.
+        self.deferred_declines: Dict[str, int] = {"block_fill": 0}
 
     def _set_for(self, index: int) -> LruSet:
         cache_set = self._sets.get(index)
@@ -88,3 +94,90 @@ class SimpleCache(BaselineController):
         return self._count(
             AccessResult(AccessCase.BLOCK_MISS, latency, is_write), is_write, addr
         )
+
+    # ------------------------------------------------ deferred batch path
+    @property
+    def supports_batching(self) -> bool:
+        """Hits mutate no clock-dependent state (the LRU stamp and the
+        remap-cache fill are trace-order effects), so the deferred seam
+        applies whenever per-access event tracing is off."""
+        return not self.obs.enabled
+
+    def access_deferred(self, addr: int, is_write: bool = False):
+        """Serve one block hit eagerly; defer its channel timing.
+
+        Returns an op tuple in the shared 7-slot shape (trailing slots
+        unused: this design moves one cacheline per hit and never
+        prefetches, so ``(rc_miss, is_write)`` fully determines the
+        replay). Misses fill a whole block (eviction, slow fetch:
+        clock-dependent channel work ordered against the fill) and
+        decline to the scalar path with **no state applied**.
+        """
+        g = self.geometry
+        block_id = g.block_id(addr)
+        set_index = block_id % self.num_sets
+        tag = block_id // self.num_sets
+        cache_set = self._set_for(set_index)
+        line = cache_set.lookup(tag)
+        if line is None:
+            self.deferred_declines["block_fill"] += 1
+            return None
+
+        rc_miss = not self.remap_cache.access(g.super_block_id(addr))
+        fast = self.devices.fast
+        if rc_miss:
+            fast._n_read_bytes += 16
+            fast._n_reads += 1
+            fast._n_demand_read_bytes += 16
+        cache_set.touch(line)
+        nbytes = g.cacheline_size
+        if is_write:
+            line.dirty = True
+            fast._n_write_bytes += nbytes
+            fast._n_writes += 1
+        else:
+            fast._n_read_bytes += nbytes
+            fast._n_reads += 1
+            fast._n_demand_read_bytes += nbytes
+        stats = self.stats
+        stats.inc("accesses")
+        stats.inc("writes" if is_write else "reads")
+        stats.inc("served_fast")
+        stats.inc(_COMMIT_HIT_KEY)
+        return (rc_miss, is_write, None, None, None, None, None)
+
+    def access_batch(self, ops, cycles: float, mlp: float) -> float:
+        """Replay a span of deferred hit ops against the fast channel.
+
+        Mirrors the scalar :meth:`access` float accumulation operation
+        for operation (``probe_lat`` is the ``+ 0.0`` spike-free device
+        latency), so ``cycles`` and the channel busy state stay
+        bit-identical to the scalar path.
+        """
+        fast = self.devices.fast
+        transfer = fast.pool.transfer
+        rc_lat = float(self.remap_cache.latency_cycles)
+        probe_lat = fast.read_latency + 0.0
+        nbytes = self.geometry.cacheline_size
+        now = self._now
+        for op in ops:
+            if op.__class__ is float:
+                cycles += op
+                continue
+            rc_miss = op[0]
+            is_write = op[1]
+            now = cycles
+            if is_write:
+                # Posted: channel occupancy only, no core-visible latency.
+                if rc_miss:
+                    transfer(now, 16, True)
+                transfer(now, nbytes)
+                continue
+            meta = rc_lat
+            if rc_miss:
+                queue, tr = transfer(now, 16, True)
+                meta += (probe_lat + queue) + tr
+            queue, tr = transfer(now, nbytes, True)
+            cycles += (meta + ((probe_lat + queue) + tr)) / mlp
+        self._now = now
+        return cycles

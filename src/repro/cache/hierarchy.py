@@ -24,6 +24,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List, Optional, Tuple
 
+from repro.cache.replacement import CacheLine
 from repro.cache.sram_cache import SetAssociativeCache
 from repro.common.config import HierarchyConfig
 from repro.common.stats import CounterGroup
@@ -217,6 +218,245 @@ class CacheHierarchy:
         return HierarchyResult(
             level, llc_miss, latency, writebacks if writebacks is not None else []
         )
+
+    def make_fast_path(self):
+        """Closure triple ``(access, install, flush)`` for the hot loop.
+
+        ``access``/``install`` mirror :meth:`access_fast` and
+        :meth:`install_llc_fast` with the per-call attribute walks hoisted
+        into closure locals and the hierarchy-level hit counters tallied
+        in closure integers; ``flush`` folds the tallies back before any
+        :attr:`stats` read. Per-cache counters stay attribute increments
+        (their owners read them lazily through their own ``stats``).
+        Returns ``None`` when any level is not plain-LRU — the closures
+        inline only the LRU probe, so the caller falls back to the bound
+        methods.
+        """
+        l1s = self._l1
+        l2s = self._l2
+        llc = self.llc
+        if not all(c._is_lru for c in (*l1s, *l2s, llc)):
+            return None
+        cores = self._cores
+        lat_l12 = self._lat_l12
+        lat_full = self._lat_full
+        l1_geom = [(c, c._line_size, c.num_sets, c._sets) for c in l1s]
+        l2_geom = [(c, c._line_size, c.num_sets, c._sets) for c in l2s]
+        llc_line = llc._line_size
+        llc_sets_n = llc.num_sets
+        llc_sets = llc._sets
+        llc_raw = llc.access_raw
+        new_cache_line = CacheLine
+
+        n_l1 = n_l2 = n_llc = n_miss = n_pref = 0
+
+        def access(addr, is_write, core=0):
+            nonlocal n_l1, n_l2, n_llc, n_miss
+            l1, l1_line, l1_nsets, l1_sets = l1_geom[core % cores]
+            line = addr // l1_line
+            index = line % l1_nsets
+            cache_set = l1_sets[index]
+            tag = line // l1_nsets
+            lines = cache_set.lines
+            entry = lines.get(tag)
+            l1._n_accesses += 1
+            if entry is not None:
+                cache_set._clock += 1
+                entry.counter = cache_set._clock
+                lines[tag] = lines.pop(tag)
+                if is_write:
+                    entry.dirty = True
+                l1._n_hits += 1
+                n_l1 += 1
+                return None
+            l1._n_misses += 1
+            # SetAssociativeCache._allocate (LRU arm), inlined.
+            if len(lines) >= cache_set.ways:
+                victim_tag, victim = next(iter(lines.items()))
+                if victim.dirty:
+                    l1_wb = (victim_tag * l1_nsets + index) * l1_line
+                    l1._n_writebacks += 1
+                else:
+                    l1_wb = None
+                del lines[victim_tag]
+                l1._n_evictions += 1
+                victim.tag = tag
+                victim.dirty = is_write
+                victim.payload = None
+                victim.referenced = False
+                victim.stamp = 0
+                new_line = victim
+            else:
+                l1_wb = None
+                new_line = new_cache_line(tag, dirty=is_write)
+            cache_set._clock += 1
+            new_line.counter = cache_set._clock
+            lines[tag] = new_line
+
+            writebacks = None
+            l2, l2_line, l2_nsets, l2_sets = l2_geom[core % cores]
+            line = addr // l2_line
+            index = line % l2_nsets
+            cache_set = l2_sets[index]
+            tag = line // l2_nsets
+            lines = cache_set.lines
+            entry = lines.get(tag)
+            l2._n_accesses += 1
+            if entry is not None:
+                cache_set._clock += 1
+                entry.counter = cache_set._clock
+                lines[tag] = lines.pop(tag)
+                l2._n_hits += 1
+                hit2 = True
+                l2_wb = None
+            else:
+                l2._n_misses += 1
+                hit2 = False
+                if len(lines) >= cache_set.ways:
+                    victim_tag, victim = next(iter(lines.items()))
+                    if victim.dirty:
+                        l2_wb = (victim_tag * l2_nsets + index) * l2_line
+                        l2._n_writebacks += 1
+                    else:
+                        l2_wb = None
+                    del lines[victim_tag]
+                    l2._n_evictions += 1
+                    victim.tag = tag
+                    victim.dirty = False
+                    victim.payload = None
+                    victim.referenced = False
+                    victim.stamp = 0
+                    new_line = victim
+                else:
+                    l2_wb = None
+                    new_line = new_cache_line(tag)
+                cache_set._clock += 1
+                new_line.counter = cache_set._clock
+                lines[tag] = new_line
+            if l1_wb is not None:
+                # Dirty L1 victim lands in L2 (write-allocate at L2).
+                _, spill, _ = l2.access_raw(l1_wb, True)
+                if spill is not None:
+                    _, llc_wb, _ = llc_raw(spill, True)
+                    # Truthiness (not `is not None`) preserves the
+                    # historical spill semantics exactly.
+                    if llc_wb:
+                        writebacks = [llc_wb]
+            if hit2:
+                n_l2 += 1
+                # Dirtiness is tracked at L1; the L2 copy stays clean.
+                return ("L2", lat_l12, False, writebacks)
+            if l2_wb is not None:
+                _, llc_wb, _ = llc_raw(l2_wb, True)
+                if llc_wb:
+                    if writebacks is None:
+                        writebacks = [llc_wb]
+                    else:
+                        writebacks.append(llc_wb)
+
+            line = addr // llc_line
+            index = line % llc_sets_n
+            cache_set = llc_sets[index]
+            tag = line // llc_sets_n
+            lines = cache_set.lines
+            entry = lines.get(tag)
+            llc._n_accesses += 1
+            if entry is not None:
+                cache_set._clock += 1
+                entry.counter = cache_set._clock
+                lines[tag] = lines.pop(tag)
+                llc._n_hits += 1
+                hit3 = True
+                llc_wb = None
+            else:
+                llc._n_misses += 1
+                hit3 = False
+                if len(lines) >= cache_set.ways:
+                    victim_tag, victim = next(iter(lines.items()))
+                    if victim.dirty:
+                        llc_wb = (victim_tag * llc_sets_n + index) * llc_line
+                        llc._n_writebacks += 1
+                    else:
+                        llc_wb = None
+                    del lines[victim_tag]
+                    llc._n_evictions += 1
+                    victim.tag = tag
+                    victim.dirty = False
+                    victim.payload = None
+                    victim.referenced = False
+                    victim.stamp = 0
+                    new_line = victim
+                else:
+                    llc_wb = None
+                    new_line = new_cache_line(tag)
+                cache_set._clock += 1
+                new_line.counter = cache_set._clock
+                lines[tag] = new_line
+            if llc_wb is not None:
+                if writebacks is None:
+                    writebacks = [llc_wb]
+                else:
+                    writebacks.append(llc_wb)
+            if hit3:
+                n_llc += 1
+                return ("LLC", lat_full, False, writebacks)
+            n_miss += 1
+            return ("MEM", lat_full, True, writebacks)
+
+        def install(addr):
+            # install_raw with the LRU allocate arm inlined.
+            nonlocal n_pref
+            n_pref += 1
+            line = addr // llc_line
+            index = line % llc_sets_n
+            cache_set = llc_sets[index]
+            tag = line // llc_sets_n
+            lines = cache_set.lines
+            if lines.get(tag) is not None:
+                return None
+            llc._n_installs += 1
+            if len(lines) >= cache_set.ways:
+                victim_tag, victim = next(iter(lines.items()))
+                if victim.dirty:
+                    wb = (victim_tag * llc_sets_n + index) * llc_line
+                    llc._n_writebacks += 1
+                else:
+                    wb = None
+                del lines[victim_tag]
+                llc._n_evictions += 1
+                victim.tag = tag
+                victim.dirty = False
+                victim.payload = None
+                victim.referenced = False
+                victim.stamp = 0
+                new_line = victim
+            else:
+                wb = None
+                new_line = new_cache_line(tag)
+            cache_set._clock += 1
+            new_line.counter = cache_set._clock
+            lines[tag] = new_line
+            return wb
+
+        def flush():
+            nonlocal n_l1, n_l2, n_llc, n_miss, n_pref
+            if n_l1:
+                self._n_l1_hits += n_l1
+                n_l1 = 0
+            if n_l2:
+                self._n_l2_hits += n_l2
+                n_l2 = 0
+            if n_llc:
+                self._n_llc_hits += n_llc
+                n_llc = 0
+            if n_miss:
+                self._n_llc_misses += n_miss
+                n_miss = 0
+            if n_pref:
+                self._n_prefetch_installs += n_pref
+                n_pref = 0
+
+        return access, install, flush
 
     def install_llc_fast(self, addr: int) -> Optional[int]:
         """Install a prefetched line into the LLC; returns the dirty

@@ -162,6 +162,11 @@ class SyntheticCompressibility:
         # Region resolution is a linear scan; every oracle query starts
         # with it, so the block -> profile answer is memoized alongside.
         self._profile_cache: Dict[int, CompressibilityProfile] = {}
+        # Last ``peek_write`` draw: the deferred path probes a write's
+        # stability verdict before committing it, so the paired
+        # ``note_write`` can reuse the identical (block, sub, count) draw
+        # instead of hashing twice.
+        self._peek_memo: Tuple[int, int, int, float] | None = None
 
     def set_default_profile(self, profile: CompressibilityProfile) -> None:
         self._default = profile
@@ -271,7 +276,16 @@ class SyntheticCompressibility:
         profile = self.profile_of(block_id)
         count = self._write_counts.get(block_id, 0)
         self._write_counts[block_id] = count + 1
-        u = _hash_unit5(self.seed, block_id, sub_index, count, 7)
+        memo = self._peek_memo
+        if (
+            memo is not None
+            and memo[0] == block_id
+            and memo[1] == sub_index
+            and memo[2] == count
+        ):
+            u = memo[3]
+        else:
+            u = _hash_unit5(self.seed, block_id, sub_index, count, 7)
         if u < profile.write_instability:
             self._versions[block_id] = self._versions.get(block_id, 0) + 1
             return True
@@ -285,6 +299,7 @@ class SyntheticCompressibility:
         profile = self.profile_of(block_id)
         count = self._write_counts.get(block_id, 0)
         u = _hash_unit5(self.seed, block_id, sub_index, count, 7)
+        self._peek_memo = (block_id, sub_index, count, u)
         return u < profile.write_instability
 
     def version_of(self, block_id: int) -> int:

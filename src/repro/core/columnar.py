@@ -125,6 +125,17 @@ class ColumnarState:
         self._remap_free: List[int] = []
         self._remap_used = 0
 
+        # Run-classifier support: ``remap_row_of`` is a dense
+        # ``block_id -> arena row`` gather index built lazily by
+        # :func:`build_run_classifier`; ``dirty_blocks`` collects blocks
+        # whose membership state (staged ranges, remap entry) changed
+        # since the last bulk classification, so stale chunk verdicts
+        # fall back to the per-op classifier. Both are inert (``watching``
+        # False) outside classifier-driven runs.
+        self.remap_row_of = None
+        self.dirty_blocks: set = set()
+        self.watching = False
+
         # Derived probe indices for the deferred fast path. ``stage_sub``
         # maps ``block_id * sub_blocks_per_block + sub_index`` to the
         # (way, slot) holding it — exactly the answer of
@@ -192,6 +203,8 @@ class ColumnarState:
             # settles on the destination (Rule 3 holds again at the end).
             ref[0] = way
             ref[1] += 1
+        if self.watching:
+            self.dirty_blocks.add(block_id)
 
     def stage_remove(
         self, set_index: int, way: int, slot_index: int, slot, tag: int
@@ -215,6 +228,8 @@ class ColumnarState:
             ref[1] -= 1
             if ref[1] <= 0:
                 del self.stage_block[block_id]
+        if self.watching:
+            self.dirty_blocks.add(block_id)
 
     def stage_fifo(self, set_index: int, way: int, fifo: int) -> None:
         """Mirror the FIFO pointer advance of ``fifo_victim_slot``."""
@@ -243,17 +258,24 @@ class ColumnarState:
             if row is None:
                 row = self._alloc_remap_row()
                 self._remap_index[block_id] = row
+                row_of = self.remap_row_of
+                if row_of is not None and block_id < len(row_of):
+                    row_of[block_id] = row
             self.remap_rows[row] = (
                 block_id, True, entry.remap, entry.pointer,
                 entry.cf2, entry.cf4, entry.zero,
             )
         else:
             self._drop_remap(block_id)
+        if self.watching:
+            self.dirty_blocks.add(block_id)
         if self._shadow_next is not None:
             self._shadow_next.on_set(block_id, entry)
 
     def on_clear(self, block_id: int) -> None:
         self._drop_remap(block_id)
+        if self.watching:
+            self.dirty_blocks.add(block_id)
         if self._shadow_next is not None:
             self._shadow_next.on_clear(block_id)
 
@@ -275,6 +297,9 @@ class ColumnarState:
         if row is not None:
             self.remap_rows[row] = self._zero_remap
             self._remap_free.append(row)
+            row_of = self.remap_row_of
+            if row_of is not None and block_id < len(row_of):
+                row_of[block_id] = -1
 
     # --------------------------------------------------- deferred columns
     def sync_deferred_columns(self) -> None:
@@ -397,10 +422,246 @@ class ColumnarState:
         )
 
 
+# --------------------------------------------------------------------------
+# Vectorized run classification for the deferred batch fast path.
+#
+# Verdict codes shared between :class:`DeferredRunClassifier`,
+# :meth:`~repro.core.controller.BaryonController.access_classified` and the
+# simulator's deferred span. Positive codes are pre-resolved accepts served
+# by ``access_classified`` without re-probing membership; ``CLS_PER_OP``
+# routes through the per-op ``access_deferred`` classifier (flat-home
+# candidates, compressed writes needing the oracle's mutable probes, stale
+# verdicts); negative codes are pre-resolved declines — the simulator goes
+# straight to the scalar path and charges the per-reason decline counter.
+CLS_PER_OP = 0
+CLS_STAGE_READ = 1
+CLS_STAGE_ZERO = 2
+CLS_STAGE_WRITE = 3
+CLS_COMMIT_READ = 4
+CLS_COMMIT_ZERO = 5
+CLS_COMMIT_WRITE = 6
+CLS_MISS_READ = 7
+CLS_MISS_WRITE = 8
+CLS_DECLINE_Z_BREAK = -1
+CLS_DECLINE_WRITE_OVERFLOW = -2
+CLS_DECLINE_STAGING_FETCH = -3
+CLS_DECLINE_NO_STAGE = -4
+CLS_DECLINE_INVARIANT = -5
+
+#: Decline verdict code -> reason key in ``deferred_declines``.
+DECLINE_REASONS = {
+    CLS_DECLINE_Z_BREAK: "z_break",
+    CLS_DECLINE_WRITE_OVERFLOW: "write_overflow",
+    CLS_DECLINE_STAGING_FETCH: "staging_fetch",
+    CLS_DECLINE_NO_STAGE: "no_stage",
+    CLS_DECLINE_INVARIANT: "invariant",
+}
+
+#: Dense gather index above this block-id span is not worth its memory.
+_MAX_DENSE_BLOCKS = 1 << 23
+
+
+class DeferredRunClassifier:
+    """Bulk membership classification of a trace's LLC-miss stream.
+
+    The per-op :meth:`~repro.core.controller.BaryonController.access_deferred`
+    resolves each access with Python dict probes and object attribute
+    walks. This classifier instead resolves the *membership* part of that
+    decision — stage-sub coverage, remap-entry occupancy, zero/cf flags —
+    for a whole chunk of future trace indices in one numpy gather pass
+    over the columnar arrays, ahead of the simulator loop reaching them.
+
+    Verdicts are membership-only, so they can be computed early: every
+    order-sensitive effect (remap-cache LRU and fills, stage LRU/credit
+    touches, row-buffer state, oracle write draws) still happens per op,
+    in exact trace order, inside ``access_classified``. Between the gather
+    and the serve the state may move (flush-driven stages, commits,
+    evictions); those mutation sites mark their block in
+    ``ColumnarState.dirty_blocks`` and the simulator demotes any verdict
+    for a dirtied block to the per-op classifier. A stale *decline* is
+    harmless by construction — the scalar path serves every access
+    bit-identically — so the verdict is purely a fast-path routing hint
+    and bit-identity never depends on invalidation completeness.
+
+    Accept verdicts carry a packed aux word resolving the membership
+    lookup the serve step would otherwise repeat:
+
+    * stage hits: ``way | slot_idx << 3 | cf << 8 | sub_start << 12``
+    * commit hits: ``cf | sub_start << 3`` (``entry.range_of`` result)
+    """
+
+    #: Trace indices classified per gather pass. Verdict staleness scales
+    #: with chunk size, but a stale verdict only reroutes to the serve
+    #: closure's inline classification (never to the scalar path), so the
+    #: chunk is sized for gather throughput, not freshness.
+    chunk = 16384
+
+    def __init__(self, controller, addrs, writes) -> None:
+        col = controller.columnar
+        geometry = controller.geometry
+        self._col = col
+        self._addrs = np.asarray(addrs, np.int64)
+        self._writes = np.asarray(writes, np.bool_)
+        # Field views of the fixed-size stage mirrors (gathering one field
+        # moves 1-8 bytes per element where a record gather moves the
+        # whole ~40-byte row). ``remap_rows`` grows, so its field views
+        # are re-taken per classify call.
+        self._t_valid = col.stage_tags["valid"]
+        self._t_tag = col.stage_tags["tag"]
+        self._s_valid = col.stage_slots["valid"]
+        self._s_cf = col.stage_slots["cf"]
+        self._s_zero = col.stage_slots["zero"]
+        self._s_blk_off = col.stage_slots["blk_off"]
+        self._s_sub_start = col.stage_slots["sub_start"]
+        self.block_size = geometry.block_size
+        self._sub_size = geometry.sub_block_size
+        self._bps = geometry.super_block_blocks
+        self._nsets = controller.stage.num_sets
+        self._stage_on = controller._stage_on
+        self._flat_blocks = controller._flat_blocks
+        self._home_period = controller._home_period
+        self.dirty_blocks = col.dirty_blocks
+
+        max_block = int(addrs.max()) // self.block_size + 1 if len(addrs) else 1
+        row_of = np.full(max_block, -1, np.int32)
+        for blk, row in col._remap_index.items():
+            if blk < max_block:
+                row_of[blk] = row
+        col.remap_row_of = row_of
+        self._row_of = row_of
+        col.watching = True
+
+    def classify(self, start: int, stop: int):
+        """Gather-classify trace indices ``[start, stop)``.
+
+        Returns ``(codes, aux)`` as plain Python lists (list indexing
+        beats numpy scalar reads in the serve loop). Clears the dirty set:
+        verdicts reflect the columnar state at this call, and any later
+        mutation re-dirties its block before the verdict is used.
+        """
+        col = self._col
+        col.dirty_blocks.clear()
+        addr = self._addrs[start:stop]
+        wr = self._writes[start:stop]
+        rd = ~wr
+        block = addr // self.block_size
+        sub = (addr % self.block_size) // self._sub_size
+        sup = block // self._bps
+        blk_off = block - sup * self._bps
+        set_idx = sup % self._nsets
+        n = len(addr)
+
+        # Stage-tag gather: the matching way per access, then that way's
+        # slot row; Rule 3 makes the tag-matching way unique per set.
+        tmatch = self._t_valid[set_idx] & (
+            self._t_tag[set_idx] == (sup // self._nsets)[:, None]
+        )
+        has_way = tmatch.any(axis=1)
+        way = tmatch.argmax(axis=1)
+        cand = self._s_valid[set_idx, way] & (
+            self._s_blk_off[set_idx, way] == blk_off[:, None]
+        )
+        cand &= has_way[:, None]
+        s_start_col = self._s_sub_start[set_idx, way]
+        cf_col = self._s_cf[set_idx, way]
+        in_range = (s_start_col <= sub[:, None]) & (
+            sub[:, None] < s_start_col + cf_col
+        )
+        slot_zero = self._s_zero[set_idx, way]
+        cover = cand & (slot_zero | in_range)
+        staged = cover.any(axis=1)
+        slot_idx = cover.argmax(axis=1)
+        block_staged = cand.any(axis=1)
+        pick = np.arange(n)
+        s_zero = slot_zero[pick, slot_idx] & staged
+        s_cf = cf_col[pick, slot_idx]
+        s_start = s_start_col[pick, slot_idx]
+
+        # Remap-entry gather through the dense row index; absent entries
+        # read row 0 masked out by ``has_entry``.
+        row = self._row_of[block]
+        has_entry = row >= 0
+        rowsel = np.maximum(row, 0)
+        rows = col.remap_rows
+        rz = rows["zero"][rowsel] & has_entry
+        sub_remapped = has_entry & (rz | (((rows["remap"][rowsel] >> sub) & 1) != 0))
+        quad = sub >> 2
+        pair = sub >> 1
+        cf4_hit = ((rows["cf4"][rowsel] >> quad) & 1) != 0
+        cf2_hit = ((rows["cf2"][rowsel] >> pair) & 1) != 0
+        e_cf = np.where(rz, 1, np.where(cf4_hit, 4, np.where(cf2_hit, 2, 1)))
+        e_start = np.where(
+            rz, 0, np.where(cf4_hit, quad << 2, np.where(cf2_hit, pair << 1, sub))
+        )
+
+        commit = ~staged & sub_remapped
+        rest = ~staged & ~sub_remapped
+        codes = np.zeros(n, np.int64)
+
+        # Case 1 (stage hit): reads always accept; writes accept only for
+        # uncompressed non-zero slots — zero slots are Z breaks, cf > 1
+        # writes need the oracle's per-op overflow probe.
+        codes[staged & rd & ~s_zero] = CLS_STAGE_READ
+        codes[staged & rd & s_zero] = CLS_STAGE_ZERO
+        codes[staged & wr & s_zero] = CLS_DECLINE_Z_BREAK
+        codes[staged & wr & ~s_zero & (s_cf <= 1)] = CLS_STAGE_WRITE
+        # (staged & wr & ~s_zero & cf>1 stays CLS_PER_OP.)
+
+        # Case 2 (commit hit), same accept/decline split; the fast-area
+        # ``find_block`` invariant check stays per-op in the serve step.
+        codes[commit & rd & ~rz] = CLS_COMMIT_READ
+        codes[commit & rd & rz] = CLS_COMMIT_ZERO
+        codes[commit & wr & rz] = CLS_DECLINE_Z_BREAK
+        codes[commit & wr & ~rz & (e_cf <= 1)] = CLS_COMMIT_WRITE
+
+        # Cases 3/4/5 and the ablation/flat ladder, in access_deferred's
+        # check order.
+        if self._stage_on:
+            codes[rest & block_staged] = CLS_DECLINE_STAGING_FETCH
+            rest &= ~block_staged
+            codes[rest & has_entry & rd] = CLS_MISS_READ
+            codes[rest & has_entry & wr] = CLS_MISS_WRITE
+        else:
+            codes[rest & has_entry] = CLS_DECLINE_NO_STAGE
+        rest &= ~has_entry
+        if self._flat_blocks:
+            home = (block % self._home_period == 0) & (
+                (block // self._home_period) < self._flat_blocks
+            )
+            rest &= ~home  # flat-home candidates stay CLS_PER_OP
+        codes[rest] = CLS_DECLINE_STAGING_FETCH  # case 5: block miss
+
+        aux = np.where(
+            staged,
+            way | (slot_idx << 3) | (s_cf << 8) | (s_start << 12),
+            e_cf | (e_start << 3),
+        )
+        return codes.tolist(), aux.tolist()
+
+
+def build_run_classifier(controller, addrs, writes):
+    """Build a :class:`DeferredRunClassifier` when the trace supports it.
+
+    Returns ``None`` (per-op classification only) when the trace arrays
+    are not numpy, or the address footprint is too sparse for the dense
+    remap gather index.
+    """
+    if not isinstance(addrs, np.ndarray) or not isinstance(writes, np.ndarray):
+        return None
+    if len(addrs) == 0:
+        return None
+    if int(addrs.max()) // controller.geometry.block_size >= _MAX_DENSE_BLOCKS:
+        return None
+    return DeferredRunClassifier(controller, addrs, writes)
+
+
 __all__ = [
     "STAGE_TAG_DTYPE",
     "STAGE_SLOT_DTYPE",
     "STAGE_CREDIT_DTYPE",
     "REMAP_DTYPE",
+    "DECLINE_REASONS",
     "ColumnarState",
+    "DeferredRunClassifier",
+    "build_run_classifier",
 ]

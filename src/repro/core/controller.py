@@ -30,6 +30,7 @@ from __future__ import annotations
 import random
 from typing import Dict, List, Optional, Tuple
 
+from repro.cache.replacement import CacheLine
 from repro.common.config import BaryonConfig
 from repro.common.errors import CorruptionError, SimulationError, TransientDeviceError
 from repro.common.stats import CounterGroup
@@ -52,6 +53,31 @@ from repro.obs.tracer import NULL_TRACER
 #: Sentinel for "caller did not resolve the staged-block binding" — distinct
 #: from None, which means "resolved: the block is not staged".
 _UNRESOLVED: Tuple[int, StageTagEntry] = object()  # type: ignore[assignment]
+
+
+class _RecordingPool:
+    """Channel-pool stand-in that logs transfer requests instead of
+    scheduling them.
+
+    The deferred serve closure swaps this in for the real pools while it
+    runs :meth:`BaryonController._fetch_and_stage` eagerly (cases 3/5):
+    every state decision in that tree is clock-free, so the captured
+    ``(pool, nbytes, priority)`` sequence replays bit-identically at the
+    op's exact clock inside :meth:`BaryonController.access_batch`. The
+    zero return keeps callers' latency arithmetic inert — the real
+    latency is recomputed from the replayed transfers.
+    """
+
+    __slots__ = ("pool_id", "log")
+
+    def __init__(self, pool_id: int, log: list) -> None:
+        self.pool_id = pool_id  # 1 = fast, 0 = slow
+        self.log = log
+
+    def transfer(self, now, nbytes, priority=False):
+        if nbytes:
+            self.log.append((self.pool_id, nbytes, priority))
+        return (0.0, 0.0)
 
 
 class BaryonController:
@@ -209,6 +235,18 @@ class BaryonController:
         self._idx_commit_miss = AccessCase.COMMIT_MISS.index
         self._idx_fast_home = AccessCase.FAST_HOME.index
         self._idx_slow_direct = AccessCase.SLOW_DIRECT.index
+
+        # Per-reason deferred-classification decline counters. Kept out of
+        # ``stats`` deliberately: the scalar and batched paths must agree
+        # on every stats counter bit-for-bit, and only the batched path
+        # classifies, so these live beside the stats rather than in them.
+        self.deferred_declines: Dict[str, int] = {
+            "z_break": 0,
+            "write_overflow": 0,
+            "staging_fetch": 0,
+            "no_stage": 0,
+            "invariant": 0,
+        }
 
         if tracer is not None or metrics is not None:
             from repro.obs import attach_observability
@@ -410,7 +448,9 @@ class BaryonController:
             slot = stage.tags.entries[set_index][way].slots[slot_idx]
             if is_write:
                 if slot.zero:
-                    return None  # Z break: the scalar path re-stages.
+                    # Z break: the scalar path re-stages.
+                    self.deferred_declines["z_break"] += 1
+                    return None
                 cf = slot.cf
                 if (
                     cf > 1
@@ -420,7 +460,9 @@ class BaryonController:
                         self.oracle.version_of(block_id) + 1,
                     )
                 ):
-                    return None  # write overflow: scalar splits the range
+                    # Write overflow: the scalar path splits the range.
+                    self.deferred_declines["write_overflow"] += 1
+                    return None
                 stage.record_set_access(set_index)
                 rc_miss = not self.remap_cache.access(super_id)
                 if rc_miss:
@@ -475,11 +517,15 @@ class BaryonController:
             # Case 2: commit hit.
             located = self.fast_area.find_block(super_id, blk_off)
             if located is None:
-                return None  # broken invariant: the scalar path raises
+                # Broken invariant: the scalar path raises.
+                self.deferred_declines["invariant"] += 1
+                return None
             way, state = located
             if is_write:
                 if entry.zero:
-                    return None  # Z break: scalar evicts the logical block
+                    # Z break: the scalar path evicts the logical block.
+                    self.deferred_declines["z_break"] += 1
+                    return None
                 start, cf = entry.range_of(sub_idx)
                 if (
                     self.oracle.peek_write(block_id, sub_idx)
@@ -489,7 +535,9 @@ class BaryonController:
                         self.oracle.version_of(block_id) + 1,
                     )
                 ):
-                    return None  # Rule-4 overflow: scalar evicts
+                    # Rule-4 overflow: the scalar path evicts.
+                    self.deferred_declines["write_overflow"] += 1
+                    return None
                 self.stage.record_set_access(super_id % self.stage.num_sets)
                 rc_miss = not self.remap_cache.access(super_id)
                 if rc_miss:
@@ -536,12 +584,16 @@ class BaryonController:
                 return (rc_miss, False, 1, nbytes, arr, self._decomp_f, lines)
             return (rc_miss, False, 1, nbytes, arr, 0.0, None)
         if self._stage_on and block_id in col.stage_block:
-            return None  # case 3: the staged fetch mutates, scalar path
+            # Case 3: the staged fetch mutates, scalar path.
+            self.deferred_declines["staging_fetch"] += 1
+            return None
         if entry is not None:
             # entry.is_remapped but the demanded sub-block is not staged
             # or committed.
             if not self._stage_on:
-                return None  # no-stage ablation inserts directly
+                # The no-stage ablation inserts directly.
+                self.deferred_declines["no_stage"] += 1
+                return None
             # Case 4: commit miss — a pure slow-memory bypass.
             self.stage.record_set_access(super_id % self.stage.num_sets)
             rc_miss = not self.remap_cache.access(super_id)
@@ -614,7 +666,1065 @@ class BaryonController:
             dev._n_reads += 1
             dev._n_demand_read_bytes += nbytes
             return (rc_miss, False, 2, nbytes, dev.read_latency + 0.0, 0.0, None)
-        return None  # case 5: the block miss stages a fetch, scalar path
+        # Case 5: the block miss stages a fetch, scalar path.
+        self.deferred_declines["staging_fetch"] += 1
+        return None
+
+    def make_run_classifier(self, addrs, writes):
+        """Bulk verdict source for a whole trace's deferred path.
+
+        Returns a :class:`~repro.core.columnar.DeferredRunClassifier`
+        classifying chunks of future trace indices with numpy gathers
+        over the columnar arrays, or ``None`` when the trace or this
+        controller cannot support it (the simulator then classifies every
+        op with :meth:`access_deferred` exactly as before).
+        """
+        if not self.supports_batching:
+            return None
+        from repro.core.columnar import build_run_classifier
+
+        return build_run_classifier(self, addrs, writes)
+
+    def make_deferred_server(self, dirty_blocks=None):
+        """Build the inlined serve/flush closure pair for the hot loop.
+
+        Returns ``(serve, flush, replay)`` or ``None``. ``serve(addr,
+        is_write, code, aux)`` is a drop-in for :meth:`access_deferred` (``code ==
+        0``: classify inline) and :meth:`access_classified` (``code > 0``:
+        trust the gathered verdict — revalidated against ``dirty_blocks``,
+        the classifier's post-gather mutation set, falling back to the
+        inline classification when the block went stale) with every
+        per-op helper call inlined:
+        the remap-cache LRU probe, the row-buffer bank transition, the
+        stage rank / fast-area stamp touches, and the set-access aging
+        count. Traffic, case, and hit-ratio counters accumulate in closure
+        locals and ``flush()`` scatters them into the real counter
+        attributes in one bulk update — integer sums, so the folded totals
+        are bit-identical to per-op increments and no intermediate value
+        is ever observable (the simulator flushes before any scalar
+        ``access`` call and before every stats snapshot).
+
+        Construction declines (returns ``None``) when any per-op observer
+        the inlined bodies skip could fire: controller-level hooks (via
+        :attr:`supports_batching`), remap-cache tracing or faults, device
+        faults, or row-buffer tracing, faults, or a non-LRU fast area.
+        """
+        if not self.supports_batching:
+            return None
+        rc = self.remap_cache
+        devices = self.devices
+        fast = devices.fast
+        slow = devices.slow
+        rb = fast.row_buffer
+        fa = self.fast_area
+        if (
+            rc.obs.enabled
+            or rc.faults is not None
+            or fast.faults is not None
+            or slow.faults is not None
+            or (rb is not None and (rb.obs.enabled or rb.faults is not None))
+            or fa.replacement != "lru"
+        ):
+            return None
+
+        # ---- bound hot state (locals inside the closures) ----
+        block_size = self._g_block_size
+        super_blocks = self._g_super_blocks
+        sub_size = self._g_sub_size
+        sub_per_block = self._g_sub_per_block
+        line_size = self._g_line_size
+        cl_size = self._cl_size
+        sb_size = self._sb_size
+        ca = self._ca
+        decomp_f = self._decomp_f
+        stage_on = self._stage_on
+        flat_blocks = self._flat_blocks
+        home_period = self._home_period
+        displaced = self._displaced
+        home_stamps = self._home_stamps
+        col = self.columnar
+        stage_sub = col.stage_sub
+        stage_sub_get = stage_sub.get
+        stage_block = col.stage_block
+        stage = self.stage
+        stage_entries = stage.tags.entries
+        stage_num_sets = stage.num_sets
+        set_counts = stage._set_accesses
+        valid_counts = stage.valid_counts
+        aging_period = stage._aging_period
+        age_set = stage.age_set
+        lines_per_sub = self.geometry.cachelines_per_sub_block
+        col_mark_dirty = None if col is None else col.stage_mark_dirty
+        # Remap-cache inline-probe contract: see RemapCache.probe_state
+        # for the transitions the probe below must preserve.
+        rc_sets, rc_num_sets, _, rc_col = rc.probe_state()
+        rc_credit = rc.credit_probes
+        fa_blocks = fa.blocks
+        fa_num_sets = fa.num_sets
+        entries_tbl = self.remap_table._entries
+        entries_get = entries_tbl.get
+        oracle = self.oracle
+        peek_write = oracle.peek_write
+        fits_at = oracle.fits_at
+        version_of = oracle.version_of
+        note_write = oracle.note_write
+        chunk_lines = self._chunk_lines
+        declines = self.deferred_declines
+        f_read_lat = fast.read_latency
+        f_write_lat = fast.write_latency
+        s_read_lat = slow.read_latency
+        if rb is not None:
+            rb_open = rb._open_rows
+            rb_row_bytes = rb.row_bytes
+            rb_banks = rb.channels * rb.banks_per_channel
+            rb_cas = rb.t_cas
+            rb_pre_lat = rb.t_rp + rb.t_rcd + rb.t_cas
+            rb_act_lat = rb.t_rcd + rb.t_cas
+        else:
+            rb_open = None
+        n_cases = self._n_cases
+        idx_stage = self._idx_stage_hit
+        idx_commit = self._idx_commit_hit
+        idx_cmiss = self._idx_commit_miss
+        idx_home = self._idx_fast_home
+        idx_slowd = self._idx_slow_direct
+        idx_smiss = AccessCase.STAGE_MISS.index
+        idx_bmiss = AccessCase.BLOCK_MISS.index
+        dirty = dirty_blocks if dirty_blocks is not None else frozenset()
+        # Staging-fetch capture: the real fetch-and-stage runs eagerly
+        # against these recording pools (see :class:`_RecordingPool`).
+        miss_cap = stage.config.miss_counter_max()
+        mru_miss_cnt = stage.mru_miss_cnt
+        col_block_miss = col.stage_block_miss
+        fetch_and_stage = self._fetch_and_stage
+        real_fast_pool = fast.pool
+        real_slow_pool = slow.pool
+        rec_log: list = []
+        rec_fast = _RecordingPool(1, rec_log)
+        rec_slow = _RecordingPool(0, rec_log)
+        # Staging-fetch fast path: the common fetch/insert shapes are
+        # inlined below; these bindings mirror the scalar helpers.
+        cf_hints_get = self._cf_hints.get
+        cwb = self._cwb
+        selective = self.config.compression.selective
+        zero_support = self._zero_support
+        is_zero = oracle.is_zero
+        max_cf = oracle.max_cf
+        h_fetch_subs = self._h_fetch_subs
+        h_fetch_bytes = self._h_fetch_bytes
+        share_phys = self._share_phys
+        rng_choice = self._rng.choice
+        stage_allocate = stage.allocate
+        stage_insert_range = stage.insert_range
+        stage_tag_lookup = stage.tags.lookup
+        stage_insert_m = self._stage_insert
+        stats_inc = self._stats.inc
+
+        # ---- tallies, scattered by flush() ----
+        t_acc = t_reads = t_writes = t_served = 0
+        c_stage = c_commit = c_cmiss = c_home = c_slowd = 0
+        c_smiss = c_bmiss = 0
+        tbl_reads = 0
+        rc_total = rc_hit_t = rc_nm = rc_ne = 0
+        f_rb = f_nr = f_db = f_wb = f_nw = 0
+        s_rb = s_nr = s_db = s_fb = s_wb = s_nw = 0
+        rb_h = rb_m = rb_p = rb_a = 0
+
+        def serve(addr, is_write, code, aux):
+            nonlocal t_acc, t_reads, t_writes, t_served
+            nonlocal c_stage, c_commit, c_cmiss, c_home, c_slowd, tbl_reads
+            nonlocal c_smiss, c_bmiss
+            nonlocal rc_total, rc_hit_t, rc_nm, rc_ne
+            nonlocal f_rb, f_nr, f_db, f_wb, f_nw
+            nonlocal s_rb, s_nr, s_db, s_fb, s_wb, s_nw
+            nonlocal rb_h, rb_m, rb_p, rb_a
+
+            block_id = addr // block_size
+            super_id = block_id // super_blocks
+            rem = addr % block_size
+            sub_idx = rem // sub_size
+
+            # ---- resolve the case: gathered verdict or inline classify ----
+            slot = None
+            entry = None
+            state = None
+            if code and block_id in dirty:
+                code = 0
+            if code:
+                if code <= 3:
+                    case = 1
+                    way = aux & 7
+                    if code == 1:
+                        zero = False
+                        cf = (aux >> 8) & 7
+                        sub_start = aux >> 12
+                    elif code == 2:
+                        zero = True
+                    else:
+                        zero = False
+                        slot_idx = (aux >> 3) & 31
+                elif code <= 6:
+                    case = 2
+                    blk_off = block_id % super_blocks
+                    # The fast-area residency invariant stays a live check.
+                    found = None
+                    for w, st in enumerate(fa_blocks[super_id % fa_num_sets]):
+                        if st is not None and st.super_id == super_id:
+                            if blk_off in st.committed:
+                                found = w
+                                state = st
+                                break
+                    if found is None:
+                        declines["invariant"] += 1
+                        return None
+                    way = found
+                    zero = code == 5
+                    if code == 4:
+                        cf = aux & 7
+                        sub_start = aux >> 3
+                else:
+                    case = 4
+            else:
+                staged = stage_sub_get(block_id * sub_per_block + sub_idx)
+                if staged is not None:
+                    case = 1
+                    way, slot_idx = staged
+                    slot = stage_entries[super_id % stage_num_sets][way].slots[
+                        slot_idx
+                    ]
+                    zero = slot.zero
+                    if is_write:
+                        if zero:
+                            declines["z_break"] += 1
+                            return None
+                        cf = slot.cf
+                        if (
+                            cf > 1
+                            and peek_write(block_id, sub_idx)
+                            and not fits_at(
+                                block_id, slot.sub_start, cf, ca,
+                                version_of(block_id) + 1,
+                            )
+                        ):
+                            declines["write_overflow"] += 1
+                            return None
+                    elif not zero:
+                        cf = slot.cf
+                        sub_start = slot.sub_start
+                else:
+                    entry = entries_get(block_id)
+                    blk_off = block_id % super_blocks
+                    if entry is not None and (
+                        entry.zero or (entry.remap >> sub_idx) & 1
+                    ):
+                        case = 2
+                        found = None
+                        for w, st in enumerate(
+                            fa_blocks[super_id % fa_num_sets]
+                        ):
+                            if st is not None and st.super_id == super_id:
+                                if blk_off in st.committed:
+                                    found = w
+                                    state = st
+                                    break
+                        if found is None:
+                            declines["invariant"] += 1
+                            return None
+                        way = found
+                        zero = entry.zero
+                        if is_write:
+                            if zero:
+                                declines["z_break"] += 1
+                                return None
+                            # entry.range_of, inlined (zero is False and
+                            # membership already established above).
+                            quad = sub_idx >> 2
+                            if (entry.cf4 >> quad) & 1:
+                                sub_start = quad << 2
+                                cf = 4
+                            else:
+                                pair = sub_idx >> 1
+                                if (entry.cf2 >> pair) & 1:
+                                    sub_start = pair << 1
+                                    cf = 2
+                                else:
+                                    sub_start = sub_idx
+                                    cf = 1
+                            if (
+                                peek_write(block_id, sub_idx)
+                                and cf > 1
+                                and not fits_at(
+                                    block_id, sub_start, cf, ca,
+                                    version_of(block_id) + 1,
+                                )
+                            ):
+                                declines["write_overflow"] += 1
+                                return None
+                        elif not zero:
+                            quad = sub_idx >> 2
+                            if (entry.cf4 >> quad) & 1:
+                                sub_start = quad << 2
+                                cf = 4
+                            else:
+                                pair = sub_idx >> 1
+                                if (entry.cf2 >> pair) & 1:
+                                    sub_start = pair << 1
+                                    cf = 2
+                                else:
+                                    sub_start = sub_idx
+                                    cf = 1
+                    elif stage_on and block_id in stage_block:
+                        # Case 3: sub-block miss on a staged block.
+                        case = 7
+                        miss_way = stage_block[block_id][0]
+                    elif entry is not None:
+                        if not stage_on:
+                            declines["no_stage"] += 1
+                            return None
+                        case = 4
+                    elif (
+                        flat_blocks
+                        and block_id % home_period == 0
+                        and block_id // home_period < flat_blocks
+                    ):
+                        case = 5 if block_id not in displaced else 6
+                    elif not stage_on:
+                        # No-stage ablation miss: the scalar path inserts
+                        # directly (access_deferred's decline reason).
+                        declines["staging_fetch"] += 1
+                        return None
+                    else:
+                        # Case 5: block miss, fetch-and-stage.
+                        case = 7
+                        miss_way = None
+
+            # ---- shared eager effects, in access_deferred's exact order ----
+            set_index = super_id % stage_num_sets
+            n = set_counts[set_index] + 1
+            if n < aging_period:
+                set_counts[set_index] = n
+            else:
+                set_counts[set_index] = 0
+                age_set(set_index)
+            rci = super_id % rc_num_sets
+            rc_tag = super_id // rc_num_sets
+            rc_set = rc_sets[rci]
+            rc_lines = rc_set.lines
+            rc_line = rc_lines.get(rc_tag)
+            rc_total += 1
+            if rc_line is not None:
+                rc_hit_t += 1
+                rc_set._clock += 1
+                rc_line.counter = rc_set._clock
+                rc_lines[rc_tag] = rc_lines.pop(rc_tag)
+                rc_miss = False
+            else:
+                rc_nm += 1
+                if len(rc_lines) >= rc_set.ways:
+                    del rc_lines[next(iter(rc_lines))]
+                    rc_ne += 1
+                elif rc_col is not None:
+                    rc_col.rc_occupancy[rci] += 1
+                rc_line = CacheLine(rc_tag)
+                rc_set._clock += 1
+                rc_line.counter = rc_set._clock
+                rc_lines[rc_tag] = rc_line
+                rc_miss = True
+                f_rb += 16
+                f_nr += 1
+                f_db += 16
+                tbl_reads += 1
+
+            if case == 1:
+                # Stage hit: exact-rank LRU promote, then serve. Ranks are
+                # dense 0..valid-1, so a target already at MRU rank leaves
+                # every rank (including its own) unchanged.
+                entries_si = stage_entries[set_index]
+                target = entries_si[way]
+                old_rank = target.lru
+                mru = valid_counts[set_index] - 1
+                if old_rank != mru:
+                    for e in entries_si:
+                        if e.valid and e.lru > old_rank:
+                            e.lru -= 1
+                    target.lru = mru
+                t_acc += 1
+                c_stage += 1
+                t_served += 1
+                if is_write:
+                    t_writes += 1
+                    f_wb += cl_size
+                    f_nw += 1
+                    a_addr = block_id * block_size + sub_idx * sub_size
+                    if rb_open is not None:
+                        row = a_addr // rb_row_bytes
+                        bank = row % rb_banks
+                        row //= rb_banks
+                        prev = rb_open.get(bank)
+                        if prev == row:
+                            rb_h += 1
+                        else:
+                            rb_open[bank] = row
+                            rb_m += 1
+                            if prev is not None:
+                                rb_p += 1
+                            else:
+                                rb_a += 1
+                    if slot is None:
+                        slot = stage_entries[set_index][way].slots[slot_idx]
+                    slot.dirty = True
+                    if col_mark_dirty is not None:
+                        col_mark_dirty(set_index, way, slot_idx)
+                    note_write(block_id, sub_idx)
+                    return (rc_miss, True, 3, cl_size, 0.0, 0.0, None)
+                t_reads += 1
+                if zero:
+                    return (rc_miss, True, 0, 0, 0.0, 0.0, None)
+            elif case == 2:
+                # Commit hit: fast-area LRU stamp, then serve.
+                fa._clock += 1
+                state.stamp = fa._clock
+                t_acc += 1
+                c_commit += 1
+                t_served += 1
+                if is_write:
+                    t_writes += 1
+                    f_wb += cl_size
+                    f_nw += 1
+                    a_addr = block_id * block_size + sub_idx * sub_size
+                    if rb_open is not None:
+                        row = a_addr // rb_row_bytes
+                        bank = row % rb_banks
+                        row //= rb_banks
+                        prev = rb_open.get(bank)
+                        if prev == row:
+                            rb_h += 1
+                        else:
+                            rb_open[bank] = row
+                            rb_m += 1
+                            if prev is not None:
+                                rb_p += 1
+                            else:
+                                rb_a += 1
+                    state.dirty_subs.add((blk_off, sub_idx))
+                    note_write(block_id, sub_idx)
+                    return (rc_miss, False, 3, cl_size, 0.0, 0.0, None)
+                t_reads += 1
+                if zero:
+                    return (rc_miss, False, 0, 0, 0.0, 0.0, None)
+            elif case == 4:
+                # Commit miss: a pure slow-memory bypass.
+                t_acc += 1
+                c_cmiss += 1
+                if is_write:
+                    t_writes += 1
+                    s_wb += cl_size
+                    s_nw += 1
+                    return (rc_miss, False, 4, cl_size, 0.0, 0.0, None)
+                t_reads += 1
+                s_rb += cl_size
+                s_nr += 1
+                s_db += cl_size
+                return (rc_miss, False, 2, cl_size, s_read_lat + 0.0, 0.0, None)
+            elif case == 7:
+                # Cases 3/5 (staging fetch): every state decision in the
+                # fetch-and-stage tree is clock-free, so it runs eagerly
+                # here. The dominant shapes (non-zero fetch into a free
+                # slot or a fresh way) are inlined outright; the rare ones
+                # (zero blocks, selective compression, replacements) fall
+                # back to the real helpers with the channel pools swapped
+                # for recorders. Either way the op carries the transfer
+                # sequence, replayed in order at the op's exact clock
+                # (dev codes 5/6).
+                t_acc += 1
+                if is_write:
+                    t_writes += 1
+                else:
+                    t_reads += 1
+                # stage.record_block_miss, inlined; the MRU check uses the
+                # dense-rank invariant (MRU way has rank valid-1).
+                if miss_way is None:
+                    c_bmiss += 1
+                    bound_entry = None
+                    n = mru_miss_cnt[set_index] + 1
+                    mru_miss_cnt[set_index] = n if n < miss_cap else miss_cap
+                else:
+                    c_smiss += 1
+                    bound_entry = stage_entries[set_index][miss_way]
+                    n = bound_entry.miss_count + 1
+                    if n > miss_cap:
+                        n = miss_cap
+                    bound_entry.miss_count = n
+                    col_block_miss(set_index, miss_way, n)
+                    if bound_entry.lru == valid_counts[set_index] - 1:
+                        n = mru_miss_cnt[set_index] + 1
+                        mru_miss_cnt[set_index] = (
+                            n if n < miss_cap else miss_cap
+                        )
+                if selective or (
+                    bound_entry is None
+                    and zero_support
+                    and is_zero(block_id, 0, sub_per_block)
+                ):
+                    fast.pool = rec_fast
+                    slow.pool = rec_slow
+                    try:
+                        latency, prefetched = fetch_and_stage(
+                            0.0, 0.0, super_id, block_id, blk_off, sub_idx,
+                            (rem % sub_size) // line_size, is_write,
+                        )
+                    finally:
+                        fast.pool = real_fast_pool
+                        slow.pool = real_slow_pool
+                    if rec_log and rec_log[0][2]:
+                        # The demand read is the only priority transfer
+                        # the capture can see (the table probe replays
+                        # from rc_miss); the rest is posted traffic.
+                        demand_nb = rec_log[0][1]
+                        extras = tuple(rec_log[1:])
+                    else:
+                        demand_nb = 0  # zero block: meta-only latency
+                        extras = tuple(rec_log)
+                    del rec_log[:]
+                    return (
+                        rc_miss,
+                        False,
+                        6 if is_write else 5,
+                        (demand_nb, extras),
+                        s_read_lat + 0.0,
+                        decomp_f if prefetched else 0.0,
+                        prefetched if prefetched else None,
+                    )
+                # _choose_fetch_range, inlined (selective is off here).
+                compressed = False
+                hint = cf_hints_get(block_id)
+                if hint is not None and cwb:
+                    cf2h, cf4h, _z = hint
+                    if (cf4h >> (sub_idx >> 2)) & 1:
+                        sub_start = (sub_idx >> 2) << 2
+                        cf = 4
+                        compressed = True
+                    elif (cf2h >> (sub_idx >> 1)) & 1:
+                        sub_start = (sub_idx >> 1) << 1
+                        cf = 2
+                        compressed = True
+                if not compressed:
+                    cf = max_cf(block_id, sub_idx, ca)
+                    sub_start = (sub_idx // cf) * cf
+                if bound_entry is not None and cf > 1:
+                    # Avoid refetching sub-blocks already staged.
+                    staged_subs = {
+                        s
+                        for bslot in bound_entry.slots
+                        if bslot is not None and bslot.blk_off == blk_off
+                        for s in bslot.sub_blocks
+                    }
+                    while cf > 1 and any(
+                        s in staged_subs
+                        for s in range(sub_start, sub_start + cf)
+                    ):
+                        cf //= 2
+                        sub_start = (sub_idx // cf) * cf
+                        compressed = False
+                lines = None
+                if compressed:
+                    demand_nb = cl_size if ca else sb_size
+                    fetch_bytes = sb_size
+                    # _chunk_lines, inlined.
+                    line_idx = (rem % sub_size) // line_size
+                    base = block_id * block_size + sub_start * sub_size
+                    demanded = (
+                        (sub_idx - sub_start) * lines_per_sub + line_idx
+                    )
+                    if ca:
+                        first = (demanded // cf) * cf
+                        rng = range(first, first + cf)
+                    else:
+                        rng = range(cf * lines_per_sub)
+                    lines = [
+                        base + i * line_size for i in rng if i != demanded
+                    ]
+                else:
+                    demand_nb = cl_size
+                    fetch_bytes = cf * sb_size
+                s_rb += demand_nb
+                s_nr += 1
+                s_db += demand_nb
+                rest = fetch_bytes - demand_nb
+                if rest > 0:
+                    s_rb += rest
+                    s_nr += 1
+                    s_fb += rest
+                    extras = [(0, rest, False), (1, sb_size, False)]
+                else:
+                    extras = [(1, sb_size, False)]
+                f_wb += sb_size
+                f_nw += 1
+                if h_fetch_subs is not None:
+                    h_fetch_subs.observe(cf)
+                    h_fetch_bytes.observe(fetch_bytes)
+                new_slot = RangeSlot(
+                    cf=cf, dirty=is_write, blk_off=blk_off,
+                    sub_start=sub_start,
+                )
+                # _stage_insert: free-slot / fresh-way shapes inline, the
+                # replacement shapes via the captured real helper.
+                ins_way = None
+                if bound_entry is not None:
+                    if bound_entry.free_slot() is not None:
+                        ins_way = miss_way
+                elif share_phys:
+                    candidates = stage_tag_lookup(
+                        set_index, super_id // stage_num_sets
+                    )
+                    if candidates:
+                        with_room = [
+                            (w, e)
+                            for w, e in candidates
+                            if e.free_slot() is not None
+                        ]
+                        if with_room:
+                            ins_way = rng_choice(with_room)[0]
+                            if len(candidates) > 1:
+                                stats_inc("multi_block_super_stages")
+                    else:
+                        allocated = stage_allocate(super_id)
+                        if allocated is not None:
+                            ins_way = allocated[1]
+                else:
+                    allocated = stage_allocate(super_id)
+                    if allocated is not None:
+                        ins_way = allocated[1]
+                if ins_way is not None:
+                    stage_insert_range(set_index, ins_way, new_slot)
+                    # stage.touch with the exact-rank MRU shortcut.
+                    entries_si = stage_entries[set_index]
+                    target = entries_si[ins_way]
+                    old_rank = target.lru
+                    mru = valid_counts[set_index] - 1
+                    if old_rank != mru:
+                        for e in entries_si:
+                            if e.valid and e.lru > old_rank:
+                                e.lru -= 1
+                        target.lru = mru
+                else:
+                    fast.pool = rec_fast
+                    slow.pool = rec_slow
+                    try:
+                        stage_insert_m(
+                            0.0, super_id, block_id, blk_off, new_slot,
+                            None if bound_entry is None
+                            else (miss_way, bound_entry),
+                        )
+                    finally:
+                        fast.pool = real_fast_pool
+                        slow.pool = real_slow_pool
+                    if rec_log:
+                        extras.extend(rec_log)
+                        del rec_log[:]
+                if is_write:
+                    note_write(block_id, sub_idx)
+                return (
+                    rc_miss,
+                    False,
+                    6 if is_write else 5,
+                    (demand_nb, extras),
+                    s_read_lat + 0.0,
+                    decomp_f if compressed else 0.0,
+                    lines,
+                )
+            elif case == 5:
+                # Flat scheme: resident home block, served in place.
+                t_acc += 1
+                c_home += 1
+                t_served += 1
+                a_addr = block_id * block_size
+                if rb_open is not None:
+                    row = a_addr // rb_row_bytes
+                    bank = row % rb_banks
+                    row //= rb_banks
+                    prev = rb_open.get(bank)
+                    if prev == row:
+                        rb_h += 1
+                        arr = rb_cas
+                    else:
+                        rb_open[bank] = row
+                        rb_m += 1
+                        if prev is not None:
+                            rb_p += 1
+                            arr = rb_pre_lat
+                        else:
+                            rb_a += 1
+                            arr = rb_act_lat
+                else:
+                    arr = f_write_lat if is_write else f_read_lat
+                fa._clock += 1
+                home_stamps[block_id] = fa._clock
+                if is_write:
+                    t_writes += 1
+                    f_wb += cl_size
+                    f_nw += 1
+                    return (rc_miss, False, 3, cl_size, 0.0, 0.0, None)
+                t_reads += 1
+                f_rb += cl_size
+                f_nr += 1
+                f_db += cl_size
+                return (rc_miss, False, 1, cl_size, arr + 0.0, 0.0, None)
+            else:
+                # Displaced home: served from its spread slow copy.
+                t_acc += 1
+                c_slowd += 1
+                if is_write:
+                    t_writes += 1
+                    s_wb += cl_size
+                    s_nw += 1
+                    return (rc_miss, False, 4, cl_size, 0.0, 0.0, None)
+                t_reads += 1
+                s_rb += cl_size
+                s_nr += 1
+                s_db += cl_size
+                return (rc_miss, False, 2, cl_size, s_read_lat + 0.0, 0.0, None)
+
+            # ---- non-zero read data transfer (cases 1 and 2) ----
+            nbytes = cl_size if (cf <= 1 or ca) else sb_size
+            f_rb += nbytes
+            f_nr += 1
+            f_db += nbytes
+            a_addr = block_id * block_size + sub_idx * sub_size
+            if rb_open is not None:
+                row = a_addr // rb_row_bytes
+                bank = row % rb_banks
+                row //= rb_banks
+                prev = rb_open.get(bank)
+                if prev == row:
+                    rb_h += 1
+                    arr = rb_cas
+                else:
+                    rb_open[bank] = row
+                    rb_m += 1
+                    if prev is not None:
+                        rb_p += 1
+                        arr = rb_pre_lat
+                    else:
+                        rb_a += 1
+                        arr = rb_act_lat
+            else:
+                arr = f_read_lat
+            stage_meta = case == 1
+            if cf > 1:
+                # _chunk_lines, inlined: sibling cachelines of the
+                # compressed chunk the demand read decompresses.
+                line_idx = (rem % sub_size) // line_size
+                base = block_id * block_size + sub_start * sub_size
+                demanded = (sub_idx - sub_start) * lines_per_sub + line_idx
+                if ca:
+                    first = (demanded // cf) * cf
+                    rng = range(first, first + cf)
+                else:
+                    rng = range(cf * lines_per_sub)
+                lines = [base + i * line_size for i in rng if i != demanded]
+                return (rc_miss, stage_meta, 1, nbytes, arr + 0.0, decomp_f, lines)
+            return (rc_miss, stage_meta, 1, nbytes, arr + 0.0, 0.0, None)
+
+        def flush():
+            nonlocal t_acc, t_reads, t_writes, t_served
+            nonlocal c_stage, c_commit, c_cmiss, c_home, c_slowd, tbl_reads
+            nonlocal c_smiss, c_bmiss
+            nonlocal rc_total, rc_hit_t, rc_nm, rc_ne
+            nonlocal f_rb, f_nr, f_db, f_wb, f_nw
+            nonlocal s_rb, s_nr, s_db, s_fb, s_wb, s_nw
+            nonlocal rb_h, rb_m, rb_p, rb_a
+            if t_acc:
+                self._n_accesses += t_acc
+                self._n_reads += t_reads
+                self._n_writes += t_writes
+                self._n_served_fast += t_served
+                t_acc = t_reads = t_writes = t_served = 0
+            if c_stage:
+                n_cases[idx_stage] += c_stage
+                c_stage = 0
+            if c_commit:
+                n_cases[idx_commit] += c_commit
+                c_commit = 0
+            if c_cmiss:
+                n_cases[idx_cmiss] += c_cmiss
+                c_cmiss = 0
+            if c_smiss:
+                n_cases[idx_smiss] += c_smiss
+                c_smiss = 0
+            if c_bmiss:
+                n_cases[idx_bmiss] += c_bmiss
+                c_bmiss = 0
+            if c_home:
+                n_cases[idx_home] += c_home
+                c_home = 0
+            if c_slowd:
+                n_cases[idx_slowd] += c_slowd
+                c_slowd = 0
+            if tbl_reads:
+                self._stats.inc("remap_table_reads", tbl_reads)
+                tbl_reads = 0
+            if rc_total:
+                rc_credit(rc_total, rc_hit_t, rc_nm, rc_ne)
+                rc_total = rc_hit_t = rc_nm = rc_ne = 0
+            if f_nr or f_nw:
+                fast._n_read_bytes += f_rb
+                fast._n_reads += f_nr
+                fast._n_demand_read_bytes += f_db
+                fast._n_write_bytes += f_wb
+                fast._n_writes += f_nw
+                f_rb = f_nr = f_db = f_wb = f_nw = 0
+            if s_nr or s_nw:
+                slow._n_read_bytes += s_rb
+                slow._n_reads += s_nr
+                slow._n_demand_read_bytes += s_db
+                slow._n_fill_read_bytes += s_fb
+                slow._n_write_bytes += s_wb
+                slow._n_writes += s_nw
+                s_rb = s_nr = s_db = s_fb = s_wb = s_nw = 0
+            if rb_h:
+                rb.stats.inc("row_hits", rb_h)
+                rb_h = 0
+            if rb_m:
+                rb.stats.inc("row_misses", rb_m)
+                rb_m = 0
+                if rb_p:
+                    rb.stats.inc("precharges", rb_p)
+                    rb_p = 0
+                if rb_a:
+                    rb.stats.inc("activations", rb_a)
+                    rb_a = 0
+            return None
+
+        # Prebound replay: access_batch with the prologue binds hoisted
+        # (the loop body is copied verbatim — same float operation order).
+        fast_transfer = fast.pool.transfer
+        slow_transfer = slow.pool.transfer
+        tag_lat = self._tag_lat_f
+        meta_hit = self._meta_hit_f
+        rc_lat = self._rc_lat_f
+        probe_lat = fast.read_latency + 0.0
+
+        def replay(ops, cycles, mlp):
+            now = self._now
+            for op in ops:
+                if op.__class__ is float:
+                    cycles += op
+                    continue
+                rc_miss, stage_meta, dev, nbytes, arr, decomp, _lines = op
+                now = cycles
+                if dev >= 3:
+                    if dev >= 5:
+                        # Staging fetch (cases 3/5): replay the captured
+                        # transfer sequence — table probe, demand read,
+                        # then the posted background traffic — and stall
+                        # the core only for reads (dev 5).
+                        demand_nb, extras = nbytes
+                        if rc_miss:
+                            queue, transfer = fast_transfer(now, 16, True)
+                            remap_lat = rc_lat + ((probe_lat + queue) + transfer)
+                            latency = remap_lat if remap_lat > tag_lat else tag_lat
+                        else:
+                            latency = meta_hit
+                        if demand_nb:
+                            queue, transfer = slow_transfer(now, demand_nb, True)
+                            latency += (arr + queue) + transfer
+                            if decomp:
+                                latency += decomp
+                        for pid, nb, pri in extras:
+                            if pid:
+                                fast_transfer(now, nb, pri)
+                            else:
+                                slow_transfer(now, nb, pri)
+                        if dev == 5:
+                            cycles += latency / mlp
+                        continue
+                    if rc_miss:
+                        fast_transfer(now, 16, True)
+                    if dev == 3:
+                        fast_transfer(now, nbytes)
+                    else:
+                        slow_transfer(now, nbytes)
+                    continue
+                if rc_miss:
+                    queue, transfer = fast_transfer(now, 16, True)
+                    if stage_meta:
+                        latency = tag_lat
+                    else:
+                        remap_lat = rc_lat + ((probe_lat + queue) + transfer)
+                        latency = remap_lat if remap_lat > tag_lat else tag_lat
+                else:
+                    latency = tag_lat if stage_meta else meta_hit
+                if dev:
+                    queue, transfer = (
+                        fast_transfer(now, nbytes, True)
+                        if dev == 1
+                        else slow_transfer(now, nbytes, True)
+                    )
+                    latency += (arr + queue) + transfer
+                    if decomp:
+                        latency += decomp
+                cycles += latency / mlp
+            self._now = now
+            return cycles
+
+        return serve, flush, replay
+
+    def access_classified(self, addr: int, is_write: bool, code: int, aux: int):
+        """Serve one access whose membership verdict was pre-resolved.
+
+        ``code``/``aux`` come from the run classifier's gather pass (see
+        :mod:`repro.core.columnar`): the verdict already encodes which
+        Fig. 6 case applies and where the covering range lives, so this
+        only applies the order-sensitive eager effects — stage credit and
+        LRU touches, the remap-cache probe with its fill, traffic and
+        case counters, row-buffer evolution, dirty marks and oracle write
+        notes — in exactly :meth:`access_deferred`'s order, and emits the
+        same op tuple for :meth:`access_batch`. Counter updates and float
+        expressions mirror that method operation for operation; the
+        fuzzer holds both to the scalar reference bit-for-bit.
+        """
+        block_size = self._g_block_size
+        block_id = addr // block_size
+        super_id = block_id // self._g_super_blocks
+        stage = self.stage
+        set_index = super_id % stage.num_sets
+        if code <= 3:
+            # Case 1: stage hit; aux packs way/slot/cf/sub_start.
+            way = aux & 7
+            if is_write:
+                # CLS_STAGE_WRITE: uncompressed non-zero slot, no
+                # overflow probe needed (cf <= 1 never overflows).
+                stage.record_set_access(set_index)
+                rc_miss = not self.remap_cache.access(super_id)
+                if rc_miss:
+                    self._count_table_probe()
+                stage.touch(set_index, way)
+                dev = self.devices.fast
+                nbytes = self._cl_size
+                dev._n_write_bytes += nbytes
+                dev._n_writes += 1
+                sub_size = self._g_sub_size
+                sub_idx = (addr % block_size) // sub_size
+                dev._array_latency(
+                    block_id * block_size + sub_idx * sub_size,
+                    dev.write_latency,
+                )
+                stage.mark_dirty(set_index, way, (aux >> 3) & 31)
+                self.oracle.note_write(block_id, sub_idx)
+                self._n_accesses += 1
+                self._n_writes += 1
+                self._n_cases[self._idx_stage_hit] += 1
+                self._n_served_fast += 1
+                return (rc_miss, True, 3, nbytes, 0.0, 0.0, None)
+            stage.record_set_access(set_index)
+            rc_miss = not self.remap_cache.access(super_id)
+            if rc_miss:
+                self._count_table_probe()
+            stage.touch(set_index, way)
+            self._n_accesses += 1
+            self._n_reads += 1
+            self._n_cases[self._idx_stage_hit] += 1
+            self._n_served_fast += 1
+            if code == 2:  # CLS_STAGE_ZERO
+                return (rc_miss, True, 0, 0, 0.0, 0.0, None)
+            cf = (aux >> 8) & 7
+            nbytes = self._cl_size if (cf <= 1 or self._ca) else self._sb_size
+            dev = self.devices.fast
+            dev._n_read_bytes += nbytes
+            dev._n_reads += 1
+            dev._n_demand_read_bytes += nbytes
+            rem = addr % block_size
+            sub_size = self._g_sub_size
+            sub_idx = rem // sub_size
+            arr = dev._array_latency(
+                block_id * block_size + sub_idx * sub_size, dev.read_latency
+            ) + 0.0
+            if cf > 1:
+                line_idx = (rem % sub_size) // self._g_line_size
+                lines = self._chunk_lines(
+                    block_id, aux >> 12, cf, sub_idx, line_idx
+                )
+                return (rc_miss, True, 1, nbytes, arr, self._decomp_f, lines)
+            return (rc_miss, True, 1, nbytes, arr, 0.0, None)
+        if code <= 6:
+            # Case 2: commit hit; aux packs range_of's (cf, sub_start).
+            # The fast-area residency invariant stays a live per-op check.
+            blk_off = block_id % self._g_super_blocks
+            located = self.fast_area.find_block(super_id, blk_off)
+            if located is None:
+                self.deferred_declines["invariant"] += 1
+                return None
+            way, state = located
+            sub_size = self._g_sub_size
+            rem = addr % block_size
+            sub_idx = rem // sub_size
+            if is_write:
+                # CLS_COMMIT_WRITE: cf <= 1, non-zero — never overflows.
+                stage.record_set_access(set_index)
+                rc_miss = not self.remap_cache.access(super_id)
+                if rc_miss:
+                    self._count_table_probe()
+                self.fast_area.touch(self.fast_area.set_of_super(super_id), way)
+                dev = self.devices.fast
+                nbytes = self._cl_size
+                dev._n_write_bytes += nbytes
+                dev._n_writes += 1
+                dev._array_latency(
+                    block_id * block_size + sub_idx * sub_size,
+                    dev.write_latency,
+                )
+                state.dirty_subs.add((blk_off, sub_idx))
+                self.oracle.note_write(block_id, sub_idx)
+                self._n_accesses += 1
+                self._n_writes += 1
+                self._n_cases[self._idx_commit_hit] += 1
+                self._n_served_fast += 1
+                return (rc_miss, False, 3, nbytes, 0.0, 0.0, None)
+            stage.record_set_access(set_index)
+            rc_miss = not self.remap_cache.access(super_id)
+            if rc_miss:
+                self._count_table_probe()
+            self.fast_area.touch(self.fast_area.set_of_super(super_id), way)
+            self._n_accesses += 1
+            self._n_reads += 1
+            self._n_cases[self._idx_commit_hit] += 1
+            self._n_served_fast += 1
+            if code == 5:  # CLS_COMMIT_ZERO
+                return (rc_miss, False, 0, 0, 0.0, 0.0, None)
+            cf = aux & 7
+            nbytes = self._cl_size if (cf <= 1 or self._ca) else self._sb_size
+            dev = self.devices.fast
+            dev._n_read_bytes += nbytes
+            dev._n_reads += 1
+            dev._n_demand_read_bytes += nbytes
+            arr = dev._array_latency(
+                block_id * block_size + sub_idx * sub_size, dev.read_latency
+            ) + 0.0
+            if cf > 1:
+                line_idx = (rem % sub_size) // self._g_line_size
+                lines = self._chunk_lines(block_id, aux >> 3, cf, sub_idx, line_idx)
+                return (rc_miss, False, 1, nbytes, arr, self._decomp_f, lines)
+            return (rc_miss, False, 1, nbytes, arr, 0.0, None)
+        # Case 4: commit miss — a pure slow-memory bypass.
+        stage.record_set_access(set_index)
+        rc_miss = not self.remap_cache.access(super_id)
+        if rc_miss:
+            self._count_table_probe()
+        self._n_accesses += 1
+        self._n_cases[self._idx_commit_miss] += 1
+        dev = self.devices.slow
+        nbytes = self._cl_size
+        if is_write:
+            self._n_writes += 1
+            dev._n_write_bytes += nbytes
+            dev._n_writes += 1
+            return (rc_miss, False, 4, nbytes, 0.0, 0.0, None)
+        self._n_reads += 1
+        dev._n_read_bytes += nbytes
+        dev._n_reads += 1
+        dev._n_demand_read_bytes += nbytes
+        return (rc_miss, False, 2, nbytes, dev.read_latency + 0.0, 0.0, None)
 
     def access_batch(self, ops, cycles: float, mlp: float) -> float:
         """Replay a span of deferred ops against the channel pools.
@@ -642,6 +1752,31 @@ class BaryonController:
             rc_miss, stage_meta, dev, nbytes, arr, decomp, _lines = op
             now = cycles
             if dev >= 3:
+                if dev >= 5:
+                    # Staging fetch (cases 3/5): ``nbytes`` carries
+                    # ``(demand_bytes, extras)`` — the demand read plus
+                    # the captured posted transfers, replayed in capture
+                    # order. Only reads (dev 5) stall the core.
+                    demand_nb, extras = nbytes
+                    if rc_miss:
+                        queue, transfer = fast_transfer(now, 16, True)
+                        remap_lat = rc_lat + ((probe_lat + queue) + transfer)
+                        latency = remap_lat if remap_lat > tag_lat else tag_lat
+                    else:
+                        latency = meta_hit
+                    if demand_nb:
+                        queue, transfer = slow_transfer(now, demand_nb, True)
+                        latency += (arr + queue) + transfer
+                        if decomp:
+                            latency += decomp
+                    for pid, nb, pri in extras:
+                        if pid:
+                            fast_transfer(now, nb, pri)
+                        else:
+                            slow_transfer(now, nb, pri)
+                    if dev == 5:
+                        cycles += latency / mlp
+                    continue
                 # Posted write: evolves the channel busy state (and the
                 # remap-table probe) but adds no core-visible latency —
                 # the simulator never accumulates write latencies.
@@ -1715,8 +2850,9 @@ class BaryonController:
             )
             self.remap_table.set(block_id, new_entry)
             self._cf_hints.pop(block_id, None)
-            state.committed[blk_off] = new_entry.occupied_slots()
-            state.slots_used += new_entry.occupied_slots()
+            occupied = new_entry.occupied_slots()
+            state.committed[blk_off] = occupied
+            state.slots_used += occupied
             for sub in dirties:
                 state.dirty_subs.add((blk_off, sub))
             if self.tracker is not None:

@@ -40,6 +40,11 @@ class StageArea:
         )
         self.mru_miss_cnt: List[int] = [0] * self.num_sets
         self._set_accesses: List[int] = [0] * self.num_sets
+        #: Exact per-set count of valid entries, maintained at the two
+        #: validity flips (:meth:`allocate` / :meth:`invalidate`) so the
+        #: deferred serve closure can promote to MRU without rescanning
+        #: the set.
+        self.valid_counts: List[int] = [0] * self.num_sets
         self._aging_period = config.aging_period_accesses
         self.stats = CounterGroup("stage_area")
         #: Observability hook point; see :mod:`repro.obs`.
@@ -166,6 +171,7 @@ class StageArea:
         entry = self.tags.entry(set_index, way)
         entry.tag = self.mapper.tag_of_super(super_id)
         entry.valid = True
+        self.valid_counts[set_index] += 1
         entry.slots = [None] * self.geometry.sub_blocks_per_block
         entry.fifo = 0
         entry.miss_count = 0
@@ -199,6 +205,7 @@ class StageArea:
             if other.valid and other.lru > old_rank:
                 other.lru -= 1
         entry.valid = False
+        self.valid_counts[set_index] -= 1
         entry.slots = [None] * self.geometry.sub_blocks_per_block
         entry.lru = 0
         entry.fifo = 0
@@ -268,6 +275,15 @@ class StageArea:
             counts[set_index] = n
             return
         counts[set_index] = 0
+        self.age_set(set_index)
+
+    def age_set(self, set_index: int) -> None:
+        """Halve one set's miss counters (the aging-period rollover).
+
+        Split out of :meth:`record_set_access` so the controller's
+        deferred fast path can inline the dominant count-and-store branch
+        and fall into this exact slow path on period boundaries.
+        """
         self.mru_miss_cnt[set_index] >>= 1
         for entry in self.tags.entries[set_index]:
             entry.miss_count >>= 1

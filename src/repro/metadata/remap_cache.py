@@ -116,6 +116,46 @@ class RemapCache:
             lines[tag] = line
         return hit
 
+    def probe_state(self):
+        """Bindings for an externally inlined probe loop.
+
+        The deferred-batch server inlines :meth:`access` (minus faults
+        and tracing, which disable batching altogether) and needs the
+        cache's mutable internals hoisted once per run. Returns
+        ``(sets, num_sets, hit_ratio, columnar)``. An inline probe must
+        preserve this class's transitions exactly:
+
+        * hit — bump the set ``_clock``, stamp ``line.counter``, and
+          re-insert the tag (``lines[tag] = lines.pop(tag)``) so dict
+          order stays LRU→MRU;
+        * miss at capacity — evict ``next(iter(lines))`` (the LRU);
+        * miss with room — bump ``columnar.rc_occupancy[index]`` when a
+          columnar mirror is attached (an evict+fill pair leaves it
+          unchanged);
+        * fill — fresh ``CacheLine(tag)`` stamped from the set clock.
+
+        Hit/miss/eviction outcomes must be tallied by the caller and
+        folded back through :meth:`credit_probes` before anything reads
+        ``stats`` or ``hit_ratio``.
+        """
+        return self._sets, self.num_sets, self.hit_ratio, self.columnar
+
+    def credit_probes(
+        self, total: int, hits: int, misses: int, evictions: int
+    ) -> None:
+        """Fold a batch of externally tallied probe outcomes back in.
+
+        The counterpart of :meth:`probe_state`: after this, ``stats``,
+        ``hit_ratio`` and ``hit_rate`` read exactly as if every probe
+        had gone through :meth:`access`.
+        """
+        ratio = self.hit_ratio
+        ratio.total += total
+        ratio.hits += hits
+        self._n_hits += hits
+        self._n_misses += misses
+        self._n_evictions += evictions
+
     def contains(self, super_block_id: int) -> bool:
         index, tag = self._split(super_block_id)
         return self._sets[index].lookup(tag) is not None

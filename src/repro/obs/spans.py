@@ -21,9 +21,13 @@ The same design rules as the event tracer apply:
    :meth:`SpanTracer.adopt` move spans across process boundaries as
    JSON-compatible dicts — the same pickle-free discipline the matrix
    runner uses for :class:`~repro.sim.results.SimResult`.
-3. **Wall-clock timestamps.** Span boundaries are ``time.time()``
-   seconds so spans from forked workers align with the parent's
-   timeline without cross-process clock translation.
+3. **Wall-clock timestamps, monotonic durations.** Span boundaries are
+   ``time.time()`` seconds so spans from forked workers align with the
+   parent's timeline without cross-process clock translation — but a
+   wall clock can step (NTP slew, VM migration), which used to yield
+   negative durations. Each span therefore also records ``duration_s``
+   measured on a monotonic clock; the wall timestamps remain for
+   display and alignment only.
 """
 
 from __future__ import annotations
@@ -31,6 +35,7 @@ from __future__ import annotations
 import json
 from contextlib import contextmanager
 from dataclasses import dataclass, field
+from time import perf_counter as _mono
 from time import time as _wall
 from typing import Any, Dict, Iterator, List, Optional, Sequence
 
@@ -74,11 +79,14 @@ NULL_SPANS = NullSpanTracer()
 class Span:
     """One timed interval in the sweep tree.
 
-    ``start_s``/``end_s`` are wall-clock (``time.time()``) seconds;
-    ``end_s`` is ``None`` while the span is open. ``events`` are point
-    annotations (``{"t": unix_s, "name": ..., ...fields}``) — the
-    resilience layer records requeues, resumes and checkpoint writes
-    this way instead of inventing new top-level record types.
+    ``start_s``/``end_s`` are wall-clock (``time.time()``) seconds for
+    cross-process timeline alignment; ``end_s`` is ``None`` while the
+    span is open. ``duration_s`` is measured on a monotonic clock at
+    :meth:`SpanTracer.end` time, so a wall-clock step between start and
+    end cannot produce a negative (or inflated) duration. ``events``
+    are point annotations (``{"t": unix_s, "name": ..., ...fields}``) —
+    the resilience layer records requeues, resumes and checkpoint
+    writes this way instead of inventing new top-level record types.
     """
 
     span_id: str
@@ -86,12 +94,13 @@ class Span:
     name: str
     start_s: float
     end_s: Optional[float] = None
+    duration_s: Optional[float] = None
     attributes: Dict[str, Any] = field(default_factory=dict)
     events: List[Dict[str, Any]] = field(default_factory=list)
-
-    @property
-    def duration_s(self) -> float:
-        return (self.end_s - self.start_s) if self.end_s is not None else 0.0
+    #: Monotonic reading taken at :meth:`SpanTracer.start`; process-local
+    #: (meaningless across workers), so it never travels in transport
+    #: dicts and is excluded from equality.
+    mono_start: Optional[float] = field(default=None, repr=False, compare=False)
 
     def to_dict(self) -> Dict[str, Any]:
         return {
@@ -100,18 +109,25 @@ class Span:
             "name": self.name,
             "start_s": self.start_s,
             "end_s": self.end_s,
+            "duration_s": self.duration_s,
             "attributes": dict(self.attributes),
             "events": list(self.events),
         }
 
     @classmethod
     def from_dict(cls, payload: Dict[str, Any]) -> "Span":
+        duration = payload.get("duration_s")
+        if duration is None and payload.get("end_s") is not None:
+            # Pre-monotonic payloads: wall-clock difference is the best
+            # reconstruction available.
+            duration = payload["end_s"] - payload["start_s"]
         return cls(
             span_id=payload["span_id"],
             parent_id=payload.get("parent_id"),
             name=payload["name"],
             start_s=payload["start_s"],
             end_s=payload.get("end_s"),
+            duration_s=duration,
             attributes=dict(payload.get("attributes", {})),
             events=list(payload.get("events", [])),
         )
@@ -149,15 +165,25 @@ class SpanTracer:
             name=name,
             start_s=self.clock(),
             attributes=dict(attributes),
+            mono_start=_mono(),
         )
         self._open += 1
         return span
 
     def end(self, span: Optional[Span], **attributes: Any) -> None:
-        """Close a span, folding any final attributes in."""
+        """Close a span, folding any final attributes in.
+
+        The wall clock stamps ``end_s`` for display; the duration comes
+        from the monotonic clock so it stays non-negative even if the
+        wall clock stepped mid-span.
+        """
         if span is None or span.end_s is not None:
             return
         span.end_s = self.clock()
+        if span.mono_start is not None:
+            span.duration_s = _mono() - span.mono_start
+        else:  # adopted/reconstructed span closed locally
+            span.duration_s = span.end_s - span.start_s
         if attributes:
             span.attributes.update(attributes)
         self._open -= 1
@@ -275,7 +301,9 @@ def format_span_tree(spans: Sequence[Dict[str, Any]]) -> str:
 
     def _walk(span: Dict[str, Any], depth: int) -> None:
         end = span.get("end_s")
-        duration = (end - span["start_s"]) if end is not None else None
+        duration = span.get("duration_s")
+        if duration is None and end is not None:
+            duration = end - span["start_s"]
         timing = f"{duration * 1e3:.1f}ms" if duration is not None else "open"
         attrs = span.get("attributes") or {}
         summary = " ".join(f"{k}={v}" for k, v in sorted(attrs.items()))

@@ -7,6 +7,7 @@ from typing import Dict, Optional, Tuple
 
 from repro.cache.hierarchy import CacheHierarchy
 from repro.common.config import SimulationConfig
+from repro.core.columnar import CLS_DECLINE_STAGING_FETCH, DECLINE_REASONS
 from repro.devices.energy import EnergyModel
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.profiler import NULL_PROFILER, PhaseProfiler
@@ -95,6 +96,9 @@ class SystemSimulator:
         self._progress_every = max(1, progress_every)
         self._run_span = None
         self._deferred = False
+        self._classifier = None
+        self._server = None
+        self._fast_path = None
         self.cycles = 0.0
         self.instructions = 0
         self._served_fast = 0
@@ -256,6 +260,29 @@ class SystemSimulator:
         writes = trace.writes
         igaps = trace.igaps
         cores = trace.cores
+        # Bulk verdicts for the deferred path: the classifier keeps the
+        # numpy trace arrays and gather-classifies chunks of future
+        # indices ahead of the loop (see repro.core.columnar). Controllers
+        # without one (or non-numpy traces) classify per op as before.
+        make = getattr(self.controller, "make_run_classifier", None)
+        self._classifier = (
+            make(addrs, writes) if (self._deferred and make is not None) else None
+        )
+        # The inlined serve/flush closure pair (tallied counters, inline
+        # LRU/row-buffer transitions); None falls back to access_deferred.
+        # The server holds the classifier's dirty set so coded verdicts
+        # are revalidated against post-gather mutations inside serve().
+        make_server = getattr(self.controller, "make_deferred_server", None)
+        self._server = (
+            make_server(
+                None if self._classifier is None else self._classifier.dirty_blocks
+            )
+            if (self._deferred and make_server is not None)
+            else None
+        )
+        # Closure form of the hierarchy walk (attribute binds hoisted,
+        # tallied hit counters); None falls back to the bound methods.
+        self._fast_path = self.hierarchy.make_fast_path() if self._deferred else None
         addrs = addrs.tolist() if hasattr(addrs, "tolist") else list(addrs)
         writes = writes.tolist() if hasattr(writes, "tolist") else list(writes)
         igaps = igaps.tolist() if hasattr(igaps, "tolist") else list(igaps)
@@ -420,37 +447,74 @@ class SystemSimulator:
     ) -> None:
         """The deferred-timing variant of :meth:`_batched_span`.
 
-        Safe LLC misses (reads, and write hits that provably do not
-        overflow) are state-applied eagerly (in trace order) by
-        ``access_deferred`` and their op records accumulate in ``ops``
-        together with the interleaved core-side cycle increments; one
-        ``access_batch`` call replays the run, evolving the channel pools
-        and the ``cycles`` accumulator in the scalar loop's exact float
-        operation order. Unsafe accesses — staging cases, overflowing or
-        zero-breaking writes, LLC writebacks, prefetch-install writebacks
-        — first flush the pending run (so ``cycles`` is current) and then
-        take the scalar ``controller.access`` call with that clock,
-        exactly as the plain batched loop would.
+        Safe LLC misses — reads, write hits that provably do not
+        overflow, and dirty writebacks of batch-safe blocks — are
+        state-applied eagerly (in trace order) and their op records
+        accumulate in ``ops`` together with the interleaved core-side
+        cycle increments; one ``access_batch`` call replays the run,
+        evolving the channel pools and the ``cycles`` accumulator in the
+        scalar loop's exact float operation order. Unsafe accesses —
+        staging cases, overflowing or zero-breaking writes, block-filling
+        writebacks — first flush the pending run (so ``cycles`` is
+        current) and then take the scalar ``controller.access`` call with
+        that clock, exactly as the plain batched loop would.
+
+        With a run classifier attached, membership verdicts for chunks of
+        future trace indices are precomputed in one numpy gather pass:
+        accepted verdicts route through the lean ``access_classified``
+        serve, pre-resolved declines skip classification entirely (the
+        per-reason decline counter is charged here), and verdicts whose
+        block mutated since the gather (``dirty`` set) or that need the
+        oracle's per-op probes fall back to ``access_deferred``. Either
+        way every op is still served in exact trace order, so state and
+        cycles stay bit-identical.
         """
         cfg = self.config
         base_cpi = cfg.base_cpi
         mlp = cfg.memory_level_parallelism
         threads = max(1, cfg.hierarchy.cores)
         hierarchy = self.hierarchy
-        access_fast = hierarchy.access_fast
-        install_fast = hierarchy.install_llc_fast
+        fast_path = self._fast_path
+        if fast_path is not None:
+            access_fast, install_fast, hier_flush = fast_path
+        else:
+            access_fast = hierarchy.access_fast
+            install_fast = hierarchy.install_llc_fast
+            hier_flush = None
         controller = self.controller
         ctrl_access = controller.access
         ctrl_deferred = controller.access_deferred
         ctrl_batch = controller.access_batch
         l1_div = hierarchy.config.l1d.latency_cycles / threads
 
+        server = self._server
+        if server is not None:
+            serve, server_flush, ctrl_batch = server
+        else:
+            serve = server_flush = None
+        classifier = self._classifier
+        if classifier is not None:
+            declines = controller.deferred_declines
+            reason_of = DECLINE_REASONS
+            sf_code = CLS_DECLINE_STAGING_FETCH
+            dirty = classifier.dirty_blocks
+            block_size = classifier.block_size
+            chunk = classifier.chunk
+            codes = None
+            cls_base = cls_end = start
+
         cycles = self.cycles
         instructions = self.instructions
         ops = []
         append = ops.append
-        for i in range(start, stop):
-            gap = igaps[i]
+        # zip over list slices: one C-level iteration replaces four
+        # per-element list index reads in the hottest Python loop.
+        i = start - 1
+        for addr, is_write, gap, core in zip(
+            addrs[start:stop], writes[start:stop],
+            igaps[start:stop], cores[start:stop],
+        ):
+            i += 1
             instructions += gap + 1
             if gap:
                 g = gap * base_cpi / threads
@@ -458,7 +522,7 @@ class SystemSimulator:
                     append(g)
                 else:
                     cycles += g
-            outcome = access_fast(addrs[i], writes[i], cores[i])
+            outcome = access_fast(addr, is_write, core)
             if outcome is None:
                 if ops:
                     append(l1_div)
@@ -471,9 +535,31 @@ class SystemSimulator:
             else:
                 cycles += h
             if outcome[2]:  # LLC miss: the controller serves it.
-                addr = addrs[i]
-                is_write = writes[i]
-                op = ctrl_deferred(addr, is_write)
+                if serve is None:
+                    op = ctrl_deferred(addr, is_write)
+                elif classifier is None:
+                    op = serve(addr, is_write, 0, 0)
+                else:
+                    if i >= cls_end:
+                        cls_base = i
+                        cls_end = min(stop, i + chunk)
+                        codes, auxes = classifier.classify(cls_base, cls_end)
+                    code = codes[i - cls_base]
+                    if code > 0:
+                        # serve() rechecks the dirty set itself (it already
+                        # has block_id in hand) before trusting the verdict.
+                        op = serve(addr, is_write, code, auxes[i - cls_base])
+                    elif code == 0:
+                        op = serve(addr, is_write, 0, 0)
+                    elif code == sf_code or addr // block_size in dirty:
+                        # Staging fetches serve inline (the closure runs
+                        # the real fetch-and-stage with its transfers
+                        # captured for replay); stale pre-resolved
+                        # declines re-classify inline the same way.
+                        op = serve(addr, is_write, 0, 0)
+                    else:
+                        declines[reason_of[code]] += 1
+                        op = None
                 if op is not None:
                     append(op)
                     pls = op[6]
@@ -481,14 +567,25 @@ class SystemSimulator:
                         for line_addr in pls:
                             wb = install_fast(line_addr)
                             if wb:
-                                if ops:
+                                wop = (
+                                    serve(wb, True, 0, 0)
+                                    if serve is not None
+                                    else ctrl_deferred(wb, True)
+                                )
+                                if wop is not None:
+                                    append(wop)
+                                else:
                                     cycles = ctrl_batch(ops, cycles, mlp)
                                     ops.clear()
-                                ctrl_access(wb, True, cycles)
+                                    if server_flush is not None:
+                                        server_flush()
+                                    ctrl_access(wb, True, cycles)
                 else:
                     if ops:
                         cycles = ctrl_batch(ops, cycles, mlp)
                         ops.clear()
+                    if server_flush is not None:
+                        server_flush()
                     mem = ctrl_access(addr, is_write, cycles)
                     if not is_write:
                         # Writes are posted; only reads stall the core.
@@ -501,14 +598,32 @@ class SystemSimulator:
                                 ctrl_access(wb, True, cycles)
             wbs = outcome[3]
             if wbs is not None:
-                if ops:
-                    cycles = ctrl_batch(ops, cycles, mlp)
-                    ops.clear()
                 for wb in wbs:
-                    ctrl_access(wb, True, cycles)
+                    # Writebacks are posted ops: a deferred one replays at
+                    # the exact clock the scalar call would have seen, so
+                    # batch-safe writebacks extend the run instead of
+                    # flushing it.
+                    wop = (
+                        serve(wb, True, 0, 0)
+                        if serve is not None
+                        else ctrl_deferred(wb, True)
+                    )
+                    if wop is not None:
+                        append(wop)
+                    else:
+                        if ops:
+                            cycles = ctrl_batch(ops, cycles, mlp)
+                            ops.clear()
+                        if server_flush is not None:
+                            server_flush()
+                        ctrl_access(wb, True, cycles)
         if ops:
             cycles = ctrl_batch(ops, cycles, mlp)
             ops.clear()
+        if server_flush is not None:
+            server_flush()
+        if hier_flush is not None:
+            hier_flush()
         self.cycles = cycles
         self.instructions = instructions
 

@@ -201,6 +201,54 @@ def _group_dict(group) -> Dict:
     return group.as_dict() if hasattr(group, "as_dict") else dict(group)
 
 
+def _scalar_replay(controller, trace: List[TraceRecord], mlp: float) -> float:
+    """Plain ``access`` replay; returns the finishing clock."""
+    cycles = 0.0
+    for addr, is_write in trace:
+        mem = controller.access(addr, is_write, cycles)
+        if not is_write:
+            cycles += mem.latency_cycles / mlp
+    return cycles
+
+
+def _assert_twin_match(scalar_ctrl, twin_ctrl, cycles: float,
+                       twin_cycles: float, path: str) -> None:
+    """Raise ``batched_divergence`` unless the twin matches bit-for-bit."""
+    groups = [
+        ("controller", scalar_ctrl.stats, twin_ctrl.stats),
+        ("fast_device", scalar_ctrl.devices.fast.stats,
+         twin_ctrl.devices.fast.stats),
+        ("slow_device", scalar_ctrl.devices.slow.stats,
+         twin_ctrl.devices.slow.stats),
+    ]
+    if hasattr(scalar_ctrl, "remap_cache"):
+        groups.append(
+            ("remap_cache", scalar_ctrl.remap_cache.stats,
+             twin_ctrl.remap_cache.stats)
+        )
+    for name, scalar_group, twin_group in groups:
+        scalar_counts = _group_dict(scalar_group)
+        twin_counts = _group_dict(twin_group)
+        if scalar_counts != twin_counts:
+            key = next(
+                k for k in sorted(set(scalar_counts) | set(twin_counts))
+                if scalar_counts.get(k) != twin_counts.get(k)
+            )
+            raise OracleViolation(
+                f"{path} seam diverged in {name} counter {key!r}: "
+                f"{scalar_counts.get(key)} vs {twin_counts.get(key)}",
+                kind="batched_divergence", location=f"{name}.{key}",
+            )
+    if twin_cycles != cycles:
+        raise OracleViolation(
+            f"{path} seam diverged in cycles: {cycles} vs {twin_cycles}",
+            kind="batched_divergence", location="cycles",
+        )
+    columnar = getattr(twin_ctrl, "columnar", None)
+    if columnar is not None:
+        columnar.verify()
+
+
 def run_batched_case(config_kwargs: Dict, trace: List[TraceRecord], seed: int) -> None:
     """Replay one fuzz case across the deferred-batch seam; raise on drift.
 
@@ -227,12 +275,7 @@ def run_batched_case(config_kwargs: Dict, trace: List[TraceRecord], seed: int) -
             kind="batched_divergence", location="supports_batching",
         )
     mlp = 4.0
-
-    cycles = 0.0
-    for addr, is_write in trace:
-        mem = scalar_ctrl.access(addr, is_write, cycles)
-        if not is_write:
-            cycles += mem.latency_cycles / mlp
+    cycles = _scalar_replay(scalar_ctrl, trace, mlp)
 
     b_cycles = 0.0
     ops: List = []
@@ -252,39 +295,158 @@ def run_batched_case(config_kwargs: Dict, trace: List[TraceRecord], seed: int) -
     if ops:
         b_cycles = batch(ops, b_cycles, mlp)
 
-    groups = [
-        ("controller", scalar_ctrl.stats, batched_ctrl.stats),
-        ("fast_device", scalar_ctrl.devices.fast.stats,
-         batched_ctrl.devices.fast.stats),
-        ("slow_device", scalar_ctrl.devices.slow.stats,
-         batched_ctrl.devices.slow.stats),
-    ]
-    if hasattr(scalar_ctrl, "remap_cache"):
-        groups.append(
-            ("remap_cache", scalar_ctrl.remap_cache.stats,
-             batched_ctrl.remap_cache.stats)
-        )
-    for name, scalar_group, batched_group in groups:
-        scalar_counts = _group_dict(scalar_group)
-        batched_counts = _group_dict(batched_group)
-        if scalar_counts != batched_counts:
-            key = next(
-                k for k in sorted(set(scalar_counts) | set(batched_counts))
-                if scalar_counts.get(k) != batched_counts.get(k)
-            )
-            raise OracleViolation(
-                f"batched seam diverged in {name} counter {key!r}: "
-                f"{scalar_counts.get(key)} vs {batched_counts.get(key)}",
-                kind="batched_divergence", location=f"{name}.{key}",
-            )
-    if b_cycles != cycles:
+    _assert_twin_match(scalar_ctrl, batched_ctrl, cycles, b_cycles, "batched")
+
+
+def run_classified_case(
+    config_kwargs: Dict,
+    trace: List[TraceRecord],
+    seed: int,
+    rng: random.Random,
+) -> bool:
+    """Replay one fuzz case through the vectorized classifier + server.
+
+    This is the simulator's actual hot path (``make_run_classifier``
+    gathers bulk verdicts, ``make_deferred_server`` serves them inline)
+    driven the way ``SystemSimulator._deferred_span`` drives it — but
+    under adversarial scheduling: the gather chunk is randomized down to
+    a single op (so chunk boundaries land on and around declines), and
+    random span boundaries force batch-replay/flush points mid-run, the
+    same write-back points progress chunking introduces. Counters,
+    cycles and the columnar arena must still match the plain scalar
+    replay bit for bit.
+
+    Returns ``True`` when the twin check ran. Configurations for which
+    the controller declines to build a server (e.g. a non-LRU fast
+    area) are skipped with ``False`` — the simulator would fall back to
+    the per-op seam there, which :func:`run_batched_case` covers.
+    """
+    import numpy as np
+
+    from repro.core import BaryonController
+    from repro.core.columnar import CLS_DECLINE_STAGING_FETCH, DECLINE_REASONS
+
+    v_ctrl = BaryonController(make_tiny_config(**config_kwargs), seed=seed)
+    if not getattr(v_ctrl, "supports_batching", False):
         raise OracleViolation(
-            f"batched seam diverged in cycles: {cycles} vs {b_cycles}",
-            kind="batched_divergence", location="cycles",
+            "forced batched configuration does not support batching",
+            kind="batched_divergence", location="supports_batching",
         )
-    columnar = getattr(batched_ctrl, "columnar", None)
-    if columnar is not None:
-        columnar.verify()
+    addrs = np.asarray([addr for addr, _ in trace], dtype=np.int64)
+    writes = np.asarray([w for _, w in trace], dtype=np.bool_)
+    classifier = v_ctrl.make_run_classifier(addrs, writes)
+    server = v_ctrl.make_deferred_server(
+        None if classifier is None else classifier.dirty_blocks
+    )
+    if server is None:
+        return False
+    serve, server_flush, batch = server
+    mlp = 4.0
+    scalar_ctrl = BaryonController(make_tiny_config(**config_kwargs), seed=seed)
+    cycles = _scalar_replay(scalar_ctrl, trace, mlp)
+    if classifier is not None:
+        # Tiny chunks force verdict boundaries onto (and right after)
+        # decline sites; large ones exercise verdict staleness.
+        classifier.chunk = rng.choice([1, 2, 3, 5, 8, 32, 4096])
+        declines = v_ctrl.deferred_declines
+        reason_of = DECLINE_REASONS
+        sf_code = CLS_DECLINE_STAGING_FETCH
+        dirty = classifier.dirty_blocks
+        block_size = classifier.block_size
+        chunk = classifier.chunk
+        codes = auxes = None
+    n = len(trace)
+    # Forced replay boundaries, as progress chunking would place them.
+    boundary = rng.randrange(1, n + 1) if rng.random() < 0.7 else n + 1
+
+    v_cycles = 0.0
+    ops: List = []
+    cls_base = cls_end = 0
+    for i, (addr, is_write) in enumerate(trace):
+        if i == boundary:
+            if ops:
+                v_cycles = batch(ops, v_cycles, mlp)
+                ops.clear()
+            server_flush()
+            cls_end = i  # span boundary: the next op re-gathers
+            boundary += rng.randrange(1, max(2, n // 4))
+        if classifier is None:
+            op = serve(addr, is_write, 0, 0)
+        else:
+            if i >= cls_end:
+                cls_base = i
+                cls_end = min(n, i + chunk)
+                codes, auxes = classifier.classify(cls_base, cls_end)
+            code = codes[i - cls_base]
+            if code > 0:
+                op = serve(addr, is_write, code, auxes[i - cls_base])
+            elif code == 0:
+                op = serve(addr, is_write, 0, 0)
+            elif code == sf_code or addr // block_size in dirty:
+                op = serve(addr, is_write, 0, 0)
+            else:
+                declines[reason_of[code]] += 1
+                op = None
+        if op is not None:
+            ops.append(op)
+            continue
+        if ops:
+            v_cycles = batch(ops, v_cycles, mlp)
+            ops.clear()
+        server_flush()
+        mem = v_ctrl.access(addr, is_write, v_cycles)
+        if not is_write:
+            v_cycles += mem.latency_cycles / mlp
+    if ops:
+        v_cycles = batch(ops, v_cycles, mlp)
+    server_flush()
+
+    _assert_twin_match(scalar_ctrl, v_ctrl, cycles, v_cycles, "classified")
+    return True
+
+
+def run_simple_case(
+    config_kwargs: Dict, trace: List[TraceRecord], seed: int
+) -> None:
+    """Drive the ``simple`` baseline's deferred seam against its scalar twin.
+
+    The simple design batches its commit-hit stream (block misses
+    decline with no state applied), so the same twin-controller
+    discipline applies: counters, device traffic, remap-cache stats and
+    the clock must be bit-identical.
+    """
+    from repro.baselines.simple_cache import SimpleCache
+
+    config = make_tiny_config(**config_kwargs)
+    scalar_ctrl = SimpleCache(config)
+    batched_ctrl = SimpleCache(make_tiny_config(**config_kwargs))
+    if not getattr(batched_ctrl, "supports_batching", False):
+        raise OracleViolation(
+            "simple baseline unexpectedly declines batching",
+            kind="batched_divergence", location="supports_batching",
+        )
+    mlp = 4.0
+    cycles = _scalar_replay(scalar_ctrl, trace, mlp)
+
+    b_cycles = 0.0
+    ops: List = []
+    deferred = batched_ctrl.access_deferred
+    batch = batched_ctrl.access_batch
+    for addr, is_write in trace:
+        op = deferred(addr, is_write)
+        if op is not None:
+            ops.append(op)
+            continue
+        if ops:
+            b_cycles = batch(ops, b_cycles, mlp)
+            ops.clear()
+        mem = batched_ctrl.access(addr, is_write, b_cycles)
+        if not is_write:
+            b_cycles += mem.latency_cycles / mlp
+    if ops:
+        b_cycles = batch(ops, b_cycles, mlp)
+
+    _assert_twin_match(scalar_ctrl, batched_ctrl, cycles, b_cycles, "simple")
 
 
 def run_fuzz(
@@ -297,9 +459,11 @@ def run_fuzz(
     """Run ``iterations`` seeded fuzz cases; collect (don't raise) failures.
 
     With ``batched=True`` every iteration additionally replays its trace
-    through :func:`run_batched_case`, cross-checking the controller's
-    deferred-batch seam (``access_deferred``/``access_batch``) against the
-    plain scalar replay.
+    across the deferred-batch seam three ways, each against a fresh
+    scalar twin: the per-op pair (:func:`run_batched_case`), the
+    vectorized classifier + server under randomized chunk sizes and
+    forced flush boundaries (:func:`run_classified_case`), and the
+    ``simple`` baseline's seam (:func:`run_simple_case`).
     """
     report = FuzzReport()
     for iteration in range(iterations):
@@ -315,6 +479,10 @@ def run_fuzz(
             if batched:
                 run_batched_case(config_kwargs, trace, seed)
                 report.stats.inc("fuzz_batched_checks")
+                if run_classified_case(config_kwargs, trace, seed, rng):
+                    report.stats.inc("fuzz_classifier_checks")
+                run_simple_case(config_kwargs, trace, seed)
+                report.stats.inc("fuzz_simple_checks")
         except OracleViolation as error:
             report.stats.inc("fuzz_violations")
             report.failures.append(
